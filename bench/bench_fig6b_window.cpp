@@ -1,0 +1,131 @@
+// Regenerates Fig. 6b: conservative (Eq. 7) vs aggressive (Eq. 8)
+// estimation of the oncoming vehicle's passing time window, compared with
+// the real passing time along sampled trajectories.
+//
+// Expected shape: the aggressive window is much more compact than the
+// conservative one while still (almost always) containing the real
+// passing interval; the conservative window always contains it.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cvsafe/util/csv.hpp"
+#include "cvsafe/util/stats.hpp"
+#include "cvsafe/util/table.hpp"
+#include "cvsafe/vehicle/accel_profile.hpp"
+#include "cvsafe/vehicle/dynamics.hpp"
+
+using namespace cvsafe;
+
+namespace {
+
+struct WindowStudy {
+  util::RunningStats cons_width;
+  util::RunningStats aggr_width;
+  std::size_t checks = 0;
+  std::size_t cons_sound = 0;  // real interval inside conservative window
+  std::size_t aggr_sound = 0;  // real interval inside aggressive window
+};
+
+void run_trajectory(std::uint64_t seed,
+                    const scenario::LeftTurnScenario& scn, WindowStudy& study,
+                    util::CsvWriter* csv) {
+  const auto& limits = scn.oncoming_limits();
+  const double dt_c = scn.control_period();
+  util::Rng rng(seed);
+  vehicle::DoubleIntegrator dyn(limits);
+  vehicle::VehicleState c1{-55.0 - rng.uniform(0.0, 5.0),
+                           rng.uniform(6.0, 12.0)};
+  const auto steps = static_cast<std::size_t>(20.0 / dt_c);
+  const auto profile =
+      vehicle::AccelProfile::random(steps, dt_c, c1.v, limits, {}, rng);
+
+  // Roll out the exact trajectory first to know the real passing times.
+  vehicle::Trajectory traj;
+  {
+    vehicle::VehicleState s = c1;
+    for (std::size_t step = 0; step < steps; ++step) {
+      const double t = static_cast<double>(step) * dt_c;
+      traj.push(vehicle::VehicleSnapshot{t, s, profile.at(step)});
+      s = dyn.step(s, profile.at(step), dt_c);
+    }
+  }
+  const double real_entry =
+      traj.first_time_at_position(scn.geometry().c1_front);
+  const double real_exit =
+      traj.first_time_at_position(scn.geometry().c1_back);
+  if (real_entry < 0.0 || real_exit < 0.0) return;  // never reached the zone
+
+  for (std::size_t step = 0; step < steps; ++step) {
+    const auto& snap = traj[step];
+    if (snap.t >= real_entry) break;  // estimate only while approaching
+
+    filter::StateEstimate est;
+    est.t = snap.t;
+    est.p = util::Interval::point(snap.state.p);
+    est.v = util::Interval::point(snap.state.v);
+    est.p_hat = snap.state.p;
+    est.v_hat = snap.state.v;
+    est.a_hat = snap.a;
+    est.valid = true;
+
+    const util::Interval cons = scn.c1_window_conservative(est);
+    const util::Interval aggr =
+        scn.c1_window_aggressive(est, scenario::AggressiveBuffers{});
+    if (cons.empty()) continue;
+
+    study.cons_width.add(cons.width());
+    study.aggr_width.add(aggr.empty() ? 0.0 : aggr.width());
+    ++study.checks;
+    // 1 ms tolerance absorbs the linear interpolation of the sampled
+    // trajectory used to measure the "real" passing times.
+    const util::Interval real{real_entry, real_exit};
+    if (cons.inflated(1e-3).contains(real)) ++study.cons_sound;
+    if (!aggr.empty() && aggr.inflated(1e-3).contains(real))
+      ++study.aggr_sound;
+
+    if (csv != nullptr) {
+      csv->row({snap.t, cons.lo, cons.hi, aggr.empty() ? -1.0 : aggr.lo,
+                aggr.empty() ? -1.0 : aggr.hi, real_entry, real_exit});
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t trajectories = bench::sims_per_cell(200);
+  const eval::SimConfig config = eval::SimConfig::paper_defaults();
+  const auto scn = config.make_scenario();
+
+  util::CsvWriter csv("fig6b_window.csv");
+  csv.header({"t", "cons_lo", "cons_hi", "aggr_lo", "aggr_hi", "real_entry",
+              "real_exit"});
+
+  WindowStudy study;
+  run_trajectory(1, *scn, study, &csv);
+  for (std::uint64_t seed = 2; seed <= trajectories; ++seed) {
+    run_trajectory(seed, *scn, study, nullptr);
+  }
+
+  util::Table table("Fig. 6b: passing-time-window estimation (" +
+                    std::to_string(trajectories) + " trajectories)");
+  table.set_header({"estimator", "mean width [s]",
+                    "contains real passing interval"});
+  const auto dn = static_cast<double>(study.checks);
+  table.add_row({"conservative (Eq. 7)",
+                 util::Table::num(study.cons_width.mean()),
+                 util::Table::percent(
+                     static_cast<double>(study.cons_sound) / dn)});
+  table.add_row({"aggressive (Eq. 8)",
+                 util::Table::num(study.aggr_width.mean()),
+                 util::Table::percent(
+                     static_cast<double>(study.aggr_sound) / dn)});
+  std::cout << table;
+  std::printf(
+      "(the aggressive window trades a small soundness loss for a much "
+      "tighter estimate;\n example series in fig6b_window.csv)\n");
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Regenerates Table I of the paper: the conservative pure NN planner
+// kappa_n,cons vs its basic and ultimate compound planners across the
+// three communication settings.
+//
+// Expected shape (paper, 80k sims/setting): basic ~= pure NN reaching
+// time; ultimate clearly faster; all three 100% safe; emergency frequency
+// grows with disturbance severity.
+
+#include "bench_common.hpp"
+
+int main() {
+  const std::size_t sims = bench::sims_per_cell(2000);
+  bench::run_planner_table(
+      cvsafe::planners::PlannerStyle::kConservative,
+      "Table I: conservative NN planner vs its compound planners", sims);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Regenerates Table II of the paper: the aggressive pure NN planner
+// kappa_n,aggr vs its basic and ultimate compound planners.
+//
+// Expected shape (paper): pure NN is fastest among its ~60%-safe episodes
+// but collides in ~40% of them; both compound planners are 100% safe with
+// the ultimate variant slightly faster than the basic one; emergency
+// frequency around 20-30%.
+
+#include "bench_common.hpp"
+
+int main() {
+  const std::size_t sims = bench::sims_per_cell(2000);
+  bench::run_planner_table(
+      cvsafe::planners::PlannerStyle::kAggressive,
+      "Table II: aggressive NN planner vs its compound planners", sims);
+  return 0;
+}

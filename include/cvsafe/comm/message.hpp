@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+
+#include "cvsafe/vehicle/state.hpp"
+
+/// \file message.hpp
+/// V2V message content, Section II-A of the paper.
+///
+/// Every transmission period a vehicle broadcasts its exact state
+/// (p_i, v_i, a_i) stamped with the sampling time. The *content* is
+/// accurate; the *delivery* may be delayed or dropped (see channel.hpp).
+
+namespace cvsafe::comm {
+
+/// A broadcast state report from vehicle \p sender.
+struct Message {
+  std::uint32_t sender = 0;       ///< id of the transmitting vehicle
+  vehicle::VehicleSnapshot data;  ///< exact (t, p, v, a) at sampling time
+
+  /// Sampling timestamp of the payload.
+  double stamp() const { return data.t; }
+};
+
+}  // namespace cvsafe::comm

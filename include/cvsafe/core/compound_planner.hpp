@@ -1,0 +1,135 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cvsafe/core/planner.hpp"
+#include "cvsafe/core/safety_model.hpp"
+
+/// \file compound_planner.hpp
+/// The compound planner kappa_c of Section III (Fig. 2): a runtime monitor
+/// that delegates to the embedded NN-based planner kappa_n while safe, and
+/// switches to the emergency planner kappa_e exactly when the current state
+/// lies in the boundary safe set X_b.
+///
+/// Safety argument (Section III-E): any trajectory entering X_u must pass
+/// through X_b one control step earlier; the monitor hands control to
+/// kappa_e there, and Eq. 4 guarantees kappa_e keeps the state in the safe
+/// set — hence the ego vehicle never enters X_u and eta(kappa_c) >= 0.
+
+namespace cvsafe::core {
+
+/// Configuration of the compound planner.
+struct CompoundOptions {
+  /// Feed the NN-based planner the aggressive (underestimated) unsafe set
+  /// via SafetyModelBase::shrink_for_planner. Off = basic compound
+  /// planner, on = ultimate compound planner (together with the
+  /// information filter chosen upstream).
+  bool aggressive_unsafe_set = false;
+};
+
+/// Per-run statistics of the monitor's decisions.
+struct MonitorStats {
+  std::size_t total_steps = 0;      ///< plan() invocations
+  std::size_t emergency_steps = 0;  ///< steps controlled by kappa_e
+
+  /// Fraction of steps controlled by kappa_e ("emergency frequency"
+  /// column of Tables I and II).
+  double emergency_frequency() const {
+    return total_steps == 0
+               ? 0.0
+               : static_cast<double>(emergency_steps) /
+                     static_cast<double>(total_steps);
+  }
+};
+
+/// One planner hand-over recorded by the monitor.
+struct SwitchEvent {
+  std::size_t step = 0;       ///< plan() invocation index (0-based)
+  bool to_emergency = false;  ///< true: kappa_n -> kappa_e; false: back
+  std::string reason;         ///< boundary classification (entering only)
+};
+
+/// The compound planner kappa_c embedding an arbitrary planner kappa_n.
+template <typename World>
+class CompoundPlanner final : public PlannerBase<World> {
+ public:
+  /// \param nn_planner    the embedded (typically NN-based) planner
+  /// \param safety_model  scenario safety knowledge (monitor + kappa_e)
+  CompoundPlanner(std::shared_ptr<PlannerBase<World>> nn_planner,
+                  std::shared_ptr<const SafetyModelBase<World>> safety_model,
+                  CompoundOptions options = {})
+      : nn_planner_(std::move(nn_planner)),
+        safety_model_(std::move(safety_model)),
+        options_(options),
+        name_(std::string("compound(") + std::string(nn_planner_->name()) +
+              (options.aggressive_unsafe_set ? ", aggressive)" : ")")) {
+    assert(nn_planner_ != nullptr && safety_model_ != nullptr);
+  }
+
+  /// One control step of the runtime monitor (Section III-C):
+  /// kappa_e iff x(t) in X_b, otherwise kappa_n — with the aggressive
+  /// unsafe set substituted when enabled.
+  double plan(const World& world) override {
+    const std::size_t step = stats_.total_steps++;
+    if (safety_model_->in_boundary_safe_set(world)) {
+      ++stats_.emergency_steps;
+      if (!last_was_emergency_) {
+        record_switch(step, true, safety_model_->boundary_reason(world));
+      }
+      last_was_emergency_ = true;
+      return safety_model_->emergency_accel(world);
+    }
+    if (last_was_emergency_) record_switch(step, false, {});
+    last_was_emergency_ = false;
+    if (options_.aggressive_unsafe_set) {
+      return nn_planner_->plan(safety_model_->shrink_for_planner(world));
+    }
+    return nn_planner_->plan(world);
+  }
+
+  std::string_view name() const override { return name_; }
+
+  /// True iff the most recent plan() was handled by kappa_e.
+  bool last_was_emergency() const { return last_was_emergency_; }
+
+  const MonitorStats& stats() const { return stats_; }
+  void reset_stats() {
+    stats_ = {};
+    switch_events_.clear();
+  }
+
+  /// Planner hand-overs in order (capped at kMaxSwitchEvents; the cap is
+  /// generous — a well-behaved run switches a handful of times).
+  const std::vector<SwitchEvent>& switch_events() const {
+    return switch_events_;
+  }
+  static constexpr std::size_t kMaxSwitchEvents = 512;
+
+  const PlannerBase<World>& embedded_planner() const { return *nn_planner_; }
+  const SafetyModelBase<World>& safety_model() const {
+    return *safety_model_;
+  }
+
+ private:
+  void record_switch(std::size_t step, bool to_emergency,
+                     std::string reason) {
+    if (switch_events_.size() >= kMaxSwitchEvents) return;
+    switch_events_.push_back(
+        SwitchEvent{step, to_emergency, std::move(reason)});
+  }
+
+  std::shared_ptr<PlannerBase<World>> nn_planner_;
+  std::shared_ptr<const SafetyModelBase<World>> safety_model_;
+  CompoundOptions options_;
+  std::string name_;
+  MonitorStats stats_;
+  std::vector<SwitchEvent> switch_events_;
+  bool last_was_emergency_ = false;
+};
+
+}  // namespace cvsafe::core

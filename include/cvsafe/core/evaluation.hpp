@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file evaluation.hpp
+/// The evaluation function eta of Section II-A.
+
+namespace cvsafe::core {
+
+/// Outcome summary of one simulated episode.
+struct EpisodeOutcome {
+  bool entered_unsafe_set = false;  ///< safety violated before reaching X_t
+  bool reached_target = false;      ///< reached X_t (before any violation)
+  double reach_time = 0.0;          ///< t_r, valid when reached_target
+};
+
+/// eta(kappa_j) of Section II-A:
+///   -1      if the unsafe set was entered before reaching the target set,
+///   1/t_r   if the target set was reached at time t_r,
+///    0      otherwise (timeout).
+inline double eta(const EpisodeOutcome& o) {
+  if (o.entered_unsafe_set) return -1.0;
+  if (o.reached_target && o.reach_time > 0.0) return 1.0 / o.reach_time;
+  return 0.0;
+}
+
+}  // namespace cvsafe::core

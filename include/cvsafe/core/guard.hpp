@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "cvsafe/core/planner.hpp"
+#include "cvsafe/core/safety_model.hpp"
+
+/// \file guard.hpp
+/// Output guard for embedded planners.
+///
+/// A real NN inference stack can fail in ways the safety argument does
+/// not model: NaN/Inf outputs (bad weights, numeric overflow in custom
+/// kernels) or thrown exceptions (resource exhaustion). The guard
+/// decorator makes such failures *defined behavior*: the command is
+/// replaced by the scenario's emergency control and the incident is
+/// counted. Composed inside the compound planner, kappa_c keeps its
+/// guarantee even when kappa_n itself malfunctions.
+
+namespace cvsafe::core {
+
+/// Wraps a planner; non-finite outputs and exceptions fall back to the
+/// safety model's emergency control.
+template <typename World>
+class GuardedPlanner final : public PlannerBase<World> {
+ public:
+  GuardedPlanner(std::shared_ptr<PlannerBase<World>> inner,
+                 std::shared_ptr<const SafetyModelBase<World>> safety_model)
+      : inner_(std::move(inner)),
+        safety_model_(std::move(safety_model)),
+        name_(std::string("guarded(") + std::string(inner_->name()) + ")") {
+    assert(inner_ != nullptr && safety_model_ != nullptr);
+  }
+
+  double plan(const World& world) override {
+    double a;
+    try {
+      a = inner_->plan(world);
+    } catch (...) {
+      ++incidents_;
+      return safety_model_->emergency_accel(world);
+    }
+    if (!std::isfinite(a)) {
+      ++incidents_;
+      return safety_model_->emergency_accel(world);
+    }
+    return a;
+  }
+
+  std::string_view name() const override { return name_; }
+
+  /// Number of malfunctions absorbed so far.
+  std::size_t incidents() const { return incidents_; }
+
+ private:
+  std::shared_ptr<PlannerBase<World>> inner_;
+  std::shared_ptr<const SafetyModelBase<World>> safety_model_;
+  std::string name_;
+  std::size_t incidents_ = 0;
+};
+
+}  // namespace cvsafe::core

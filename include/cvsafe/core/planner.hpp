@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string_view>
+
+/// \file planner.hpp
+/// The planner abstraction of Section II-A: a planner maps the (estimated)
+/// system state to the ego vehicle's acceleration, a_0(t) = kappa(x(t)).
+///
+/// The framework is generic over the *world view* type: each scenario
+/// defines a World struct carrying whatever the planner may observe
+/// (time, ego state, filtered estimates of other vehicles, unsafe-set
+/// parameterization). The compound planner, runtime monitor and safety
+/// model are all templated on World, so the framework wraps any NN-based
+/// planner in any scenario — the paper's headline claim.
+
+namespace cvsafe::core {
+
+/// Interface of a planner kappa_j over world views of type World.
+template <typename World>
+class PlannerBase {
+ public:
+  virtual ~PlannerBase() = default;
+
+  /// Returns the ego acceleration command for the current world view.
+  /// Commands outside the ego's actuation limits are clamped downstream
+  /// by the vehicle dynamics.
+  virtual double plan(const World& world) = 0;
+
+  /// Human-readable planner name (tables, traces).
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace cvsafe::core

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+
+/// \file safety_model.hpp
+/// Scenario-specific safety knowledge consumed by the runtime monitor
+/// (Section III-C) and the emergency planner (Section III-D).
+
+namespace cvsafe::core {
+
+/// Everything the runtime monitor needs to know about a scenario:
+///  * membership of the estimated unsafe set X_u (Eq. 6 for the case
+///    study) — used for diagnostics and offline verification;
+///  * membership of the boundary safe set X_b (Eq. 3) — the emergency
+///    trigger;
+///  * the emergency control kappa_e satisfying Eq. 4;
+///  * the aggressive shrink: a transformed world view in which the unsafe
+///    set fed to the NN-based planner is the underestimated X_u,aggr
+///    (Section III-C, Eq. 8 for the case study).
+template <typename World>
+class SafetyModelBase {
+ public:
+  virtual ~SafetyModelBase() = default;
+
+  /// True iff the world view lies in the estimated unsafe set X_u.
+  virtual bool in_unsafe_set(const World& world) const = 0;
+
+  /// True iff the world view lies in the boundary safe set X_b, i.e. some
+  /// feasible control could reach X_u within one control step (Eq. 3).
+  virtual bool in_boundary_safe_set(const World& world) const = 0;
+
+  /// Emergency control kappa_e; must satisfy Eq. 4: from any state in
+  /// X_b, one control step under this command stays in the safe set.
+  virtual double emergency_accel(const World& world) const = 0;
+
+  /// Returns a world view whose unsafe-set parameterization is replaced by
+  /// the aggressive (underestimated) unsafe set for the NN-based planner.
+  /// The default is the identity (no shrink — basic compound planner).
+  virtual World shrink_for_planner(const World& world) const {
+    return world;
+  }
+
+  /// Short human-readable classification of WHY the world view lies in
+  /// the boundary safe set (diagnostics / switch logs). Only called when
+  /// in_boundary_safe_set returned true.
+  virtual std::string boundary_reason(const World& world) const {
+    (void)world;
+    return "boundary";
+  }
+};
+
+}  // namespace cvsafe::core

@@ -1,0 +1,11 @@
+#pragma once
+
+/// \file version.hpp
+/// Library identification.
+
+namespace cvsafe::core {
+
+/// Semantic version of the cvsafe library.
+const char* version();
+
+}  // namespace cvsafe::core

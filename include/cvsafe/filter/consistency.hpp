@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+
+#include "cvsafe/util/linalg.hpp"
+
+/// \file consistency.hpp
+/// Normalized-innovation-squared (NIS) consistency monitoring for the
+/// Kalman filter.
+///
+/// The information filter intersects the Kalman confidence interval with
+/// sound set bounds; that intersection is only useful when the filter is
+/// *consistent* — its innovations behave like its covariance predicts.
+/// A diverged filter (e.g. after unmodeled maneuvers) produces
+/// overconfident intervals. This monitor tracks the exponentially
+/// weighted mean of the NIS statistic
+///
+///   e_k = y_k^T S_k^{-1} y_k,  y_k = z_k - H x_k|k-1,  S_k = P + R,
+///
+/// whose expectation is the measurement dimension (2) for a consistent
+/// filter, and flags divergence when the running mean leaves a
+/// configurable band.
+
+namespace cvsafe::filter {
+
+/// EWMA-based NIS monitor.
+class NisMonitor {
+ public:
+  /// \param alpha      EWMA weight of the newest sample (0..1]
+  /// \param high_gate  divergence threshold on the running mean
+  ///                   (expectation is 2 for the 2-D measurement)
+  /// \param warmup     updates before verdicts are issued
+  explicit NisMonitor(double alpha = 0.05, double high_gate = 8.0,
+                      std::size_t warmup = 10);
+
+  /// Feeds one innovation \p y with innovation covariance \p s.
+  /// Returns the NIS value of this sample.
+  double update(const util::Vec2& y, const util::Mat2& s);
+
+  /// Running (EWMA) mean of the NIS statistic.
+  double mean_nis() const { return mean_; }
+
+  /// Number of samples absorbed.
+  std::size_t count() const { return count_; }
+
+  /// True when the filter's innovations are implausibly large for its
+  /// claimed covariance (overconfident / diverged filter).
+  bool diverged() const;
+
+  /// Resets the statistic (e.g. after a message rollback re-anchors the
+  /// filter).
+  void reset();
+
+ private:
+  double alpha_;
+  double high_gate_;
+  std::size_t warmup_;
+  double mean_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace cvsafe::filter

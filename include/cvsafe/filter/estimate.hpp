@@ -1,0 +1,44 @@
+#pragma once
+
+#include "cvsafe/comm/message.hpp"
+#include "cvsafe/sensing/sensor.hpp"
+#include "cvsafe/util/interval.hpp"
+
+/// \file estimate.hpp
+/// Common state-estimate types and the estimator interface.
+///
+/// Every planner variant in the paper consumes an estimate of each other
+/// vehicle's state; they differ in *how* the estimate is produced:
+///  * pure NN baseline      — naive extrapolation of the latest raw info;
+///  * basic compound        — sound set bounds via reachability (Eq. 2);
+///  * ultimate compound     — information filter: reachability ∩ Kalman.
+
+namespace cvsafe::filter {
+
+/// Set-valued + point estimate of one vehicle's state at time t.
+struct StateEstimate {
+  double t = 0.0;         ///< estimation time
+  util::Interval p;       ///< position bounds [m]
+  util::Interval v;       ///< velocity bounds [m/s]
+  double p_hat = 0.0;     ///< point estimate of position
+  double v_hat = 0.0;     ///< point estimate of velocity
+  double a_hat = 0.0;     ///< latest known acceleration (for aggressive est.)
+  bool valid = false;     ///< false until any information has arrived
+};
+
+/// Interface of per-vehicle state estimators driven by the simulation loop.
+class Estimator {
+ public:
+  virtual ~Estimator() = default;
+
+  /// Feeds a noisy onboard-sensor reading (arrives without delay).
+  virtual void on_sensor(const sensing::SensorReading& reading) = 0;
+
+  /// Feeds a received V2V message (exact content, possibly delayed).
+  virtual void on_message(const comm::Message& msg) = 0;
+
+  /// Produces the estimate for the current time \p t.
+  virtual StateEstimate estimate(double t) const = 0;
+};
+
+}  // namespace cvsafe::filter

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <optional>
+
+#include "cvsafe/filter/estimate.hpp"
+#include "cvsafe/filter/kalman.hpp"
+#include "cvsafe/filter/reachability.hpp"
+#include "cvsafe/vehicle/dynamics.hpp"
+
+/// \file info_filter.hpp
+/// The information filter of Section III-B: reachability analysis on
+/// delayed messages joined (interval intersection) with the Kalman-filter
+/// confidence interval on noisy sensor readings.
+///
+/// The same class, with the Kalman fusion disabled, implements the sound
+/// set-bound estimator used by the *basic* compound planner.
+
+namespace cvsafe::filter {
+
+/// Feature switches of the information filter.
+struct InfoFilterOptions {
+  /// Reachability propagation of the latest V2V message (Eq. 2).
+  bool use_message_reachability = true;
+
+  /// Reachability propagation of the latest raw sensor reading
+  /// (measurement noise inflates the initial bounds).
+  bool use_sensor_reachability = true;
+
+  /// Kalman-filter interval fusion (the paper's information filter).
+  bool use_kalman = false;
+
+  /// Message rollback inside the Kalman filter (paper's extension).
+  bool kalman_message_rollback = true;
+
+  /// Options of the basic compound planner (sound bounds only).
+  static InfoFilterOptions basic();
+
+  /// Options of the ultimate compound planner (full information filter).
+  static InfoFilterOptions ultimate();
+};
+
+/// Per-observed-vehicle estimator fusing messages and sensor readings.
+class InformationFilter final : public Estimator {
+ public:
+  /// \param limits     actuation limits of the observed vehicle
+  /// \param sensor     noise/timing model of the onboard sensor
+  /// \param options    which fusion stages are enabled
+  InformationFilter(vehicle::VehicleLimits limits,
+                    sensing::SensorConfig sensor, InfoFilterOptions options);
+
+  void on_sensor(const sensing::SensorReading& reading) override;
+  void on_message(const comm::Message& msg) override;
+
+  /// Joined estimate at time \p t. The interval is the intersection of all
+  /// enabled sources; if the (probabilistic) Kalman interval is disjoint
+  /// from the (sound) reachability bounds, the reachability bounds win.
+  StateEstimate estimate(double t) const override;
+
+  const InfoFilterOptions& options() const { return options_; }
+
+  /// Read access to the embedded Kalman filter (diagnostics, Fig. 6a).
+  const KalmanFilter& kalman() const { return kalman_; }
+
+  /// The current recursive set-membership bounds (time of last fusion).
+  const std::optional<StateBounds>& fused_bounds() const { return fused_; }
+
+ private:
+  /// Intersects \p incoming (bounds at its own timestamp) into the
+  /// recursive estimate: propagate the previous bounds to the incoming
+  /// time, intersect, and guard against numerically empty results.
+  void fuse(const StateBounds& incoming);
+
+  vehicle::VehicleLimits limits_;
+  sensing::SensorConfig sensor_;
+  InfoFilterOptions options_;
+  KalmanFilter kalman_;
+
+  /// Recursive sound bounds: the intersection of the propagated bounds
+  /// from EVERY past message and sensor reading (a set-membership
+  /// filter). Guarantees that the derived passing-window bounds evolve
+  /// monotonically in absolute time — new noise can tighten but never
+  /// displace them — which the runtime monitor's inductive safety
+  /// argument relies on.
+  std::optional<StateBounds> fused_;
+
+  double last_msg_accel_ = 0.0;
+  double last_sense_accel_ = 0.0;
+  double last_msg_time_ = -1.0;
+  double last_sense_time_ = -1.0;
+};
+
+}  // namespace cvsafe::filter

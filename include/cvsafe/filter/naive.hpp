@@ -1,0 +1,68 @@
+#pragma once
+
+#include "cvsafe/filter/estimate.hpp"
+
+/// \file naive.hpp
+/// Baseline estimator used by the *pure NN* planners of Section V.
+///
+/// A planner without the framework has no principled way to handle
+/// communication disturbance: it simply takes the freshest piece of
+/// information (message or raw sensor reading), treats it as exact, and
+/// extrapolates it to the current time with constant velocity. Stale
+/// messages and sensor noise therefore leak directly into its decisions —
+/// which is precisely why the aggressive pure NN planner crashes in the
+/// paper's experiments.
+
+namespace cvsafe::filter {
+
+/// Constant-velocity extrapolation of raw information.
+///
+/// Source selection: V2V message content is exact while sensor readings
+/// are noisy, so the baseline uses the latest *message* as long as it is
+/// not too stale (`max_message_age`), and falls back to the latest sensor
+/// reading otherwise. This is why communication disturbance hurts the
+/// baseline: drops and delays starve it of exact information and push it
+/// onto the noisy sensor.
+///
+/// The known sensor uncertainty (+-delta_p, +-delta_v) is attached to
+/// sensor-based estimates as fixed-width intervals — the paper's
+/// Section IV notes that the window estimation "should take the
+/// uncertainties delta_p and delta_v into consideration". The baseline
+/// does NOT perform reachability analysis on stale information, so
+/// extrapolation error leaks through undamped.
+class NaiveExtrapolator final : public Estimator {
+ public:
+  /// Baseline that believes its information exactly (zero-width).
+  NaiveExtrapolator() = default;
+
+  /// Baseline aware of the sensor noise half-widths.
+  NaiveExtrapolator(double delta_p, double delta_v,
+                    double max_message_age = 0.5)
+      : delta_p_(delta_p),
+        delta_v_(delta_v),
+        max_message_age_(max_message_age) {}
+
+  void on_sensor(const sensing::SensorReading& reading) override;
+  void on_message(const comm::Message& msg) override;
+
+  /// Point estimate; sensor-based estimates carry +-delta intervals,
+  /// message-based ones are believed exactly.
+  StateEstimate estimate(double t) const override;
+
+ private:
+  struct Source {
+    bool valid = false;
+    double t = 0.0;
+    double p = 0.0;
+    double v = 0.0;
+    double a = 0.0;
+  };
+
+  double delta_p_ = 0.0;
+  double delta_v_ = 0.0;
+  double max_message_age_ = 0.5;
+  Source sensor_;
+  Source message_;
+};
+
+}  // namespace cvsafe::filter

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+
+#include "cvsafe/nn/matrix.hpp"
+
+/// \file activation.hpp
+/// Elementwise activation functions and their derivatives.
+
+namespace cvsafe::nn {
+
+/// Supported activations.
+enum class Activation {
+  kIdentity,  ///< f(z) = z (output layers of regressors)
+  kRelu,      ///< f(z) = max(0, z)
+  kTanh,      ///< f(z) = tanh(z)
+  kSigmoid,   ///< f(z) = 1 / (1 + e^-z)
+};
+
+/// Applies the activation elementwise.
+Matrix apply_activation(Activation act, const Matrix& z);
+
+/// Derivative f'(z) elementwise (as a function of the pre-activation z).
+Matrix activation_derivative(Activation act, const Matrix& z);
+
+/// Name for serialization ("identity", "relu", "tanh", "sigmoid").
+std::string activation_name(Activation act);
+
+/// Inverse of activation_name; throws std::invalid_argument on unknown.
+Activation activation_from_name(const std::string& name);
+
+}  // namespace cvsafe::nn

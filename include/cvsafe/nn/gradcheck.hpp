@@ -1,0 +1,25 @@
+#pragma once
+
+#include "cvsafe/nn/mlp.hpp"
+
+/// \file gradcheck.hpp
+/// Numerical gradient verification used by the test suite to certify the
+/// backpropagation implementation (DESIGN.md invariant 6).
+
+namespace cvsafe::nn {
+
+/// Result of a gradient check.
+struct GradCheckResult {
+  double max_rel_error = 0.0;  ///< worst relative error across parameters
+  bool passed = false;         ///< max_rel_error <= tolerance
+};
+
+/// Compares analytic gradients (backprop) against central finite
+/// differences of the MSE loss on the given batch.
+/// \param epsilon    finite-difference step
+/// \param tolerance  maximum allowed relative error
+GradCheckResult check_gradients(Mlp& net, const Matrix& inputs,
+                                const Matrix& targets, double epsilon = 1e-6,
+                                double tolerance = 1e-5);
+
+}  // namespace cvsafe::nn

@@ -1,0 +1,58 @@
+#pragma once
+
+#include "cvsafe/nn/activation.hpp"
+#include "cvsafe/nn/matrix.hpp"
+
+/// \file layer.hpp
+/// Fully connected layer with activation and cached backpropagation state.
+
+namespace cvsafe::nn {
+
+/// Dense layer: y = f(x W^T + b), with W of shape (out x in).
+class DenseLayer {
+ public:
+  /// Glorot-initialized layer.
+  DenseLayer(std::size_t in_dim, std::size_t out_dim, Activation act,
+             util::Rng& rng);
+
+  /// Layer with explicit parameters (deserialization / tests).
+  DenseLayer(Matrix weights, Matrix bias, Activation act);
+
+  std::size_t in_dim() const { return weights_.cols(); }
+  std::size_t out_dim() const { return weights_.rows(); }
+  Activation activation() const { return act_; }
+
+  const Matrix& weights() const { return weights_; }
+  const Matrix& bias() const { return bias_; }
+  Matrix& mutable_weights() { return weights_; }
+  Matrix& mutable_bias() { return bias_; }
+
+  /// Forward pass on a batch (n x in), caching inputs for backward().
+  Matrix forward(const Matrix& x);
+
+  /// Forward pass without caching (inference).
+  Matrix infer(const Matrix& x) const;
+
+  /// Backward pass: \p grad_out is dL/dy (n x out) from the next layer.
+  /// Accumulates dL/dW and dL/db internally and returns dL/dx (n x in).
+  /// Must follow a forward() call on the same batch.
+  Matrix backward(const Matrix& grad_out);
+
+  /// Gradients accumulated by the last backward() call.
+  const Matrix& weight_grad() const { return grad_weights_; }
+  const Matrix& bias_grad() const { return grad_bias_; }
+
+ private:
+  Matrix weights_;  // out x in
+  Matrix bias_;     // 1 x out
+  Activation act_;
+
+  // Cached forward state.
+  Matrix input_;  // n x in
+  Matrix preact_; // n x out (z before activation)
+
+  Matrix grad_weights_;
+  Matrix grad_bias_;
+};
+
+}  // namespace cvsafe::nn

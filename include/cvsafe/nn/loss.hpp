@@ -1,0 +1,23 @@
+#pragma once
+
+#include "cvsafe/nn/matrix.hpp"
+
+/// \file loss.hpp
+/// Regression losses for planner imitation training.
+
+namespace cvsafe::nn {
+
+/// Mean squared error over all entries: L = mean((pred - target)^2).
+double mse_loss(const Matrix& pred, const Matrix& target);
+
+/// Gradient of mse_loss with respect to pred: 2 (pred - target) / n.
+Matrix mse_gradient(const Matrix& pred, const Matrix& target);
+
+/// Huber loss (quadratic within +-delta, linear outside); robust to the
+/// occasional extreme expert label.
+double huber_loss(const Matrix& pred, const Matrix& target, double delta);
+
+/// Gradient of huber_loss with respect to pred.
+Matrix huber_gradient(const Matrix& pred, const Matrix& target, double delta);
+
+}  // namespace cvsafe::nn

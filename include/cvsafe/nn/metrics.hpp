@@ -1,0 +1,21 @@
+#pragma once
+
+#include "cvsafe/nn/matrix.hpp"
+
+/// \file metrics.hpp
+/// Regression quality metrics for trained planners.
+
+namespace cvsafe::nn {
+
+/// Mean absolute error over all entries.
+double mean_absolute_error(const Matrix& pred, const Matrix& target);
+
+/// Coefficient of determination R^2 = 1 - SS_res / SS_tot (1 = perfect;
+/// can be negative for models worse than predicting the mean). Computed
+/// over all entries jointly.
+double r_squared(const Matrix& pred, const Matrix& target);
+
+/// Largest absolute entry-wise error.
+double max_absolute_error(const Matrix& pred, const Matrix& target);
+
+}  // namespace cvsafe::nn

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <vector>
+
+#include "cvsafe/nn/layer.hpp"
+
+/// \file mlp.hpp
+/// Multi-layer perceptron: the network architecture behind the paper's
+/// NN-based planners (5 scalar inputs -> hidden layers -> 1 acceleration).
+
+namespace cvsafe::nn {
+
+/// Architecture description: layer widths and hidden activation.
+struct MlpSpec {
+  std::vector<std::size_t> layer_sizes;  ///< [in, hidden..., out]
+  Activation hidden_activation = Activation::kTanh;
+  Activation output_activation = Activation::kIdentity;
+};
+
+/// Feed-forward network of dense layers.
+class Mlp {
+ public:
+  /// Random (Glorot) initialization per \p spec.
+  Mlp(const MlpSpec& spec, util::Rng& rng);
+
+  /// Assembles from explicit layers (deserialization).
+  explicit Mlp(std::vector<DenseLayer> layers);
+
+  std::size_t input_dim() const { return layers_.front().in_dim(); }
+  std::size_t output_dim() const { return layers_.back().out_dim(); }
+  std::size_t layer_count() const { return layers_.size(); }
+  const DenseLayer& layer(std::size_t i) const { return layers_[i]; }
+  DenseLayer& mutable_layer(std::size_t i) { return layers_[i]; }
+
+  /// Batch forward pass with caching (training).
+  Matrix forward(const Matrix& x);
+
+  /// Batch forward pass without caching (inference).
+  Matrix infer(const Matrix& x) const;
+
+  /// Single-sample inference convenience.
+  std::vector<double> predict(const std::vector<double>& x) const;
+
+  /// Backpropagates dL/dy through every layer (after forward()).
+  void backward(const Matrix& grad_out);
+
+  /// Total number of trainable parameters.
+  std::size_t parameter_count() const;
+
+ private:
+  std::vector<DenseLayer> layers_;
+};
+
+}  // namespace cvsafe::nn

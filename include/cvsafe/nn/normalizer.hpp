@@ -1,0 +1,49 @@
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "cvsafe/nn/matrix.hpp"
+
+/// \file normalizer.hpp
+/// Per-feature standardization (z-scoring) for training data.
+///
+/// The planner input encoding uses fixed hand-chosen scales; for general
+/// datasets (e.g. training on recorded traces with different units) a
+/// fitted standardizer keeps the optimizer well-conditioned.
+
+namespace cvsafe::nn {
+
+/// Column-wise standardizer: x' = (x - mean) / std.
+class Standardizer {
+ public:
+  /// Fits mean and standard deviation per column. Constant columns get
+  /// std = 1 so they pass through unscaled.
+  static Standardizer fit(const Matrix& data);
+
+  /// Identity standardizer of the given width.
+  static Standardizer identity(std::size_t columns);
+
+  std::size_t columns() const { return mean_.size(); }
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& stddev() const { return std_; }
+
+  /// Applies the transform (column count must match).
+  Matrix transform(const Matrix& data) const;
+
+  /// Inverts the transform.
+  Matrix inverse(const Matrix& data) const;
+
+  /// Transforms a single row vector.
+  std::vector<double> transform_row(const std::vector<double>& row) const;
+
+  /// Plain-text round-trippable serialization.
+  void save(std::ostream& os) const;
+  static Standardizer load(std::istream& is);
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> std_;
+};
+
+}  // namespace cvsafe::nn

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "cvsafe/nn/matrix.hpp"
+
+/// \file optimizer.hpp
+/// First-order optimizers for planner imitation training.
+///
+/// Optimizers keep per-parameter state (momentum / moment estimates) keyed
+/// by an opaque buffer id chosen by the trainer (layer index * 2 + {0,1}).
+
+namespace cvsafe::nn {
+
+/// Interface for parameter updates.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update to \p param given \p grad. \p key identifies the
+  /// parameter buffer across calls so stateful optimizers can track it.
+  virtual void update(std::size_t key, Matrix& param, const Matrix& grad) = 0;
+
+  /// Called once after every full batch step (e.g. Adam's t += 1).
+  virtual void end_step() {}
+
+  /// Adjusts the learning rate (used by epoch schedules).
+  virtual void set_learning_rate(double lr) = 0;
+
+  /// Current learning rate.
+  virtual double learning_rate() const = 0;
+};
+
+/// Stochastic gradient descent with classical momentum.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double learning_rate, double momentum = 0.0)
+      : lr_(learning_rate), momentum_(momentum) {}
+
+  void update(std::size_t key, Matrix& param, const Matrix& grad) override;
+  void set_learning_rate(double lr) override { lr_ = lr; }
+  double learning_rate() const override { return lr_; }
+
+ private:
+  double lr_;
+  double momentum_;
+  std::unordered_map<std::size_t, std::vector<double>> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double learning_rate, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8)
+      : lr_(learning_rate), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+  void update(std::size_t key, Matrix& param, const Matrix& grad) override;
+  void end_step() override { ++t_; }
+  void set_learning_rate(double lr) override { lr_ = lr; }
+  double learning_rate() const override { return lr_; }
+
+ private:
+  struct Moments {
+    std::vector<double> m;
+    std::vector<double> v;
+  };
+  double lr_, beta1_, beta2_, eps_;
+  std::size_t t_ = 1;
+  std::unordered_map<std::size_t, Moments> moments_;
+};
+
+}  // namespace cvsafe::nn

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+/// \file schedule.hpp
+/// Learning-rate schedules for the training loop (epoch -> rate).
+
+namespace cvsafe::nn::schedules {
+
+/// A schedule maps the epoch index to a learning rate.
+using Schedule = std::function<double(std::size_t)>;
+
+/// Constant rate.
+Schedule constant(double lr);
+
+/// Multiplies by \p factor every \p every epochs.
+Schedule step_decay(double initial, double factor, std::size_t every);
+
+/// Cosine annealing from \p initial down to \p floor over
+/// \p total_epochs, then held at the floor.
+Schedule cosine(double initial, std::size_t total_epochs,
+                double floor = 0.0);
+
+}  // namespace cvsafe::nn::schedules

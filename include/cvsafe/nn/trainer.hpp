@@ -1,0 +1,64 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "cvsafe/nn/loss.hpp"
+#include "cvsafe/nn/mlp.hpp"
+#include "cvsafe/nn/optimizer.hpp"
+
+/// \file trainer.hpp
+/// Minibatch supervised training loop.
+
+namespace cvsafe::nn {
+
+/// Supervised dataset: one row per sample.
+struct Dataset {
+  Matrix inputs;   ///< n x in
+  Matrix targets;  ///< n x out
+
+  std::size_t size() const { return inputs.rows(); }
+
+  /// Splits off the last `fraction` of samples as a validation set.
+  std::pair<Dataset, Dataset> split(double fraction) const;
+};
+
+/// Training hyperparameters.
+struct TrainConfig {
+  std::size_t epochs = 100;
+  std::size_t batch_size = 64;
+  double huber_delta = 0.0;  ///< > 0: Huber loss, otherwise MSE
+
+  /// Optional per-epoch callback (epoch index, training loss).
+  std::function<void(std::size_t, double)> on_epoch;
+
+  /// Optional learning-rate schedule applied at the start of each epoch
+  /// (see schedule.hpp for factories).
+  std::function<double(std::size_t)> lr_schedule;
+
+  /// Optional validation set enabling early stopping: training stops
+  /// after `patience` epochs without a new best validation loss and the
+  /// best-epoch weights are restored. patience = 0 disables stopping but
+  /// still records validation losses (and restores the best weights).
+  const Dataset* validation = nullptr;
+  std::size_t patience = 0;
+};
+
+/// Result of a training run.
+struct TrainResult {
+  std::vector<double> epoch_losses;  ///< mean training loss per epoch
+  std::vector<double> val_losses;    ///< per epoch (when validation set)
+  double final_loss = 0.0;
+  std::size_t best_epoch = 0;        ///< epoch of the best validation loss
+  bool stopped_early = false;
+};
+
+/// Trains \p net on \p data with \p opt. Batches are reshuffled each epoch
+/// using \p rng, so results are deterministic given the seed.
+TrainResult train(Mlp& net, const Dataset& data, Optimizer& opt,
+                  const TrainConfig& config, util::Rng& rng);
+
+/// Mean loss of \p net on \p data without updating parameters.
+double evaluate(const Mlp& net, const Dataset& data, double huber_delta = 0.0);
+
+}  // namespace cvsafe::nn

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cvsafe/planners/nn_planner.hpp"
+#include "cvsafe/planners/training.hpp"
+
+/// \file ensemble.hpp
+/// Deep-ensemble planner: k independently initialized/trained networks.
+///
+/// The ensemble mean is a lower-variance planner than any single member,
+/// and the member *disagreement* is an epistemic-uncertainty signal: it
+/// spikes in states the training distribution covered poorly. The
+/// uncertainty-averse mode subtracts sigma_penalty * disagreement from
+/// the commanded acceleration, so the planner automatically hedges
+/// exactly where its knowledge is thin — a complementary, soft layer of
+/// caution underneath the hard guarantee of the compound planner.
+
+namespace cvsafe::planners {
+
+/// kappa_n backed by an ensemble of MLPs.
+class EnsemblePlanner final
+    : public core::PlannerBase<scenario::LeftTurnWorld> {
+ public:
+  /// \param members        at least one trained network
+  /// \param sigma_penalty  acceleration reduction per unit of member
+  ///                       standard deviation (0 = plain mean)
+  EnsemblePlanner(std::vector<std::shared_ptr<const nn::Mlp>> members,
+                  InputEncoding encoding, std::string name,
+                  double sigma_penalty = 0.0);
+
+  double plan(const scenario::LeftTurnWorld& world) override;
+  std::string_view name() const override { return name_; }
+
+  std::size_t size() const { return members_.size(); }
+
+  /// Member standard deviation of the most recent plan() call.
+  double last_disagreement() const { return last_disagreement_; }
+
+ private:
+  std::vector<std::shared_ptr<const nn::Mlp>> members_;
+  InputEncoding encoding_;
+  std::string name_;
+  double sigma_penalty_;
+  double last_disagreement_ = 0.0;
+};
+
+/// Trains (or loads from cache) an ensemble of \p k members for the given
+/// style; members differ only in their training seed.
+std::vector<std::shared_ptr<const nn::Mlp>> train_planner_ensemble(
+    const scenario::LeftTurnScenario& scenario, PlannerStyle style,
+    std::size_t k, const TrainingOptions& base_options = {});
+
+}  // namespace cvsafe::planners

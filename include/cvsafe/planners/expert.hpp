@@ -1,0 +1,82 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cvsafe/core/planner.hpp"
+#include "cvsafe/scenario/left_turn.hpp"
+#include "cvsafe/scenario/world.hpp"
+#include "cvsafe/util/interval.hpp"
+
+/// \file expert.hpp
+/// Analytic expert policies for the unprotected left turn.
+///
+/// The paper's NN planners are trained with the learning methods of [6];
+/// as a from-scratch substitute (see DESIGN.md) we train our networks by
+/// imitation of these closed-form experts. The *style* of a planner —
+/// conservative vs aggressive — is controlled entirely by the expert's
+/// go-margin: how much earlier than C1's estimated earliest zone entry the
+/// ego must be able to clear the zone before the expert commits to pass.
+
+namespace cvsafe::planners {
+
+/// Behavioral parameters of the expert.
+struct ExpertParams {
+  /// Required clearance (seconds) between the ego's projected zone-exit
+  /// time and tau_1,min before committing to pass. Large positive values
+  /// yield a conservative planner; small or negative values an aggressive
+  /// one that bets on the oncoming vehicle not driving at its limits.
+  double go_margin = 1.0;
+
+  /// Extra distance past the back line that must be cleared [m].
+  double clearance = 0.5;
+
+  /// The yield maneuver aims to stop this far before the front line [m].
+  double stop_offset = 0.5;
+
+  /// Canonical conservative expert (kappa_n,cons training source).
+  static ExpertParams conservative();
+
+  /// Canonical aggressive expert (kappa_n,aggr training source).
+  static ExpertParams aggressive();
+};
+
+/// Closed-form pass-or-yield policy on the NN input space
+/// (ego state + oncoming passing window).
+class ExpertPolicy {
+ public:
+  ExpertPolicy(std::shared_ptr<const scenario::LeftTurnScenario> scenario,
+               ExpertParams params);
+
+  const ExpertParams& params() const { return params_; }
+
+  /// The expert's acceleration command given the ego state and the
+  /// estimated oncoming passing window [tau_1,min, tau_1,max].
+  double act(double t, double p0, double v0, const util::Interval& tau1) const;
+
+  /// Projected time for the ego to clear the zone under full throttle.
+  double time_to_clear(double p0, double v0) const;
+
+ private:
+  std::shared_ptr<const scenario::LeftTurnScenario> scenario_;
+  ExpertParams params_;
+};
+
+/// PlannerBase adapter so experts can be used directly as baselines or be
+/// wrapped by the compound planner (the framework accepts *any* planner).
+class ExpertPlanner final : public core::PlannerBase<scenario::LeftTurnWorld> {
+ public:
+  ExpertPlanner(std::shared_ptr<const scenario::LeftTurnScenario> scenario,
+                ExpertParams params, std::string name);
+
+  double plan(const scenario::LeftTurnWorld& world) override;
+  std::string_view name() const override { return name_; }
+
+  const ExpertPolicy& policy() const { return policy_; }
+
+ private:
+  ExpertPolicy policy_;
+  std::string name_;
+};
+
+}  // namespace cvsafe::planners

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cvsafe/core/planner.hpp"
+#include "cvsafe/nn/mlp.hpp"
+#include "cvsafe/scenario/world.hpp"
+#include "cvsafe/util/interval.hpp"
+
+/// \file nn_planner.hpp
+/// The NN-based planner kappa_n for the left-turn case study.
+///
+/// Input encoding. The paper's planner consumes
+/// (t, p_0, v_0, tau_1,min, tau_1,max); since the dynamics are
+/// time-invariant, we feed the windows *relative* to the current time,
+/// giving the 4-vector (p_0, v_0, tau_1,min - t, tau_1,max - t), each
+/// scaled to roughly unit range. An empty window (oncoming vehicle has
+/// passed) is encoded by the sentinel relative time -2 s for both entries.
+
+namespace cvsafe::planners {
+
+/// Fixed input normalization of the left-turn planner network.
+struct InputEncoding {
+  double p_scale = 30.0;   ///< position divisor
+  double v_scale = 15.0;   ///< velocity divisor
+  double w_scale = 10.0;   ///< window-time divisor
+  double w_min = -2.0;     ///< clamp / sentinel for relative window times
+  double w_max = 30.0;     ///< clamp for relative window times
+
+  /// Encodes one NN input vector.
+  std::vector<double> encode(double t, double p0, double v0,
+                             const util::Interval& tau1) const;
+
+  /// Input dimensionality (4).
+  static constexpr std::size_t dim() { return 4; }
+};
+
+/// kappa_n: wraps a trained MLP as a PlannerBase.
+class NnPlanner final : public core::PlannerBase<scenario::LeftTurnWorld> {
+ public:
+  NnPlanner(std::shared_ptr<const nn::Mlp> net, InputEncoding encoding,
+            std::string name);
+
+  /// Runs the network on (ego state, NN-facing window) and returns the
+  /// predicted acceleration (clamped downstream by the dynamics).
+  double plan(const scenario::LeftTurnWorld& world) override;
+
+  std::string_view name() const override { return name_; }
+
+  const nn::Mlp& network() const { return *net_; }
+  const InputEncoding& encoding() const { return encoding_; }
+
+ private:
+  std::shared_ptr<const nn::Mlp> net_;
+  InputEncoding encoding_;
+  std::string name_;
+};
+
+}  // namespace cvsafe::planners

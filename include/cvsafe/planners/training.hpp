@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cvsafe/nn/mlp.hpp"
+#include "cvsafe/nn/trainer.hpp"
+#include "cvsafe/planners/expert.hpp"
+#include "cvsafe/planners/nn_planner.hpp"
+#include "cvsafe/scenario/left_turn.hpp"
+
+/// \file training.hpp
+/// Imitation-training pipeline producing the paper's two NN planners
+/// kappa_n,cons and kappa_n,aggr (Section V-A).
+///
+/// Substitution note (DESIGN.md): the paper trains its planners with the
+/// hierarchical learning method of [6]; here the networks imitate the
+/// closed-form experts of expert.hpp on states sampled from the planner
+/// input space. The resulting planners exhibit the two archetypes the
+/// paper evaluates: safe-but-slow (conservative) and fast-but-unsafe
+/// (aggressive).
+
+namespace cvsafe::planners {
+
+/// The two planner archetypes of Section V.
+enum class PlannerStyle {
+  kConservative,  ///< kappa_n,cons
+  kAggressive,    ///< kappa_n,aggr
+};
+
+/// Returns "conservative" / "aggressive".
+const char* planner_style_name(PlannerStyle style);
+
+/// Expert parameters backing a style.
+ExpertParams expert_params_for(PlannerStyle style);
+
+/// Hyperparameters of the imitation training run.
+struct TrainingOptions {
+  std::size_t num_samples = 24000;
+  std::size_t epochs = 60;
+  std::size_t batch_size = 128;
+  double learning_rate = 3e-3;
+  std::uint64_t seed = 20230417;
+  nn::MlpSpec spec{
+      {InputEncoding::dim(), 24, 24, 1},
+      nn::Activation::kTanh,
+      nn::Activation::kIdentity,
+  };
+
+  /// On-policy (DAgger-style) augmentation rounds: after the initial fit,
+  /// roll the partially trained planner out in closed loop, relabel the
+  /// states it actually visits with the expert, and fine-tune on the
+  /// combined data. 0 disables the augmentation (default — the i.i.d.
+  /// state distribution already covers the planner input space well).
+  std::size_t onpolicy_rounds = 0;
+  std::size_t onpolicy_episodes_per_round = 40;
+  std::size_t onpolicy_epochs = 15;
+};
+
+/// Samples \p n states from the planner input space and labels them with
+/// the expert policy (t = 0 w.l.o.g. since the encoding is relative).
+nn::Dataset generate_imitation_dataset(
+    const scenario::LeftTurnScenario& scenario, const ExpertPolicy& expert,
+    const InputEncoding& encoding, std::size_t n, util::Rng& rng);
+
+/// Rolls the network out in closed loop against random oncoming traffic
+/// (exact information, no disturbance) and returns the expert-relabeled
+/// states it visited — the DAgger correction for covariate shift.
+nn::Dataset generate_onpolicy_dataset(
+    const scenario::LeftTurnScenario& scenario, const nn::Mlp& net,
+    const ExpertPolicy& expert, const InputEncoding& encoding,
+    std::size_t episodes, util::Rng& rng);
+
+/// Trains a planner network of the given style from scratch.
+nn::Mlp train_planner_network(const scenario::LeftTurnScenario& scenario,
+                              PlannerStyle style,
+                              const TrainingOptions& options = {});
+
+/// Returns the trained network for a style, loading it from the model
+/// cache when available and training + saving it otherwise. The cache
+/// directory is $CVSAFE_MODEL_CACHE (default: /tmp/cvsafe-models); file
+/// names carry a fingerprint of every input that influences training, so
+/// stale caches are never reused.
+std::shared_ptr<const nn::Mlp> cached_planner_network(
+    const scenario::LeftTurnScenario& scenario, PlannerStyle style,
+    const TrainingOptions& options = {});
+
+/// Convenience: a ready-to-use kappa_n of the given style.
+std::shared_ptr<NnPlanner> make_nn_planner(
+    const scenario::LeftTurnScenario& scenario, PlannerStyle style,
+    const TrainingOptions& options = {});
+
+}  // namespace cvsafe::planners

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <memory>
+
+#include "cvsafe/core/safety_model.hpp"
+#include "cvsafe/filter/estimate.hpp"
+#include "cvsafe/util/interval.hpp"
+#include "cvsafe/vehicle/dynamics.hpp"
+#include "cvsafe/vehicle/state.hpp"
+
+/// \file lane_change.hpp
+/// A second case study: merging behind a vehicle on the target lane.
+///
+/// Section II-A of the paper introduces the lane-change target set and the
+/// same-lane distance-gap unsafe set X_u = { |p_0 - p_i| < p_gap } as its
+/// motivating examples; this module instantiates the generic framework on
+/// exactly that system, demonstrating that the compound planner is not
+/// specific to the left-turn case study.
+///
+/// Model: the ego vehicle travels on an on-ramp that joins the target lane
+/// at the merge point p_m. Vehicle C1 drives ahead on the target lane.
+/// Once the ego is past p_m it shares the lane with C1 and must keep
+/// p_1 - p_0 >= p_gap at all times; the target set is p_0 >= p_target.
+
+namespace cvsafe::scenario {
+
+/// Static geometry of the merge.
+struct LaneChangeGeometry {
+  double merge_point = 0.0;  ///< p_m: ego is on the shared lane past this
+  double target = 60.0;      ///< target set: p_0 >= target
+  double min_gap = 8.0;      ///< p_gap: required distance gap on the lane
+  double ego_start = -40.0;
+
+  bool valid() const {
+    return ego_start < merge_point && merge_point < target && min_gap > 0.0;
+  }
+};
+
+/// World view for the lane-change scenario.
+struct LaneChangeWorld {
+  double t = 0.0;
+  vehicle::VehicleState ego;
+  filter::StateEstimate c1_monitor;  ///< sound estimate (monitor)
+  filter::StateEstimate c1_nn;       ///< estimate seen by the planner
+};
+
+/// Closed-form safety mathematics of the merge scenario.
+class LaneChangeScenario {
+ public:
+  LaneChangeScenario(LaneChangeGeometry geometry, vehicle::VehicleLimits ego,
+                     vehicle::VehicleLimits c1, double dt_c);
+
+  const LaneChangeGeometry& geometry() const { return geometry_; }
+  const vehicle::VehicleLimits& ego_limits() const { return ego_; }
+  const vehicle::VehicleLimits& c1_limits() const { return c1_; }
+  double control_period() const { return dt_c_; }
+
+  /// True once the ego has merged onto the shared lane.
+  bool merged(double p0) const { return p0 > geometry_.merge_point; }
+
+  /// Worst-case (smallest possible) gap p_1 - p_0 given the sound bounds.
+  double worst_case_gap(double p0, const filter::StateEstimate& c1) const;
+
+  /// Unsafe set: merged and the gap constraint (possibly) violated.
+  bool in_unsafe_set(double p0, const filter::StateEstimate& c1) const;
+
+  /// Boundary safe set (Eq. 3): a feasible control could violate the gap
+  /// constraint within one control step — either by crossing the merge
+  /// point with an insufficient gap or, once merged, by closing on C1
+  /// faster than one full-brake step can absorb.
+  bool in_boundary_safe_set(double t, double p0, double v0,
+                            const filter::StateEstimate& c1) const;
+
+  /// Emergency planner: stop before the merge point while on the ramp;
+  /// brake hard once merged (C1 keeps moving forward, so the gap reopens).
+  double emergency_accel(double p0, double v0) const;
+
+  /// Actual safety check on exact simulator states.
+  bool violation(double p0, double p1) const {
+    return merged(p0) && (p1 - p0) < geometry_.min_gap;
+  }
+
+  bool reached_target(double p0) const { return p0 >= geometry_.target; }
+
+ private:
+  LaneChangeGeometry geometry_;
+  vehicle::VehicleLimits ego_;
+  vehicle::VehicleLimits c1_;
+  double dt_c_;
+};
+
+/// SafetyModelBase adapter for the generic framework.
+class LaneChangeSafetyModel final
+    : public core::SafetyModelBase<LaneChangeWorld> {
+ public:
+  explicit LaneChangeSafetyModel(
+      std::shared_ptr<const LaneChangeScenario> scenario);
+
+  bool in_unsafe_set(const LaneChangeWorld& world) const override;
+  bool in_boundary_safe_set(const LaneChangeWorld& world) const override;
+  double emergency_accel(const LaneChangeWorld& world) const override;
+
+  const LaneChangeScenario& scenario() const { return *scenario_; }
+
+ private:
+  std::shared_ptr<const LaneChangeScenario> scenario_;
+};
+
+}  // namespace cvsafe::scenario

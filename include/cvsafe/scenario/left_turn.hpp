@@ -1,0 +1,169 @@
+#pragma once
+
+#include "cvsafe/filter/estimate.hpp"
+#include "cvsafe/util/interval.hpp"
+#include "cvsafe/vehicle/dynamics.hpp"
+#include "cvsafe/vehicle/state.hpp"
+
+/// \file left_turn.hpp
+/// The unprotected left-turn case study of Section IV.
+///
+/// The ego vehicle C0 turns left across the path of the oncoming vehicle
+/// C1; both paths are fixed, so the system is one-dimensional per vehicle.
+/// A collision occurs iff both vehicles occupy the conflict zone (the red
+/// rectangle of Fig. 4) at the same time.
+///
+/// Coordinate frames. C0 uses its own path coordinate with the conflict
+/// zone between the front line p_f and the back line p_b (paper: 5 m and
+/// 15 m, start at -30 m). C1 *approaches from the opposite direction*; we
+/// express its motion in its own forward path coordinate u = -p_global,
+/// so C1 also moves in the +u direction and its conflict zone sits at
+/// [-p_b, -p_f] = [-15, -5]. A paper initial position p1(0) = 50.5 m maps
+/// to u1(0) = -50.5 m. All C1 quantities in this module (positions,
+/// estimates, messages) live in the u frame.
+
+namespace cvsafe::scenario {
+
+/// Static geometry of the intersection.
+struct LeftTurnGeometry {
+  // Ego frame.
+  double ego_front = 5.0;     ///< p_f: near edge of the conflict zone [m]
+  double ego_back = 15.0;     ///< p_b: far edge of the conflict zone [m]
+  double ego_start = -30.0;   ///< p_0(0)
+  double ego_target = 20.0;   ///< target set X_t: p_0 >= ego_target
+
+  // Oncoming-vehicle frame (u = -p_global).
+  double c1_front = -15.0;    ///< C1 enters the zone at u = -p_b
+  double c1_back = -5.0;      ///< C1 exits the zone at u = -p_f
+
+  /// Maps a paper-style oncoming global position (e.g. 50.5 m) into the
+  /// C1 forward frame.
+  static double oncoming_to_frame(double p_global) { return -p_global; }
+
+  bool valid() const {
+    return ego_front < ego_back && c1_front < c1_back &&
+           ego_start < ego_front && ego_target >= ego_back;
+  }
+};
+
+/// Buffers of the aggressive unsafe-set estimation (Section IV, Eq. 8):
+/// instead of the physical extremes a_1,max / v_1,max, the estimation uses
+/// a_1(t) +- a_buf and v_1(t) +- v_buf (clamped to the physical limits).
+struct AggressiveBuffers {
+  double a_buf = 0.5;  ///< acceleration buffer [m/s^2]
+  double v_buf = 1.0;  ///< velocity buffer [m/s]
+};
+
+/// All the closed-form safety mathematics of the case study. Stateless:
+/// one instance is shared by monitors, planners and tests.
+class LeftTurnScenario {
+ public:
+  LeftTurnScenario(LeftTurnGeometry geometry, vehicle::VehicleLimits ego,
+                   vehicle::VehicleLimits oncoming, double dt_c);
+
+  const LeftTurnGeometry& geometry() const { return geometry_; }
+  const vehicle::VehicleLimits& ego_limits() const { return ego_; }
+  const vehicle::VehicleLimits& oncoming_limits() const { return c1_; }
+  double control_period() const { return dt_c_; }
+
+  // ---- Ego-side quantities ------------------------------------------------
+
+  /// Slack s(t) of Eq. 5: braking margin before the front line; negative
+  /// once stopping short of the zone is impossible (or the ego is inside),
+  /// +infinity after the zone is cleared.
+  double slack(double p0, double v0) const;
+
+  /// Projected passing interval [tau_0,min, tau_0,max] of the ego at its
+  /// *current* velocity (Section IV). Empty when the ego has already
+  /// cleared the zone or is stopped short of it.
+  util::Interval ego_passing_window(double t, double p0, double v0) const;
+
+  /// Braking distance d_b = -v^2 / (2 a_0,min).
+  double ego_braking_distance(double v0) const;
+
+  // ---- Oncoming-vehicle passing window (tau_1) ----------------------------
+
+  /// Conservative window (Eq. 7) evaluated soundly on a set-valued
+  /// estimate: earliest possible zone entry uses the most advanced
+  /// position / highest speed bound with full acceleration; latest exit
+  /// uses the least advanced / slowest bound with full braking. An empty
+  /// interval means C1 has certainly cleared the zone.
+  util::Interval c1_window_conservative(
+      const filter::StateEstimate& c1) const;
+
+  /// Aggressive window (Eq. 8): same structure, but evaluated on the point
+  /// estimate with a_1,est = clamp(a_hat +- a_buf) and
+  /// v_1,est = clamp(v_hat +- v_buf) in place of the physical extremes.
+  /// Always a subset of the conservative window evaluated on the same
+  /// point estimate.
+  util::Interval c1_window_aggressive(const filter::StateEstimate& c1,
+                                      const AggressiveBuffers& buffers) const;
+
+  // ---- Safety sets ---------------------------------------------------------
+
+  /// Unsafe set membership (Eq. 6): negative slack and intersecting
+  /// passing windows.
+  bool in_unsafe_set(double t, double p0, double v0,
+                     const util::Interval& tau1) const;
+
+  /// Conflict *resolvability*: from this state the ego has a feasible
+  /// strategy that avoids co-presence with C1 —
+  ///   (i)  clear the zone under full throttle before tau_1,min, or
+  ///   (ii) while still short of the zone, delay its entry past tau_1,max
+  ///        under full braking (possibly stopping).
+  /// The completed boundary set below preserves resolvability as an
+  /// inductive invariant; it is what makes the safety guarantee hold for
+  /// committed states the paper's closed form does not cover.
+  bool resolvable(double t, double p0, double v0,
+                  const util::Interval& tau1) const;
+
+  /// Boundary safe set membership. Implements the paper's closed form —
+  /// the slack could turn negative within one control step while the
+  /// passing windows intersect — *completed* with the two cases the paper
+  /// elides (Eq. 3 is a general one-step preimage):
+  ///  * committed states (negative slack, still short of the zone): one
+  ///    feasible control step could destroy resolvability, e.g. a planner
+  ///    that committed to pass behind C1 starts accelerating into C1's
+  ///    window;
+  ///  * inside-zone states: one braking step could stretch the ego's
+  ///    occupancy into C1's window.
+  bool in_boundary_safe_set(double t, double p0, double v0,
+                            const util::Interval& tau1) const;
+
+  /// Emergency planner kappa_e (Section IV): least braking that stops
+  /// before the front line while stopping is still possible; full throttle
+  /// to escape once inside or past the zone. Completed for committed
+  /// states (cannot stop short anymore): full throttle when passing ahead
+  /// of C1 is the resolving strategy, full braking (delay behind C1)
+  /// otherwise.
+  double emergency_accel(double t, double p0, double v0,
+                         const util::Interval& tau1) const;
+
+  // ---- Predicates used by the simulator / evaluation ----------------------
+
+  /// True iff the ego occupies the conflict zone (front/back lines are
+  /// entry and exit of the vehicle reference point).
+  bool ego_in_zone(double p0) const;
+
+  /// True iff C1 occupies the conflict zone (u frame).
+  bool c1_in_zone(double u1) const;
+
+  /// Actual collision: simultaneous zone occupancy.
+  bool collision(double p0, double u1) const;
+
+  /// Target set X_t membership.
+  bool ego_reached_target(double p0) const;
+
+ private:
+  /// Minimum time for C1 to advance \p dist from speed \p v with constant
+  /// acceleration \p a, saturating at the appropriate velocity cap.
+  double c1_travel_time(double dist, double v, double a, double v_hi_cap,
+                        double v_lo_cap) const;
+
+  LeftTurnGeometry geometry_;
+  vehicle::VehicleLimits ego_;
+  vehicle::VehicleLimits c1_;
+  double dt_c_;
+};
+
+}  // namespace cvsafe::scenario

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "cvsafe/filter/estimate.hpp"
+#include "cvsafe/util/interval.hpp"
+#include "cvsafe/vehicle/state.hpp"
+
+/// \file world.hpp
+/// The world view consumed by planners in the left-turn case study.
+///
+/// The runtime monitor and the embedded NN planner may deliberately see
+/// *different* information (Fig. 2): the monitor always judges safety on
+/// the sound conservative window, while the NN planner is fed the window
+/// derived from its own estimator — and, in the ultimate configuration,
+/// the aggressive (underestimated) window of Eq. 8.
+
+namespace cvsafe::scenario {
+
+/// Snapshot of everything a left-turn planner may observe at one step.
+struct LeftTurnWorld {
+  double t = 0.0;                     ///< current time
+  vehicle::VehicleState ego;          ///< ego state (known exactly)
+  filter::StateEstimate c1_monitor;   ///< sound estimate for the monitor
+  filter::StateEstimate c1_nn;        ///< estimate backing the NN's window
+  util::Interval tau1_monitor;        ///< conservative window (monitor)
+  util::Interval tau1_nn;             ///< window fed to the NN planner
+};
+
+}  // namespace cvsafe::scenario

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+/// \file config.hpp
+/// Environment-variable configuration for the experiment harness.
+///
+/// Bench binaries read their workload sizes from the environment so the
+/// full paper-scale runs (80,000 simulations per setting) can be requested
+/// without recompiling:
+///
+///   CVSAFE_SIMS=80000 CVSAFE_THREADS=32 ./bench/bench_table1
+
+namespace cvsafe::util {
+
+/// Integer environment variable, or \p fallback when unset/unparsable.
+std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+/// Floating-point environment variable, or \p fallback.
+double env_double(const std::string& name, double fallback);
+
+/// String environment variable, or nullopt when unset.
+std::optional<std::string> env_string(const std::string& name);
+
+/// Simulations per experiment cell. Env CVSAFE_SIMS; \p fallback otherwise.
+std::size_t bench_sims(std::size_t fallback);
+
+/// Worker threads for batch runs. Env CVSAFE_THREADS; 0 = hardware default.
+std::size_t bench_threads();
+
+}  // namespace cvsafe::util

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+
+/// \file config_file.hpp
+/// Minimal INI-style configuration files for the tools and examples:
+///
+///   # comment
+///   [section]
+///   key = value
+///
+/// Keys are addressed as "section.key" ("key" for the implicit top-level
+/// section). Values are free strings with typed accessors.
+
+namespace cvsafe::util {
+
+/// Parsed configuration file.
+class ConfigFile {
+ public:
+  ConfigFile() = default;
+
+  /// Parses from a stream. Throws std::runtime_error on malformed lines.
+  static ConfigFile parse(std::istream& is);
+
+  /// Parses from a file path. Throws on I/O or parse failure.
+  static ConfigFile load(const std::string& path);
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+  std::size_t size() const { return values_.size(); }
+
+  /// Raw string value, or nullopt.
+  std::optional<std::string> get(const std::string& key) const;
+
+  /// Typed accessors with defaults. Unparsable numbers throw.
+  std::string get_string(const std::string& key,
+                         const std::string& dflt) const;
+  double get_double(const std::string& key, double dflt) const;
+  std::int64_t get_int(const std::string& key, std::int64_t dflt) const;
+  bool get_bool(const std::string& key, bool dflt) const;
+
+  /// All keys (sorted), e.g. for validation against a known schema.
+  std::map<std::string, std::string> entries() const { return values_; }
+
+  /// Sets a value programmatically (tests, overrides).
+  void set(const std::string& key, const std::string& value) {
+    values_[key] = value;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace cvsafe::util

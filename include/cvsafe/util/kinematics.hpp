@@ -1,0 +1,55 @@
+#pragma once
+
+#include <optional>
+
+/// \file kinematics.hpp
+/// Closed-form kinematic helpers shared by the reachability analysis
+/// (Eq. 2 of the paper) and the passing-time-window estimation
+/// (Eq. 7 / Eq. 8 of the paper).
+
+namespace cvsafe::util {
+
+/// Real roots of a x^2 + b x + c = 0, smaller first.
+/// Returns nullopt when there is no real root. A (near-)linear equation
+/// (|a| tiny) degrades to the single root (-c / b) reported twice.
+struct QuadraticRoots {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+std::optional<QuadraticRoots> solve_quadratic(double a, double b, double c);
+
+/// Distance needed to brake from speed \p v to a stop with constant
+/// deceleration \p a_min (a_min < 0):  d_b = -v^2 / (2 a_min).
+double braking_distance(double v, double a_min);
+
+/// Position advance after time \p dt starting at speed \p v with constant
+/// acceleration \p a, where the speed saturates at \p v_limit
+/// (the velocity-capped branch structure of Eq. 2):
+///
+///   if v + a dt stays within v_limit:   v dt + a dt^2 / 2
+///   otherwise: accelerate until v_limit is hit, then cruise at v_limit.
+///
+/// Works for both upper caps (a > 0, v_limit >= v) and lower caps
+/// (a < 0, v_limit <= v). When a == 0 the result is v dt.
+double displacement_with_speed_cap(double v, double a, double dt,
+                                   double v_limit);
+
+/// Minimum time for a vehicle at speed \p v to travel distance \p d >= 0
+/// while applying constant acceleration \p a until the speed cap
+/// \p v_limit, then cruising (Eq. 7 structure with
+/// d_th = (v_limit^2 - v^2) / (2a) as the accelerate-to-cap distance):
+///
+///   if d > d_th:  (v_limit - v)/a + (d - d_th)/v_limit
+///   else:         (-v + sqrt(v^2 + 2 a d)) / a
+///
+/// Returns +infinity if the distance can never be covered (e.g. the vehicle
+/// decelerates to a stop first). Handles a == 0 (pure cruise) and the
+/// deceleration branch (a < 0, v_limit < v) symmetrically.
+double time_to_travel(double d, double v, double a, double v_limit);
+
+/// Speed after \p dt starting at \p v with constant acceleration \p a,
+/// saturating at \p v_limit (same branch logic as
+/// displacement_with_speed_cap).
+double speed_after(double v, double a, double dt, double v_limit);
+
+}  // namespace cvsafe::util

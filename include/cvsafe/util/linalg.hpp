@@ -1,0 +1,77 @@
+#pragma once
+
+#include <array>
+#include <iosfwd>
+
+/// \file linalg.hpp
+/// Fixed-size 2-vector / 2x2-matrix linear algebra.
+///
+/// The Kalman filter of the paper operates on the 2-dimensional state
+/// (position, velocity) of each observed vehicle, so a tiny stack-allocated
+/// linear algebra layer is all that is needed — no heap, no dependencies.
+
+namespace cvsafe::util {
+
+/// Column 2-vector (x, y).
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  Vec2 operator*(double s) const { return {x * s, y * s}; }
+  friend Vec2 operator*(double s, const Vec2& v) { return v * s; }
+
+  double dot(const Vec2& o) const { return x * o.x + y * o.y; }
+};
+
+/// Row-major 2x2 matrix
+///   [ a  b ]
+///   [ c  d ]
+struct Mat2 {
+  double a = 0.0, b = 0.0;
+  double c = 0.0, d = 0.0;
+
+  static Mat2 identity() { return {1.0, 0.0, 0.0, 1.0}; }
+  static Mat2 zero() { return {}; }
+  static Mat2 diagonal(double d1, double d2) { return {d1, 0.0, 0.0, d2}; }
+
+  Mat2 operator+(const Mat2& o) const {
+    return {a + o.a, b + o.b, c + o.c, d + o.d};
+  }
+  Mat2 operator-(const Mat2& o) const {
+    return {a - o.a, b - o.b, c - o.c, d - o.d};
+  }
+  Mat2 operator*(double s) const { return {a * s, b * s, c * s, d * s}; }
+  friend Mat2 operator*(double s, const Mat2& m) { return m * s; }
+
+  Mat2 operator*(const Mat2& o) const {
+    return {a * o.a + b * o.c, a * o.b + b * o.d,
+            c * o.a + d * o.c, c * o.b + d * o.d};
+  }
+  Vec2 operator*(const Vec2& v) const {
+    return {a * v.x + b * v.y, c * v.x + d * v.y};
+  }
+
+  Mat2 transpose() const { return {a, c, b, d}; }
+
+  double determinant() const { return a * d - b * c; }
+
+  /// Matrix trace a + d.
+  double trace() const { return a + d; }
+
+  /// Inverse. Precondition: determinant() != 0 (asserted in debug builds).
+  Mat2 inverse() const;
+
+  /// True iff the matrix is symmetric within \p tol.
+  bool is_symmetric(double tol = 1e-12) const;
+
+  /// True iff symmetric and both eigenvalues are >= -tol
+  /// (valid covariance matrix check).
+  bool is_positive_semidefinite(double tol = 1e-9) const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Vec2& v);
+std::ostream& operator<<(std::ostream& os, const Mat2& m);
+
+}  // namespace cvsafe::util

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+/// \file stats.hpp
+/// Streaming and batch statistics used by the evaluation harness
+/// (mean reaching time, safe rate, winning percentage, RMSE, ...).
+
+namespace cvsafe::util {
+
+/// Numerically stable streaming accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  /// Number of observations so far.
+  std::size_t count() const { return n_; }
+
+  /// Sample mean (0 when empty).
+  double mean() const { return n_ ? mean_ : 0.0; }
+
+  /// Unbiased sample variance (0 when fewer than 2 observations).
+  double variance() const;
+
+  /// Square root of variance().
+  double stddev() const;
+
+  /// Smallest observation (+inf when empty).
+  double min() const { return min_; }
+
+  /// Largest observation (-inf when empty).
+  double max() const { return max_; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_;
+  double max_;
+
+ public:
+  RunningStats();
+};
+
+/// Arithmetic mean of a sequence (0 when empty).
+double mean(std::span<const double> xs);
+
+/// Root-mean-square error between two equally sized sequences.
+/// Precondition: a.size() == b.size() and non-empty.
+double rmse(std::span<const double> a, std::span<const double> b);
+
+/// Linearly interpolated p-quantile (q in [0,1]) of a sequence.
+/// Copies and sorts internally. Precondition: non-empty.
+double quantile(std::span<const double> xs, double q);
+
+/// Fraction of elements satisfying x > 0 (used for winning percentages).
+double fraction_positive(std::span<const double> xs);
+
+/// A two-sided confidence interval.
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double point = 0.0;  ///< the point estimate (sample mean)
+};
+
+/// Percentile-bootstrap confidence interval for the mean of \p xs.
+/// \param confidence  e.g. 0.95
+/// \param resamples   bootstrap resamples (default 1000)
+/// Deterministic given \p rng. Precondition: non-empty sample.
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> xs,
+                                     double confidence, class Rng& rng,
+                                     std::size_t resamples = 1000);
+
+}  // namespace cvsafe::util

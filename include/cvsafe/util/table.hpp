@@ -1,0 +1,58 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// \file table.hpp
+/// ASCII table rendering for the experiment harness. Every bench binary
+/// prints its table/figure data through this printer so the output layout
+/// mirrors the rows the paper reports.
+
+namespace cvsafe::util {
+
+/// Column-aligned ASCII table with an optional title and header row.
+///
+/// Usage:
+///   Table t("Table I: conservative planner");
+///   t.set_header({"settings", "planner", "reaching time", "safe rate"});
+///   t.add_row({"no disturbance", "pure NN", "7.989s", "100%"});
+///   std::cout << t;
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row (column count is inferred from it).
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row. Rows shorter than the header are right-padded.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line between row groups.
+  void add_separator();
+
+  /// Renders the table.
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Formats a double with \p precision fractional digits.
+  static std::string num(double v, int precision = 3);
+
+  /// Formats a fraction in [0,1] as a percentage, e.g. 0.9966 -> "99.66%".
+  static std::string percent(double fraction, int precision = 2);
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+}  // namespace cvsafe::util

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.hpp
+/// A small fixed-size thread pool plus a parallel_for helper.
+///
+/// The batch simulation runner executes tens of thousands of independent
+/// simulations per experiment cell; each simulation carries its own PRNG
+/// stream (seeded by index), so parallel execution is bit-reproducible
+/// regardless of scheduling.
+
+namespace cvsafe::util {
+
+/// Fixed-size pool of worker threads consuming a task queue.
+class ThreadPool {
+ public:
+  /// Spawns \p num_threads workers (hardware concurrency when 0).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void wait_idle();
+
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for i in [0, n), distributing chunks over a transient pool.
+/// Falls back to serial execution when n is small or num_threads == 1.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t num_threads = 0);
+
+}  // namespace cvsafe::util

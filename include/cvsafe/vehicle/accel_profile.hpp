@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cvsafe/util/rng.hpp"
+#include "cvsafe/vehicle/dynamics.hpp"
+
+/// \file accel_profile.hpp
+/// Workload generation: random acceleration sequences for surrounding
+/// vehicles.
+///
+/// Section V of the paper: "In each simulation, we randomly generate a
+/// sequence of accelerations in which the i-th element is the control
+/// input of C1 at the i-th timestamp." We generate a bounded, smoothed
+/// random walk (vehicles do not flip between full throttle and full brake
+/// every 50 ms) clipped to the actuation limits; an additional clamp keeps
+/// the resulting velocity inside [v_min, v_max].
+
+namespace cvsafe::vehicle {
+
+/// Parameters of the random acceleration workload.
+struct AccelProfileParams {
+  double smoothing = 0.9;   ///< AR(1) coefficient of the random walk
+  double jerk_scale = 1.0;  ///< std-dev of the per-step innovation [m/s^2]
+  double bias = 0.0;        ///< mean acceleration [m/s^2]
+};
+
+/// Pre-generated open-loop acceleration sequence for a vehicle.
+class AccelProfile {
+ public:
+  /// Generates \p num_steps accelerations for a vehicle with the given
+  /// limits, starting from speed \p v0, stepping every \p dt seconds.
+  /// The generated sequence respects both acceleration limits and
+  /// (via clipping) velocity limits when integrated.
+  static AccelProfile random(std::size_t num_steps, double dt, double v0,
+                             const VehicleLimits& limits,
+                             const AccelProfileParams& params,
+                             util::Rng& rng);
+
+  /// A constant-acceleration profile (baseline / tests).
+  static AccelProfile constant(std::size_t num_steps, double a);
+
+  /// Acceleration at step \p i; the last value repeats past the end.
+  double at(std::size_t i) const;
+
+  std::size_t size() const { return accels_.size(); }
+  const std::vector<double>& values() const { return accels_; }
+
+ private:
+  explicit AccelProfile(std::vector<double> accels)
+      : accels_(std::move(accels)) {}
+  std::vector<double> accels_;
+};
+
+}  // namespace cvsafe::vehicle

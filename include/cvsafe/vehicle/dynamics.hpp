@@ -1,0 +1,61 @@
+#pragma once
+
+#include "cvsafe/vehicle/state.hpp"
+
+/// \file dynamics.hpp
+/// Discrete double-integrator dynamics with actuation limits.
+///
+/// Section II-A of the paper models each vehicle as
+///
+///   [ p(t+dt) ]   [ 1  dt ] [ p(t) ]   [ dt^2/2 ]
+///   [ v(t+dt) ] = [ 0   1 ] [ v(t) ] + [   dt   ] a(t)
+///
+/// Real vehicles additionally saturate: acceleration is clamped to
+/// [a_min, a_max] and velocity to [v_min, v_max]. Two integration variants
+/// are provided; the simulator uses the saturating one, which matches the
+/// piecewise kinematics assumed by the reachability analysis (Eq. 2).
+
+namespace cvsafe::vehicle {
+
+/// Actuation and speed limits of a vehicle.
+struct VehicleLimits {
+  double v_min = 0.0;    ///< minimum velocity [m/s] (vehicles do not reverse)
+  double v_max = 20.0;   ///< maximum velocity [m/s]
+  double a_min = -6.0;   ///< maximum braking (negative) [m/s^2]
+  double a_max = 3.0;    ///< maximum acceleration [m/s^2]
+
+  /// Clamps an acceleration command into [a_min, a_max].
+  double clamp_accel(double a) const;
+
+  /// Clamps a velocity into [v_min, v_max].
+  double clamp_speed(double v) const;
+
+  /// Validity: v_min <= v_max, a_min < 0 < a_max.
+  bool valid() const;
+};
+
+/// Double-integrator stepping.
+class DoubleIntegrator {
+ public:
+  explicit DoubleIntegrator(VehicleLimits limits) : limits_(limits) {}
+
+  const VehicleLimits& limits() const { return limits_; }
+
+  /// Exact saturating step: the acceleration command is clamped, then the
+  /// state is integrated continuously over dt with the velocity saturating
+  /// at the limit it would cross (position integrates the saturated
+  /// velocity profile). This is the model used by the simulator and is
+  /// consistent with the reachability bounds of Eq. 2.
+  VehicleState step(const VehicleState& s, double a_cmd, double dt) const;
+
+  /// The paper's raw matrix update (no velocity saturation); the
+  /// acceleration command is still clamped. Used in tests to cross-check
+  /// the saturating variant away from the limits.
+  VehicleState step_unsaturated(const VehicleState& s, double a_cmd,
+                                double dt) const;
+
+ private:
+  VehicleLimits limits_;
+};
+
+}  // namespace cvsafe::vehicle

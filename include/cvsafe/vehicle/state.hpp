@@ -1,0 +1,31 @@
+#pragma once
+
+#include <iosfwd>
+
+/// \file state.hpp
+/// One-dimensional vehicle state, as in Section II-A of the paper.
+///
+/// The system model is one-dimensional along each vehicle's (fixed) path:
+/// a state is (position, velocity) and the control input is a scalar
+/// acceleration.
+
+namespace cvsafe::vehicle {
+
+/// Kinematic state of a vehicle along its path.
+struct VehicleState {
+  double p = 0.0;  ///< position along the path [m]
+  double v = 0.0;  ///< velocity [m/s]
+};
+
+/// A state paired with the acceleration applied at that instant; this is
+/// the triple (p_i, v_i, a_i) broadcast in V2V messages.
+struct VehicleSnapshot {
+  double t = 0.0;  ///< timestamp [s]
+  VehicleState state;
+  double a = 0.0;  ///< acceleration being applied at time t [m/s^2]
+};
+
+std::ostream& operator<<(std::ostream& os, const VehicleState& s);
+std::ostream& operator<<(std::ostream& os, const VehicleSnapshot& s);
+
+}  // namespace cvsafe::vehicle

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cvsafe/vehicle/state.hpp"
+
+/// \file trajectory.hpp
+/// Time-indexed recording of a vehicle's motion during a simulation.
+
+namespace cvsafe::vehicle {
+
+/// A sequence of snapshots sampled every control step.
+class Trajectory {
+ public:
+  /// Appends a snapshot. Timestamps must be non-decreasing.
+  void push(const VehicleSnapshot& s);
+
+  bool empty() const { return samples_.empty(); }
+  std::size_t size() const { return samples_.size(); }
+  const VehicleSnapshot& operator[](std::size_t i) const {
+    return samples_[i];
+  }
+  const VehicleSnapshot& front() const { return samples_.front(); }
+  const VehicleSnapshot& back() const { return samples_.back(); }
+  auto begin() const { return samples_.begin(); }
+  auto end() const { return samples_.end(); }
+
+  /// Linear interpolation of the state at time \p t (clamped to the
+  /// recorded range). Precondition: non-empty.
+  VehicleState at(double t) const;
+
+  /// Position series (one value per sample).
+  std::vector<double> positions() const;
+
+  /// Velocity series (one value per sample).
+  std::vector<double> velocities() const;
+
+  /// Earliest recorded time with position >= \p p, or negative when the
+  /// trajectory never reaches it (linear interpolation between samples;
+  /// assumes forward motion).
+  double first_time_at_position(double p) const;
+
+ private:
+  std::vector<VehicleSnapshot> samples_;
+};
+
+}  // namespace cvsafe::vehicle

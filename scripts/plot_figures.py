@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Plot the figure data series emitted by the bench binaries.
+
+The C++ benches print their tables and additionally write the raw series
+as CSV (fig5_*.csv, fig6a_filter.csv, fig6b_window.csv, multi_vehicle.csv,
+burst.csv). This optional helper turns them into PNGs.
+
+Usage:
+    python3 scripts/plot_figures.py [csv_dir] [out_dir]
+
+Requires matplotlib; everything else in the repository is dependency-free.
+"""
+
+import csv
+import os
+import sys
+
+try:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+except ImportError:  # pragma: no cover - optional tooling
+    sys.exit("matplotlib is required for plotting (pip install matplotlib)")
+
+
+def read_csv(path):
+    with open(path, newline="") as fh:
+        rows = list(csv.reader(fh))
+    header, data = rows[0], rows[1:]
+    cols = {name: [] for name in header}
+    for row in data:
+        for name, value in zip(header, row):
+            try:
+                cols[name].append(float(value))
+            except ValueError:
+                cols[name].append(value)
+    return cols
+
+
+def plot_fig5(csv_dir, out_dir, stem, xlabel):
+    path = os.path.join(csv_dir, stem + ".csv")
+    if not os.path.exists(path):
+        return
+    cols = read_csv(path)
+    x_name = list(cols.keys())[0]
+    x = cols[x_name]
+
+    fig, (ax1, ax2) = plt.subplots(1, 2, figsize=(11, 4))
+    ax1.plot(x, cols["reach_pure"], "o-", label="pure NN")
+    ax1.plot(x, cols["reach_basic"], "s--", label="basic")
+    ax1.plot(x, cols["reach_ultimate"], "^-", label="ultimate")
+    ax1.set_xlabel(xlabel)
+    ax1.set_ylabel("reaching time [s]")
+    ax1.legend()
+    ax1.grid(alpha=0.3)
+
+    ax2.plot(x, [100 * v for v in cols["emerg_basic"]], "s--", label="basic")
+    ax2.plot(x, [100 * v for v in cols["emerg_ultimate"]], "^-",
+             label="ultimate")
+    ax2.set_xlabel(xlabel)
+    ax2.set_ylabel("emergency frequency [%]")
+    ax2.legend()
+    ax2.grid(alpha=0.3)
+
+    fig.suptitle(stem)
+    fig.tight_layout()
+    fig.savefig(os.path.join(out_dir, stem + ".png"), dpi=150)
+    plt.close(fig)
+    print("wrote", stem + ".png")
+
+
+def plot_fig6a(csv_dir, out_dir):
+    path = os.path.join(csv_dir, "fig6a_filter.csv")
+    if not os.path.exists(path):
+        return
+    cols = read_csv(path)
+    fig, ax = plt.subplots(figsize=(8, 4))
+    ax.plot(cols["t"], cols["true_v"], "k-", label="real velocity")
+    ax.plot(cols["t"], cols["measured_v"], ".", alpha=0.4,
+            label="sensor-measured")
+    ax.plot(cols["t"], cols["filtered_v"], "-", label="after filter")
+    ax.plot(cols["t"], cols["filtered_rollback_v"], "--",
+            label="after filter + msg rollback")
+    ax.set_xlabel("t [s]")
+    ax.set_ylabel("velocity [m/s]")
+    ax.legend()
+    ax.grid(alpha=0.3)
+    fig.suptitle("Fig. 6a: measured velocities before and after the filter")
+    fig.tight_layout()
+    fig.savefig(os.path.join(out_dir, "fig6a_filter.png"), dpi=150)
+    plt.close(fig)
+    print("wrote fig6a_filter.png")
+
+
+def plot_fig6b(csv_dir, out_dir):
+    path = os.path.join(csv_dir, "fig6b_window.csv")
+    if not os.path.exists(path):
+        return
+    cols = read_csv(path)
+    fig, ax = plt.subplots(figsize=(8, 4))
+    ax.fill_between(cols["t"], cols["cons_lo"], cols["cons_hi"], alpha=0.25,
+                    label="conservative window (Eq. 7)")
+    ax.fill_between(cols["t"], cols["aggr_lo"], cols["aggr_hi"], alpha=0.45,
+                    label="aggressive window (Eq. 8)")
+    ax.plot(cols["t"], cols["real_entry"], "k-", label="real entry")
+    ax.plot(cols["t"], cols["real_exit"], "k--", label="real exit")
+    ax.set_xlabel("estimation time t [s]")
+    ax.set_ylabel("passing time [s]")
+    ax.legend()
+    ax.grid(alpha=0.3)
+    fig.suptitle("Fig. 6b: passing-time-window estimation")
+    fig.tight_layout()
+    fig.savefig(os.path.join(out_dir, "fig6b_window.png"), dpi=150)
+    plt.close(fig)
+    print("wrote fig6b_window.png")
+
+
+def plot_multi(csv_dir, out_dir):
+    path = os.path.join(csv_dir, "multi_vehicle.csv")
+    if not os.path.exists(path):
+        return
+    cols = read_csv(path)
+    fig, ax = plt.subplots(figsize=(7, 4))
+    ax.plot(cols["n"], cols["reach_time"], "o-", label="reaching time [s]")
+    ax2 = ax.twinx()
+    ax2.plot(cols["n"], [100 * v for v in cols["emergency_freq"]], "s--",
+             color="tab:red", label="emergency freq [%]")
+    ax.set_xlabel("oncoming vehicles")
+    ax.set_ylabel("reaching time [s]")
+    ax2.set_ylabel("emergency frequency [%]")
+    ax.grid(alpha=0.3)
+    fig.suptitle("Multi-vehicle scalability (100% safe throughout)")
+    fig.tight_layout()
+    fig.savefig(os.path.join(out_dir, "multi_vehicle.png"), dpi=150)
+    plt.close(fig)
+    print("wrote multi_vehicle.png")
+
+
+def main():
+    csv_dir = sys.argv[1] if len(sys.argv) > 1 else "."
+    out_dir = sys.argv[2] if len(sys.argv) > 2 else csv_dir
+    os.makedirs(out_dir, exist_ok=True)
+    plot_fig5(csv_dir, out_dir, "fig5_transmission", "dt_m = dt_s [s]")
+    plot_fig5(csv_dir, out_dir, "fig5_drop", "message drop probability")
+    plot_fig5(csv_dir, out_dir, "fig5_sensor", "sensor uncertainty delta")
+    plot_fig6a(csv_dir, out_dir)
+    plot_fig6b(csv_dir, out_dir)
+    plot_multi(csv_dir, out_dir)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#include "cvsafe/comm/channel.hpp"
+
+#include <sstream>
+
+namespace cvsafe::comm {
+namespace {
+// Tolerance for matching transmission instants against the control clock.
+constexpr double kTimeEps = 1e-9;
+}  // namespace
+
+CommConfig CommConfig::no_disturbance(double period) {
+  return CommConfig{period, 0.0, 0.0, false};
+}
+
+CommConfig CommConfig::delayed(double drop_prob, double delay, double period) {
+  return CommConfig{period, delay, drop_prob, false};
+}
+
+CommConfig CommConfig::messages_lost(double period) {
+  CommConfig c;
+  c.period = period;
+  c.drop_prob = 1.0;
+  c.lost = true;
+  return c;
+}
+
+CommConfig CommConfig::bursty(double bad_fraction, double mean_burst_len,
+                              double delay, double period) {
+  CommConfig c;
+  c.period = period;
+  c.delay = delay;
+  c.burst = true;
+  c.drop_prob = 0.0;
+  c.burst_drop_prob = 1.0;
+  // Mean burst length L -> p(B->G) = 1/L; stationary bad fraction f:
+  // f = p_gb / (p_gb + p_bg) -> p(G->B) = f p_bg / (1 - f).
+  mean_burst_len = mean_burst_len < 1.0 ? 1.0 : mean_burst_len;
+  bad_fraction = bad_fraction < 0.0   ? 0.0
+                 : bad_fraction > 0.99 ? 0.99
+                                       : bad_fraction;
+  c.p_bad_to_good = 1.0 / mean_burst_len;
+  c.p_good_to_bad = bad_fraction * c.p_bad_to_good / (1.0 - bad_fraction);
+  return c;
+}
+
+double CommConfig::stationary_drop_prob() const {
+  if (lost) return 1.0;
+  if (!burst) return drop_prob;
+  const double denom = p_good_to_bad + p_bad_to_good;
+  const double bad_frac = denom > 0.0 ? p_good_to_bad / denom : 0.0;
+  return (1.0 - bad_frac) * drop_prob + bad_frac * burst_drop_prob;
+}
+
+std::string CommConfig::label() const {
+  if (lost || (!burst && drop_prob >= 1.0)) return "messages lost";
+  if (burst) {
+    std::ostringstream os;
+    os << "bursty (stationary p_drop=" << stationary_drop_prob() << ')';
+    return os.str();
+  }
+  if (delay > 0.0 || drop_prob > 0.0) {
+    std::ostringstream os;
+    os << "messages delayed (dt_d=" << delay << "s, p_drop=" << drop_prob
+       << ')';
+    return os.str();
+  }
+  return "no disturbance";
+}
+
+void Channel::offer(const Message& msg, util::Rng& rng) {
+  if (msg.stamp() + kTimeEps < next_tx_time_) return;  // not a tx instant yet
+  next_tx_time_ += config_.period;
+  ++sent_;
+  double p_drop = config_.drop_prob;
+  if (config_.burst) {
+    // Gilbert-Elliott state transition, then state-dependent drop.
+    in_bad_state_ = in_bad_state_ ? !rng.bernoulli(config_.p_bad_to_good)
+                                  : rng.bernoulli(config_.p_good_to_bad);
+    p_drop = in_bad_state_ ? config_.burst_drop_prob : config_.drop_prob;
+  }
+  if (config_.lost || rng.bernoulli(p_drop)) {
+    ++dropped_;
+    return;
+  }
+  pending_.push(InFlight{msg.stamp() + config_.delay, msg});
+}
+
+std::vector<Message> Channel::collect(double t) {
+  std::vector<Message> out;
+  while (!pending_.empty() &&
+         pending_.top().delivery_time <= t + kTimeEps) {
+    out.push_back(pending_.top().msg);
+    pending_.pop();
+  }
+  return out;
+}
+
+}  // namespace cvsafe::comm

@@ -1,0 +1,49 @@
+#include "cvsafe/core/preimage.hpp"
+
+#include <cassert>
+
+namespace cvsafe::core {
+
+std::vector<double> sample_controls(double u_min, double u_max,
+                                    std::size_t count) {
+  assert(count >= 2 && u_min <= u_max);
+  std::vector<double> controls;
+  controls.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    controls.push_back(u_min + (u_max - u_min) * static_cast<double>(i) /
+                                   static_cast<double>(count - 1));
+  }
+  return controls;
+}
+
+PreimageResult compute_boundary_grid(const PreimageGrid& grid,
+                                     const StepFn& step,
+                                     const UnsafeFn& unsafe,
+                                     const std::vector<double>& controls) {
+  assert(!controls.empty());
+  PreimageResult result;
+  result.grid = grid;
+  result.labels.assign(grid.nx * grid.nv, RegionLabel::kSafe);
+  for (std::size_t j = 0; j < grid.nv; ++j) {
+    for (std::size_t i = 0; i < grid.nx; ++i) {
+      const double x = grid.x_at(i);
+      const double v = grid.v_at(j);
+      RegionLabel label = RegionLabel::kSafe;
+      if (unsafe(x, v)) {
+        label = RegionLabel::kUnsafe;
+      } else {
+        for (const double u : controls) {
+          const auto [xn, vn] = step(x, v, u);
+          if (unsafe(xn, vn)) {
+            label = RegionLabel::kBoundary;
+            break;
+          }
+        }
+      }
+      result.labels[j * grid.nx + i] = label;
+    }
+  }
+  return result;
+}
+
+}  // namespace cvsafe::core

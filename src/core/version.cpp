@@ -1,0 +1,7 @@
+#include "cvsafe/core/version.hpp"
+
+namespace cvsafe::core {
+
+const char* version() { return "1.0.0"; }
+
+}  // namespace cvsafe::core

@@ -1,0 +1,137 @@
+#include "cvsafe/eval/agent.hpp"
+
+#include <cassert>
+
+namespace cvsafe::eval {
+
+AgentConfig AgentConfig::pure_nn() {
+  AgentConfig c;
+  c.use_compound = false;
+  c.use_info_filter = false;
+  c.use_aggressive = false;
+  return c;
+}
+
+AgentConfig AgentConfig::basic_compound() {
+  AgentConfig c;
+  c.use_compound = true;
+  c.use_info_filter = false;
+  c.use_aggressive = false;
+  return c;
+}
+
+AgentConfig AgentConfig::ultimate_compound() {
+  AgentConfig c;
+  c.use_compound = true;
+  c.use_info_filter = true;
+  c.use_aggressive = true;
+  return c;
+}
+
+void LeftTurnAgent::setup(
+    std::shared_ptr<core::PlannerBase<scenario::LeftTurnWorld>> inner,
+    const sensing::SensorConfig& sensor) {
+  assert(scenario_ != nullptr);
+  const auto& c1_limits = scenario_->oncoming_limits();
+
+  // Estimator feeding the embedded planner.
+  if (config_.use_info_filter) {
+    nn_estimator_ = std::make_unique<filter::InformationFilter>(
+        c1_limits, sensor, filter::InfoFilterOptions::ultimate());
+  } else {
+    nn_estimator_ = std::make_unique<filter::NaiveExtrapolator>(
+        sensor.delta_p, sensor.delta_v);
+  }
+
+  // Estimator feeding the runtime monitor: ALWAYS sound set bounds
+  // (reachability on messages and raw sensor readings). The paper joins
+  // the Kalman confidence interval into the monitor's estimate as well;
+  // we deliberately keep the monitor free of probabilistic intervals —
+  // a 3-sigma band occasionally excludes the true state, and a monitor
+  // built on it cannot support the safety guarantee (DESIGN.md).
+  if (config_.use_compound) {
+    monitor_estimator_ = std::make_unique<filter::InformationFilter>(
+        c1_limits, sensor, filter::InfoFilterOptions::basic());
+  }
+
+  if (config_.use_compound) {
+    auto model = std::make_shared<scenario::LeftTurnSafetyModel>(
+        scenario_, config_.buffers);
+    auto compound =
+        std::make_shared<core::CompoundPlanner<scenario::LeftTurnWorld>>(
+            std::move(inner), std::move(model),
+            core::CompoundOptions{config_.use_aggressive});
+    compound_ = compound.get();
+    planner_ = std::move(compound);
+  } else {
+    planner_ = std::move(inner);
+  }
+}
+
+LeftTurnAgent::LeftTurnAgent(
+    std::shared_ptr<const scenario::LeftTurnScenario> scenario,
+    std::shared_ptr<const nn::Mlp> net, sensing::SensorConfig sensor,
+    AgentConfig config)
+    : scenario_(std::move(scenario)), config_(config) {
+  std::shared_ptr<core::PlannerBase<scenario::LeftTurnWorld>> inner;
+  if (config_.use_expert_planner) {
+    inner = std::make_shared<planners::ExpertPlanner>(
+        scenario_, config_.expert_params, "expert");
+  } else {
+    assert(net != nullptr && "NN agent requires a trained network");
+    inner = std::make_shared<planners::NnPlanner>(
+        std::move(net), planners::InputEncoding{}, "nn");
+  }
+  setup(std::move(inner), sensor);
+}
+
+LeftTurnAgent::LeftTurnAgent(
+    std::shared_ptr<const scenario::LeftTurnScenario> scenario,
+    std::vector<std::shared_ptr<const nn::Mlp>> ensemble,
+    sensing::SensorConfig sensor, AgentConfig config)
+    : scenario_(std::move(scenario)), config_(config) {
+  assert(!ensemble.empty());
+  auto inner = std::make_shared<planners::EnsemblePlanner>(
+      std::move(ensemble), planners::InputEncoding{}, "ensemble",
+      config_.ensemble_sigma_penalty);
+  setup(std::move(inner), sensor);
+}
+
+void LeftTurnAgent::observe_sensor(const sensing::SensorReading& reading) {
+  nn_estimator_->on_sensor(reading);
+  if (monitor_estimator_) monitor_estimator_->on_sensor(reading);
+}
+
+void LeftTurnAgent::observe_message(const comm::Message& msg) {
+  nn_estimator_->on_message(msg);
+  if (monitor_estimator_) monitor_estimator_->on_message(msg);
+}
+
+double LeftTurnAgent::act(double t, const vehicle::VehicleState& ego) {
+  scenario::LeftTurnWorld world;
+  world.t = t;
+  world.ego = ego;
+  world.c1_nn = nn_estimator_->estimate(t);
+  world.tau1_nn = scenario_->c1_window_conservative(world.c1_nn);
+  if (monitor_estimator_) {
+    world.c1_monitor = monitor_estimator_->estimate(t);
+    world.tau1_monitor = scenario_->c1_window_conservative(world.c1_monitor);
+  }
+  last_world_ = world;
+  return planner_->plan(world);
+}
+
+bool LeftTurnAgent::last_was_emergency() const {
+  return compound_ != nullptr && compound_->last_was_emergency();
+}
+
+core::MonitorStats LeftTurnAgent::monitor_stats() const {
+  return compound_ != nullptr ? compound_->stats() : core::MonitorStats{};
+}
+
+std::vector<core::SwitchEvent> LeftTurnAgent::switch_events() const {
+  return compound_ != nullptr ? compound_->switch_events()
+                              : std::vector<core::SwitchEvent>{};
+}
+
+}  // namespace cvsafe::eval

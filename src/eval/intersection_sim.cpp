@@ -1,0 +1,228 @@
+#include "cvsafe/eval/intersection_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "cvsafe/core/compound_planner.hpp"
+#include "cvsafe/core/evaluation.hpp"
+#include "cvsafe/filter/info_filter.hpp"
+#include "cvsafe/util/kinematics.hpp"
+#include "cvsafe/util/thread_pool.hpp"
+#include "cvsafe/vehicle/accel_profile.hpp"
+#include "cvsafe/vehicle/dynamics.hpp"
+
+namespace cvsafe::eval {
+
+using scenario::IntersectionWorld;
+
+std::shared_ptr<const scenario::IntersectionScenario>
+IntersectionSimConfig::make_scenario() const {
+  return std::make_shared<const scenario::IntersectionScenario>(
+      geometry, ego_limits, dt_c);
+}
+
+namespace {
+
+/// Conservative occupancy window of one cross vehicle for the zone
+/// [front, back] in its own path coordinate — the same Eq. 7 structure as
+/// the left-turn case study, from sound set bounds.
+util::Interval conservative_window(const filter::StateEstimate& est,
+                                   double front, double back,
+                                   const vehicle::VehicleLimits& lim) {
+  if (!est.valid) return util::Interval{est.t, 1e18};
+  if (est.p.lo >= back) return util::Interval::empty_interval();
+  const double t = est.t;
+  double entry;
+  if (est.p.hi >= front) {
+    entry = t;
+  } else {
+    entry = t + util::time_to_travel(front - est.p.hi, est.v.hi, lim.a_max,
+                                     lim.v_max);
+  }
+  const double exit = t + util::time_to_travel(back - est.p.lo, est.v.lo,
+                                               lim.a_min,
+                                               std::max(lim.v_min, 0.1));
+  if (exit < entry) return util::Interval::empty_interval();
+  return util::Interval{entry, exit};
+}
+
+/// Reckless embedded planner: tracks a cruise speed, blind to traffic.
+class CruisePlanner final : public core::PlannerBase<IntersectionWorld> {
+ public:
+  explicit CruisePlanner(const vehicle::VehicleLimits& lim) : lim_(lim) {}
+  double plan(const IntersectionWorld& world) override {
+    return std::clamp(2.0 * (11.0 - world.ego.v), lim_.a_min, lim_.a_max);
+  }
+  std::string_view name() const override { return "cruise"; }
+
+ private:
+  vehicle::VehicleLimits lim_;
+};
+
+}  // namespace
+
+IntersectionSimResult run_intersection_simulation(
+    const IntersectionSimConfig& config, bool use_compound,
+    std::uint64_t seed) {
+  const auto scn = config.make_scenario();
+  util::Rng rng(seed);
+
+  const auto total_steps =
+      static_cast<std::size_t>(std::ceil(config.horizon / config.dt_c));
+
+  struct CrossVehicle {
+    vehicle::VehicleState state;
+    vehicle::AccelProfile profile;
+    comm::Channel channel;
+    sensing::Sensor sensor;
+    std::unique_ptr<filter::InformationFilter> est;
+  };
+  const auto make_stream = [&](std::size_t count) {
+    std::vector<CrossVehicle> stream;
+    stream.reserve(count);
+    double p = config.cross_zone_front -
+               rng.uniform(config.lead_gap_min, config.lead_gap_max);
+    for (std::size_t i = 0; i < count; ++i) {
+      const double v0 = rng.uniform(config.v_init_min, config.v_init_max);
+      stream.push_back(CrossVehicle{
+          {p, v0},
+          vehicle::AccelProfile::random(total_steps, config.dt_c, v0,
+                                        config.cross_limits, {}, rng),
+          comm::Channel(config.comm), sensing::Sensor(config.sensor),
+          std::make_unique<filter::InformationFilter>(
+              config.cross_limits, config.sensor,
+              filter::InfoFilterOptions::basic())});
+      p -= rng.uniform(config.headway_min, config.headway_max);
+    }
+    return stream;
+  };
+  std::vector<CrossVehicle> lane_a = make_stream(config.vehicles_per_lane);
+  std::vector<CrossVehicle> lane_b = make_stream(config.vehicles_per_lane);
+
+  auto cruise = std::make_shared<CruisePlanner>(config.ego_limits);
+  std::shared_ptr<core::PlannerBase<IntersectionWorld>> planner = cruise;
+  core::CompoundPlanner<IntersectionWorld>* compound = nullptr;
+  if (use_compound) {
+    auto model = std::make_shared<scenario::IntersectionSafetyModel>(scn);
+    auto c = std::make_shared<core::CompoundPlanner<IntersectionWorld>>(
+        cruise, std::move(model));
+    compound = c.get();
+    planner = c;
+  }
+
+  vehicle::DoubleIntegrator ego_dyn(config.ego_limits);
+  vehicle::DoubleIntegrator cross_dyn(config.cross_limits);
+  vehicle::VehicleState ego{config.geometry.ego_start, config.ego_v0};
+
+  const auto update_stream = [&](std::vector<CrossVehicle>& stream,
+                                 double t, std::size_t step,
+                                 util::IntervalSet& tau) {
+    for (std::size_t k = 0; k < stream.size(); ++k) {
+      auto& car = stream[k];
+      const double a = car.profile.at(step);
+      const vehicle::VehicleSnapshot snap{t, car.state, a};
+      car.channel.offer(comm::Message{static_cast<std::uint32_t>(k + 1),
+                                      snap},
+                        rng);
+      for (const auto& m : car.channel.collect(t)) car.est->on_message(m);
+      if (const auto r = car.sensor.sense(snap, rng)) car.est->on_sensor(*r);
+      tau.insert(conservative_window(car.est->estimate(t),
+                                     config.cross_zone_front,
+                                     config.cross_zone_back,
+                                     config.cross_limits));
+    }
+  };
+  const auto stream_occupies = [&](const std::vector<CrossVehicle>& stream) {
+    for (const auto& car : stream) {
+      if (car.state.p > config.cross_zone_front &&
+          car.state.p < config.cross_zone_back) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  IntersectionSimResult result;
+  for (std::size_t step = 0; step < total_steps; ++step) {
+    const double t = static_cast<double>(step) * config.dt_c;
+
+    IntersectionWorld world;
+    world.t = t;
+    world.ego = ego;
+    update_stream(lane_a, t, step, world.tau_a);
+    update_stream(lane_b, t, step, world.tau_b);
+
+    const double a0 = planner->plan(world);
+    ++result.steps;
+    if (compound != nullptr && compound->last_was_emergency()) {
+      ++result.emergency_steps;
+    }
+
+    ego = ego_dyn.step(ego, a0, config.dt_c);
+    for (auto& car : lane_a) {
+      car.state = cross_dyn.step(car.state, car.profile.at(step),
+                                 config.dt_c);
+    }
+    for (auto& car : lane_b) {
+      car.state = cross_dyn.step(car.state, car.profile.at(step),
+                                 config.dt_c);
+    }
+
+    if ((scn->in_zone_a(ego.p) && stream_occupies(lane_a)) ||
+        (scn->in_zone_b(ego.p) && stream_occupies(lane_b))) {
+      result.collided = true;
+      break;
+    }
+    if (ego.p >= config.geometry.ego_target) {
+      result.reached = true;
+      result.reach_time = t + config.dt_c;
+      break;
+    }
+  }
+
+  core::EpisodeOutcome outcome;
+  outcome.entered_unsafe_set = result.collided;
+  outcome.reached_target = result.reached;
+  outcome.reach_time = result.reach_time;
+  result.eta = core::eta(outcome);
+  return result;
+}
+
+IntersectionBatchStats run_intersection_batch(
+    const IntersectionSimConfig& config, bool use_compound, std::size_t n,
+    std::uint64_t base_seed, std::size_t threads) {
+  assert(n > 0);
+  std::vector<IntersectionSimResult> results(n);
+  util::parallel_for(
+      n,
+      [&](std::size_t i) {
+        results[i] = run_intersection_simulation(config, use_compound,
+                                                 base_seed + i);
+      },
+      threads);
+
+  IntersectionBatchStats stats;
+  stats.n = n;
+  double eta_sum = 0.0;
+  double reach_sum = 0.0;
+  for (const auto& r : results) {
+    eta_sum += r.eta;
+    if (!r.collided) ++stats.safe_count;
+    if (r.reached) {
+      ++stats.reached_count;
+      reach_sum += r.reach_time;
+    }
+    stats.total_steps += r.steps;
+    stats.emergency_steps += r.emergency_steps;
+  }
+  stats.mean_eta = eta_sum / static_cast<double>(n);
+  stats.mean_reach_time =
+      stats.reached_count
+          ? reach_sum / static_cast<double>(stats.reached_count)
+          : 0.0;
+  return stats;
+}
+
+}  // namespace cvsafe::eval

@@ -1,0 +1,165 @@
+#include "cvsafe/eval/lane_change_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "cvsafe/core/compound_planner.hpp"
+#include "cvsafe/core/evaluation.hpp"
+#include "cvsafe/filter/info_filter.hpp"
+#include "cvsafe/util/thread_pool.hpp"
+#include "cvsafe/vehicle/dynamics.hpp"
+
+namespace cvsafe::eval {
+
+using scenario::LaneChangeWorld;
+
+std::shared_ptr<const scenario::LaneChangeScenario>
+LaneChangeSimConfig::make_scenario() const {
+  return std::make_shared<const scenario::LaneChangeScenario>(
+      geometry, ego_limits, c1_limits, dt_c);
+}
+
+namespace {
+
+/// A merge planner that simply tracks its cruise speed — oblivious to the
+/// leading vehicle. Unsafe on its own; the compound planner makes it
+/// respect the gap.
+class CruisePlanner final : public core::PlannerBase<LaneChangeWorld> {
+ public:
+  CruisePlanner(double cruise_speed, const vehicle::VehicleLimits& limits)
+      : cruise_(cruise_speed), limits_(limits) {}
+
+  double plan(const LaneChangeWorld& world) override {
+    // Proportional speed tracking, clamped by the dynamics downstream.
+    return std::clamp(2.0 * (cruise_ - world.ego.v), limits_.a_min,
+                      limits_.a_max);
+  }
+  std::string_view name() const override { return "cruise"; }
+
+ private:
+  double cruise_;
+  vehicle::VehicleLimits limits_;
+};
+
+}  // namespace
+
+LaneChangeSimResult run_lane_change_simulation(
+    const LaneChangeSimConfig& config,
+    const LaneChangePlannerConfig& planner_cfg, std::uint64_t seed) {
+  const auto scn = config.make_scenario();
+  util::Rng rng(seed);
+
+  vehicle::DoubleIntegrator ego_dyn(config.ego_limits);
+  vehicle::DoubleIntegrator c1_dyn(config.c1_limits);
+  vehicle::VehicleState ego{config.geometry.ego_start, config.ego_v0};
+  vehicle::VehicleState c1{
+      config.geometry.merge_point +
+          rng.uniform(config.c1_gap_min, config.c1_gap_max),
+      rng.uniform(config.c1_v_min, config.c1_v_max)};
+
+  const auto steps =
+      static_cast<std::size_t>(std::ceil(config.horizon / config.dt_c));
+  const auto profile = vehicle::AccelProfile::random(
+      steps, config.dt_c, c1.v, config.c1_limits, {}, rng);
+
+  sensing::Sensor sensor(config.sensor);
+  comm::Channel channel(config.comm);
+  filter::InformationFilter estimator(
+      config.c1_limits, config.sensor,
+      planner_cfg.use_info_filter ? filter::InfoFilterOptions::ultimate()
+                                  : filter::InfoFilterOptions::basic());
+
+  auto cruise = std::make_shared<CruisePlanner>(planner_cfg.cruise_speed,
+                                                config.ego_limits);
+  std::shared_ptr<core::PlannerBase<LaneChangeWorld>> planner = cruise;
+  core::CompoundPlanner<LaneChangeWorld>* compound = nullptr;
+  if (planner_cfg.use_compound) {
+    auto model = std::make_shared<scenario::LaneChangeSafetyModel>(scn);
+    auto c = std::make_shared<core::CompoundPlanner<LaneChangeWorld>>(
+        cruise, std::move(model));
+    compound = c.get();
+    planner = c;
+  }
+
+  LaneChangeSimResult result;
+  for (std::size_t step = 0; step < steps; ++step) {
+    const double t = static_cast<double>(step) * config.dt_c;
+    const double a1 = profile.at(step);
+    const vehicle::VehicleSnapshot snap{t, c1, a1};
+    channel.offer(comm::Message{1, snap}, rng);
+    for (const auto& msg : channel.collect(t)) estimator.on_message(msg);
+    if (const auto r = sensor.sense(snap, rng)) estimator.on_sensor(*r);
+
+    LaneChangeWorld world;
+    world.t = t;
+    world.ego = ego;
+    world.c1_monitor = estimator.estimate(t);
+    world.c1_nn = world.c1_monitor;
+
+    const double a0 = planner->plan(world);
+    ++result.steps;
+    if (compound != nullptr && compound->last_was_emergency()) {
+      ++result.emergency_steps;
+    }
+
+    ego = ego_dyn.step(ego, a0, config.dt_c);
+    c1 = c1_dyn.step(c1, a1, config.dt_c);
+    if (scn->violation(ego.p, c1.p)) {
+      result.violated = true;
+      break;
+    }
+    if (scn->reached_target(ego.p)) {
+      result.reached = true;
+      result.reach_time = t + config.dt_c;
+      break;
+    }
+  }
+
+  core::EpisodeOutcome outcome;
+  outcome.entered_unsafe_set = result.violated;
+  outcome.reached_target = result.reached;
+  outcome.reach_time = result.reach_time;
+  result.eta = core::eta(outcome);
+  return result;
+}
+
+LaneChangeBatchStats run_lane_change_batch(
+    const LaneChangeSimConfig& config,
+    const LaneChangePlannerConfig& planner, std::size_t n,
+    std::uint64_t base_seed, std::size_t threads) {
+  assert(n > 0);
+  std::vector<LaneChangeSimResult> results(n);
+  util::parallel_for(
+      n,
+      [&](std::size_t i) {
+        results[i] =
+            run_lane_change_simulation(config, planner, base_seed + i);
+      },
+      threads);
+
+  LaneChangeBatchStats stats;
+  stats.n = n;
+  double eta_sum = 0.0;
+  double reach_sum = 0.0;
+  for (const auto& r : results) {
+    eta_sum += r.eta;
+    if (!r.violated) ++stats.safe_count;
+    if (r.reached) {
+      ++stats.reached_count;
+      reach_sum += r.reach_time;
+    }
+    stats.total_steps += r.steps;
+    stats.emergency_steps += r.emergency_steps;
+  }
+  stats.mean_eta = eta_sum / static_cast<double>(n);
+  stats.mean_reach_time =
+      stats.reached_count
+          ? reach_sum / static_cast<double>(stats.reached_count)
+          : 0.0;
+  return stats;
+}
+
+}  // namespace cvsafe::eval

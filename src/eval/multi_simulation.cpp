@@ -1,0 +1,204 @@
+#include "cvsafe/eval/multi_simulation.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "cvsafe/core/compound_planner.hpp"
+#include "cvsafe/planners/expert.hpp"
+#include "cvsafe/planners/nn_planner.hpp"
+#include "cvsafe/util/thread_pool.hpp"
+#include "cvsafe/vehicle/dynamics.hpp"
+
+namespace cvsafe::eval {
+
+using scenario::LeftTurnMultiWorld;
+
+MultiSimResult run_multi_left_turn_simulation(const SimConfig& config,
+                                              const MultiVehicleConfig& multi,
+                                              const MultiAgentSetup& setup,
+                                              std::uint64_t seed) {
+  assert(setup.scenario != nullptr);
+  assert(multi.num_oncoming >= 1);
+  const auto& scn = *setup.scenario;
+  util::Rng rng(seed);
+
+  // ---- Oncoming platoon workload ---------------------------------------
+  const auto& wl = config.workload;
+  assert(!wl.p1_grid.empty());
+  const auto grid_idx = static_cast<std::size_t>(rng.uniform_int(
+      0, static_cast<std::int64_t>(wl.p1_grid.size()) - 1));
+  const double lead_u =
+      scenario::LeftTurnGeometry::oncoming_to_frame(wl.p1_grid[grid_idx]);
+
+  const auto total_steps =
+      static_cast<std::size_t>(std::ceil(config.horizon / config.dt_c));
+
+  struct Oncoming {
+    vehicle::VehicleState state;
+    vehicle::AccelProfile profile;
+    comm::Channel channel;
+    sensing::Sensor sensor;
+    std::unique_ptr<filter::Estimator> monitor_est;
+    std::unique_ptr<filter::Estimator> nn_est;
+  };
+  std::vector<Oncoming> cars;
+  cars.reserve(multi.num_oncoming);
+  double u = lead_u;
+  for (std::size_t i = 0; i < multi.num_oncoming; ++i) {
+    const double v0 = rng.uniform(wl.v1_init_min, wl.v1_init_max);
+    auto profile = vehicle::AccelProfile::random(
+        total_steps, config.dt_c, v0, config.c1_limits, wl.profile, rng);
+    auto monitor_est = std::make_unique<filter::InformationFilter>(
+        config.c1_limits, config.sensor, filter::InfoFilterOptions::basic());
+    std::unique_ptr<filter::Estimator> nn_est;
+    if (setup.use_info_filter) {
+      nn_est = std::make_unique<filter::InformationFilter>(
+          config.c1_limits, config.sensor,
+          filter::InfoFilterOptions::ultimate());
+    } else {
+      nn_est = std::make_unique<filter::NaiveExtrapolator>(
+          config.sensor.delta_p, config.sensor.delta_v);
+    }
+    cars.push_back(Oncoming{vehicle::VehicleState{u, v0}, std::move(profile),
+                            comm::Channel(config.comm),
+                            sensing::Sensor(config.sensor),
+                            std::move(monitor_est), std::move(nn_est)});
+    u -= multi.platoon_spacing +
+         rng.uniform(-multi.spacing_jitter, multi.spacing_jitter);
+  }
+
+  // ---- Ego control stack -------------------------------------------------
+  auto math = std::make_shared<const scenario::MultiVehicleLeftTurn>(
+      setup.scenario);
+  std::shared_ptr<core::PlannerBase<scenario::LeftTurnWorld>> single;
+  if (setup.net != nullptr) {
+    single = std::make_shared<planners::NnPlanner>(
+        setup.net, planners::InputEncoding{}, "nn");
+  } else {
+    single = std::make_shared<planners::ExpertPlanner>(
+        setup.scenario, setup.expert_params, "expert");
+  }
+  auto adapted =
+      std::make_shared<scenario::FirstConflictAdapter>(std::move(single));
+
+  std::shared_ptr<core::PlannerBase<LeftTurnMultiWorld>> planner;
+  core::CompoundPlanner<LeftTurnMultiWorld>* compound = nullptr;
+  if (setup.use_compound) {
+    auto model = std::make_shared<scenario::MultiVehicleSafetyModel>(
+        math, setup.buffers);
+    auto c = std::make_shared<core::CompoundPlanner<LeftTurnMultiWorld>>(
+        adapted, std::move(model),
+        core::CompoundOptions{setup.use_aggressive});
+    compound = c.get();
+    planner = std::move(c);
+  } else {
+    planner = adapted;
+  }
+
+  // ---- Closed loop ---------------------------------------------------------
+  vehicle::DoubleIntegrator ego_dyn(config.ego_limits);
+  vehicle::DoubleIntegrator c1_dyn(config.c1_limits);
+  vehicle::VehicleState ego{config.geometry.ego_start, config.ego_v0};
+
+  MultiSimResult result;
+  for (std::size_t step = 0; step < total_steps; ++step) {
+    const double t = static_cast<double>(step) * config.dt_c;
+
+    LeftTurnMultiWorld world;
+    world.t = t;
+    world.ego = ego;
+    world.oncoming_monitor.reserve(cars.size());
+    world.oncoming_nn.reserve(cars.size());
+    for (std::size_t i = 0; i < cars.size(); ++i) {
+      auto& car = cars[i];
+      const double a1 = car.profile.at(step);
+      const vehicle::VehicleSnapshot snap{t, car.state, a1};
+      car.channel.offer(
+          comm::Message{static_cast<std::uint32_t>(i + 1), snap}, rng);
+      for (const auto& msg : car.channel.collect(t)) {
+        car.monitor_est->on_message(msg);
+        car.nn_est->on_message(msg);
+      }
+      if (const auto reading = car.sensor.sense(snap, rng)) {
+        car.monitor_est->on_sensor(*reading);
+        car.nn_est->on_sensor(*reading);
+      }
+      world.oncoming_monitor.push_back(car.monitor_est->estimate(t));
+      world.oncoming_nn.push_back(car.nn_est->estimate(t));
+    }
+    world.tau_monitor = math->conservative_windows(world.oncoming_monitor);
+    world.tau_nn = setup.use_info_filter
+                       ? math->conservative_windows(world.oncoming_nn)
+                       : math->conservative_windows(world.oncoming_nn);
+
+    const double a0 = planner->plan(world);
+    ++result.steps;
+    if (compound != nullptr && compound->last_was_emergency()) {
+      ++result.emergency_steps;
+    }
+
+    ego = ego_dyn.step(ego, a0, config.dt_c);
+    bool collided = false;
+    for (std::size_t i = 0; i < cars.size(); ++i) {
+      cars[i].state =
+          c1_dyn.step(cars[i].state, cars[i].profile.at(step), config.dt_c);
+      if (scn.collision(ego.p, cars[i].state.p)) collided = true;
+    }
+    if (collided) {
+      result.collided = true;
+      break;
+    }
+    if (scn.ego_reached_target(ego.p)) {
+      result.reached = true;
+      result.reach_time = t + config.dt_c;
+      break;
+    }
+  }
+
+  core::EpisodeOutcome outcome;
+  outcome.entered_unsafe_set = result.collided;
+  outcome.reached_target = result.reached;
+  outcome.reach_time = result.reach_time;
+  result.eta = core::eta(outcome);
+  return result;
+}
+
+MultiBatchStats run_multi_batch(const SimConfig& config,
+                                const MultiVehicleConfig& multi,
+                                const MultiAgentSetup& setup, std::size_t n,
+                                std::uint64_t base_seed,
+                                std::size_t threads) {
+  assert(n > 0);
+  std::vector<MultiSimResult> results(n);
+  util::parallel_for(
+      n,
+      [&](std::size_t i) {
+        results[i] = run_multi_left_turn_simulation(config, multi, setup,
+                                                    base_seed + i);
+      },
+      threads);
+
+  MultiBatchStats stats;
+  stats.n = n;
+  double eta_sum = 0.0;
+  double reach_sum = 0.0;
+  for (const auto& r : results) {
+    eta_sum += r.eta;
+    if (!r.collided) ++stats.safe_count;
+    if (r.reached) {
+      ++stats.reached_count;
+      reach_sum += r.reach_time;
+    }
+    stats.total_steps += r.steps;
+    stats.emergency_steps += r.emergency_steps;
+  }
+  stats.mean_eta = eta_sum / static_cast<double>(n);
+  stats.mean_reach_time =
+      stats.reached_count
+          ? reach_sum / static_cast<double>(stats.reached_count)
+          : 0.0;
+  return stats;
+}
+
+}  // namespace cvsafe::eval

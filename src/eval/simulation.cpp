@@ -1,0 +1,124 @@
+#include "cvsafe/eval/simulation.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "cvsafe/vehicle/dynamics.hpp"
+
+namespace cvsafe::eval {
+
+std::vector<double> WorkloadParams::paper_p1_grid() {
+  std::vector<double> grid;
+  grid.reserve(20);
+  for (int j = 0; j < 20; ++j) grid.push_back(50.5 + 0.5 * j);
+  return grid;
+}
+
+SimConfig SimConfig::paper_defaults() {
+  SimConfig c;
+  c.workload.p1_grid = WorkloadParams::paper_p1_grid();
+  return c;
+}
+
+std::shared_ptr<const scenario::LeftTurnScenario> SimConfig::make_scenario()
+    const {
+  return std::make_shared<const scenario::LeftTurnScenario>(
+      geometry, ego_limits, c1_limits, dt_c);
+}
+
+std::unique_ptr<LeftTurnAgent> AgentBlueprint::make() const {
+  if (!ensemble.empty()) {
+    return std::make_unique<LeftTurnAgent>(scenario, ensemble, sensor,
+                                           config);
+  }
+  return std::make_unique<LeftTurnAgent>(scenario, net, sensor, config);
+}
+
+SimResult run_left_turn_simulation(const SimConfig& config,
+                                   const AgentBlueprint& blueprint,
+                                   std::uint64_t seed, SimTrace* trace) {
+  assert(blueprint.scenario != nullptr);
+  const auto& scn = *blueprint.scenario;
+  util::Rng rng(seed);
+
+  // ---- Workload --------------------------------------------------------
+  const auto& wl = config.workload;
+  assert(!wl.p1_grid.empty());
+  const auto grid_idx = static_cast<std::size_t>(rng.uniform_int(
+      0, static_cast<std::int64_t>(wl.p1_grid.size()) - 1));
+  const double u1_start =
+      scenario::LeftTurnGeometry::oncoming_to_frame(wl.p1_grid[grid_idx]);
+  const double v1_start = rng.uniform(wl.v1_init_min, wl.v1_init_max);
+
+  const auto total_steps =
+      static_cast<std::size_t>(std::ceil(config.horizon / config.dt_c));
+  const vehicle::AccelProfile profile = vehicle::AccelProfile::random(
+      total_steps, config.dt_c, v1_start, config.c1_limits, wl.profile, rng);
+
+  // ---- Actors ----------------------------------------------------------
+  vehicle::DoubleIntegrator ego_dyn(config.ego_limits);
+  vehicle::DoubleIntegrator c1_dyn(config.c1_limits);
+  vehicle::VehicleState ego{config.geometry.ego_start, config.ego_v0};
+  vehicle::VehicleState c1{u1_start, v1_start};
+
+  comm::Channel channel(config.comm);
+  sensing::Sensor sensor(config.sensor);
+  auto agent = blueprint.make();
+
+  SimResult result;
+  for (std::size_t step = 0; step < total_steps; ++step) {
+    const double t = static_cast<double>(step) * config.dt_c;
+    const double a1 = profile.at(step);
+
+    // 1. Oncoming vehicle broadcasts; ego receives due messages & senses.
+    const vehicle::VehicleSnapshot c1_snapshot{t, c1, a1};
+    channel.offer(comm::Message{1, c1_snapshot}, rng);
+    for (const auto& msg : channel.collect(t)) agent->observe_message(msg);
+    if (const auto reading = sensor.sense(c1_snapshot, rng)) {
+      agent->observe_sensor(*reading);
+    }
+
+    // 2. Ego plans.
+    const double a0 = agent->act(t, ego);
+    ++result.steps;
+    if (agent->last_was_emergency()) ++result.emergency_steps;
+
+    if (trace != nullptr) {
+      trace->ego.push(vehicle::VehicleSnapshot{t, ego, a0});
+      trace->c1.push(c1_snapshot);
+      trace->accel_commands.push_back(a0);
+      trace->emergency_flags.push_back(agent->last_was_emergency());
+      const auto& w = agent->last_world();
+      trace->tau1_lo.push_back(w.tau1_nn.empty() ? -1.0 : w.tau1_nn.lo);
+      trace->tau1_hi.push_back(w.tau1_nn.empty() ? -1.0 : w.tau1_nn.hi);
+    }
+
+    // 3. Both vehicles step.
+    ego = ego_dyn.step(ego, a0, config.dt_c);
+    c1 = c1_dyn.step(c1, a1, config.dt_c);
+    const double t_next = t + config.dt_c;
+
+    // 4. Outcome checks on the exact post-step state.
+    if (scn.collision(ego.p, c1.p)) {
+      result.collided = true;
+      result.steps = step + 1;
+      break;
+    }
+    if (scn.ego_reached_target(ego.p)) {
+      result.reached = true;
+      result.reach_time = t_next;
+      break;
+    }
+  }
+
+  if (trace != nullptr) trace->switches = agent->switch_events();
+
+  core::EpisodeOutcome outcome;
+  outcome.entered_unsafe_set = result.collided;
+  outcome.reached_target = result.reached;
+  outcome.reach_time = result.reach_time;
+  result.eta = core::eta(outcome);
+  return result;
+}
+
+}  // namespace cvsafe::eval

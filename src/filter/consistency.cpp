@@ -1,0 +1,35 @@
+#include "cvsafe/filter/consistency.hpp"
+
+#include <cassert>
+
+namespace cvsafe::filter {
+
+NisMonitor::NisMonitor(double alpha, double high_gate, std::size_t warmup)
+    : alpha_(alpha), high_gate_(high_gate), warmup_(warmup) {
+  assert(alpha > 0.0 && alpha <= 1.0);
+  assert(high_gate > 0.0);
+}
+
+double NisMonitor::update(const util::Vec2& y, const util::Mat2& s) {
+  assert(s.determinant() != 0.0);
+  const util::Vec2 si_y = s.inverse() * y;
+  const double nis = y.dot(si_y);
+  ++count_;
+  if (count_ == 1) {
+    mean_ = nis;
+  } else {
+    mean_ += alpha_ * (nis - mean_);
+  }
+  return nis;
+}
+
+bool NisMonitor::diverged() const {
+  return count_ >= warmup_ && mean_ > high_gate_;
+}
+
+void NisMonitor::reset() {
+  mean_ = 0.0;
+  count_ = 0;
+}
+
+}  // namespace cvsafe::filter

@@ -1,0 +1,142 @@
+#include "cvsafe/filter/info_filter.hpp"
+
+#include <algorithm>
+
+namespace cvsafe::filter {
+
+using util::Interval;
+
+InfoFilterOptions InfoFilterOptions::basic() {
+  InfoFilterOptions o;
+  o.use_message_reachability = true;
+  o.use_sensor_reachability = true;
+  o.use_kalman = false;
+  return o;
+}
+
+InfoFilterOptions InfoFilterOptions::ultimate() {
+  InfoFilterOptions o;
+  o.use_message_reachability = true;
+  o.use_sensor_reachability = true;
+  o.use_kalman = true;
+  o.kalman_message_rollback = true;
+  return o;
+}
+
+InformationFilter::InformationFilter(vehicle::VehicleLimits limits,
+                                     sensing::SensorConfig sensor,
+                                     InfoFilterOptions options)
+    : limits_(limits),
+      sensor_(sensor),
+      options_(options),
+      kalman_(KalmanConfig{sensor.period, sensor.delta_p, sensor.delta_v,
+                           sensor.delta_a, 3.0, 64}) {}
+
+void InformationFilter::fuse(const StateBounds& incoming) {
+  if (!fused_) {
+    fused_ = incoming;
+    return;
+  }
+  if (incoming.t >= fused_->t) {
+    const StateBounds prior = propagate(*fused_, incoming.t, limits_);
+    StateBounds joined{incoming.t, prior.p.intersect(incoming.p),
+                       prior.v.intersect(incoming.v)};
+    if (joined.p.empty() || joined.v.empty()) {
+      // Numerically inconsistent (should not happen with sound inputs):
+      // trust the fresher information.
+      fused_ = incoming;
+    } else {
+      fused_ = joined;
+    }
+    return;
+  }
+  // Stale information (e.g. a heavily delayed message): propagate it to
+  // the current fusion time and intersect.
+  const StateBounds aged = propagate(incoming, fused_->t, limits_);
+  StateBounds joined{fused_->t, fused_->p.intersect(aged.p),
+                     fused_->v.intersect(aged.v)};
+  if (!joined.p.empty() && !joined.v.empty()) fused_ = joined;
+}
+
+void InformationFilter::on_sensor(const sensing::SensorReading& reading) {
+  if (options_.use_sensor_reachability) {
+    fuse(StateBounds::from_measurement(reading.t, reading.p, reading.v,
+                                       sensor_.delta_p, sensor_.delta_v,
+                                       limits_));
+    last_sense_accel_ = reading.a;
+    last_sense_time_ = reading.t;
+  }
+  if (options_.use_kalman) kalman_.update(reading);
+}
+
+void InformationFilter::on_message(const comm::Message& msg) {
+  if (options_.use_message_reachability) {
+    fuse(StateBounds::exact(msg.stamp(), msg.data.state.p,
+                            msg.data.state.v));
+    if (msg.stamp() > last_msg_time_) {
+      last_msg_accel_ = msg.data.a;
+      last_msg_time_ = msg.stamp();
+    }
+  }
+  if (options_.use_kalman && options_.kalman_message_rollback) {
+    kalman_.correct_with_message(msg.stamp(), msg.data.state.p,
+                                 msg.data.state.v, msg.data.a);
+  }
+}
+
+StateEstimate InformationFilter::estimate(double t) const {
+  StateEstimate est;
+  est.t = t;
+
+  // 1. Sound set-membership bounds (recursive intersection of every past
+  //    message and reading, propagated to now).
+  Interval p_bound = Interval::everything();
+  Interval v_bound{limits_.v_min, limits_.v_max};
+  bool have_sound = false;
+  if (fused_) {
+    const StateBounds reach = propagate(*fused_, t, limits_);
+    p_bound = p_bound.intersect(reach.p);
+    v_bound = v_bound.intersect(reach.v);
+    have_sound = true;
+  }
+  if (!have_sound && !(options_.use_kalman && kalman_.initialized())) {
+    est.valid = false;
+    return est;
+  }
+
+  Interval p_joined = p_bound;
+  Interval v_joined = v_bound;
+
+  // 2. Join with the Kalman confidence interval (the paper's information
+  //    filter). If the probabilistic interval misses the sound bounds
+  //    entirely, the sound bounds win.
+  double p_hat;
+  double v_hat;
+  if (options_.use_kalman && kalman_.initialized()) {
+    const Interval pk = kalman_.position_interval(t);
+    const Interval vk = kalman_.velocity_interval(t);
+    const Interval pj = p_joined.intersect(pk);
+    const Interval vj = v_joined.intersect(vk);
+    if (!pj.empty()) p_joined = pj;
+    if (!vj.empty()) v_joined = vj;
+    const util::Vec2 x = kalman_.state_at(t);
+    p_hat = p_joined.empty() ? x.x : p_joined.clamp(x.x);
+    v_hat = v_joined.empty() ? x.y : v_joined.clamp(x.y);
+  } else {
+    p_hat = p_joined.mid();
+    v_hat = v_joined.mid();
+  }
+
+  est.p = p_joined;
+  est.v = v_joined;
+  est.p_hat = p_hat;
+  est.v_hat = v_hat;
+  // Acceleration: freshest known value (message content is exact, prefer
+  // it on ties).
+  est.a_hat = (last_msg_time_ >= last_sense_time_) ? last_msg_accel_
+                                                   : last_sense_accel_;
+  est.valid = true;
+  return est;
+}
+
+}  // namespace cvsafe::filter

@@ -1,0 +1,182 @@
+#include "cvsafe/filter/kalman.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cvsafe::filter {
+
+using util::Interval;
+using util::Mat2;
+using util::Vec2;
+
+namespace {
+
+Mat2 transition(double dt) { return Mat2{1.0, dt, 0.0, 1.0}; }
+
+Vec2 control(double dt) { return Vec2{0.5 * dt * dt, dt}; }
+
+Mat2 process_noise(double dt, double delta_a) {
+  const double var_a = delta_a * delta_a / 3.0;
+  const double dt2 = dt * dt;
+  const double dt3 = dt2 * dt;
+  const double dt4 = dt3 * dt;
+  return Mat2{0.25 * dt4, 0.5 * dt3, 0.5 * dt3, dt2} * var_a;
+}
+
+}  // namespace
+
+KalmanFilter::KalmanFilter(KalmanConfig config)
+    : config_(config),
+      f_(transition(config.dt)),
+      g_(control(config.dt)),
+      q_(process_noise(config.dt, config.delta_a)),
+      r_(Mat2::diagonal(config.delta_p * config.delta_p / 3.0,
+                        config.delta_v * config.delta_v / 3.0)) {
+  assert(config.dt > 0.0);
+}
+
+void KalmanFilter::predict(Vec2& x, Mat2& p, double dt, double a,
+                           const Mat2& q) {
+  const Mat2 f = transition(dt);
+  const Vec2 g = control(dt);
+  x = f * x + g * a;
+  p = f * p * f.transpose() + q;
+}
+
+void KalmanFilter::update(const sensing::SensorReading& reading) {
+  assert(!initialized_ || reading.t >= t_);
+  if (!initialized_) {
+    // Initialize from the first measurement with measurement covariance.
+    x_ = Vec2{reading.p, reading.v};
+    p_ = r_;
+    t_ = reading.t;
+    last_a_ = reading.a;
+    initialized_ = true;
+    history_.push_back(HistoryEntry{reading, x_, p_});
+    return;
+  }
+  // Predict from the previous measurement time to this one.
+  const double dt = reading.t - t_;
+  if (dt > 0.0) {
+    predict(x_, p_, dt, last_a_,
+            process_noise(dt, config_.delta_a) * q_scale_);
+  }
+  history_.push_back(HistoryEntry{reading, x_, p_});
+  while (history_.size() > config_.history_depth) history_.pop_front();
+  apply_update(reading);
+  t_ = reading.t;
+  last_a_ = reading.a;
+}
+
+void KalmanFilter::apply_update(const sensing::SensorReading& reading) {
+  // Kalman gain K = P (P + R)^-1 (measurement matrix H = I).
+  const Mat2 k = p_ * (p_ + r_).inverse();
+  const Vec2 z{reading.p, reading.v};
+  nis_.update(z - x_, p_ + r_);
+  if (config_.adaptive) {
+    // Inflate the process noise while the innovations are implausibly
+    // large for the claimed covariance; relax back once consistent.
+    if (nis_.diverged()) {
+      q_scale_ = std::min(q_scale_ * config_.q_scale_grow,
+                          config_.q_scale_max);
+    } else {
+      q_scale_ = 1.0 + (q_scale_ - 1.0) * config_.q_scale_decay;
+    }
+  }
+  x_ = x_ + k * (z - x_);
+  // Joseph form keeps P symmetric positive semidefinite.
+  const Mat2 ik = Mat2::identity() - k;
+  p_ = ik * p_ * ik.transpose() + k * r_ * k.transpose();
+}
+
+void KalmanFilter::correct_with_message(double t_k, double p, double v,
+                                        double a) {
+  if (!initialized_) {
+    // A message before any sensing: adopt it as an exact initialization.
+    x_ = Vec2{p, v};
+    p_ = Mat2::diagonal(1e-9, 1e-9);
+    t_ = t_k;
+    last_a_ = a;
+    initialized_ = true;
+    applied_msg_time_ = t_k;
+    return;
+  }
+  if (t_k <= applied_msg_time_) return;  // stale relative to applied message
+  applied_msg_time_ = t_k;
+  if (t_k >= t_) {
+    // Message newer than all measurements: predict forward to t_k, then
+    // adopt the exact values.
+    x_ = Vec2{p, v};
+    p_ = Mat2::diagonal(1e-9, 1e-9);
+    t_ = t_k;
+    last_a_ = a;
+    // Replay nothing; history before t_k is now superseded.
+    history_.clear();
+    nis_.reset();
+    return;
+  }
+  // Rollback: restart from the exact message state at t_k and replay every
+  // stored sensor update that happened after t_k.
+  auto it = std::find_if(history_.begin(), history_.end(),
+                         [&](const HistoryEntry& e) {
+                           return e.reading.t > t_k + 1e-9;
+                         });
+  Vec2 x{p, v};
+  Mat2 cov = Mat2::diagonal(1e-9, 1e-9);
+  double t_cur = t_k;
+  double a_cur = a;
+  for (; it != history_.end(); ++it) {
+    const auto& entry = *it;
+    const double dt = entry.reading.t - t_cur;
+    if (dt > 0.0) {
+      predict(x, cov, dt, a_cur, process_noise(dt, config_.delta_a));
+    }
+    // Re-run the measurement update with the stored reading.
+    const Mat2 k = cov * (cov + r_).inverse();
+    const Vec2 z{entry.reading.p, entry.reading.v};
+    x = x + k * (z - x);
+    const Mat2 ik = Mat2::identity() - k;
+    cov = ik * cov * ik.transpose() + k * r_ * k.transpose();
+    t_cur = entry.reading.t;
+    a_cur = entry.reading.a;
+  }
+  x_ = x;
+  p_ = cov;
+  t_ = t_cur;
+  last_a_ = a_cur;
+  // The rollback re-anchored the state on exact information; past
+  // innovations no longer describe the current filter.
+  nis_.reset();
+}
+
+Vec2 KalmanFilter::state_at(double t) const {
+  assert(initialized_);
+  const double dt = t - t_;
+  if (dt <= 0.0) return x_;
+  return transition(dt) * x_ + control(dt) * last_a_;
+}
+
+Mat2 KalmanFilter::covariance_at(double t) const {
+  assert(initialized_);
+  const double dt = t - t_;
+  if (dt <= 0.0) return p_;
+  const Mat2 f = transition(dt);
+  return f * p_ * f.transpose() + process_noise(dt, config_.delta_a);
+}
+
+Interval KalmanFilter::position_interval(double t) const {
+  const Vec2 x = state_at(t);
+  const Mat2 p = covariance_at(t);
+  const double sigma = std::sqrt(std::max(0.0, p.a));
+  return Interval::centered(x.x, config_.sigma_bound * sigma);
+}
+
+Interval KalmanFilter::velocity_interval(double t) const {
+  const Vec2 x = state_at(t);
+  const Mat2 p = covariance_at(t);
+  const double sigma = std::sqrt(std::max(0.0, p.d));
+  return Interval::centered(x.y, config_.sigma_bound * sigma);
+}
+
+}  // namespace cvsafe::filter

@@ -1,0 +1,50 @@
+#include "cvsafe/filter/naive.hpp"
+
+namespace cvsafe::filter {
+
+void NaiveExtrapolator::on_sensor(const sensing::SensorReading& reading) {
+  if (sensor_.valid && reading.t < sensor_.t) return;
+  sensor_ = Source{true, reading.t, reading.p, reading.v, reading.a};
+}
+
+void NaiveExtrapolator::on_message(const comm::Message& msg) {
+  if (message_.valid && msg.stamp() < message_.t) return;
+  message_ = Source{true, msg.stamp(), msg.data.state.p, msg.data.state.v,
+                    msg.data.a};
+}
+
+StateEstimate NaiveExtrapolator::estimate(double t) const {
+  StateEstimate est;
+  est.t = t;
+
+  // Exact message content wins over the noisy sensor while it is fresh
+  // enough; otherwise take whichever source is freshest.
+  const bool message_usable =
+      message_.valid && (t - message_.t) <= max_message_age_;
+  const Source* src = nullptr;
+  bool from_sensor = false;
+  if (message_usable) {
+    src = &message_;
+  } else if (sensor_.valid &&
+             (!message_.valid || sensor_.t >= message_.t)) {
+    src = &sensor_;
+    from_sensor = true;
+  } else if (message_.valid) {
+    src = &message_;
+  }
+  if (src == nullptr) return est;  // invalid
+
+  const double dt = t - src->t;
+  const double p_now = src->p + src->v * (dt > 0.0 ? dt : 0.0);
+  const double dp = from_sensor ? delta_p_ : 0.0;
+  const double dv = from_sensor ? delta_v_ : 0.0;
+  est.p = util::Interval::centered(p_now, dp);
+  est.v = util::Interval::centered(src->v, dv);
+  est.p_hat = p_now;
+  est.v_hat = src->v;
+  est.a_hat = src->a;
+  est.valid = true;
+  return est;
+}
+
+}  // namespace cvsafe::filter

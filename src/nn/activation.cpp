@@ -1,0 +1,69 @@
+#include "cvsafe/nn/activation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cvsafe::nn {
+
+Matrix apply_activation(Activation act, const Matrix& z) {
+  Matrix out = z;
+  switch (act) {
+    case Activation::kIdentity:
+      break;
+    case Activation::kRelu:
+      for (auto& x : out.data()) x = x > 0.0 ? x : 0.0;
+      break;
+    case Activation::kTanh:
+      for (auto& x : out.data()) x = std::tanh(x);
+      break;
+    case Activation::kSigmoid:
+      for (auto& x : out.data()) x = 1.0 / (1.0 + std::exp(-x));
+      break;
+  }
+  return out;
+}
+
+Matrix activation_derivative(Activation act, const Matrix& z) {
+  Matrix out = z;
+  switch (act) {
+    case Activation::kIdentity:
+      for (auto& x : out.data()) x = 1.0;
+      break;
+    case Activation::kRelu:
+      for (auto& x : out.data()) x = x > 0.0 ? 1.0 : 0.0;
+      break;
+    case Activation::kTanh:
+      for (auto& x : out.data()) {
+        const double t = std::tanh(x);
+        x = 1.0 - t * t;
+      }
+      break;
+    case Activation::kSigmoid:
+      for (auto& x : out.data()) {
+        const double s = 1.0 / (1.0 + std::exp(-x));
+        x = s * (1.0 - s);
+      }
+      break;
+  }
+  return out;
+}
+
+std::string activation_name(Activation act) {
+  switch (act) {
+    case Activation::kIdentity: return "identity";
+    case Activation::kRelu: return "relu";
+    case Activation::kTanh: return "tanh";
+    case Activation::kSigmoid: return "sigmoid";
+  }
+  return "identity";
+}
+
+Activation activation_from_name(const std::string& name) {
+  if (name == "identity") return Activation::kIdentity;
+  if (name == "relu") return Activation::kRelu;
+  if (name == "tanh") return Activation::kTanh;
+  if (name == "sigmoid") return Activation::kSigmoid;
+  throw std::invalid_argument("unknown activation: " + name);
+}
+
+}  // namespace cvsafe::nn

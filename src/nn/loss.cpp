@@ -1,0 +1,47 @@
+#include "cvsafe/nn/loss.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace cvsafe::nn {
+
+double mse_loss(const Matrix& pred, const Matrix& target) {
+  assert(pred.rows() == target.rows() && pred.cols() == target.cols());
+  assert(pred.size() > 0);
+  double s = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred.data()[i] - target.data()[i];
+    s += d * d;
+  }
+  return s / static_cast<double>(pred.size());
+}
+
+Matrix mse_gradient(const Matrix& pred, const Matrix& target) {
+  assert(pred.rows() == target.rows() && pred.cols() == target.cols());
+  Matrix g = pred - target;
+  return g * (2.0 / static_cast<double>(pred.size()));
+}
+
+double huber_loss(const Matrix& pred, const Matrix& target, double delta) {
+  assert(pred.rows() == target.rows() && pred.cols() == target.cols());
+  assert(delta > 0.0);
+  double s = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = std::abs(pred.data()[i] - target.data()[i]);
+    s += d <= delta ? 0.5 * d * d : delta * (d - 0.5 * delta);
+  }
+  return s / static_cast<double>(pred.size());
+}
+
+Matrix huber_gradient(const Matrix& pred, const Matrix& target, double delta) {
+  assert(pred.rows() == target.rows() && pred.cols() == target.cols());
+  Matrix g = pred;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const double d = pred.data()[i] - target.data()[i];
+    const double gi = std::abs(d) <= delta ? d : std::copysign(delta, d);
+    g.data()[i] = gi / static_cast<double>(pred.size());
+  }
+  return g;
+}
+
+}  // namespace cvsafe::nn

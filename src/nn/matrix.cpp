@@ -1,0 +1,147 @@
+#include "cvsafe/nn/matrix.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <ostream>
+
+namespace cvsafe::nn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<double> values)
+    : rows_(rows), cols_(cols), data_(std::move(values)) {
+  assert(data_.size() == rows_ * cols_);
+}
+
+Matrix Matrix::row_vector(const std::vector<double>& values) {
+  return Matrix(1, values.size(), values);
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::glorot(std::size_t rows, std::size_t cols, util::Rng& rng) {
+  Matrix m(rows, cols);
+  const double limit =
+      std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (auto& x : m.data_) x = rng.uniform(-limit, limit);
+  return m;
+}
+
+Matrix Matrix::matmul(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      const double* brow = &other.data_[k * other.cols_];
+      double* orow = &out.data_[i * other.cols_];
+      for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::matmul_transposed(const Matrix& other) const {
+  assert(cols_ == other.cols_);
+  Matrix out(rows_, other.rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* arow = &data_[i * cols_];
+    for (std::size_t j = 0; j < other.rows_; ++j) {
+      const double* brow = &other.data_[j * other.cols_];
+      double s = 0.0;
+      for (std::size_t k = 0; k < cols_; ++k) s += arow[k] * brow[k];
+      out(i, j) = s;
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed_matmul(const Matrix& other) const {
+  assert(rows_ == other.rows_);
+  Matrix out(cols_, other.cols_);
+  for (std::size_t k = 0; k < rows_; ++k) {
+    const double* arow = &data_[k * cols_];
+    const double* brow = &other.data_[k * other.cols_];
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const double a = arow[i];
+      if (a == 0.0) continue;
+      double* orow = &out.data_[i * other.cols_];
+      for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator*(double s) const {
+  Matrix out = *this;
+  for (auto& x : out.data_) x *= s;
+  return out;
+}
+
+void Matrix::add_row_broadcast(const Matrix& row) {
+  assert(row.rows_ == 1 && row.cols_ == cols_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) (*this)(i, j) += row(0, j);
+}
+
+Matrix Matrix::column_sums() const {
+  Matrix out(1, cols_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) out(0, j) += (*this)(i, j);
+  return out;
+}
+
+Matrix Matrix::hadamard(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] *= other.data_[i];
+  return out;
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (double x : data_) m = std::max(m, std::abs(x));
+  return m;
+}
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m) {
+  os << "Matrix(" << m.rows() << 'x' << m.cols() << ")[";
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    if (i) os << "; ";
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      if (j) os << ' ';
+      os << m(i, j);
+    }
+  }
+  return os << ']';
+}
+
+}  // namespace cvsafe::nn

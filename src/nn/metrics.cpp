@@ -1,0 +1,46 @@
+#include "cvsafe/nn/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cvsafe::nn {
+
+double mean_absolute_error(const Matrix& pred, const Matrix& target) {
+  assert(pred.rows() == target.rows() && pred.cols() == target.cols());
+  assert(pred.size() > 0);
+  double s = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    s += std::abs(pred.data()[i] - target.data()[i]);
+  }
+  return s / static_cast<double>(pred.size());
+}
+
+double r_squared(const Matrix& pred, const Matrix& target) {
+  assert(pred.rows() == target.rows() && pred.cols() == target.cols());
+  assert(pred.size() > 0);
+  double mean = 0.0;
+  for (double y : target.data()) mean += y;
+  mean /= static_cast<double>(target.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double r = target.data()[i] - pred.data()[i];
+    const double t = target.data()[i] - mean;
+    ss_res += r * r;
+    ss_tot += t * t;
+  }
+  if (ss_tot <= 1e-24) return ss_res <= 1e-24 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double max_absolute_error(const Matrix& pred, const Matrix& target) {
+  assert(pred.rows() == target.rows() && pred.cols() == target.cols());
+  double m = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    m = std::max(m, std::abs(pred.data()[i] - target.data()[i]));
+  }
+  return m;
+}
+
+}  // namespace cvsafe::nn

@@ -1,0 +1,55 @@
+#include "cvsafe/nn/mlp.hpp"
+
+#include <cassert>
+
+namespace cvsafe::nn {
+
+Mlp::Mlp(const MlpSpec& spec, util::Rng& rng) {
+  assert(spec.layer_sizes.size() >= 2);
+  layers_.reserve(spec.layer_sizes.size() - 1);
+  for (std::size_t i = 0; i + 1 < spec.layer_sizes.size(); ++i) {
+    const bool last = (i + 2 == spec.layer_sizes.size());
+    layers_.emplace_back(
+        spec.layer_sizes[i], spec.layer_sizes[i + 1],
+        last ? spec.output_activation : spec.hidden_activation, rng);
+  }
+}
+
+Mlp::Mlp(std::vector<DenseLayer> layers) : layers_(std::move(layers)) {
+  assert(!layers_.empty());
+}
+
+Matrix Mlp::forward(const Matrix& x) {
+  Matrix h = x;
+  for (auto& layer : layers_) h = layer.forward(h);
+  return h;
+}
+
+Matrix Mlp::infer(const Matrix& x) const {
+  Matrix h = x;
+  for (const auto& layer : layers_) h = layer.infer(h);
+  return h;
+}
+
+std::vector<double> Mlp::predict(const std::vector<double>& x) const {
+  assert(x.size() == input_dim());
+  const Matrix y = infer(Matrix::row_vector(x));
+  return y.data();
+}
+
+void Mlp::backward(const Matrix& grad_out) {
+  Matrix g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = it->backward(g);
+  }
+}
+
+std::size_t Mlp::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) {
+    n += layer.weights().size() + layer.bias().size();
+  }
+  return n;
+}
+
+}  // namespace cvsafe::nn

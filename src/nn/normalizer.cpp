@@ -1,0 +1,101 @@
+#include "cvsafe/nn/normalizer.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace cvsafe::nn {
+
+Standardizer Standardizer::fit(const Matrix& data) {
+  assert(data.rows() > 0);
+  Standardizer s;
+  const std::size_t n = data.rows();
+  const std::size_t c = data.cols();
+  s.mean_.assign(c, 0.0);
+  s.std_.assign(c, 0.0);
+  for (std::size_t j = 0; j < c; ++j) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) sum += data(i, j);
+    s.mean_[j] = sum / static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = data(i, j) - s.mean_[j];
+      var += d * d;
+    }
+    var /= static_cast<double>(n);
+    s.std_[j] = var > 1e-24 ? std::sqrt(var) : 1.0;
+  }
+  return s;
+}
+
+Standardizer Standardizer::identity(std::size_t columns) {
+  Standardizer s;
+  s.mean_.assign(columns, 0.0);
+  s.std_.assign(columns, 1.0);
+  return s;
+}
+
+Matrix Standardizer::transform(const Matrix& data) const {
+  assert(data.cols() == columns());
+  Matrix out = data;
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    for (std::size_t j = 0; j < out.cols(); ++j) {
+      out(i, j) = (out(i, j) - mean_[j]) / std_[j];
+    }
+  }
+  return out;
+}
+
+Matrix Standardizer::inverse(const Matrix& data) const {
+  assert(data.cols() == columns());
+  Matrix out = data;
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    for (std::size_t j = 0; j < out.cols(); ++j) {
+      out(i, j) = out(i, j) * std_[j] + mean_[j];
+    }
+  }
+  return out;
+}
+
+std::vector<double> Standardizer::transform_row(
+    const std::vector<double>& row) const {
+  assert(row.size() == columns());
+  std::vector<double> out(row.size());
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    out[j] = (row[j] - mean_[j]) / std_[j];
+  }
+  return out;
+}
+
+void Standardizer::save(std::ostream& os) const {
+  os << "cvsafe-standardizer 1\n" << columns() << '\n' << std::hexfloat;
+  for (std::size_t j = 0; j < columns(); ++j) {
+    os << mean_[j] << ' ' << std_[j] << '\n';
+  }
+}
+
+Standardizer Standardizer::load(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  std::size_t columns = 0;
+  if (!(is >> magic >> version >> columns) ||
+      magic != "cvsafe-standardizer" || version != 1) {
+    throw std::runtime_error("Standardizer::load: bad header");
+  }
+  Standardizer s;
+  s.mean_.resize(columns);
+  s.std_.resize(columns);
+  for (std::size_t j = 0; j < columns; ++j) {
+    std::string m, d;
+    if (!(is >> m >> d)) {
+      throw std::runtime_error("Standardizer::load: truncated");
+    }
+    s.mean_[j] = std::strtod(m.c_str(), nullptr);
+    s.std_[j] = std::strtod(d.c_str(), nullptr);
+  }
+  return s;
+}
+
+}  // namespace cvsafe::nn

@@ -1,0 +1,37 @@
+#include "cvsafe/nn/optimizer.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace cvsafe::nn {
+
+void Sgd::update(std::size_t key, Matrix& param, const Matrix& grad) {
+  assert(param.size() == grad.size());
+  auto& vel = velocity_[key];
+  if (vel.size() != param.size()) vel.assign(param.size(), 0.0);
+  for (std::size_t i = 0; i < param.size(); ++i) {
+    vel[i] = momentum_ * vel[i] - lr_ * grad.data()[i];
+    param.data()[i] += vel[i];
+  }
+}
+
+void Adam::update(std::size_t key, Matrix& param, const Matrix& grad) {
+  assert(param.size() == grad.size());
+  auto& mo = moments_[key];
+  if (mo.m.size() != param.size()) {
+    mo.m.assign(param.size(), 0.0);
+    mo.v.assign(param.size(), 0.0);
+  }
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < param.size(); ++i) {
+    const double g = grad.data()[i];
+    mo.m[i] = beta1_ * mo.m[i] + (1.0 - beta1_) * g;
+    mo.v[i] = beta2_ * mo.v[i] + (1.0 - beta2_) * g * g;
+    const double m_hat = mo.m[i] / bc1;
+    const double v_hat = mo.v[i] / bc2;
+    param.data()[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+  }
+}
+
+}  // namespace cvsafe::nn

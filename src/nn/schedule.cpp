@@ -1,0 +1,30 @@
+#include "cvsafe/nn/schedule.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace cvsafe::nn::schedules {
+
+Schedule constant(double lr) {
+  assert(lr > 0.0);
+  return [lr](std::size_t) { return lr; };
+}
+
+Schedule step_decay(double initial, double factor, std::size_t every) {
+  assert(initial > 0.0 && factor > 0.0 && every > 0);
+  return [=](std::size_t epoch) {
+    return initial * std::pow(factor, static_cast<double>(epoch / every));
+  };
+}
+
+Schedule cosine(double initial, std::size_t total_epochs, double floor) {
+  assert(initial > floor && total_epochs > 0);
+  return [=](std::size_t epoch) {
+    if (epoch >= total_epochs) return floor;
+    const double progress =
+        static_cast<double>(epoch) / static_cast<double>(total_epochs);
+    return floor + 0.5 * (initial - floor) * (1.0 + std::cos(M_PI * progress));
+  };
+}
+
+}  // namespace cvsafe::nn::schedules

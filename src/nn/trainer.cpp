@@ -1,0 +1,136 @@
+#include "cvsafe/nn/trainer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+#include <optional>
+
+namespace cvsafe::nn {
+
+std::pair<Dataset, Dataset> Dataset::split(double fraction) const {
+  assert(fraction >= 0.0 && fraction <= 1.0);
+  const std::size_t n = size();
+  const auto n_val = static_cast<std::size_t>(
+      static_cast<double>(n) * fraction);
+  const std::size_t n_train = n - n_val;
+  const std::size_t in = inputs.cols();
+  const std::size_t out = targets.cols();
+
+  auto take = [&](std::size_t begin, std::size_t count) {
+    Dataset d{Matrix(count, in), Matrix(count, out)};
+    for (std::size_t i = 0; i < count; ++i) {
+      for (std::size_t j = 0; j < in; ++j)
+        d.inputs(i, j) = inputs(begin + i, j);
+      for (std::size_t j = 0; j < out; ++j)
+        d.targets(i, j) = targets(begin + i, j);
+    }
+    return d;
+  };
+  return {take(0, n_train), take(n_train, n_val)};
+}
+
+namespace {
+
+Dataset gather(const Dataset& data, const std::vector<std::size_t>& idx,
+               std::size_t begin, std::size_t end) {
+  const std::size_t count = end - begin;
+  Dataset batch{Matrix(count, data.inputs.cols()),
+                Matrix(count, data.targets.cols())};
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t src = idx[begin + i];
+    for (std::size_t j = 0; j < data.inputs.cols(); ++j)
+      batch.inputs(i, j) = data.inputs(src, j);
+    for (std::size_t j = 0; j < data.targets.cols(); ++j)
+      batch.targets(i, j) = data.targets(src, j);
+  }
+  return batch;
+}
+
+}  // namespace
+
+TrainResult train(Mlp& net, const Dataset& data, Optimizer& opt,
+                  const TrainConfig& config, util::Rng& rng) {
+  assert(data.size() > 0);
+  assert(data.inputs.cols() == net.input_dim());
+  assert(data.targets.cols() == net.output_dim());
+
+  std::vector<std::size_t> idx(data.size());
+  std::iota(idx.begin(), idx.end(), 0);
+
+  TrainResult result;
+  result.epoch_losses.reserve(config.epochs);
+
+  // Early-stopping bookkeeping.
+  double best_val = std::numeric_limits<double>::infinity();
+  std::optional<Mlp> best_net;
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    if (config.lr_schedule) opt.set_learning_rate(config.lr_schedule(epoch));
+    // Fisher-Yates shuffle driven by our deterministic RNG.
+    for (std::size_t i = idx.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(idx[i - 1], idx[j]);
+    }
+
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t begin = 0; begin < data.size();
+         begin += config.batch_size) {
+      const std::size_t end = std::min(begin + config.batch_size, data.size());
+      const Dataset batch = gather(data, idx, begin, end);
+
+      const Matrix pred = net.forward(batch.inputs);
+      double loss;
+      Matrix grad;
+      if (config.huber_delta > 0.0) {
+        loss = huber_loss(pred, batch.targets, config.huber_delta);
+        grad = huber_gradient(pred, batch.targets, config.huber_delta);
+      } else {
+        loss = mse_loss(pred, batch.targets);
+        grad = mse_gradient(pred, batch.targets);
+      }
+      net.backward(grad);
+      for (std::size_t l = 0; l < net.layer_count(); ++l) {
+        auto& layer = net.mutable_layer(l);
+        opt.update(l * 2, layer.mutable_weights(), layer.weight_grad());
+        opt.update(l * 2 + 1, layer.mutable_bias(), layer.bias_grad());
+      }
+      opt.end_step();
+      epoch_loss += loss;
+      ++batches;
+    }
+    epoch_loss /= static_cast<double>(std::max<std::size_t>(1, batches));
+    result.epoch_losses.push_back(epoch_loss);
+    if (config.on_epoch) config.on_epoch(epoch, epoch_loss);
+
+    if (config.validation != nullptr && config.validation->size() > 0) {
+      const double val =
+          evaluate(net, *config.validation, config.huber_delta);
+      result.val_losses.push_back(val);
+      if (val < best_val) {
+        best_val = val;
+        best_net = net;  // snapshot the best weights
+        result.best_epoch = epoch;
+      } else if (config.patience > 0 &&
+                 epoch - result.best_epoch >= config.patience) {
+        result.stopped_early = true;
+        break;
+      }
+    }
+  }
+  if (best_net) net = std::move(*best_net);  // restore the best epoch
+  result.final_loss =
+      result.epoch_losses.empty() ? 0.0 : result.epoch_losses.back();
+  return result;
+}
+
+double evaluate(const Mlp& net, const Dataset& data, double huber_delta) {
+  assert(data.size() > 0);
+  const Matrix pred = net.infer(data.inputs);
+  return huber_delta > 0.0 ? huber_loss(pred, data.targets, huber_delta)
+                           : mse_loss(pred, data.targets);
+}
+
+}  // namespace cvsafe::nn

@@ -1,0 +1,77 @@
+#include "cvsafe/planners/expert.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "cvsafe/util/kinematics.hpp"
+
+namespace cvsafe::planners {
+
+ExpertParams ExpertParams::conservative() {
+  ExpertParams p;
+  p.go_margin = 0.7;
+  return p;
+}
+
+ExpertParams ExpertParams::aggressive() {
+  ExpertParams p;
+  // Negative margin: commits to pass even when the ego would clear the
+  // zone *after* the earliest time the oncoming vehicle could possibly
+  // enter — a bet that C1 will not drive at its physical limits. This is
+  // the over-aggressive behavior of Fig. 1b.
+  p.go_margin = -2.8;
+  return p;
+}
+
+ExpertPolicy::ExpertPolicy(
+    std::shared_ptr<const scenario::LeftTurnScenario> scenario,
+    ExpertParams params)
+    : scenario_(std::move(scenario)), params_(params) {
+  assert(scenario_ != nullptr);
+}
+
+double ExpertPolicy::time_to_clear(double p0, double v0) const {
+  const auto& g = scenario_->geometry();
+  const auto& lim = scenario_->ego_limits();
+  const double dist = g.ego_back + params_.clearance - p0;
+  return util::time_to_travel(dist, v0, lim.a_max, lim.v_max);
+}
+
+double ExpertPolicy::act(double t, double p0, double v0,
+                         const util::Interval& tau1) const {
+  const auto& g = scenario_->geometry();
+  const auto& lim = scenario_->ego_limits();
+
+  // Past the front line: committed — clear the zone as fast as possible.
+  if (p0 > g.ego_front) return lim.a_max;
+
+  // No (remaining) conflict: the oncoming vehicle has certainly passed.
+  if (tau1.empty() || tau1.hi <= t) return lim.a_max;
+
+  // Pass ahead of C1 when the projected zone-exit beats tau_1,min by the
+  // configured margin.
+  const double t_clear = t + time_to_clear(p0, v0);
+  if (t_clear + params_.go_margin <= tau1.lo) return lim.a_max;
+
+  // Otherwise yield: glide to a stop shortly before the front line with
+  // the least braking that achieves it.
+  const double stop_target = g.ego_front - params_.stop_offset;
+  const double dist = stop_target - p0;
+  if (dist <= 0.05) {
+    return v0 > 1e-3 ? lim.a_min : 0.0;
+  }
+  if (v0 <= 1e-3) return 0.0;  // already waiting
+  return std::clamp(-(v0 * v0) / (2.0 * dist), lim.a_min, 0.0);
+}
+
+ExpertPlanner::ExpertPlanner(
+    std::shared_ptr<const scenario::LeftTurnScenario> scenario,
+    ExpertParams params, std::string name)
+    : policy_(std::move(scenario), params), name_(std::move(name)) {}
+
+double ExpertPlanner::plan(const scenario::LeftTurnWorld& world) {
+  return policy_.act(world.t, world.ego.p, world.ego.v, world.tau1_nn);
+}
+
+}  // namespace cvsafe::planners

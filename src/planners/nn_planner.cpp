@@ -1,0 +1,36 @@
+#include "cvsafe/planners/nn_planner.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cvsafe::planners {
+
+std::vector<double> InputEncoding::encode(double t, double p0, double v0,
+                                          const util::Interval& tau1) const {
+  double w_lo;
+  double w_hi;
+  if (tau1.empty() || tau1.hi <= t) {
+    w_lo = w_min;
+    w_hi = w_min;
+  } else {
+    w_lo = std::clamp(tau1.lo - t, w_min, w_max);
+    w_hi = std::clamp(tau1.hi - t, w_min, w_max);
+  }
+  return {p0 / p_scale, v0 / v_scale, w_lo / w_scale, w_hi / w_scale};
+}
+
+NnPlanner::NnPlanner(std::shared_ptr<const nn::Mlp> net,
+                     InputEncoding encoding, std::string name)
+    : net_(std::move(net)), encoding_(encoding), name_(std::move(name)) {
+  assert(net_ != nullptr);
+  assert(net_->input_dim() == InputEncoding::dim());
+  assert(net_->output_dim() == 1);
+}
+
+double NnPlanner::plan(const scenario::LeftTurnWorld& world) {
+  const auto x = encoding_.encode(world.t, world.ego.p, world.ego.v,
+                                  world.tau1_nn);
+  return net_->predict(x)[0];
+}
+
+}  // namespace cvsafe::planners

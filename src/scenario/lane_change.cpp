@@ -1,0 +1,139 @@
+#include "cvsafe/scenario/lane_change.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "cvsafe/util/kinematics.hpp"
+
+namespace cvsafe::scenario {
+
+LaneChangeScenario::LaneChangeScenario(LaneChangeGeometry geometry,
+                                       vehicle::VehicleLimits ego,
+                                       vehicle::VehicleLimits c1, double dt_c)
+    : geometry_(geometry), ego_(ego), c1_(c1), dt_c_(dt_c) {
+  assert(geometry_.valid());
+  assert(ego_.valid() && c1_.valid());
+  assert(dt_c_ > 0.0);
+}
+
+double LaneChangeScenario::worst_case_gap(
+    double p0, const filter::StateEstimate& c1) const {
+  if (!c1.valid) return -1e9;  // unknown vehicle position: assume violated
+  return c1.p.lo - p0;
+}
+
+namespace {
+
+/// Numerical pad on top of the analytic margins so discretization error
+/// can never turn a boundary-riding trajectory into a violation.
+constexpr double kSafetyPad = 0.05;
+
+/// Extra distance the ego may close on C1 before their speeds equalize,
+/// assuming the ego brakes as hard as possible while C1 could slow to its
+/// minimum speed. Added on top of p_gap this yields a gap that full
+/// braking can always sustain.
+double closing_margin(double v0, const vehicle::VehicleLimits& ego,
+                      const vehicle::VehicleLimits& c1) {
+  const double v_floor = c1.v_min;
+  if (v0 <= v_floor) return 0.0;
+  const double dv = v0 - v_floor;
+  return dv * dv / (2.0 * -ego.a_min);
+}
+
+}  // namespace
+
+bool LaneChangeScenario::in_unsafe_set(
+    double p0, const filter::StateEstimate& c1) const {
+  return merged(p0) && worst_case_gap(p0, c1) < geometry_.min_gap;
+}
+
+bool LaneChangeScenario::in_boundary_safe_set(
+    double t, double p0, double v0, const filter::StateEstimate& c1) const {
+  (void)t;
+  if (!c1.valid) {
+    // Without any information about the lane, merging is never permitted;
+    // ramp states close to the merge point are treated as boundary.
+    return !merged(p0);
+  }
+  const double required =
+      geometry_.min_gap + closing_margin(v0, ego_, c1_) + kSafetyPad;
+
+  if (merged(p0)) {
+    // One worst-case step: ego at full throttle, C1 at full brake.
+    const double p0_next =
+        p0 + util::displacement_with_speed_cap(v0, ego_.a_max, dt_c_,
+                                               ego_.v_max);
+    const double v0_next = util::speed_after(v0, ego_.a_max, dt_c_,
+                                             ego_.v_max);
+    const double p1_next =
+        c1.p.lo + util::displacement_with_speed_cap(c1.v.lo, c1_.a_min, dt_c_,
+                                                    c1_.v_min);
+    const double required_next = geometry_.min_gap +
+                                 closing_margin(v0_next, ego_, c1_) +
+                                 kSafetyPad;
+    return p1_next - p0_next < std::max(required, required_next);
+  }
+
+  // On the ramp: emergency is needed once stopping before the merge point
+  // is about to become impossible while the (worst-case) merge would
+  // violate the sustainable gap.
+  const double d_b = util::braking_distance(v0, ego_.a_min);
+  const double s = geometry_.merge_point - d_b - p0;
+  if (s < 0.0) return false;  // committed: cleared by the projection below
+                              // at the step the commitment was made
+  const double margin = (v0 * dt_c_ + 0.5 * ego_.a_max * dt_c_ * dt_c_) *
+                        (1.0 - ego_.a_max / ego_.a_min);
+  if (s >= margin) return false;
+
+  // Worst-case merge projection (Eq. 3 evaluated against the most
+  // adversarial feasible future): the ego storms in at full throttle —
+  // earliest arrival, highest arrival speed, hence largest sustainable-gap
+  // requirement — while C1 brakes as hard as possible. Any other ego
+  // profile arrives later (C1 further ahead) and slower (smaller
+  // requirement), so clearing this projection clears them all.
+  const double dist = std::max(0.0, geometry_.merge_point - p0);
+  const double t_arr = util::time_to_travel(dist, v0, ego_.a_max,
+                                            ego_.v_max);
+  if (!std::isfinite(t_arr)) return false;  // stopped on the ramp: safe
+  const double v_arr = util::speed_after(v0, ego_.a_max, t_arr, ego_.v_max);
+  const double required_arr = geometry_.min_gap +
+                              closing_margin(v_arr, ego_, c1_) + kSafetyPad;
+  const double p1_at_arrival =
+      c1.p.lo + util::displacement_with_speed_cap(c1.v.lo, c1_.a_min, t_arr,
+                                                  c1_.v_min);
+  return p1_at_arrival - geometry_.merge_point < required_arr;
+}
+
+double LaneChangeScenario::emergency_accel(double p0, double v0) const {
+  if (!merged(p0)) {
+    const double gap = geometry_.merge_point - p0;
+    if (gap <= 1e-9) return v0 <= 1e-9 ? 0.0 : ego_.a_min;
+    return std::max(ego_.a_min, -(v0 * v0) / (2.0 * gap));
+  }
+  return ego_.a_min;  // merged: open the gap as fast as possible
+}
+
+LaneChangeSafetyModel::LaneChangeSafetyModel(
+    std::shared_ptr<const LaneChangeScenario> scenario)
+    : scenario_(std::move(scenario)) {
+  assert(scenario_ != nullptr);
+}
+
+bool LaneChangeSafetyModel::in_unsafe_set(const LaneChangeWorld& world) const {
+  return scenario_->in_unsafe_set(world.ego.p, world.c1_monitor);
+}
+
+bool LaneChangeSafetyModel::in_boundary_safe_set(
+    const LaneChangeWorld& world) const {
+  return scenario_->in_boundary_safe_set(world.t, world.ego.p, world.ego.v,
+                                         world.c1_monitor);
+}
+
+double LaneChangeSafetyModel::emergency_accel(
+    const LaneChangeWorld& world) const {
+  return scenario_->emergency_accel(world.ego.p, world.ego.v);
+}
+
+}  // namespace cvsafe::scenario

@@ -1,0 +1,266 @@
+#include "cvsafe/scenario/left_turn.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "cvsafe/util/kinematics.hpp"
+
+namespace cvsafe::scenario {
+
+using util::Interval;
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kSpeedEps = 1e-9;
+}  // namespace
+
+LeftTurnScenario::LeftTurnScenario(LeftTurnGeometry geometry,
+                                   vehicle::VehicleLimits ego,
+                                   vehicle::VehicleLimits oncoming,
+                                   double dt_c)
+    : geometry_(geometry), ego_(ego), c1_(oncoming), dt_c_(dt_c) {
+  assert(geometry_.valid());
+  assert(ego_.valid() && c1_.valid());
+  assert(dt_c_ > 0.0);
+}
+
+double LeftTurnScenario::ego_braking_distance(double v0) const {
+  return util::braking_distance(v0, ego_.a_min);
+}
+
+double LeftTurnScenario::slack(double p0, double v0) const {
+  // Eq. 5.
+  if (p0 <= geometry_.ego_front) {
+    return geometry_.ego_front - ego_braking_distance(v0) - p0;
+  }
+  if (p0 <= geometry_.ego_back) {
+    return p0 - geometry_.ego_back;  // <= 0 inside the zone
+  }
+  return kInf;
+}
+
+Interval LeftTurnScenario::ego_passing_window(double t, double p0,
+                                              double v0) const {
+  // Projected passing interval at the current velocity (Section IV).
+  if (p0 > geometry_.ego_back) return Interval::empty_interval();
+  if (p0 <= geometry_.ego_front) {
+    if (v0 <= kSpeedEps) return Interval::empty_interval();  // stopped short
+    return Interval{t + (geometry_.ego_front - p0) / v0,
+                    t + (geometry_.ego_back - p0) / v0};
+  }
+  // Inside the zone: occupancy starts now; a (near-)stopped ego may stay
+  // inside indefinitely.
+  if (v0 <= kSpeedEps) return Interval{t, kInf};
+  return Interval{t, t + (geometry_.ego_back - p0) / v0};
+}
+
+double LeftTurnScenario::c1_travel_time(double dist, double v, double a,
+                                        double v_hi_cap,
+                                        double v_lo_cap) const {
+  // Accelerating runs saturate at the upper cap; decelerating runs at the
+  // lower cap (Eq. 7 branch structure, both directions).
+  const double cap = a >= 0.0 ? v_hi_cap : v_lo_cap;
+  return util::time_to_travel(dist, v, a, cap);
+}
+
+Interval LeftTurnScenario::c1_window_conservative(
+    const filter::StateEstimate& c1) const {
+  if (!c1.valid) {
+    // No information at all: C1 could be anywhere; assume the zone may be
+    // occupied from now on indefinitely (maximally conservative).
+    return Interval{c1.t, kInf};
+  }
+  // C1 certainly past the zone: no future occupancy.
+  if (c1.p.lo >= geometry_.c1_back) return Interval::empty_interval();
+
+  const double t = c1.t;
+  // Earliest entry: most advanced position bound, fastest speed bound,
+  // full acceleration (Eq. 7 with physical limits).
+  double tau_min;
+  if (c1.p.hi >= geometry_.c1_front) {
+    tau_min = t;  // may already be inside
+  } else {
+    tau_min = t + c1_travel_time(geometry_.c1_front - c1.p.hi, c1.v.hi,
+                                 c1_.a_max, c1_.v_max, c1_.v_min);
+  }
+  // Latest exit: least advanced position bound, slowest speed bound, full
+  // braking (tau_1,max analog of Eq. 7).
+  const double tau_max =
+      t + c1_travel_time(geometry_.c1_back - c1.p.lo, c1.v.lo, c1_.a_min,
+                         c1_.v_max, c1_.v_min);
+  if (tau_max < tau_min) return Interval::empty_interval();
+  return Interval{tau_min, tau_max};
+}
+
+Interval LeftTurnScenario::c1_window_aggressive(
+    const filter::StateEstimate& c1, const AggressiveBuffers& buffers) const {
+  if (!c1.valid) return Interval{c1.t, kInf};
+  const double t = c1.t;
+  // Eq. 8 evaluated on the estimate's interval bounds: the earliest entry
+  // uses the most advanced position / fastest speed the estimate allows,
+  // the latest exit the least advanced / slowest — so the quality of the
+  // information (sensor noise, message staleness) directly shapes the
+  // window the NN planner sees. With a point estimate this reduces to the
+  // paper's formula verbatim.
+  const Interval pb = c1.p.empty() ? Interval::point(c1.p_hat) : c1.p;
+  const Interval vb_raw = c1.v.empty() ? Interval::point(c1.v_hat) : c1.v;
+  const Interval vb{std::clamp(vb_raw.lo, c1_.v_min, c1_.v_max),
+                    std::clamp(vb_raw.hi, c1_.v_min, c1_.v_max)};
+  const double a_hat = std::clamp(c1.a_hat, c1_.a_min, c1_.a_max);
+
+  if (pb.lo >= geometry_.c1_back) return Interval::empty_interval();
+
+  // Replace the physical extremes with buffered current values.
+  const double a_up = std::min(a_hat + buffers.a_buf, c1_.a_max);
+  const double v_up = std::min(vb.hi + buffers.v_buf, c1_.v_max);
+  const double a_dn = std::max(a_hat - buffers.a_buf, c1_.a_min);
+  const double v_dn = std::max(vb.lo - buffers.v_buf, c1_.v_min);
+
+  double tau_min;
+  if (pb.hi >= geometry_.c1_front) {
+    tau_min = t;
+  } else {
+    tau_min = t + c1_travel_time(geometry_.c1_front - pb.hi, vb.hi, a_up,
+                                 v_up, v_dn);
+  }
+  const double tau_max = t + c1_travel_time(geometry_.c1_back - pb.lo, vb.lo,
+                                            a_dn, v_up, v_dn);
+  if (tau_max < tau_min) return Interval::empty_interval();
+  return Interval{tau_min, tau_max};
+}
+
+bool LeftTurnScenario::in_unsafe_set(double t, double p0, double v0,
+                                     const Interval& tau1) const {
+  // Eq. 6: negative slack and intersecting passing windows.
+  if (slack(p0, v0) >= 0.0) return false;
+  return ego_passing_window(t, p0, v0).intersects(tau1);
+}
+
+bool LeftTurnScenario::resolvable(double t, double p0, double v0,
+                                  const Interval& tau1) const {
+  if (tau1.empty() || tau1.hi <= t) return true;  // conflict gone
+  if (p0 > geometry_.ego_back) return true;       // already past the zone
+
+  // (i) Pass ahead: full-throttle zone exit before C1 can possibly enter.
+  const double exit_ft =
+      t + util::time_to_travel(geometry_.ego_back - p0 + 1e-3, v0,
+                               ego_.a_max, ego_.v_max);
+  if (exit_ft <= tau1.lo) return true;
+
+  if (p0 >= geometry_.ego_front) return false;  // inside: cannot delay
+
+  // (ii) Delay behind: under full braking the ego either stops short of
+  // the front line or reaches it only after C1 has certainly cleared.
+  const double entry_mb = t + util::time_to_travel(
+                                  geometry_.ego_front - p0, v0, ego_.a_min,
+                                  std::max(ego_.v_min, 0.0));
+  return entry_mb >= tau1.hi;
+}
+
+bool LeftTurnScenario::in_boundary_safe_set(double t, double p0, double v0,
+                                            const Interval& tau1) const {
+  if (tau1.empty()) return false;
+
+  // One feasible control step from (p0, v0), saturating at the speed
+  // limits, used by the committed / in-band preimage sampling below.
+  const auto step_to = [&](double a, double& p_next, double& v_next) {
+    const double cap = a >= 0.0 ? ego_.v_max : ego_.v_min;
+    p_next = p0 + util::displacement_with_speed_cap(v0, a, dt_c_, cap);
+    v_next = ego_.clamp_speed(util::speed_after(v0, a, dt_c_, cap));
+  };
+  constexpr int kAccelSamples = 33;
+  const auto any_step_unresolvable = [&](bool require_commit) {
+    for (int i = 0; i < kAccelSamples; ++i) {
+      const double a = ego_.a_min + (ego_.a_max - ego_.a_min) * i /
+                                        (kAccelSamples - 1);
+      double p_next;
+      double v_next;
+      step_to(a, p_next, v_next);
+      if (require_commit && slack(p_next, v_next) >= 0.0) continue;
+      if (!resolvable(t + dt_c_, p_next, v_next, tau1)) return true;
+    }
+    return false;
+  };
+
+  if (p0 <= geometry_.ego_front) {
+    const double s = slack(p0, v0);
+    if (s < 0.0) {
+      // Committed (cannot stop short anymore) — completion of Eq. 3: the
+      // embedded planner must not be allowed to destroy resolvability
+      // (e.g. accelerate into C1's window after committing to pass
+      // behind it).
+      return any_step_unresolvable(/*require_commit=*/false);
+    }
+    // Paper's closed form: the minimum possible next-step slack is
+    //   s(t) - (v0 dtc + a_max dtc^2 / 2)(1 - a_max / a_min),
+    // so the state is one step from a negative slack iff s(t) is below
+    // that margin (and the windows intersect).
+    const double margin = (v0 * dt_c_ + 0.5 * ego_.a_max * dt_c_ * dt_c_) *
+                          (1.0 - ego_.a_max / ego_.a_min);
+    if (s >= margin) return false;
+    if (ego_passing_window(t, p0, v0).intersects(tau1)) return true;
+    // Additionally, block commitments that would be unresolvable.
+    return any_step_unresolvable(/*require_commit=*/true);
+  }
+
+  if (p0 <= geometry_.ego_back) {
+    // Inside-zone completion of Eq. 3: braking hardest for one step could
+    // stretch the ego's occupancy into C1's window, which is one feasible
+    // control step from X_u. Check the worst-case (full-brake) projection.
+    const double v_worst = std::max(v0 + ego_.a_min * dt_c_, ego_.v_min);
+    const double p_worst =
+        p0 + std::max(0.0, v0 * dt_c_ + 0.5 * ego_.a_min * dt_c_ * dt_c_);
+    const Interval tau0_worst =
+        ego_passing_window(t + dt_c_, std::min(p_worst, geometry_.ego_back),
+                           v_worst);
+    return tau0_worst.intersects(tau1);
+  }
+
+  return false;  // past the zone: permanently safe
+}
+
+double LeftTurnScenario::emergency_accel(double t, double p0, double v0,
+                                         const Interval& tau1) const {
+  if (p0 > geometry_.ego_front) return ego_.a_max;  // escape the zone
+
+  const double s = slack(p0, v0);
+  if (s >= 0.0) {
+    // Section IV: least braking that stops before the front line.
+    const double gap = geometry_.ego_front - p0;
+    if (gap <= 1e-9) {
+      // Numerically at the line: hold (v is ~0 here whenever kappa_e has
+      // been engaged in time).
+      return v0 <= kSpeedEps ? 0.0 : ego_.a_min;
+    }
+    return std::max(ego_.a_min, -(v0 * v0) / (2.0 * gap));
+  }
+
+  // Committed: apply the resolving strategy. Passing ahead (full-throttle
+  // exit beats C1's earliest entry) keeps accelerating; otherwise delay
+  // behind C1 with full braking.
+  const double exit_ft =
+      t + util::time_to_travel(geometry_.ego_back - p0 + 1e-3, v0,
+                               ego_.a_max, ego_.v_max);
+  if (!tau1.empty() && tau1.hi > t && exit_ft > tau1.lo) return ego_.a_min;
+  return ego_.a_max;
+}
+
+bool LeftTurnScenario::ego_in_zone(double p0) const {
+  return p0 > geometry_.ego_front && p0 < geometry_.ego_back;
+}
+
+bool LeftTurnScenario::c1_in_zone(double u1) const {
+  return u1 > geometry_.c1_front && u1 < geometry_.c1_back;
+}
+
+bool LeftTurnScenario::collision(double p0, double u1) const {
+  return ego_in_zone(p0) && c1_in_zone(u1);
+}
+
+bool LeftTurnScenario::ego_reached_target(double p0) const {
+  return p0 >= geometry_.ego_target;
+}
+
+}  // namespace cvsafe::scenario

@@ -1,0 +1,45 @@
+#include "cvsafe/scenario/safety_model.hpp"
+
+#include <cassert>
+
+namespace cvsafe::scenario {
+
+LeftTurnSafetyModel::LeftTurnSafetyModel(
+    std::shared_ptr<const LeftTurnScenario> scenario,
+    AggressiveBuffers buffers)
+    : scenario_(std::move(scenario)), buffers_(buffers) {
+  assert(scenario_ != nullptr);
+}
+
+bool LeftTurnSafetyModel::in_unsafe_set(const LeftTurnWorld& world) const {
+  return scenario_->in_unsafe_set(world.t, world.ego.p, world.ego.v,
+                                  world.tau1_monitor);
+}
+
+bool LeftTurnSafetyModel::in_boundary_safe_set(
+    const LeftTurnWorld& world) const {
+  return scenario_->in_boundary_safe_set(world.t, world.ego.p, world.ego.v,
+                                         world.tau1_monitor);
+}
+
+double LeftTurnSafetyModel::emergency_accel(const LeftTurnWorld& world) const {
+  return scenario_->emergency_accel(world.t, world.ego.p, world.ego.v,
+                                    world.tau1_monitor);
+}
+
+LeftTurnWorld LeftTurnSafetyModel::shrink_for_planner(
+    const LeftTurnWorld& world) const {
+  LeftTurnWorld shrunk = world;
+  shrunk.tau1_nn = scenario_->c1_window_aggressive(world.c1_nn, buffers_);
+  return shrunk;
+}
+
+std::string LeftTurnSafetyModel::boundary_reason(
+    const LeftTurnWorld& world) const {
+  const auto& g = scenario_->geometry();
+  if (world.ego.p > g.ego_front) return "inside zone";
+  if (scenario_->slack(world.ego.p, world.ego.v) < 0.0) return "committed";
+  return "slack band";
+}
+
+}  // namespace cvsafe::scenario

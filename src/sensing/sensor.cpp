@@ -1,0 +1,24 @@
+#include "cvsafe/sensing/sensor.hpp"
+
+namespace cvsafe::sensing {
+namespace {
+constexpr double kTimeEps = 1e-9;
+}
+
+SensorConfig SensorConfig::uniform(double delta, double period) {
+  return SensorConfig{period, delta, delta, delta};
+}
+
+std::optional<SensorReading> Sensor::sense(
+    const vehicle::VehicleSnapshot& truth, util::Rng& rng) {
+  if (truth.t + kTimeEps < next_sense_time_) return std::nullopt;
+  next_sense_time_ += config_.period;
+  SensorReading r;
+  r.t = truth.t;
+  r.p = truth.state.p + rng.uniform(-config_.delta_p, config_.delta_p);
+  r.v = truth.state.v + rng.uniform(-config_.delta_v, config_.delta_v);
+  r.a = truth.a + rng.uniform(-config_.delta_a, config_.delta_a);
+  return r;
+}
+
+}  // namespace cvsafe::sensing

@@ -1,0 +1,41 @@
+#include "cvsafe/util/config.hpp"
+
+#include <cstdlib>
+
+namespace cvsafe::util {
+
+std::optional<std::string> env_string(const std::string& name) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  return std::string(v);
+}
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const auto s = env_string(name);
+  if (!s) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(s->c_str(), &end, 10);
+  if (end == s->c_str() || *end != '\0') return fallback;
+  return static_cast<std::int64_t>(v);
+}
+
+double env_double(const std::string& name, double fallback) {
+  const auto s = env_string(name);
+  if (!s) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(s->c_str(), &end);
+  if (end == s->c_str() || *end != '\0') return fallback;
+  return v;
+}
+
+std::size_t bench_sims(std::size_t fallback) {
+  const auto v = env_int("CVSAFE_SIMS", static_cast<std::int64_t>(fallback));
+  return v > 0 ? static_cast<std::size_t>(v) : fallback;
+}
+
+std::size_t bench_threads() {
+  const auto v = env_int("CVSAFE_THREADS", 0);
+  return v > 0 ? static_cast<std::size_t>(v) : 0;
+}
+
+}  // namespace cvsafe::util

@@ -1,0 +1,112 @@
+#include "cvsafe/util/config_file.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cvsafe::util {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return {};
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+ConfigFile ConfigFile::parse(std::istream& is) {
+  ConfigFile config;
+  std::string line;
+  std::string section;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto comment = line.find('#');
+    if (comment != std::string::npos) line = line.substr(0, comment);
+    line = trim(line);
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        throw std::runtime_error("config: bad section at line " +
+                                 std::to_string(line_no));
+      }
+      section = trim(line.substr(1, line.size() - 2));
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("config: expected key=value at line " +
+                               std::to_string(line_no));
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      throw std::runtime_error("config: empty key at line " +
+                               std::to_string(line_no));
+    }
+    config.values_[section.empty() ? key : section + "." + key] = value;
+  }
+  return config;
+}
+
+ConfigFile ConfigFile::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("config: cannot open " + path);
+  return parse(in);
+}
+
+std::optional<std::string> ConfigFile::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ConfigFile::get_string(const std::string& key,
+                                   const std::string& dflt) const {
+  return get(key).value_or(dflt);
+}
+
+double ConfigFile::get_double(const std::string& key, double dflt) const {
+  const auto v = get(key);
+  if (!v) return dflt;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  if (end == v->c_str() || *end != '\0') {
+    throw std::runtime_error("config: '" + key + "' is not a number: " + *v);
+  }
+  return parsed;
+}
+
+std::int64_t ConfigFile::get_int(const std::string& key,
+                                 std::int64_t dflt) const {
+  const auto v = get(key);
+  if (!v) return dflt;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0') {
+    throw std::runtime_error("config: '" + key +
+                             "' is not an integer: " + *v);
+  }
+  return parsed;
+}
+
+bool ConfigFile::get_bool(const std::string& key, bool dflt) const {
+  const auto v = get(key);
+  if (!v) return dflt;
+  std::string lower = *v;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "1" || lower == "true" || lower == "yes" || lower == "on") {
+    return true;
+  }
+  if (lower == "0" || lower == "false" || lower == "no" || lower == "off") {
+    return false;
+  }
+  throw std::runtime_error("config: '" + key + "' is not a boolean: " + *v);
+}
+
+}  // namespace cvsafe::util

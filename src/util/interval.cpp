@@ -1,0 +1,18 @@
+#include "cvsafe/util/interval.hpp"
+
+#include <limits>
+#include <ostream>
+
+namespace cvsafe::util {
+
+Interval Interval::everything() {
+  return Interval{-std::numeric_limits<double>::infinity(),
+                  std::numeric_limits<double>::infinity()};
+}
+
+std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+  if (iv.empty()) return os << "[empty]";
+  return os << '[' << iv.lo << ", " << iv.hi << ']';
+}
+
+}  // namespace cvsafe::util

@@ -1,0 +1,79 @@
+#include "cvsafe/util/kinematics.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace cvsafe::util {
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// True when the speed cap is already binding, i.e. accelerating toward the
+/// cap has no effect because the current speed is at or past it.
+bool cap_binding(double v, double a, double v_limit) {
+  return (a > 0.0 && v >= v_limit) || (a < 0.0 && v <= v_limit);
+}
+}  // namespace
+
+std::optional<QuadraticRoots> solve_quadratic(double a, double b, double c) {
+  if (a == 0.0) {
+    if (b == 0.0) return std::nullopt;
+    const double r = -c / b;
+    return QuadraticRoots{r, r};
+  }
+  const double disc = b * b - 4.0 * a * c;
+  if (disc < 0.0) return std::nullopt;
+  const double s = std::sqrt(disc);
+  // Numerically stable: compute the larger-magnitude root first.
+  const double q = -0.5 * (b + std::copysign(s, b));
+  double r1 = q / a;
+  double r2 = (q == 0.0) ? r1 : c / q;
+  if (r1 > r2) std::swap(r1, r2);
+  return QuadraticRoots{r1, r2};
+}
+
+double braking_distance(double v, double a_min) {
+  assert(a_min < 0.0 && "braking_distance requires a deceleration limit");
+  return -(v * v) / (2.0 * a_min);
+}
+
+double displacement_with_speed_cap(double v, double a, double dt,
+                                   double v_limit) {
+  assert(dt >= 0.0);
+  if (a == 0.0 || cap_binding(v, a, v_limit)) {
+    // Saturated (or no acceleration): pure cruise at the current speed.
+    return v * dt;
+  }
+  const double t_hit = (v_limit - v) / a;  // > 0 since the cap is not binding
+  if (t_hit >= dt) return v * dt + 0.5 * a * dt * dt;
+  const double d_accel = v * t_hit + 0.5 * a * t_hit * t_hit;
+  return d_accel + v_limit * (dt - t_hit);
+}
+
+double speed_after(double v, double a, double dt, double v_limit) {
+  assert(dt >= 0.0);
+  if (a == 0.0 || cap_binding(v, a, v_limit)) return v;
+  const double t_hit = (v_limit - v) / a;
+  return (t_hit >= dt) ? v + a * dt : v_limit;
+}
+
+double time_to_travel(double d, double v, double a, double v_limit) {
+  if (d <= 0.0) return 0.0;
+  if (a == 0.0 || cap_binding(v, a, v_limit)) {
+    return (v > 0.0) ? d / v : kInf;
+  }
+  // Distance covered while ramping from v to the cap (d_th of Eq. 7).
+  const double d_th = (v_limit * v_limit - v * v) / (2.0 * a);
+  if (d > d_th) {
+    // Must cruise at the cap for the remainder.
+    if (v_limit <= 0.0) return kInf;
+    return (v_limit - v) / a + (d - d_th) / v_limit;
+  }
+  // Reached within the ramp phase: solve 0.5 a t^2 + v t - d = 0.
+  const double disc = v * v + 2.0 * a * d;
+  if (disc < 0.0) return kInf;  // decelerates to a stop before covering d
+  const double t = (-v + std::sqrt(disc)) / a;
+  return (t >= 0.0) ? t : kInf;
+}
+
+}  // namespace cvsafe::util

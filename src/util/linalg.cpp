@@ -1,0 +1,34 @@
+#include "cvsafe/util/linalg.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <ostream>
+
+namespace cvsafe::util {
+
+Mat2 Mat2::inverse() const {
+  const double det = determinant();
+  assert(det != 0.0 && "Mat2::inverse of singular matrix");
+  const double inv = 1.0 / det;
+  return {d * inv, -b * inv, -c * inv, a * inv};
+}
+
+bool Mat2::is_symmetric(double tol) const { return std::abs(b - c) <= tol; }
+
+bool Mat2::is_positive_semidefinite(double tol) const {
+  if (!is_symmetric(std::sqrt(tol))) return false;
+  // Eigenvalues of a symmetric 2x2 are (tr +- sqrt(tr^2 - 4 det)) / 2;
+  // both are >= 0 iff trace >= 0 and determinant >= 0.
+  return trace() >= -tol && determinant() >= -tol;
+}
+
+std::ostream& operator<<(std::ostream& os, const Vec2& v) {
+  return os << '(' << v.x << ", " << v.y << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, const Mat2& m) {
+  return os << "[[" << m.a << ", " << m.b << "], [" << m.c << ", " << m.d
+            << "]]";
+}
+
+}  // namespace cvsafe::util

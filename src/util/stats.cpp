@@ -1,0 +1,111 @@
+#include "cvsafe/util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "cvsafe/util/rng.hpp"
+
+namespace cvsafe::util {
+
+RunningStats::RunningStats()
+    : min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double rmse(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size() && !a.empty());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(a.size()));
+}
+
+double quantile(std::span<const double> xs, double q) {
+  assert(!xs.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double fraction_positive(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::size_t n = 0;
+  for (double x : xs)
+    if (x > 0.0) ++n;
+  return static_cast<double>(n) / static_cast<double>(xs.size());
+}
+
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> xs,
+                                     double confidence, Rng& rng,
+                                     std::size_t resamples) {
+  assert(!xs.empty());
+  assert(confidence > 0.0 && confidence < 1.0);
+  assert(resamples >= 10);
+  const auto n = xs.size();
+  std::vector<double> means;
+  means.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += xs[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1))];
+    }
+    means.push_back(sum / static_cast<double>(n));
+  }
+  const double alpha = 1.0 - confidence;
+  ConfidenceInterval ci;
+  ci.lo = quantile(means, alpha / 2.0);
+  ci.hi = quantile(means, 1.0 - alpha / 2.0);
+  ci.point = mean(xs);
+  return ci;
+}
+
+}  // namespace cvsafe::util

@@ -1,0 +1,42 @@
+#include "cvsafe/vehicle/accel_profile.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cvsafe::vehicle {
+
+AccelProfile AccelProfile::random(std::size_t num_steps, double dt, double v0,
+                                  const VehicleLimits& limits,
+                                  const AccelProfileParams& params,
+                                  util::Rng& rng) {
+  assert(limits.valid());
+  std::vector<double> accels;
+  accels.reserve(num_steps);
+  double a = 0.0;
+  double v = v0;
+  for (std::size_t i = 0; i < num_steps; ++i) {
+    const double innovation = rng.normal(0.0, params.jerk_scale);
+    a = params.smoothing * (a - params.bias) + params.bias +
+        (1.0 - params.smoothing) * innovation * 4.0;
+    a = limits.clamp_accel(a);
+    // Clip so the integrated speed stays inside [v_min, v_max].
+    const double a_hi = (limits.v_max - v) / dt;
+    const double a_lo = (limits.v_min - v) / dt;
+    a = std::clamp(a, std::max(limits.a_min, a_lo),
+                   std::min(limits.a_max, a_hi));
+    accels.push_back(a);
+    v = limits.clamp_speed(v + a * dt);
+  }
+  return AccelProfile(std::move(accels));
+}
+
+AccelProfile AccelProfile::constant(std::size_t num_steps, double a) {
+  return AccelProfile(std::vector<double>(num_steps, a));
+}
+
+double AccelProfile::at(std::size_t i) const {
+  if (accels_.empty()) return 0.0;
+  return accels_[std::min(i, accels_.size() - 1)];
+}
+
+}  // namespace cvsafe::vehicle

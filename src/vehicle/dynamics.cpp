@@ -1,0 +1,42 @@
+#include "cvsafe/vehicle/dynamics.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "cvsafe/util/kinematics.hpp"
+
+namespace cvsafe::vehicle {
+
+double VehicleLimits::clamp_accel(double a) const {
+  return std::clamp(a, a_min, a_max);
+}
+
+double VehicleLimits::clamp_speed(double v) const {
+  return std::clamp(v, v_min, v_max);
+}
+
+bool VehicleLimits::valid() const {
+  return v_min <= v_max && a_min < 0.0 && a_max > 0.0;
+}
+
+VehicleState DoubleIntegrator::step(const VehicleState& s, double a_cmd,
+                                    double dt) const {
+  assert(dt > 0.0);
+  const double a = limits_.clamp_accel(a_cmd);
+  // Velocity saturates at the limit crossed in the direction of a.
+  const double cap = a >= 0.0 ? limits_.v_max : limits_.v_min;
+  VehicleState out;
+  out.p = s.p + util::displacement_with_speed_cap(s.v, a, dt, cap);
+  out.v = limits_.clamp_speed(util::speed_after(s.v, a, dt, cap));
+  return out;
+}
+
+VehicleState DoubleIntegrator::step_unsaturated(const VehicleState& s,
+                                                double a_cmd,
+                                                double dt) const {
+  assert(dt > 0.0);
+  const double a = limits_.clamp_accel(a_cmd);
+  return VehicleState{s.p + s.v * dt + 0.5 * a * dt * dt, s.v + a * dt};
+}
+
+}  // namespace cvsafe::vehicle

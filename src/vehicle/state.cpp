@@ -1,0 +1,16 @@
+#include "cvsafe/vehicle/state.hpp"
+
+#include <ostream>
+
+namespace cvsafe::vehicle {
+
+std::ostream& operator<<(std::ostream& os, const VehicleState& s) {
+  return os << "{p=" << s.p << ", v=" << s.v << '}';
+}
+
+std::ostream& operator<<(std::ostream& os, const VehicleSnapshot& s) {
+  return os << "{t=" << s.t << ", p=" << s.state.p << ", v=" << s.state.v
+            << ", a=" << s.a << '}';
+}
+
+}  // namespace cvsafe::vehicle

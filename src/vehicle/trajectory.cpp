@@ -1,0 +1,58 @@
+#include "cvsafe/vehicle/trajectory.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cvsafe::vehicle {
+
+void Trajectory::push(const VehicleSnapshot& s) {
+  assert(samples_.empty() || s.t >= samples_.back().t);
+  samples_.push_back(s);
+}
+
+VehicleState Trajectory::at(double t) const {
+  assert(!samples_.empty());
+  if (t <= samples_.front().t) return samples_.front().state;
+  if (t >= samples_.back().t) return samples_.back().state;
+  const auto it = std::lower_bound(
+      samples_.begin(), samples_.end(), t,
+      [](const VehicleSnapshot& s, double tt) { return s.t < tt; });
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  const double span = hi.t - lo.t;
+  if (span <= 0.0) return lo.state;
+  const double w = (t - lo.t) / span;
+  return VehicleState{lo.state.p * (1.0 - w) + hi.state.p * w,
+                      lo.state.v * (1.0 - w) + hi.state.v * w};
+}
+
+std::vector<double> Trajectory::positions() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) out.push_back(s.state.p);
+  return out;
+}
+
+std::vector<double> Trajectory::velocities() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) out.push_back(s.state.v);
+  return out;
+}
+
+double Trajectory::first_time_at_position(double p) const {
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    if (samples_[i].state.p >= p) {
+      if (i == 0) return samples_[0].t;
+      const auto& lo = samples_[i - 1];
+      const auto& hi = samples_[i];
+      const double dp = hi.state.p - lo.state.p;
+      if (dp <= 0.0) return hi.t;
+      const double w = (p - lo.state.p) / dp;
+      return lo.t + w * (hi.t - lo.t);
+    }
+  }
+  return -1.0;
+}
+
+}  // namespace cvsafe::vehicle

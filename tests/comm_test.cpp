@@ -1,0 +1,180 @@
+#include "cvsafe/comm/channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cvsafe::comm {
+namespace {
+
+Message make_msg(double t, double p = 0.0, double v = 0.0, double a = 0.0) {
+  return Message{1, vehicle::VehicleSnapshot{t, {p, v}, a}};
+}
+
+TEST(CommConfig, Presets) {
+  const auto nd = CommConfig::no_disturbance();
+  EXPECT_EQ(nd.delay, 0.0);
+  EXPECT_EQ(nd.drop_prob, 0.0);
+  EXPECT_FALSE(nd.lost);
+  EXPECT_EQ(nd.label(), "no disturbance");
+
+  const auto d = CommConfig::delayed(0.3);
+  EXPECT_EQ(d.delay, 0.25);
+  EXPECT_EQ(d.drop_prob, 0.3);
+  EXPECT_NE(d.label().find("delayed"), std::string::npos);
+
+  const auto lost = CommConfig::messages_lost();
+  EXPECT_TRUE(lost.lost);
+  EXPECT_EQ(lost.label(), "messages lost");
+}
+
+TEST(Channel, ImmediateDeliveryWithoutDisturbance) {
+  Channel ch(CommConfig::no_disturbance(0.1));
+  util::Rng rng(1);
+  ch.offer(make_msg(0.0), rng);
+  const auto got = ch.collect(0.0);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].stamp(), 0.0);
+}
+
+TEST(Channel, RespectsTransmissionPeriod) {
+  Channel ch(CommConfig::no_disturbance(0.1));
+  util::Rng rng(1);
+  // Control steps every 0.05 s; only every other step transmits.
+  for (int step = 0; step < 10; ++step) {
+    ch.offer(make_msg(step * 0.05), rng);
+  }
+  const auto got = ch.collect(1.0);
+  EXPECT_EQ(got.size(), 5u);  // t = 0, 0.1, 0.2, 0.3, 0.4
+  EXPECT_EQ(ch.sent_count(), 5u);
+}
+
+TEST(Channel, DelayPostponesDelivery) {
+  Channel ch(CommConfig::delayed(/*drop_prob=*/0.0, /*delay=*/0.25, 0.1));
+  util::Rng rng(1);
+  ch.offer(make_msg(0.0), rng);
+  EXPECT_TRUE(ch.collect(0.2).empty());
+  const auto got = ch.collect(0.25);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].stamp(), 0.0);  // payload stamp unchanged
+}
+
+TEST(Channel, LostDropsEverything) {
+  Channel ch(CommConfig::messages_lost(0.1));
+  util::Rng rng(1);
+  for (int step = 0; step < 100; ++step) {
+    ch.offer(make_msg(step * 0.1), rng);
+  }
+  EXPECT_TRUE(ch.collect(100.0).empty());
+  EXPECT_EQ(ch.dropped_count(), 100u);
+}
+
+TEST(Channel, DropProbabilityStatistics) {
+  Channel ch(CommConfig::delayed(/*drop_prob=*/0.4, /*delay=*/0.0, 0.1));
+  util::Rng rng(7);
+  const int n = 20000;
+  for (int step = 0; step < n; ++step) {
+    ch.offer(make_msg(step * 0.1), rng);
+  }
+  const auto got = ch.collect(1e9);
+  EXPECT_NEAR(static_cast<double>(got.size()) / n, 0.6, 0.02);
+  EXPECT_EQ(got.size() + ch.dropped_count(), static_cast<std::size_t>(n));
+}
+
+TEST(Channel, DeliveryOrderIsByDeliveryTime) {
+  Channel ch(CommConfig::delayed(0.0, 0.25, 0.1));
+  util::Rng rng(1);
+  ch.offer(make_msg(0.0), rng);
+  ch.offer(make_msg(0.1), rng);
+  ch.offer(make_msg(0.2), rng);
+  const auto got = ch.collect(1.0);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_LT(got[0].stamp(), got[1].stamp());
+  EXPECT_LT(got[1].stamp(), got[2].stamp());
+}
+
+TEST(Channel, CollectIsDestructive) {
+  Channel ch(CommConfig::no_disturbance(0.1));
+  util::Rng rng(1);
+  ch.offer(make_msg(0.0), rng);
+  EXPECT_EQ(ch.collect(0.0).size(), 1u);
+  EXPECT_TRUE(ch.collect(0.0).empty());
+  EXPECT_EQ(ch.in_flight(), 0u);
+}
+
+TEST(Channel, DeterministicGivenSeed) {
+  for (int run = 0; run < 2; ++run) {
+    Channel ch(CommConfig::delayed(0.5, 0.25, 0.1));
+    util::Rng rng(42);
+    std::size_t delivered = 0;
+    for (int step = 0; step < 100; ++step) {
+      ch.offer(make_msg(step * 0.1), rng);
+      delivered += ch.collect(step * 0.1).size();
+    }
+    static std::size_t first_run = 0;
+    if (run == 0) {
+      first_run = delivered;
+    } else {
+      EXPECT_EQ(delivered, first_run);
+    }
+  }
+}
+
+TEST(CommConfig, BurstyStationaryDropProbability) {
+  const auto c = CommConfig::bursty(/*bad_fraction=*/0.25,
+                                    /*mean_burst_len=*/5.0);
+  EXPECT_TRUE(c.burst);
+  EXPECT_NEAR(c.stationary_drop_prob(), 0.25, 1e-9);
+  EXPECT_NEAR(c.p_bad_to_good, 0.2, 1e-12);
+  EXPECT_NE(c.label().find("bursty"), std::string::npos);
+  // Non-burst config reports its plain drop probability.
+  EXPECT_EQ(CommConfig::delayed(0.3).stationary_drop_prob(), 0.3);
+  EXPECT_EQ(CommConfig::messages_lost().stationary_drop_prob(), 1.0);
+}
+
+TEST(Channel, BurstyLossMatchesStationaryRate) {
+  Channel ch(CommConfig::bursty(0.3, 4.0, 0.0, 0.1));
+  util::Rng rng(11);
+  const int n = 40000;
+  for (int step = 0; step < n; ++step) {
+    ch.offer(make_msg(step * 0.1), rng);
+  }
+  const double delivered =
+      static_cast<double>(ch.collect(1e9).size()) / n;
+  EXPECT_NEAR(delivered, 0.7, 0.02);
+}
+
+TEST(Channel, BurstyLossesAreClustered) {
+  // Compare the number of loss "runs": for the same stationary drop rate,
+  // the bursty channel produces far fewer (longer) runs than i.i.d.
+  auto loss_runs = [](const CommConfig& cfg, std::uint64_t seed) {
+    Channel ch(cfg);
+    util::Rng rng(seed);
+    const int n = 20000;
+    int runs = 0;
+    bool prev_lost = false;
+    std::size_t delivered_before = 0;
+    for (int step = 0; step < n; ++step) {
+      ch.offer(make_msg(step * 0.1), rng);
+      const std::size_t delivered = delivered_before;
+      const std::size_t now = ch.sent_count() - ch.dropped_count();
+      const bool lost = (now == delivered);
+      delivered_before = now;
+      if (lost && !prev_lost) ++runs;
+      prev_lost = lost;
+    }
+    return runs;
+  };
+  const int runs_iid = loss_runs(CommConfig::delayed(0.3, 0.0, 0.1), 5);
+  const int runs_burst = loss_runs(CommConfig::bursty(0.3, 6.0, 0.0, 0.1), 5);
+  EXPECT_LT(runs_burst, runs_iid / 2);
+}
+
+TEST(Channel, NonTransmissionStepsIgnored) {
+  Channel ch(CommConfig::no_disturbance(0.1));
+  util::Rng rng(1);
+  ch.offer(make_msg(0.0), rng);
+  ch.offer(make_msg(0.05), rng);  // between transmission instants
+  EXPECT_EQ(ch.sent_count(), 1u);
+}
+
+}  // namespace
+}  // namespace cvsafe::comm

@@ -1,0 +1,119 @@
+// The generic Eq. 3 preimage operator: exact analytic checks on a simple
+// double integrator, plus agreement with the left-turn closed form on the
+// slack-band branch.
+
+#include "cvsafe/core/preimage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cvsafe/scenario/left_turn.hpp"
+#include "cvsafe/vehicle/dynamics.hpp"
+
+namespace cvsafe::core {
+namespace {
+
+TEST(SampleControls, EndpointsAndSpacing) {
+  const auto u = sample_controls(-6.0, 3.0, 4);
+  ASSERT_EQ(u.size(), 4u);
+  EXPECT_EQ(u.front(), -6.0);
+  EXPECT_EQ(u.back(), 3.0);
+  EXPECT_NEAR(u[1], -3.0, 1e-12);
+}
+
+TEST(Preimage, DoubleIntegratorWallAnalytic) {
+  // System: x' = x + v dt + u dt^2/2, v' = v + u dt; unsafe: x > 10.
+  // A state is boundary iff it is safe and full throttle crosses the wall:
+  //   x + v dt + u_max dt^2 / 2 > 10.
+  const double dt = 0.1;
+  const double u_max = 3.0;
+  const StepFn step = [dt](double x, double v, double u) {
+    return std::make_pair(x + v * dt + 0.5 * u * dt * dt, v + u * dt);
+  };
+  const UnsafeFn unsafe = [](double x, double) { return x > 10.0; };
+
+  PreimageGrid grid;
+  grid.x_min = 0.0;
+  grid.x_max = 12.0;
+  grid.v_min = 0.0;
+  grid.v_max = 15.0;
+  grid.nx = 60;
+  grid.nv = 40;
+  const auto result = compute_boundary_grid(
+      grid, step, unsafe, sample_controls(-6.0, u_max, 19));
+
+  for (std::size_t j = 0; j < grid.nv; ++j) {
+    for (std::size_t i = 0; i < grid.nx; ++i) {
+      const double x = grid.x_at(i);
+      const double v = grid.v_at(j);
+      RegionLabel expected;
+      if (x > 10.0) {
+        expected = RegionLabel::kUnsafe;
+      } else if (x + v * dt + 0.5 * u_max * dt * dt > 10.0) {
+        expected = RegionLabel::kBoundary;
+      } else {
+        expected = RegionLabel::kSafe;
+      }
+      ASSERT_EQ(result.at(i, j), expected) << "x=" << x << " v=" << v;
+    }
+  }
+  EXPECT_GT(result.count(RegionLabel::kBoundary), 0u);
+  EXPECT_GT(result.count(RegionLabel::kUnsafe), 0u);
+  EXPECT_GT(result.count(RegionLabel::kSafe), 0u);
+}
+
+TEST(Preimage, LeftTurnSlackBandMatchesClosedForm) {
+  // The scenario's closed-form X_b must contain every exact-preimage
+  // state of the Eq. 6 unsafe set on the branch where their semantics
+  // coincide: non-negative slack AND currently-overlapping passing
+  // windows (the paper's own branch). Elsewhere the production monitor
+  // deliberately deviates — it guards collisions via resolvability
+  // rather than Eq. 6 set entry (see DESIGN.md deviations).
+  const vehicle::VehicleLimits ego{0.0, 15.0, -6.0, 3.0};
+  const vehicle::VehicleLimits c1{2.0, 15.0, -3.0, 3.0};
+  const double dt = 0.05;
+  const scenario::LeftTurnScenario scn(scenario::LeftTurnGeometry{}, ego, c1,
+                                       dt);
+  const util::Interval tau1{2.0, 6.0};
+  const vehicle::DoubleIntegrator dyn(ego);
+
+  const StepFn step = [&](double x, double v, double u) {
+    const auto s = dyn.step({x, v}, u, dt);
+    return std::make_pair(s.p, s.v);
+  };
+  const UnsafeFn unsafe = [&](double x, double v) {
+    return scn.in_unsafe_set(dt, x, v, tau1);
+  };
+
+  PreimageGrid grid;
+  grid.x_min = -30.0;
+  grid.x_max = 5.0;
+  grid.v_min = 0.0;
+  grid.v_max = 15.0;
+  grid.nx = 120;
+  grid.nv = 60;
+  const auto result = compute_boundary_grid(
+      grid, step, unsafe, sample_controls(ego.a_min, ego.a_max, 33));
+
+  std::size_t preimage_states = 0;
+  for (std::size_t j = 0; j < grid.nv; ++j) {
+    for (std::size_t i = 0; i < grid.nx; ++i) {
+      if (result.at(i, j) != RegionLabel::kBoundary) continue;
+      const double x = grid.x_at(i);
+      const double v = grid.v_at(j);
+      if (scn.slack(x, v) < 0.0) continue;  // committed branch: different
+      if (!scn.ego_passing_window(0.0, x, v).intersects(tau1)) {
+        continue;  // no current overlap: resolvability branch, different
+      }
+      ++preimage_states;
+      EXPECT_TRUE(scn.in_boundary_safe_set(0.0, x, v, tau1))
+          << "closed form misses exact-preimage state x=" << x
+          << " v=" << v;
+    }
+  }
+  EXPECT_GT(preimage_states, 20u);  // the comparison is not vacuous
+}
+
+}  // namespace
+}  // namespace cvsafe::core

@@ -1,0 +1,209 @@
+#include "cvsafe/filter/kalman.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cvsafe/sensing/sensor.hpp"
+#include "cvsafe/util/rng.hpp"
+#include "cvsafe/util/stats.hpp"
+#include "cvsafe/vehicle/accel_profile.hpp"
+#include "cvsafe/vehicle/dynamics.hpp"
+
+namespace cvsafe::filter {
+namespace {
+
+const KalmanConfig kConfig{0.1, 1.0, 1.0, 1.0, 3.0, 64};
+
+/// Drives a vehicle with the given profile and feeds noisy readings into
+/// the filter; returns (true, measured, filtered) position & velocity
+/// series at the sensing instants.
+struct FilterRun {
+  std::vector<double> true_p, true_v, meas_p, meas_v, filt_p, filt_v;
+};
+
+FilterRun run_filter(KalmanFilter& kf, std::uint64_t seed, double noise,
+                     double duration = 12.0) {
+  const vehicle::VehicleLimits limits{2.0, 15.0, -3.0, 3.0};
+  util::Rng rng(seed);
+  vehicle::DoubleIntegrator dyn(limits);
+  vehicle::VehicleState s{-50.0, rng.uniform(6.0, 12.0)};
+  const double dt_c = 0.05;
+  const auto steps = static_cast<std::size_t>(duration / dt_c);
+  const auto profile =
+      vehicle::AccelProfile::random(steps, dt_c, s.v, limits, {}, rng);
+  sensing::Sensor sensor(sensing::SensorConfig::uniform(noise, 0.1));
+
+  FilterRun run;
+  for (std::size_t step = 0; step < steps; ++step) {
+    const double t = static_cast<double>(step) * dt_c;
+    const double a = profile.at(step);
+    if (const auto r =
+            sensor.sense(vehicle::VehicleSnapshot{t, s, a}, rng)) {
+      kf.update(*r);
+      run.true_p.push_back(s.p);
+      run.true_v.push_back(s.v);
+      run.meas_p.push_back(r->p);
+      run.meas_v.push_back(r->v);
+      run.filt_p.push_back(kf.state_at(t).x);
+      run.filt_v.push_back(kf.state_at(t).y);
+    }
+    s = dyn.step(s, a, dt_c);
+  }
+  return run;
+}
+
+TEST(Kalman, InitializesFromFirstMeasurement) {
+  KalmanFilter kf(kConfig);
+  EXPECT_FALSE(kf.initialized());
+  kf.update({0.0, 5.0, 2.0, 0.0});
+  EXPECT_TRUE(kf.initialized());
+  EXPECT_NEAR(kf.state_at(0.0).x, 5.0, 1e-12);
+  EXPECT_NEAR(kf.state_at(0.0).y, 2.0, 1e-12);
+}
+
+TEST(Kalman, PredictsWithConstantVelocity) {
+  KalmanFilter kf(kConfig);
+  kf.update({0.0, 0.0, 10.0, 0.0});
+  const auto x = kf.state_at(1.0);
+  EXPECT_NEAR(x.x, 10.0, 1e-9);
+  EXPECT_NEAR(x.y, 10.0, 1e-9);
+}
+
+TEST(Kalman, PredictsWithControlInput) {
+  KalmanFilter kf(kConfig);
+  kf.update({0.0, 0.0, 0.0, 2.0});  // measured acceleration 2
+  const auto x = kf.state_at(1.0);
+  EXPECT_NEAR(x.x, 1.0, 1e-9);  // a t^2 / 2
+  EXPECT_NEAR(x.y, 2.0, 1e-9);
+}
+
+TEST(Kalman, CovarianceStaysPositiveSemidefinite) {
+  KalmanFilter kf(kConfig);
+  util::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    kf.update({i * 0.1, rng.uniform(-60, 60), rng.uniform(0, 15),
+               rng.uniform(-3, 3)});
+    ASSERT_TRUE(kf.covariance_at(i * 0.1).is_positive_semidefinite())
+        << "step " << i;
+  }
+}
+
+TEST(Kalman, CovarianceGrowsWithPredictionHorizon) {
+  KalmanFilter kf(kConfig);
+  kf.update({0.0, 0.0, 5.0, 0.0});
+  const double w1 = kf.position_interval(0.5).width();
+  const double w2 = kf.position_interval(2.0).width();
+  EXPECT_GT(w2, w1);
+}
+
+// The paper's key claim for Fig. 6a: the filter substantially reduces
+// the RMSE of both position and velocity relative to raw measurements.
+TEST(KalmanProperty, ReducesRmseSubstantially) {
+  util::RunningStats red_p, red_v;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    KalmanFilter kf(kConfig);
+    const auto run = run_filter(kf, seed, /*noise=*/2.0);
+    ASSERT_GT(run.true_p.size(), 50u);
+    const double mp = util::rmse(run.meas_p, run.true_p);
+    const double fp = util::rmse(run.filt_p, run.true_p);
+    const double mv = util::rmse(run.meas_v, run.true_v);
+    const double fv = util::rmse(run.filt_v, run.true_v);
+    red_p.add((mp - fp) / mp);
+    red_v.add((mv - fv) / mv);
+  }
+  // Paper reports 69% / 76% reduction; require a substantial margin here.
+  EXPECT_GT(red_p.mean(), 0.35);
+  EXPECT_GT(red_v.mean(), 0.45);
+}
+
+TEST(Kalman, MessageRollbackSharpensEstimate) {
+  util::RunningStats improvement;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    // Two identical filters on the same readings; one gets an exact
+    // (delayed) message mid-run.
+    const vehicle::VehicleLimits limits{2.0, 15.0, -3.0, 3.0};
+    util::Rng rng(seed);
+    vehicle::DoubleIntegrator dyn(limits);
+    vehicle::VehicleState s{-50.0, 9.0};
+    const double dt_c = 0.05;
+    const auto steps = static_cast<std::size_t>(8.0 / dt_c);
+    const auto profile =
+        vehicle::AccelProfile::random(steps, dt_c, s.v, limits, {}, rng);
+    sensing::Sensor sensor(sensing::SensorConfig::uniform(2.0, 0.1));
+
+    KalmanFilter plain(kConfig), rollback(kConfig);
+    vehicle::VehicleState state_at_4{};
+    double accel_at_4 = 0.0;
+    double err_plain = 0.0, err_roll = 0.0;
+    int count = 0;
+    for (std::size_t step = 0; step < steps; ++step) {
+      const double t = static_cast<double>(step) * dt_c;
+      const double a = profile.at(step);
+      if (std::abs(t - 4.0) < 1e-9) {
+        state_at_4 = s;
+        accel_at_4 = a;
+      }
+      if (std::abs(t - 4.25) < 1e-9) {
+        // Message recording the exact state at t = 4 arrives at t = 4.25.
+        rollback.correct_with_message(4.0, state_at_4.p, state_at_4.v,
+                                      accel_at_4);
+      }
+      if (const auto r =
+              sensor.sense(vehicle::VehicleSnapshot{t, s, a}, rng)) {
+        plain.update(*r);
+        rollback.update(*r);
+        if (t > 4.25) {
+          err_plain += std::abs(plain.state_at(t).x - s.p);
+          err_roll += std::abs(rollback.state_at(t).x - s.p);
+          ++count;
+        }
+      }
+      s = dyn.step(s, a, dt_c);
+    }
+    ASSERT_GT(count, 0);
+    improvement.add((err_plain - err_roll) / count);
+  }
+  // On average the rollback-corrected filter is at least as accurate.
+  EXPECT_GT(improvement.mean(), 0.0);
+}
+
+TEST(Kalman, MessageNewerThanMeasurementsAdoptedExactly) {
+  KalmanFilter kf(kConfig);
+  kf.update({0.0, 0.0, 5.0, 0.0});
+  kf.correct_with_message(0.5, 2.6, 5.2, 0.0);
+  EXPECT_NEAR(kf.state_at(0.5).x, 2.6, 1e-9);
+  EXPECT_NEAR(kf.state_at(0.5).y, 5.2, 1e-9);
+}
+
+TEST(Kalman, StaleMessageIgnored) {
+  KalmanFilter kf(kConfig);
+  kf.update({0.0, 0.0, 5.0, 0.0});
+  kf.correct_with_message(1.0, 5.0, 5.0, 0.0);
+  const auto before = kf.state_at(1.0);
+  kf.correct_with_message(0.5, -100.0, 0.0, 0.0);  // older than applied
+  const auto after = kf.state_at(1.0);
+  EXPECT_EQ(before.x, after.x);
+  EXPECT_EQ(before.y, after.y);
+}
+
+TEST(Kalman, MessageBeforeAnySensingInitializes) {
+  KalmanFilter kf(kConfig);
+  kf.correct_with_message(0.0, 7.0, 3.0, 1.0);
+  EXPECT_TRUE(kf.initialized());
+  EXPECT_NEAR(kf.state_at(0.0).x, 7.0, 1e-9);
+}
+
+TEST(Kalman, IntervalContainsPointEstimate) {
+  KalmanFilter kf(kConfig);
+  kf.update({0.0, 1.0, 2.0, 0.0});
+  kf.update({0.1, 1.2, 2.0, 0.0});
+  const auto pi = kf.position_interval(0.2);
+  const auto vi = kf.velocity_interval(0.2);
+  EXPECT_TRUE(pi.contains(kf.state_at(0.2).x));
+  EXPECT_TRUE(vi.contains(kf.state_at(0.2).y));
+}
+
+}  // namespace
+}  // namespace cvsafe::filter

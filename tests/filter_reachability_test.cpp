@@ -1,0 +1,133 @@
+#include "cvsafe/filter/reachability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cvsafe/util/rng.hpp"
+#include "cvsafe/vehicle/accel_profile.hpp"
+#include "cvsafe/vehicle/dynamics.hpp"
+
+namespace cvsafe::filter {
+namespace {
+
+const vehicle::VehicleLimits kLimits{2.0, 15.0, -3.0, 3.0};
+
+TEST(StateBounds, ExactIsPoint) {
+  const auto b = StateBounds::exact(1.0, 5.0, 8.0);
+  EXPECT_EQ(b.p.width(), 0.0);
+  EXPECT_EQ(b.v.width(), 0.0);
+  EXPECT_TRUE(b.p.contains(5.0));
+}
+
+TEST(StateBounds, FromMeasurementClipsVelocity) {
+  // Measured velocity 16 with +-1 noise: physical range caps at 15.
+  const auto b = StateBounds::from_measurement(0.0, 0.0, 16.0, 1.0, 1.0,
+                                               kLimits);
+  EXPECT_LE(b.v.hi, kLimits.v_max);
+  EXPECT_GE(b.v.lo, kLimits.v_min);
+  // Fully out-of-range measurement degrades to the nearest feasible point.
+  const auto c = StateBounds::from_measurement(0.0, 0.0, 30.0, 1.0, 1.0,
+                                               kLimits);
+  EXPECT_FALSE(c.v.empty());
+}
+
+TEST(Propagate, ZeroOrNegativeDtIsIdentity) {
+  const auto b = StateBounds::exact(2.0, 5.0, 8.0);
+  const auto same = propagate(b, 2.0, kLimits);
+  EXPECT_EQ(same.p, b.p);
+  const auto past = propagate(b, 1.0, kLimits);
+  EXPECT_EQ(past.p, b.p);
+}
+
+TEST(Propagate, MatchesEquation2FirstBranch) {
+  // Below v_max throughout: p_max = p + v dt + a_max dt^2 / 2.
+  const auto b = StateBounds::exact(0.0, 0.0, 8.0);
+  const auto r = propagate(b, 1.0, kLimits);
+  EXPECT_NEAR(r.p.hi, 8.0 + 0.5 * 3.0, 1e-12);
+  // Lower: full braking from 8 to floor 2 takes 2 s; within 1 s: 8 - 1.5.
+  EXPECT_NEAR(r.p.lo, 8.0 - 1.5, 1e-12);
+  EXPECT_NEAR(r.v.hi, 11.0, 1e-12);
+  EXPECT_NEAR(r.v.lo, 5.0, 1e-12);
+}
+
+TEST(Propagate, MatchesEquation2SecondBranch) {
+  // Saturation: v=14, a_max=3 hits v_max=15 after 1/3 s.
+  const auto b = StateBounds::exact(0.0, 0.0, 14.0);
+  const auto r = propagate(b, 2.0, kLimits);
+  const double t_hit = 1.0 / 3.0;
+  const double expected =
+      14.0 * t_hit + 0.5 * 3.0 * t_hit * t_hit + 15.0 * (2.0 - t_hit);
+  EXPECT_NEAR(r.p.hi, expected, 1e-12);
+  EXPECT_NEAR(r.v.hi, 15.0, 1e-12);
+}
+
+TEST(Propagate, WidthGrowsWithHorizon) {
+  const auto b = StateBounds::exact(0.0, 0.0, 8.0);
+  double prev = 0.0;
+  for (double dt = 0.5; dt <= 5.0; dt += 0.5) {
+    const auto r = propagate(b, dt, kLimits);
+    EXPECT_GT(r.p.width(), prev);
+    prev = r.p.width();
+  }
+}
+
+// Soundness (DESIGN.md invariant 2): the true state of a vehicle driving
+// ANY feasible acceleration profile stays inside the propagated bounds —
+// from an exact snapshot and from a noisy measurement.
+TEST(PropagateProperty, SoundForRandomTrajectories) {
+  util::Rng rng(21);
+  const double dt_c = 0.05;
+  for (int trial = 0; trial < 300; ++trial) {
+    vehicle::DoubleIntegrator dyn(kLimits);
+    vehicle::VehicleState s{rng.uniform(-60, 0),
+                            rng.uniform(kLimits.v_min, kLimits.v_max)};
+    const auto profile =
+        vehicle::AccelProfile::random(100, dt_c, s.v, kLimits, {}, rng);
+
+    const auto exact = StateBounds::exact(0.0, s.p, s.v);
+    const double noise_p = 1.5, noise_v = 1.0;
+    const auto noisy = StateBounds::from_measurement(
+        0.0, s.p + rng.uniform(-noise_p, noise_p),
+        s.v + rng.uniform(-noise_v, noise_v), noise_p, noise_v, kLimits);
+
+    for (std::size_t step = 0; step < profile.size(); ++step) {
+      s = dyn.step(s, profile.at(step), dt_c);
+      const double t = static_cast<double>(step + 1) * dt_c;
+      const auto re = propagate(exact, t, kLimits);
+      ASSERT_TRUE(re.p.contains(s.p))
+          << "exact p bound violated at t=" << t;
+      ASSERT_TRUE(re.v.contains(s.v))
+          << "exact v bound violated at t=" << t;
+      const auto rn = propagate(noisy, t, kLimits);
+      ASSERT_TRUE(rn.p.inflated(1e-9).contains(s.p))
+          << "noisy p bound violated at t=" << t;
+      ASSERT_TRUE(rn.v.inflated(1e-9).contains(s.v))
+          << "noisy v bound violated at t=" << t;
+    }
+  }
+}
+
+// Property: propagation is monotone in the input set (bigger in, bigger
+// out) — needed for the interval intersection in the information filter
+// to stay sound.
+TEST(PropagateProperty, MonotoneInInputSet) {
+  util::Rng rng(22);
+  for (int trial = 0; trial < 500; ++trial) {
+    const double p = rng.uniform(-50, 0);
+    const double v = rng.uniform(3, 14);
+    StateBounds small{0.0,
+                      util::Interval::centered(p, rng.uniform(0.1, 1.0)),
+                      util::Interval::centered(v, rng.uniform(0.1, 0.5))
+                          .intersect({kLimits.v_min, kLimits.v_max})};
+    StateBounds big{0.0, small.p.inflated(rng.uniform(0.0, 2.0)),
+                    small.v.inflated(rng.uniform(0.0, 1.0))
+                        .intersect({kLimits.v_min, kLimits.v_max})};
+    const double dt = rng.uniform(0.1, 5.0);
+    const auto rs = propagate(small, dt, kLimits);
+    const auto rb = propagate(big, dt, kLimits);
+    EXPECT_TRUE(rb.p.contains(rs.p));
+    EXPECT_TRUE(rb.v.contains(rs.v));
+  }
+}
+
+}  // namespace
+}  // namespace cvsafe::filter

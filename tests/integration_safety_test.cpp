@@ -1,0 +1,112 @@
+// End-to-end safety guarantee (DESIGN.md invariant 1, Eq. 1 right half):
+// a compound planner NEVER collides — for any wrapped planner (expert or
+// trained NN, conservative or aggressive), under every communication
+// setting, across many random workloads. This is the paper's headline
+// property, exercised through the full stack: channel, sensor, filters,
+// monitor, emergency planner, dynamics.
+
+#include <gtest/gtest.h>
+
+#include "cvsafe/eval/batch.hpp"
+#include "cvsafe/eval/experiments.hpp"
+
+namespace cvsafe::eval {
+namespace {
+
+SimConfig setting_config(CommSetting setting, double sweep) {
+  SimConfig base = SimConfig::paper_defaults();
+  return apply_setting(base, setting, sweep);
+}
+
+struct SafetyCase {
+  CommSetting setting;
+  double sweep;
+  bool aggressive_style;
+  bool ultimate;
+};
+
+class CompoundSafetyTest : public ::testing::TestWithParam<SafetyCase> {};
+
+TEST_P(CompoundSafetyTest, NeverCollides) {
+  const SafetyCase c = GetParam();
+  const SimConfig config = setting_config(c.setting, c.sweep);
+
+  // Expert-backed agents (deterministic, no training): the framework must
+  // protect even a deliberately reckless embedded planner.
+  AgentBlueprint bp;
+  bp.scenario = config.make_scenario();
+  bp.sensor = config.sensor;
+  bp.config = c.ultimate ? AgentConfig::ultimate_compound()
+                         : AgentConfig::basic_compound();
+  bp.config.use_expert_planner = true;
+  bp.config.expert_params = c.aggressive_style
+                                ? planners::ExpertParams::aggressive()
+                                : planners::ExpertParams::conservative();
+  bp.name = "safety-case";
+
+  const BatchStats stats = run_batch(config, bp, 120, 1000, 0);
+  EXPECT_EQ(stats.safe_count, stats.n)
+      << "collisions under " << comm_setting_name(c.setting)
+      << " sweep=" << c.sweep;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSettings, CompoundSafetyTest,
+    ::testing::Values(
+        SafetyCase{CommSetting::kNoDisturbance, 0.0, false, false},
+        SafetyCase{CommSetting::kNoDisturbance, 0.0, true, false},
+        SafetyCase{CommSetting::kNoDisturbance, 0.0, true, true},
+        SafetyCase{CommSetting::kDelayed, 0.5, false, true},
+        SafetyCase{CommSetting::kDelayed, 0.5, true, false},
+        SafetyCase{CommSetting::kDelayed, 0.95, true, true},
+        SafetyCase{CommSetting::kLost, 2.0, true, false},
+        SafetyCase{CommSetting::kLost, 4.8, true, true},
+        SafetyCase{CommSetting::kLost, 4.8, false, true}));
+
+// The pure aggressive planner DOES collide (otherwise the guarantee above
+// would be vacuous): the workload genuinely stresses safety.
+TEST(PureAggressiveBaseline, CollidesWithoutTheFramework) {
+  const SimConfig config =
+      setting_config(CommSetting::kDelayed, 0.5);
+  AgentBlueprint bp;
+  bp.scenario = config.make_scenario();
+  bp.sensor = config.sensor;
+  bp.config = AgentConfig::pure_nn();
+  bp.config.use_expert_planner = true;
+  bp.config.expert_params = planners::ExpertParams::aggressive();
+  bp.name = "pure-aggressive";
+  const BatchStats stats = run_batch(config, bp, 200, 1000, 0);
+  EXPECT_LT(stats.safe_count, stats.n)
+      << "the aggressive baseline never collided - the safety test above "
+         "is not probing anything";
+}
+
+// Trained-NN version of the headline property, across all three settings.
+TEST(TrainedNnCompound, AggressiveUltimateNeverCollides) {
+  for (const auto setting : {CommSetting::kNoDisturbance,
+                             CommSetting::kDelayed, CommSetting::kLost}) {
+    const SimConfig config = setting_config(
+        setting, setting == CommSetting::kLost ? 3.0 : 0.5);
+    const auto bp = make_nn_blueprint(
+        config, planners::PlannerStyle::kAggressive,
+        PlannerVariant::kUltimate);
+    const BatchStats stats = run_batch(config, bp, 150, 2000, 0);
+    EXPECT_EQ(stats.safe_count, stats.n)
+        << "collision under " << comm_setting_name(setting);
+  }
+}
+
+// Emergency planner actually engages for the aggressive planner (the
+// guarantee is earned, not incidental).
+TEST(TrainedNnCompound, EmergencyEngagesForAggressivePlanner) {
+  const SimConfig config = setting_config(CommSetting::kNoDisturbance, 0.0);
+  const auto bp = make_nn_blueprint(config,
+                                    planners::PlannerStyle::kAggressive,
+                                    PlannerVariant::kBasic);
+  const BatchStats stats = run_batch(config, bp, 100, 1, 0);
+  EXPECT_GT(stats.emergency_steps, 0u);
+  EXPECT_EQ(stats.safe_count, stats.n);
+}
+
+}  // namespace
+}  // namespace cvsafe::eval

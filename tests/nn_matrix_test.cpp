@@ -1,0 +1,109 @@
+#include "cvsafe/nn/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cvsafe/util/rng.hpp"
+
+namespace cvsafe::nn {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, util::Rng& rng) {
+  Matrix m(r, c);
+  for (auto& x : m.data()) x = rng.uniform(-2, 2);
+  return m;
+}
+
+void expect_near(const Matrix& a, const Matrix& b, double tol = 1e-12) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a.data()[i], b.data()[i], tol);
+  }
+}
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  m(1, 2) = 5.0;
+  EXPECT_EQ(m(1, 2), 5.0);
+  EXPECT_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, RowVectorAndIdentity) {
+  const Matrix r = Matrix::row_vector({1.0, 2.0, 3.0});
+  EXPECT_EQ(r.rows(), 1u);
+  EXPECT_EQ(r.cols(), 3u);
+  const Matrix i = Matrix::identity(3);
+  EXPECT_EQ(i(0, 0), 1.0);
+  EXPECT_EQ(i(0, 1), 0.0);
+}
+
+TEST(Matrix, MatmulKnownValues) {
+  const Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix b(3, 2, {7, 8, 9, 10, 11, 12});
+  const Matrix c = a.matmul(b);
+  expect_near(c, Matrix(2, 2, {58, 64, 139, 154}));
+}
+
+TEST(Matrix, MatmulIdentity) {
+  util::Rng rng(1);
+  const Matrix a = random_matrix(4, 4, rng);
+  expect_near(a.matmul(Matrix::identity(4)), a);
+  expect_near(Matrix::identity(4).matmul(a), a);
+}
+
+TEST(Matrix, MatmulTransposedEqualsExplicit) {
+  util::Rng rng(2);
+  const Matrix a = random_matrix(5, 7, rng);
+  const Matrix b = random_matrix(4, 7, rng);
+  expect_near(a.matmul_transposed(b), a.matmul(b.transpose()), 1e-12);
+}
+
+TEST(Matrix, TransposedMatmulEqualsExplicit) {
+  util::Rng rng(3);
+  const Matrix a = random_matrix(6, 3, rng);
+  const Matrix b = random_matrix(6, 4, rng);
+  expect_near(a.transposed_matmul(b), a.transpose().matmul(b), 1e-12);
+}
+
+TEST(Matrix, AddSubScale) {
+  const Matrix a(1, 3, {1, 2, 3});
+  const Matrix b(1, 3, {4, 5, 6});
+  expect_near(a + b, Matrix(1, 3, {5, 7, 9}));
+  expect_near(b - a, Matrix(1, 3, {3, 3, 3}));
+  expect_near(a * 2.0, Matrix(1, 3, {2, 4, 6}));
+}
+
+TEST(Matrix, RowBroadcastAndColumnSums) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  m.add_row_broadcast(Matrix::row_vector({10, 20, 30}));
+  expect_near(m, Matrix(2, 3, {11, 22, 33, 14, 25, 36}));
+  expect_near(m.column_sums(), Matrix::row_vector({25, 47, 69}));
+}
+
+TEST(Matrix, Hadamard) {
+  const Matrix a(1, 3, {1, 2, 3});
+  const Matrix b(1, 3, {4, 5, 6});
+  expect_near(a.hadamard(b), Matrix(1, 3, {4, 10, 18}));
+}
+
+TEST(Matrix, MaxAbs) {
+  const Matrix a(1, 3, {1, -7, 3});
+  EXPECT_EQ(a.max_abs(), 7.0);
+  EXPECT_EQ(Matrix().max_abs(), 0.0);
+}
+
+TEST(Matrix, GlorotWithinLimit) {
+  util::Rng rng(4);
+  const Matrix m = Matrix::glorot(16, 8, rng);
+  const double limit = std::sqrt(6.0 / (16 + 8));
+  EXPECT_LE(m.max_abs(), limit);
+  EXPECT_GT(m.max_abs(), 0.0);
+}
+
+}  // namespace
+}  // namespace cvsafe::nn

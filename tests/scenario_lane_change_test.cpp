@@ -1,0 +1,151 @@
+#include "cvsafe/scenario/lane_change.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cvsafe/util/rng.hpp"
+#include "cvsafe/vehicle/accel_profile.hpp"
+#include "cvsafe/vehicle/dynamics.hpp"
+
+namespace cvsafe::scenario {
+namespace {
+
+const vehicle::VehicleLimits kEgo{0.0, 18.0, -6.0, 3.0};
+const vehicle::VehicleLimits kC1{3.0, 15.0, -3.0, 2.0};
+constexpr double kDt = 0.05;
+
+LaneChangeScenario make_scenario() {
+  return LaneChangeScenario(LaneChangeGeometry{}, kEgo, kC1, kDt);
+}
+
+filter::StateEstimate exact(double t, double p, double v) {
+  filter::StateEstimate est;
+  est.t = t;
+  est.p = util::Interval::point(p);
+  est.v = util::Interval::point(v);
+  est.p_hat = p;
+  est.v_hat = v;
+  est.valid = true;
+  return est;
+}
+
+TEST(LaneChangeGeometry, Defaults) {
+  const LaneChangeGeometry g;
+  EXPECT_TRUE(g.valid());
+  EXPECT_LT(g.ego_start, g.merge_point);
+  EXPECT_LT(g.merge_point, g.target);
+}
+
+TEST(LaneChange, MergedPredicate) {
+  const auto scn = make_scenario();
+  EXPECT_FALSE(scn.merged(-1.0));
+  EXPECT_FALSE(scn.merged(0.0));
+  EXPECT_TRUE(scn.merged(0.1));
+}
+
+TEST(LaneChange, UnsafeRequiresMergeAndGapViolation) {
+  const auto scn = make_scenario();
+  // Merged at p0 = 5 with C1 at p1 = 9: gap 4 < 8 -> unsafe.
+  EXPECT_TRUE(scn.in_unsafe_set(5.0, exact(0.0, 9.0, 8.0)));
+  // Same gap but still on the ramp: safe.
+  EXPECT_FALSE(scn.in_unsafe_set(-5.0, exact(0.0, -1.0, 8.0)));
+  // Merged with ample gap: safe.
+  EXPECT_FALSE(scn.in_unsafe_set(5.0, exact(0.0, 40.0, 8.0)));
+}
+
+TEST(LaneChange, UnknownVehicleBlocksMerge) {
+  const auto scn = make_scenario();
+  filter::StateEstimate unknown;
+  EXPECT_TRUE(scn.in_boundary_safe_set(0.0, -5.0, 10.0, unknown));
+}
+
+TEST(LaneChange, EmergencyStopsBeforeMergePoint) {
+  const auto scn = make_scenario();
+  // 10 m to the merge point at 8 m/s: a = -64/20 = -3.2.
+  EXPECT_NEAR(scn.emergency_accel(-10.0, 8.0), -3.2, 1e-12);
+  EXPECT_EQ(scn.emergency_accel(5.0, 8.0), kEgo.a_min);  // merged: brake
+}
+
+TEST(LaneChange, ViolationCheck) {
+  const auto scn = make_scenario();
+  EXPECT_TRUE(scn.violation(10.0, 15.0));   // gap 5 < 8
+  EXPECT_FALSE(scn.violation(10.0, 18.1));  // gap > 8
+  EXPECT_FALSE(scn.violation(-1.0, 2.0));   // on ramp
+}
+
+// Safety invariant: monitor + emergency wrapped around a full-throttle
+// planner never violates the gap constraint, over random oncoming traffic.
+TEST(LaneChangeProperty, CompoundControlNeverViolates) {
+  const auto scn_obj = make_scenario();
+  auto scn = std::make_shared<const LaneChangeScenario>(scn_obj);
+  const LaneChangeSafetyModel model(scn);
+
+  for (std::uint64_t seed = 1; seed <= 150; ++seed) {
+    util::Rng rng(seed);
+    vehicle::DoubleIntegrator ego_dyn(kEgo);
+    vehicle::DoubleIntegrator c1_dyn(kC1);
+    vehicle::VehicleState ego{scn->geometry().ego_start,
+                              rng.uniform(6.0, 14.0)};
+    vehicle::VehicleState c1{scn->geometry().merge_point +
+                                 rng.uniform(0.0, 25.0),
+                             rng.uniform(kC1.v_min, 10.0)};
+    const auto profile =
+        vehicle::AccelProfile::random(600, kDt, c1.v, kC1, {}, rng);
+
+    for (int step = 0; step < 600; ++step) {
+      const double t = step * kDt;
+      LaneChangeWorld world;
+      world.t = t;
+      world.ego = ego;
+      world.c1_monitor = exact(t, c1.p, c1.v);  // perfect information here
+      const double a0 = model.in_boundary_safe_set(world)
+                            ? model.emergency_accel(world)
+                            : kEgo.a_max;  // reckless planner
+      ego = ego_dyn.step(ego, a0, kDt);
+      c1 = c1_dyn.step(c1, profile.at(static_cast<std::size_t>(step)), kDt);
+      ASSERT_FALSE(scn->violation(ego.p, c1.p))
+          << "seed " << seed << " t=" << t << " ego=" << ego.p
+          << " c1=" << c1.p;
+      if (scn->reached_target(ego.p)) break;
+    }
+  }
+}
+
+// Liveness: the wrapped planner still reaches the target (emergency does
+// not deadlock the merge) in the common case.
+TEST(LaneChangeProperty, CompoundControlUsuallyReaches) {
+  const auto scn = std::make_shared<const LaneChangeScenario>(make_scenario());
+  const LaneChangeSafetyModel model(scn);
+  int reached = 0;
+  const int trials = 50;
+  for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+    util::Rng rng(seed * 7919);
+    vehicle::DoubleIntegrator ego_dyn(kEgo);
+    vehicle::DoubleIntegrator c1_dyn(kC1);
+    vehicle::VehicleState ego{scn->geometry().ego_start, 10.0};
+    vehicle::VehicleState c1{scn->geometry().merge_point +
+                                 rng.uniform(5.0, 25.0),
+                             rng.uniform(5.0, 10.0)};
+    const auto profile =
+        vehicle::AccelProfile::random(1200, kDt, c1.v, kC1, {}, rng);
+    for (int step = 0; step < 1200; ++step) {
+      const double t = step * kDt;
+      LaneChangeWorld world;
+      world.t = t;
+      world.ego = ego;
+      world.c1_monitor = exact(t, c1.p, c1.v);
+      const double a0 = model.in_boundary_safe_set(world)
+                            ? model.emergency_accel(world)
+                            : kEgo.a_max;
+      ego = ego_dyn.step(ego, a0, kDt);
+      c1 = c1_dyn.step(c1, profile.at(static_cast<std::size_t>(step)), kDt);
+      if (scn->reached_target(ego.p)) {
+        ++reached;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(reached, trials * 8 / 10);
+}
+
+}  // namespace
+}  // namespace cvsafe::scenario

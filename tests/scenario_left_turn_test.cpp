@@ -1,0 +1,269 @@
+#include "cvsafe/scenario/left_turn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "cvsafe/util/rng.hpp"
+#include "cvsafe/vehicle/accel_profile.hpp"
+#include "cvsafe/vehicle/dynamics.hpp"
+#include "cvsafe/vehicle/trajectory.hpp"
+
+namespace cvsafe::scenario {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+const vehicle::VehicleLimits kEgo{0.0, 15.0, -6.0, 3.0};
+const vehicle::VehicleLimits kC1{2.0, 15.0, -3.0, 3.0};
+
+LeftTurnScenario make_scenario() {
+  return LeftTurnScenario(LeftTurnGeometry{}, kEgo, kC1, 0.05);
+}
+
+filter::StateEstimate exact_estimate(double t, double p, double v,
+                                     double a = 0.0) {
+  filter::StateEstimate est;
+  est.t = t;
+  est.p = util::Interval::point(p);
+  est.v = util::Interval::point(v);
+  est.p_hat = p;
+  est.v_hat = v;
+  est.a_hat = a;
+  est.valid = true;
+  return est;
+}
+
+TEST(Geometry, DefaultsMatchPaper) {
+  const LeftTurnGeometry g;
+  EXPECT_EQ(g.ego_front, 5.0);
+  EXPECT_EQ(g.ego_back, 15.0);
+  EXPECT_EQ(g.ego_start, -30.0);
+  EXPECT_TRUE(g.valid());
+  EXPECT_EQ(LeftTurnGeometry::oncoming_to_frame(50.5), -50.5);
+}
+
+TEST(Slack, BeforeZoneMatchesEq5) {
+  const auto scn = make_scenario();
+  // d_b = v^2 / (2*6); at p0 = -30, v = 6: d_b = 3 -> s = 5 - 3 + 30 = 32.
+  EXPECT_NEAR(scn.slack(-30.0, 6.0), 32.0, 1e-12);
+  // Fast approach: v = 12 -> d_b = 12 -> s = 5 - 12 - p0.
+  EXPECT_NEAR(scn.slack(0.0, 12.0), -7.0, 1e-12);
+}
+
+TEST(Slack, InsideZoneIsNegative) {
+  const auto scn = make_scenario();
+  EXPECT_NEAR(scn.slack(10.0, 5.0), 10.0 - 15.0, 1e-12);
+  EXPECT_LE(scn.slack(14.9, 0.0), 0.0);
+}
+
+TEST(Slack, PastZoneIsInfinite) {
+  const auto scn = make_scenario();
+  EXPECT_EQ(scn.slack(15.1, 5.0), kInf);
+}
+
+TEST(EgoWindow, BeforeZoneProjection) {
+  const auto scn = make_scenario();
+  const auto w = scn.ego_passing_window(1.0, -5.0, 10.0);
+  EXPECT_NEAR(w.lo, 1.0 + 1.0, 1e-12);  // 10 m to front at 10 m/s
+  EXPECT_NEAR(w.hi, 1.0 + 2.0, 1e-12);  // 20 m to back
+}
+
+TEST(EgoWindow, StoppedBeforeZoneIsEmpty) {
+  const auto scn = make_scenario();
+  EXPECT_TRUE(scn.ego_passing_window(0.0, -5.0, 0.0).empty());
+}
+
+TEST(EgoWindow, InsideZoneStartsNow) {
+  const auto scn = make_scenario();
+  const auto w = scn.ego_passing_window(2.0, 10.0, 5.0);
+  EXPECT_EQ(w.lo, 2.0);
+  EXPECT_NEAR(w.hi, 3.0, 1e-12);
+  // Stopped inside: occupancy never ends.
+  const auto stuck = scn.ego_passing_window(2.0, 10.0, 0.0);
+  EXPECT_EQ(stuck.hi, kInf);
+}
+
+TEST(EgoWindow, PastZoneIsEmpty) {
+  const auto scn = make_scenario();
+  EXPECT_TRUE(scn.ego_passing_window(0.0, 16.0, 5.0).empty());
+}
+
+TEST(C1Window, ConservativeFromExactState) {
+  const auto scn = make_scenario();
+  // C1 at u=-50 (35 m from its front line), v=10.
+  const auto w = scn.c1_window_conservative(exact_estimate(0.0, -50.0, 10.0));
+  ASSERT_FALSE(w.empty());
+  // Earliest entry: full throttle (a=3, cap 15): ramp from 10 to 15 covers
+  // 125/6 m in 5/3 s, remaining at 15 m/s.
+  const double d_th = (15.0 * 15.0 - 100.0) / 6.0;
+  const double expect_lo = (15.0 - 10.0) / 3.0 + (35.0 - d_th) / 15.0;
+  EXPECT_NEAR(w.lo, expect_lo, 1e-9);
+  // Latest exit: full braking (a=-3) to floor 2: covers (100-4)/6 = 16 m,
+  // remaining 45 - 16 = 29 m at 2 m/s.
+  const double expect_hi = (2.0 - 10.0) / -3.0 + 29.0 / 2.0;
+  EXPECT_NEAR(w.hi, expect_hi, 1e-9);
+}
+
+TEST(C1Window, EmptyOncePast) {
+  const auto scn = make_scenario();
+  EXPECT_TRUE(
+      scn.c1_window_conservative(exact_estimate(0.0, -4.0, 8.0)).empty());
+}
+
+TEST(C1Window, StartsNowWhenInside) {
+  const auto scn = make_scenario();
+  const auto w = scn.c1_window_conservative(exact_estimate(3.0, -10.0, 8.0));
+  EXPECT_EQ(w.lo, 3.0);
+}
+
+TEST(C1Window, InvalidEstimateIsMaximallyConservative) {
+  const auto scn = make_scenario();
+  filter::StateEstimate invalid;
+  invalid.t = 2.0;
+  const auto w = scn.c1_window_conservative(invalid);
+  EXPECT_EQ(w.lo, 2.0);
+  EXPECT_EQ(w.hi, kInf);
+}
+
+TEST(C1Window, AggressiveIsSubsetForPointEstimates) {
+  const auto scn = make_scenario();
+  util::Rng rng(31);
+  const AggressiveBuffers buffers;
+  for (int i = 0; i < 3000; ++i) {
+    const auto est = exact_estimate(0.0, rng.uniform(-70, 0),
+                                    rng.uniform(kC1.v_min, kC1.v_max),
+                                    rng.uniform(kC1.a_min, kC1.a_max));
+    const auto cons = scn.c1_window_conservative(est);
+    const auto aggr = scn.c1_window_aggressive(est, buffers);
+    EXPECT_TRUE(cons.inflated(1e-9).contains(aggr))
+        << "cons=[" << cons.lo << "," << cons.hi << "] aggr=[" << aggr.lo
+        << "," << aggr.hi << "]";
+  }
+}
+
+TEST(C1Window, AggressiveMuchTighterThanConservative) {
+  const auto scn = make_scenario();
+  const auto est = exact_estimate(0.0, -50.0, 10.0, 0.0);
+  const auto cons = scn.c1_window_conservative(est);
+  const auto aggr = scn.c1_window_aggressive(est, AggressiveBuffers{});
+  EXPECT_LT(aggr.width(), 0.5 * cons.width());
+}
+
+// Soundness of the conservative window: along any feasible C1 trajectory,
+// the real entry/exit times stay inside the window computed from any
+// earlier exact state.
+TEST(C1WindowProperty, ConservativeWindowIsSound) {
+  const auto scn = make_scenario();
+  util::Rng rng(33);
+  const double dt_c = 0.05;
+  for (int trial = 0; trial < 200; ++trial) {
+    vehicle::DoubleIntegrator dyn(kC1);
+    vehicle::VehicleState s{rng.uniform(-60, -40), rng.uniform(5, 12)};
+    const auto profile =
+        vehicle::AccelProfile::random(400, dt_c, s.v, kC1, {}, rng);
+    vehicle::Trajectory traj;
+    for (std::size_t step = 0; step < 400; ++step) {
+      traj.push({static_cast<double>(step) * dt_c, s, profile.at(step)});
+      s = dyn.step(s, profile.at(step), dt_c);
+    }
+    const double entry =
+        traj.first_time_at_position(scn.geometry().c1_front);
+    const double exit = traj.first_time_at_position(scn.geometry().c1_back);
+    if (entry < 0.0 || exit < 0.0) continue;
+    for (std::size_t step = 0; step < 400; step += 20) {
+      const auto& snap = traj[step];
+      if (snap.t >= entry) break;
+      const auto w = scn.c1_window_conservative(
+          exact_estimate(snap.t, snap.state.p, snap.state.v, snap.a));
+      ASSERT_FALSE(w.empty());
+      // 1e-3 tolerance: the "real" entry/exit times are measured by
+      // linear interpolation of the sampled (quadratic) trajectory.
+      EXPECT_LE(w.lo, entry + 1e-3) << "trial " << trial;
+      EXPECT_GE(w.hi, exit - 1e-3) << "trial " << trial;
+    }
+  }
+}
+
+TEST(UnsafeSet, RequiresBothConditions) {
+  const auto scn = make_scenario();
+  const util::Interval tau1{2.0, 5.0};
+  // Negative slack + overlapping windows -> unsafe.
+  // p0 = 0, v = 12: d_b = 12 > 5 -> s < 0; window [5/12, 15/12]+t... use
+  // a state whose ego window overlaps tau1.
+  EXPECT_TRUE(scn.in_unsafe_set(1.8, 0.0, 12.0, tau1));
+  // Positive slack -> safe regardless of overlap.
+  EXPECT_FALSE(scn.in_unsafe_set(1.8, -30.0, 6.0, tau1));
+  // Negative slack but disjoint windows -> not in the unsafe set.
+  EXPECT_FALSE(scn.in_unsafe_set(20.0, 0.0, 12.0, tau1));
+  // Empty oncoming window -> never unsafe.
+  EXPECT_FALSE(
+      scn.in_unsafe_set(1.8, 0.0, 12.0, util::Interval::empty_interval()));
+}
+
+TEST(Emergency, LeastBrakingBeforeFrontLine) {
+  const auto scn = make_scenario();
+  const util::Interval tau1{1.0, 5.0};
+  // 10 m gap at 6 m/s: a = -36/20 = -1.8.
+  EXPECT_NEAR(scn.emergency_accel(0.0, -5.0, 6.0, tau1), -1.8, 1e-12);
+}
+
+TEST(Emergency, FullThrottleInsideOrPastZone) {
+  const auto scn = make_scenario();
+  const util::Interval tau1{1.0, 5.0};
+  EXPECT_EQ(scn.emergency_accel(0.0, 6.0, 5.0, tau1), kEgo.a_max);
+  EXPECT_EQ(scn.emergency_accel(0.0, 20.0, 5.0, tau1), kEgo.a_max);
+}
+
+TEST(Emergency, HoldsWhenStoppedAtLine) {
+  const auto scn = make_scenario();
+  EXPECT_EQ(scn.emergency_accel(0.0, 5.0, 0.0, util::Interval{1.0, 5.0}),
+            0.0);
+}
+
+TEST(Emergency, CommittedPassAheadAccelerates) {
+  const auto scn = make_scenario();
+  // Committed (cannot stop: at 14 m/s, d_b = 16.3 m > 0.1 m gap) and the
+  // window is far in the future: full throttle clears well before it.
+  EXPECT_EQ(scn.emergency_accel(0.0, 4.9, 14.0, util::Interval{8.0, 12.0}),
+            kEgo.a_max);
+}
+
+TEST(Emergency, CommittedPassBehindBrakes) {
+  const auto scn = make_scenario();
+  // Committed but the window opens almost immediately: cannot clear ahead,
+  // so the resolving strategy is to brake and delay behind C1.
+  EXPECT_EQ(scn.emergency_accel(0.0, 0.0, 12.0, util::Interval{0.2, 4.0}),
+            kEgo.a_min);
+}
+
+TEST(Resolvable, PassAheadAndDelayBehind) {
+  const auto scn = make_scenario();
+  // Fast and close with a late window: resolvable by passing ahead.
+  EXPECT_TRUE(scn.resolvable(0.0, 0.0, 14.0, util::Interval{6.0, 9.0}));
+  // Slow and far with an early window: resolvable by delaying behind.
+  EXPECT_TRUE(scn.resolvable(0.0, -30.0, 3.0, util::Interval{1.0, 4.0}));
+  // Inside the zone with an imminent window and low speed: doomed.
+  EXPECT_FALSE(scn.resolvable(0.0, 6.0, 1.0, util::Interval{0.5, 6.0}));
+  // Conflict already over: always resolvable.
+  EXPECT_TRUE(scn.resolvable(10.0, 0.0, 1.0, util::Interval{0.5, 6.0}));
+  EXPECT_TRUE(
+      scn.resolvable(0.0, 0.0, 1.0, util::Interval::empty_interval()));
+}
+
+TEST(ZonePredicates, Occupancy) {
+  const auto scn = make_scenario();
+  EXPECT_FALSE(scn.ego_in_zone(5.0));  // boundary not inside
+  EXPECT_TRUE(scn.ego_in_zone(10.0));
+  EXPECT_FALSE(scn.ego_in_zone(15.0));
+  EXPECT_TRUE(scn.c1_in_zone(-10.0));
+  EXPECT_FALSE(scn.c1_in_zone(-20.0));
+  EXPECT_TRUE(scn.collision(10.0, -10.0));
+  EXPECT_FALSE(scn.collision(10.0, -20.0));
+  EXPECT_TRUE(scn.ego_reached_target(20.0));
+  EXPECT_FALSE(scn.ego_reached_target(19.9));
+}
+
+}  // namespace
+}  // namespace cvsafe::scenario

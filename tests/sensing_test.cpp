@@ -1,0 +1,84 @@
+#include "cvsafe/sensing/sensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cvsafe::sensing {
+namespace {
+
+vehicle::VehicleSnapshot snap(double t, double p, double v, double a) {
+  return vehicle::VehicleSnapshot{t, {p, v}, a};
+}
+
+TEST(SensorConfig, UniformHelper) {
+  const auto c = SensorConfig::uniform(2.5, 0.2);
+  EXPECT_EQ(c.delta_p, 2.5);
+  EXPECT_EQ(c.delta_v, 2.5);
+  EXPECT_EQ(c.delta_a, 2.5);
+  EXPECT_EQ(c.period, 0.2);
+}
+
+TEST(Sensor, MeasuresAtPeriodOnly) {
+  Sensor sensor(SensorConfig::uniform(1.0, 0.1));
+  util::Rng rng(1);
+  int readings = 0;
+  for (int step = 0; step < 20; ++step) {
+    if (sensor.sense(snap(step * 0.05, 0.0, 0.0, 0.0), rng)) ++readings;
+  }
+  EXPECT_EQ(readings, 10);  // every other control step
+}
+
+TEST(Sensor, NoiseWithinBounds) {
+  Sensor sensor(SensorConfig{0.1, 1.0, 0.5, 0.25});
+  util::Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const auto r = sensor.sense(snap(i * 0.1, 10.0, 5.0, 1.0), rng);
+    ASSERT_TRUE(r.has_value());
+    ASSERT_LE(std::abs(r->p - 10.0), 1.0);
+    ASSERT_LE(std::abs(r->v - 5.0), 0.5);
+    ASSERT_LE(std::abs(r->a - 1.0), 0.25);
+    EXPECT_EQ(r->t, i * 0.1);
+  }
+}
+
+TEST(Sensor, NoiseIsUniformNotDegenerate) {
+  Sensor sensor(SensorConfig::uniform(1.0, 0.1));
+  util::Rng rng(5);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto r = sensor.sense(snap(i * 0.1, 0.0, 0.0, 0.0), rng);
+    sum += r->p;
+    sum2 += r->p * r->p;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0 / 3.0, 0.01);  // Var(U[-1,1]) = 1/3
+}
+
+TEST(Sensor, DeterministicGivenSeed) {
+  Sensor s1(SensorConfig::uniform(1.0, 0.1));
+  Sensor s2(SensorConfig::uniform(1.0, 0.1));
+  util::Rng r1(9), r2(9);
+  for (int i = 0; i < 50; ++i) {
+    const auto a = s1.sense(snap(i * 0.1, 1.0, 2.0, 0.5), r1);
+    const auto b = s2.sense(snap(i * 0.1, 1.0, 2.0, 0.5), r2);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    EXPECT_EQ(a->p, b->p);
+    EXPECT_EQ(a->v, b->v);
+    EXPECT_EQ(a->a, b->a);
+  }
+}
+
+TEST(Sensor, ZeroNoiseIsExact) {
+  Sensor sensor(SensorConfig::uniform(0.0, 0.1));
+  util::Rng rng(1);
+  const auto r = sensor.sense(snap(0.0, 3.5, -1.25, 0.75), rng);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->p, 3.5);
+  EXPECT_EQ(r->v, -1.25);
+  EXPECT_EQ(r->a, 0.75);
+}
+
+}  // namespace
+}  // namespace cvsafe::sensing

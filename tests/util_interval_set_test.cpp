@@ -1,0 +1,140 @@
+#include "cvsafe/util/interval_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cvsafe/util/rng.hpp"
+
+namespace cvsafe::util {
+namespace {
+
+TEST(IntervalSet, EmptyDefaults) {
+  IntervalSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.measure(), 0.0);
+  EXPECT_FALSE(s.contains(0.0));
+  EXPECT_TRUE(s.hull().empty());
+}
+
+TEST(IntervalSet, SingletonDropsEmpty) {
+  IntervalSet s(Interval::empty_interval());
+  EXPECT_TRUE(s.empty());
+  IntervalSet p(Interval{1.0, 2.0});
+  EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(IntervalSet, NormalizationMergesOverlapsAndTouching) {
+  IntervalSet s{{0.0, 2.0}, {1.0, 3.0}, {3.0, 4.0}, {6.0, 7.0}};
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], (Interval{0.0, 4.0}));
+  EXPECT_EQ(s[1], (Interval{6.0, 7.0}));
+  EXPECT_NEAR(s.measure(), 5.0, 1e-12);
+}
+
+TEST(IntervalSet, InsertKeepsNormalForm) {
+  IntervalSet s{{0.0, 1.0}, {4.0, 5.0}};
+  s.insert(Interval{0.5, 4.2});  // bridges both parts
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0], (Interval{0.0, 5.0}));
+  s.insert(Interval::empty_interval());
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(IntervalSet, ContainsAndIntersects) {
+  const IntervalSet s{{0.0, 1.0}, {3.0, 4.0}};
+  EXPECT_TRUE(s.contains(0.5));
+  EXPECT_TRUE(s.contains(3.0));
+  EXPECT_FALSE(s.contains(2.0));
+  EXPECT_TRUE(s.intersects(Interval{0.9, 1.5}));
+  EXPECT_TRUE(s.intersects(Interval{1.5, 3.0}));  // touches second part
+  EXPECT_FALSE(s.intersects(Interval{1.5, 2.5}));
+  EXPECT_FALSE(s.intersects(Interval::empty_interval()));
+}
+
+TEST(IntervalSet, MinMaxHull) {
+  const IntervalSet s{{3.0, 4.0}, {0.0, 1.0}};
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 4.0);
+  EXPECT_EQ(s.hull(), (Interval{0.0, 4.0}));
+}
+
+TEST(IntervalSet, Unite) {
+  const IntervalSet a{{0.0, 1.0}};
+  const IntervalSet b{{0.5, 2.0}, {5.0, 6.0}};
+  const IntervalSet u = a.unite(b);
+  ASSERT_EQ(u.size(), 2u);
+  EXPECT_EQ(u[0], (Interval{0.0, 2.0}));
+  EXPECT_EQ(u[1], (Interval{5.0, 6.0}));
+}
+
+TEST(IntervalSet, IntersectWithInterval) {
+  const IntervalSet s{{0.0, 2.0}, {4.0, 6.0}};
+  const IntervalSet r = s.intersect(Interval{1.0, 5.0});
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0], (Interval{1.0, 2.0}));
+  EXPECT_EQ(r[1], (Interval{4.0, 5.0}));
+  EXPECT_TRUE(s.intersect(Interval{2.5, 3.5}).empty());
+}
+
+TEST(IntervalSet, After) {
+  const IntervalSet s{{0.0, 2.0}, {4.0, 6.0}};
+  const IntervalSet a = s.after(1.0);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0], (Interval{1.0, 2.0}));
+  const IntervalSet b = s.after(3.0);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0], (Interval{4.0, 6.0}));
+  EXPECT_TRUE(s.after(7.0).empty());
+}
+
+TEST(IntervalSet, FirstPointAfter) {
+  const IntervalSet s{{0.0, 2.0}, {4.0, 6.0}};
+  EXPECT_EQ(s.first_point_after(-1.0).value(), 0.0);
+  EXPECT_EQ(s.first_point_after(1.0).value(), 1.0);
+  EXPECT_EQ(s.first_point_after(3.0).value(), 4.0);
+  EXPECT_FALSE(s.first_point_after(6.5).has_value());
+}
+
+// Property: membership in the union equals membership in some operand.
+TEST(IntervalSetProperty, UnionMembership) {
+  Rng rng(1);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<Interval> parts;
+    IntervalSet s;
+    for (int i = 0; i < 5; ++i) {
+      const double lo = rng.uniform(-10, 10);
+      const Interval iv{lo, lo + rng.uniform(0.0, 3.0)};
+      parts.push_back(iv);
+      s.insert(iv);
+    }
+    for (int q = 0; q < 20; ++q) {
+      const double x = rng.uniform(-11, 14);
+      bool any = false;
+      for (const auto& iv : parts) any = any || iv.contains(x);
+      ASSERT_EQ(s.contains(x), any) << "x=" << x;
+    }
+    // Normal form: sorted and strictly disjoint.
+    for (std::size_t i = 1; i < s.size(); ++i) {
+      ASSERT_GT(s[i].lo, s[i - 1].hi);
+    }
+  }
+}
+
+// Property: measure is monotone under union and bounded by the hull.
+TEST(IntervalSetProperty, MeasureMonotone) {
+  Rng rng(2);
+  for (int trial = 0; trial < 300; ++trial) {
+    IntervalSet s;
+    double prev = 0.0;
+    for (int i = 0; i < 6; ++i) {
+      const double lo = rng.uniform(-10, 10);
+      s.insert(Interval{lo, lo + rng.uniform(0.0, 4.0)});
+      ASSERT_GE(s.measure(), prev - 1e-12);
+      prev = s.measure();
+      ASSERT_LE(s.measure(), s.hull().width() + 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cvsafe::util

@@ -1,0 +1,151 @@
+#include "cvsafe/util/kinematics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "cvsafe/util/rng.hpp"
+
+namespace cvsafe::util {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Quadratic, TwoRoots) {
+  const auto r = solve_quadratic(1.0, -3.0, 2.0);  // roots 1, 2
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(r->lo, 1.0, 1e-12);
+  EXPECT_NEAR(r->hi, 2.0, 1e-12);
+}
+
+TEST(Quadratic, NoRealRoot) {
+  EXPECT_FALSE(solve_quadratic(1.0, 0.0, 1.0).has_value());
+}
+
+TEST(Quadratic, LinearDegenerate) {
+  const auto r = solve_quadratic(0.0, 2.0, -4.0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(r->lo, 2.0, 1e-12);
+  EXPECT_NEAR(r->hi, 2.0, 1e-12);
+  EXPECT_FALSE(solve_quadratic(0.0, 0.0, 1.0).has_value());
+}
+
+TEST(Quadratic, NumericalStabilitySmallA) {
+  // x^2 - 1e8 x + 1 = 0: naive formula loses the small root.
+  const auto r = solve_quadratic(1.0, -1e8, 1.0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(r->lo, 1e-8, 1e-14);
+  EXPECT_NEAR(r->hi, 1e8, 1.0);
+}
+
+TEST(BrakingDistance, MatchesClosedForm) {
+  EXPECT_NEAR(braking_distance(10.0, -5.0), 10.0, 1e-12);
+  EXPECT_NEAR(braking_distance(0.0, -5.0), 0.0, 1e-12);
+}
+
+TEST(Displacement, PureCruise) {
+  EXPECT_NEAR(displacement_with_speed_cap(8.0, 0.0, 2.0, 20.0), 16.0, 1e-12);
+}
+
+TEST(Displacement, UnsaturatedAcceleration) {
+  // v=5, a=2, dt=1, cap 20 (not reached): d = 5 + 1 = 6.
+  EXPECT_NEAR(displacement_with_speed_cap(5.0, 2.0, 1.0, 20.0), 6.0, 1e-12);
+}
+
+TEST(Displacement, SaturatesAtCap) {
+  // v=8, a=2, cap 10: reaches cap after 1 s (9 m), then cruises 10 m/s.
+  EXPECT_NEAR(displacement_with_speed_cap(8.0, 2.0, 2.0, 10.0), 19.0, 1e-12);
+}
+
+TEST(Displacement, DecelerationToFloor) {
+  // v=10, a=-5, floor 0: stops after 2 s having moved 10 m; stays stopped.
+  EXPECT_NEAR(displacement_with_speed_cap(10.0, -5.0, 3.0, 0.0), 10.0,
+              1e-12);
+}
+
+TEST(Displacement, CapAlreadyBinding) {
+  // Accelerating while at the cap: cruise.
+  EXPECT_NEAR(displacement_with_speed_cap(10.0, 3.0, 2.0, 10.0), 20.0,
+              1e-12);
+}
+
+TEST(SpeedAfter, Branches) {
+  EXPECT_NEAR(speed_after(5.0, 2.0, 1.0, 20.0), 7.0, 1e-12);
+  EXPECT_NEAR(speed_after(8.0, 2.0, 2.0, 10.0), 10.0, 1e-12);
+  EXPECT_NEAR(speed_after(10.0, -5.0, 3.0, 0.0), 0.0, 1e-12);
+  EXPECT_NEAR(speed_after(7.0, 0.0, 3.0, 20.0), 7.0, 1e-12);
+}
+
+TEST(TimeToTravel, ZeroDistance) {
+  EXPECT_EQ(time_to_travel(0.0, 5.0, 1.0, 20.0), 0.0);
+  EXPECT_EQ(time_to_travel(-1.0, 5.0, 1.0, 20.0), 0.0);
+}
+
+TEST(TimeToTravel, PureCruise) {
+  EXPECT_NEAR(time_to_travel(10.0, 5.0, 0.0, 20.0), 2.0, 1e-12);
+  EXPECT_EQ(time_to_travel(10.0, 0.0, 0.0, 20.0), kInf);
+}
+
+TEST(TimeToTravel, RampPhaseOnly) {
+  // v=0, a=2: d = t^2 -> 9 m in 3 s.
+  EXPECT_NEAR(time_to_travel(9.0, 0.0, 2.0, 100.0), 3.0, 1e-12);
+}
+
+TEST(TimeToTravel, RampThenCruise) {
+  // v=8, a=2, cap 10: ramp covers 9 m in 1 s, remaining 11 m at 10 m/s.
+  EXPECT_NEAR(time_to_travel(20.0, 8.0, 2.0, 10.0), 1.0 + 1.1, 1e-12);
+}
+
+TEST(TimeToTravel, DecelerationStopsShort) {
+  // v=10, a=-5 stops after 10 m; 20 m unreachable with floor 0.
+  EXPECT_EQ(time_to_travel(20.0, 10.0, -5.0, 0.0), kInf);
+}
+
+TEST(TimeToTravel, DecelerationToPositiveFloor) {
+  // v=10, a=-5, floor 5: ramp covers 7.5 m in 1 s, then 5 m/s cruise.
+  EXPECT_NEAR(time_to_travel(12.5, 10.0, -5.0, 5.0), 2.0, 1e-12);
+}
+
+// Property: time_to_travel and displacement_with_speed_cap are inverse:
+// traveling for the returned time covers exactly the distance.
+TEST(KinematicsProperty, TravelTimeMatchesDisplacement) {
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.uniform(0.0, 15.0);
+    const double a = rng.uniform(-4.0, 4.0);
+    const double cap = a >= 0.0 ? rng.uniform(v, 20.0)
+                                : rng.uniform(0.0, v);
+    const double d = rng.uniform(0.1, 60.0);
+    const double t = time_to_travel(d, v, a, cap);
+    if (!std::isfinite(t)) {
+      // Unreachable: displacement must stay below d forever (check far out).
+      EXPECT_LT(displacement_with_speed_cap(v, a, 1000.0, cap), d + 1e-9);
+      continue;
+    }
+    const double covered = displacement_with_speed_cap(v, a, t, cap);
+    EXPECT_NEAR(covered, d, 1e-6) << "v=" << v << " a=" << a << " cap=" << cap
+                                  << " d=" << d;
+  }
+}
+
+// Property: time_to_travel is monotone — more distance takes longer,
+// higher initial speed is never slower.
+TEST(KinematicsProperty, TravelTimeMonotonicity) {
+  Rng rng(8);
+  for (int i = 0; i < 3000; ++i) {
+    const double v = rng.uniform(0.0, 15.0);
+    const double a = rng.uniform(0.1, 4.0);
+    const double cap = rng.uniform(v + 0.1, 20.0);
+    const double d1 = rng.uniform(0.1, 40.0);
+    const double d2 = d1 + rng.uniform(0.1, 20.0);
+    EXPECT_LE(time_to_travel(d1, v, a, cap), time_to_travel(d2, v, a, cap));
+    const double v2 = v + rng.uniform(0.0, 3.0);
+    const double cap2 = std::max(cap, v2);
+    EXPECT_GE(time_to_travel(d1, v, a, cap) + 1e-12,
+              time_to_travel(d1, v2, a, cap2));
+  }
+}
+
+}  // namespace
+}  // namespace cvsafe::util

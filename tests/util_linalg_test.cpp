@@ -1,0 +1,105 @@
+#include "cvsafe/util/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cvsafe/util/rng.hpp"
+
+namespace cvsafe::util {
+namespace {
+
+Mat2 random_mat(Rng& rng) {
+  return Mat2{rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-5, 5),
+              rng.uniform(-5, 5)};
+}
+
+void expect_mat_near(const Mat2& a, const Mat2& b, double tol = 1e-12) {
+  EXPECT_NEAR(a.a, b.a, tol);
+  EXPECT_NEAR(a.b, b.b, tol);
+  EXPECT_NEAR(a.c, b.c, tol);
+  EXPECT_NEAR(a.d, b.d, tol);
+}
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ((a + b).x, 4.0);
+  EXPECT_EQ((a + b).y, 1.0);
+  EXPECT_EQ((a - b).x, -2.0);
+  EXPECT_EQ((a * 2.0).y, 4.0);
+  EXPECT_EQ(a.dot(b), 1.0);
+}
+
+TEST(Mat2, IdentityAndDiagonal) {
+  const Mat2 i = Mat2::identity();
+  EXPECT_EQ(i.a, 1.0);
+  EXPECT_EQ(i.d, 1.0);
+  EXPECT_EQ(i.b, 0.0);
+  const Mat2 d = Mat2::diagonal(2.0, 3.0);
+  EXPECT_EQ(d.determinant(), 6.0);
+  EXPECT_EQ(d.trace(), 5.0);
+}
+
+TEST(Mat2, MatrixVectorProduct) {
+  const Mat2 m{1.0, 2.0, 3.0, 4.0};
+  const Vec2 v{5.0, 6.0};
+  const Vec2 r = m * v;
+  EXPECT_EQ(r.x, 17.0);
+  EXPECT_EQ(r.y, 39.0);
+}
+
+TEST(Mat2, MatrixProduct) {
+  const Mat2 a{1.0, 2.0, 3.0, 4.0};
+  const Mat2 b{5.0, 6.0, 7.0, 8.0};
+  const Mat2 r = a * b;
+  expect_mat_near(r, Mat2{19.0, 22.0, 43.0, 50.0});
+}
+
+TEST(Mat2, TransposeInvolution) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const Mat2 m = random_mat(rng);
+    expect_mat_near(m.transpose().transpose(), m);
+  }
+}
+
+TEST(Mat2, InverseRoundTrip) {
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    Mat2 m = random_mat(rng);
+    if (std::abs(m.determinant()) < 1e-3) continue;
+    expect_mat_near(m * m.inverse(), Mat2::identity(), 1e-9);
+    expect_mat_near(m.inverse() * m, Mat2::identity(), 1e-9);
+  }
+}
+
+TEST(Mat2, DeterminantOfProduct) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const Mat2 a = random_mat(rng);
+    const Mat2 b = random_mat(rng);
+    EXPECT_NEAR((a * b).determinant(), a.determinant() * b.determinant(),
+                1e-8);
+  }
+}
+
+TEST(Mat2, SymmetryCheck) {
+  EXPECT_TRUE((Mat2{1.0, 2.0, 2.0, 3.0}).is_symmetric());
+  EXPECT_FALSE((Mat2{1.0, 2.0, 2.1, 3.0}).is_symmetric());
+}
+
+TEST(Mat2, PositiveSemidefinite) {
+  EXPECT_TRUE(Mat2::diagonal(1.0, 2.0).is_positive_semidefinite());
+  EXPECT_TRUE(Mat2::zero().is_positive_semidefinite());
+  EXPECT_FALSE(Mat2::diagonal(-1.0, 2.0).is_positive_semidefinite());
+  // Covariance-like matrix: A A^T is PSD for any A.
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const Mat2 a = random_mat(rng);
+    EXPECT_TRUE((a * a.transpose()).is_positive_semidefinite())
+        << "iteration " << i;
+  }
+}
+
+}  // namespace
+}  // namespace cvsafe::util

@@ -1,0 +1,118 @@
+#include "cvsafe/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cvsafe/util/rng.hpp"
+
+namespace cvsafe::util {
+namespace {
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(1);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5, 5);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_NEAR(a.mean(), 2.0, 1e-12);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_NEAR(b.mean(), 2.0, 1e-12);
+}
+
+TEST(Mean, Basic) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_NEAR(mean(xs), 2.0, 1e-12);
+  EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(Rmse, KnownValue) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{1.0, 4.0, 3.0};
+  EXPECT_NEAR(rmse(a, b), std::sqrt(4.0 / 3.0), 1e-12);
+}
+
+TEST(Rmse, ZeroWhenEqual) {
+  const std::vector<double> a{1.5, -2.5};
+  EXPECT_EQ(rmse(a, a), 0.0);
+}
+
+TEST(Quantile, MedianAndExtremes) {
+  const std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_NEAR(quantile(xs, 0.5), 3.0, 1e-12);
+  EXPECT_NEAR(quantile(xs, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(quantile(xs, 1.0), 5.0, 1e-12);
+  EXPECT_NEAR(quantile(xs, 0.25), 2.0, 1e-12);
+}
+
+TEST(FractionPositive, Basic) {
+  const std::vector<double> xs{1.0, -1.0, 0.0, 2.0};
+  EXPECT_NEAR(fraction_positive(xs), 0.5, 1e-12);
+  EXPECT_EQ(fraction_positive({}), 0.0);
+}
+
+TEST(BootstrapCi, CoversTheMean) {
+  Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 400; ++i) xs.push_back(rng.normal(5.0, 2.0));
+  Rng boot(1);
+  const ConfidenceInterval ci = bootstrap_mean_ci(xs, 0.95, boot, 2000);
+  EXPECT_NEAR(ci.point, mean(xs), 1e-12);
+  EXPECT_LT(ci.lo, ci.point);
+  EXPECT_GT(ci.hi, ci.point);
+  // Interval roughly 2 * 1.96 * sigma / sqrt(n) wide.
+  const double expected_width = 2.0 * 1.96 * 2.0 / std::sqrt(400.0);
+  EXPECT_NEAR(ci.hi - ci.lo, expected_width, expected_width * 0.5);
+  // Deterministic given the bootstrap seed.
+  Rng boot2(1);
+  const ConfidenceInterval ci2 = bootstrap_mean_ci(xs, 0.95, boot2, 2000);
+  EXPECT_EQ(ci.lo, ci2.lo);
+  EXPECT_EQ(ci.hi, ci2.hi);
+}
+
+TEST(BootstrapCi, DegenerateSample) {
+  Rng rng(1);
+  const std::vector<double> xs{3.0, 3.0, 3.0};
+  const ConfidenceInterval ci = bootstrap_mean_ci(xs, 0.9, rng, 100);
+  EXPECT_EQ(ci.lo, 3.0);
+  EXPECT_EQ(ci.hi, 3.0);
+}
+
+}  // namespace
+}  // namespace cvsafe::util

@@ -1,0 +1,135 @@
+#include "cvsafe/verify/certify.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cvsafe::verify {
+namespace {
+
+const vehicle::VehicleLimits kEgo{0.0, 15.0, -6.0, 3.0};
+const vehicle::VehicleLimits kC1{2.0, 15.0, -3.0, 3.0};
+
+scenario::LeftTurnScenario paper_scenario() {
+  return scenario::LeftTurnScenario(scenario::LeftTurnGeometry{}, kEgo, kC1,
+                                    0.05);
+}
+
+TEST(CertifyEq4, PaperConfigurationHolds) {
+  // Coarser grid than the example binary keeps the test fast.
+  GridSpec grid;
+  grid.p_step = 0.2;
+  grid.v_step = 0.5;
+  grid.tau_step = 1.0;
+  const Certificate cert = certify_emergency_eq4(paper_scenario(), grid);
+  EXPECT_GT(cert.checked, 1000u);
+  EXPECT_TRUE(cert.holds()) << cert.counterexamples.size()
+                            << " counterexamples, first: "
+                            << (cert.counterexamples.empty()
+                                    ? ""
+                                    : cert.counterexamples[0].detail);
+}
+
+TEST(CertifyResolvability, PaperConfigurationHolds) {
+  util::Rng rng(1);
+  const Certificate cert =
+      certify_resolvability_invariance(paper_scenario(), 5000, rng);
+  EXPECT_GT(cert.checked, 500u);
+  EXPECT_TRUE(cert.holds());
+}
+
+TEST(CertifyWindowSoundness, PaperConfigurationHolds) {
+  util::Rng rng(2);
+  const Certificate cert =
+      certify_window_soundness(paper_scenario(), 80, rng);
+  EXPECT_GT(cert.checked, 500u);
+  EXPECT_TRUE(cert.holds());
+}
+
+TEST(CertifyMonotonicity, HoldsUnderDelayAndNoise) {
+  util::Rng rng(3);
+  const Certificate cert = certify_filter_monotonicity(
+      paper_scenario(), sensing::SensorConfig::uniform(3.0),
+      comm::CommConfig::delayed(0.5, 0.25), 60, rng);
+  EXPECT_GT(cert.checked, 2000u);
+  EXPECT_TRUE(cert.holds());
+}
+
+TEST(CertifyMonotonicity, HoldsWithMessagesLost) {
+  util::Rng rng(4);
+  const Certificate cert = certify_filter_monotonicity(
+      paper_scenario(), sensing::SensorConfig::uniform(4.8),
+      comm::CommConfig::messages_lost(), 60, rng);
+  EXPECT_TRUE(cert.holds());
+}
+
+// The certifier must actually DETECT violations. Certifying window
+// soundness for a scenario that UNDERSTATES the oncoming vehicle's
+// authority (claims |a| <= 0.5 while the certifier's workload — drawn
+// from the scenario's limits — is checked against a window computed with
+// the understated limits) is exercised by comparing scenarios directly:
+// windows computed with weaker claimed limits must fail to bracket
+// trajectories generated under the true, stronger limits.
+TEST(CertifyDetection, UnderstatedLimitsBreakWindowSoundness) {
+  // Scenario whose claimed oncoming limits are much weaker than the
+  // actual vehicle (v capped at 9 instead of 15): its Eq. 7 windows are
+  // too narrow for real traffic. We emulate "real traffic" by running the
+  // certifier of the TRUE scenario but checking the WEAK scenario's
+  // windows manually.
+  const scenario::LeftTurnScenario weak(
+      scenario::LeftTurnGeometry{}, kEgo,
+      vehicle::VehicleLimits{2.0, 9.0, -0.5, 0.5}, 0.05);
+  util::Rng rng(7);
+  const Certificate cert = certify_window_soundness(weak, 80, rng);
+  // The certifier generates trajectories with the weak limits too, so it
+  // still holds — the *self-consistency* is what is certified.
+  EXPECT_TRUE(cert.holds());
+
+  // Cross-check: a weak-scenario window evaluated on a fast real state
+  // fails to contain the entry a strong vehicle can achieve — i.e. the
+  // certificates are configuration-specific, not vacuous.
+  filter::StateEstimate est;
+  est.t = 0.0;
+  est.p = util::Interval::point(-50.0);
+  est.v = util::Interval::point(9.0);
+  est.p_hat = -50.0;
+  est.v_hat = 9.0;
+  est.valid = true;
+  const auto weak_window = weak.c1_window_conservative(est);
+  const auto strong_window =
+      paper_scenario().c1_window_conservative(est);
+  // The strong vehicle can arrive earlier than the weak window's start.
+  EXPECT_LT(strong_window.lo, weak_window.lo);
+}
+
+TEST(CertifyLaneChange, PaperStyleConfigurationHolds) {
+  const scenario::LaneChangeScenario scn(
+      scenario::LaneChangeGeometry{}, vehicle::VehicleLimits{0, 18, -6, 3},
+      vehicle::VehicleLimits{3, 15, -3, 2}, 0.05);
+  util::Rng rng(11);
+  const Certificate cert = certify_lane_change_eq4(scn, 4000, rng);
+  EXPECT_GT(cert.checked, 300u);
+  EXPECT_TRUE(cert.holds()) << (cert.counterexamples.empty()
+                                    ? ""
+                                    : cert.counterexamples[0].detail);
+}
+
+TEST(CertifyIntersection, DefaultConfigurationHolds) {
+  const scenario::IntersectionScenario scn(
+      scenario::IntersectionGeometry{}, kEgo, 0.05);
+  util::Rng rng(12);
+  const Certificate cert = certify_intersection_invariance(scn, 4000, rng);
+  EXPECT_GT(cert.checked, 500u);
+  EXPECT_TRUE(cert.holds()) << (cert.counterexamples.empty()
+                                    ? ""
+                                    : cert.counterexamples[0].detail);
+}
+
+TEST(Certificate, HoldsReflectsCounterexamples) {
+  Certificate cert;
+  cert.property = "synthetic";
+  EXPECT_TRUE(cert.holds());
+  cert.counterexamples.push_back(Counterexample{0, 0, 0, {}, "boom"});
+  EXPECT_FALSE(cert.holds());
+}
+
+}  // namespace
+}  // namespace cvsafe::verify

@@ -1,0 +1,289 @@
+// cvsafe command-line interface.
+//
+//   cvsafe_cli run     [options]   one episode, optionally with a CSV trace
+//   cvsafe_cli batch   [options]   N seed-paired episodes with statistics
+//   cvsafe_cli sweep   [options]   disturbance sweep (--kind drop|sensor)
+//   cvsafe_cli train   [options]   train + save the NN planners
+//   cvsafe_cli certify [options]   offline safety certificates
+//
+// A --config FILE (INI, see include/cvsafe/eval/config_io.hpp) customizes
+// geometry, actuation limits, channel and sensor before flag overrides.
+//
+// Common options:
+//   --style cons|aggr        embedded NN planner style   (default cons)
+//   --variant pure|basic|ultimate                        (default ultimate)
+//   --drop P                 message drop probability    (default 0)
+//   --delay D                message delay [s]           (default 0)
+//   --lost                   drop every message
+//   --delta X                sensor uncertainty          (default 1.0)
+//   --seed N                 first seed                  (default 1)
+//   --sims N                 batch size / training size scale
+//   --threads N              worker threads (0 = hardware)
+//   --trace FILE             (run) per-step CSV trace
+//   --out DIR                (train) output directory
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cvsafe/eval/config_io.hpp"
+#include "cvsafe/eval/experiments.hpp"
+#include "cvsafe/nn/serialize.hpp"
+#include "cvsafe/util/csv.hpp"
+#include "cvsafe/util/table.hpp"
+#include "cvsafe/verify/certify.hpp"
+
+namespace {
+
+using namespace cvsafe;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> values;
+  std::vector<std::string> flags;
+
+  bool has_flag(const std::string& name) const {
+    for (const auto& f : flags) {
+      if (f == name) return true;
+    }
+    return false;
+  }
+  std::string value(const std::string& name, const std::string& dflt) const {
+    const auto it = values.find(name);
+    return it == values.end() ? dflt : it->second;
+  }
+  double number(const std::string& name, double dflt) const {
+    const auto it = values.find(name);
+    return it == values.end() ? dflt : std::strtod(it->second.c_str(),
+                                                   nullptr);
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) continue;
+    token = token.substr(2);
+    // Value options take the next token; boolean flags stand alone.
+    if (i + 1 < argc && argv[i + 1][0] != '-') {
+      args.values[token] = argv[++i];
+    } else {
+      args.flags.push_back(token);
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: cvsafe_cli run|batch|sweep|train|certify [options]\n"
+               "see the header of tools/cvsafe_cli.cpp for options\n");
+  return 2;
+}
+
+eval::SimConfig build_config(const Args& args) {
+  // Order: paper defaults -> optional --config file -> flag overrides.
+  eval::SimConfig config = eval::SimConfig::paper_defaults();
+  if (args.values.count("config")) {
+    config = eval::load_sim_config(args.value("config", ""));
+  }
+  const double drop = args.number("drop", 0.0);
+  const double delay = args.number("delay", 0.0);
+  if (args.has_flag("lost")) {
+    config.comm = comm::CommConfig::messages_lost();
+  } else if (drop > 0.0 || delay > 0.0) {
+    config.comm = comm::CommConfig::delayed(drop, delay > 0.0 ? delay : 0.25);
+  }
+  if (args.values.count("delta")) {
+    config.sensor =
+        sensing::SensorConfig::uniform(args.number("delta", 1.0));
+  }
+  return config;
+}
+
+planners::PlannerStyle parse_style(const Args& args) {
+  return args.value("style", "cons") == "aggr"
+             ? planners::PlannerStyle::kAggressive
+             : planners::PlannerStyle::kConservative;
+}
+
+eval::PlannerVariant parse_variant(const Args& args) {
+  const std::string v = args.value("variant", "ultimate");
+  if (v == "pure") return eval::PlannerVariant::kPureNn;
+  if (v == "basic") return eval::PlannerVariant::kBasic;
+  return eval::PlannerVariant::kUltimate;
+}
+
+int cmd_run(const Args& args) {
+  const eval::SimConfig config = build_config(args);
+  const auto bp =
+      eval::make_nn_blueprint(config, parse_style(args), parse_variant(args));
+  const auto seed = static_cast<std::uint64_t>(args.number("seed", 1));
+
+  eval::SimTrace trace;
+  const bool want_trace = args.values.count("trace") > 0;
+  const eval::SimResult r = eval::run_left_turn_simulation(
+      config, bp, seed, want_trace ? &trace : nullptr);
+
+  std::printf("planner    %s\n", bp.name.c_str());
+  std::printf("channel    %s, sensor delta %.2f\n",
+              config.comm.label().c_str(), config.sensor.delta_p);
+  std::printf("seed       %llu\n", static_cast<unsigned long long>(seed));
+  std::printf("collided   %s\n", r.collided ? "YES" : "no");
+  std::printf("reached    %s\n", r.reached ? "yes" : "no");
+  if (r.reached) std::printf("t_r        %.3f s\n", r.reach_time);
+  std::printf("eta        %.4f\n", r.eta);
+  std::printf("emergency  %zu / %zu steps\n", r.emergency_steps, r.steps);
+
+  if (want_trace) {
+    const std::string path = args.value("trace", "trace.csv");
+    util::CsvWriter csv(path);
+    if (!csv.ok()) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    csv.header({"t", "ego_p", "ego_v", "a_cmd", "c1_u", "c1_v", "emergency",
+                "tau1_lo", "tau1_hi"});
+    for (std::size_t i = 0; i < trace.ego.size(); ++i) {
+      csv.row({trace.ego[i].t, trace.ego[i].state.p, trace.ego[i].state.v,
+               trace.accel_commands[i], trace.c1[i].state.p,
+               trace.c1[i].state.v, trace.emergency_flags[i] ? 1.0 : 0.0,
+               trace.tau1_lo[i], trace.tau1_hi[i]});
+    }
+    std::printf("trace      %s\n", path.c_str());
+  }
+  return r.collided ? 1 : 0;
+}
+
+int cmd_batch(const Args& args) {
+  const eval::SimConfig config = build_config(args);
+  const auto bp =
+      eval::make_nn_blueprint(config, parse_style(args), parse_variant(args));
+  const auto n = static_cast<std::size_t>(args.number("sims", 500));
+  const auto seed = static_cast<std::uint64_t>(args.number("seed", 1));
+  const auto threads = static_cast<std::size_t>(args.number("threads", 0));
+
+  const eval::BatchStats stats = eval::run_batch(config, bp, n, seed,
+                                                 threads);
+  util::Table table("batch: " + bp.name + " under " + config.comm.label());
+  table.set_header({"episodes", "safe rate", "reach rate", "reaching time",
+                    "mean eta", "emergency freq"});
+  table.add_row({std::to_string(stats.n),
+                 util::Table::percent(stats.safe_rate()),
+                 util::Table::percent(stats.reach_rate()),
+                 util::Table::num(stats.mean_reach_time) + "s",
+                 util::Table::num(stats.mean_eta),
+                 util::Table::percent(stats.emergency_frequency())});
+  std::cout << table;
+  return stats.safe_count == stats.n ? 0 : 1;
+}
+
+int cmd_train(const Args& args) {
+  const eval::SimConfig config = build_config(args);
+  const auto scenario = config.make_scenario();
+  const std::string out_dir = args.value("out", ".");
+  planners::TrainingOptions options;
+  if (args.values.count("sims")) {
+    options.num_samples = static_cast<std::size_t>(args.number("sims", 0));
+  }
+  for (const auto style : {planners::PlannerStyle::kConservative,
+                           planners::PlannerStyle::kAggressive}) {
+    const nn::Mlp net =
+        planners::train_planner_network(*scenario, style, options);
+    const std::string path = out_dir + "/left_turn_" +
+                             planners::planner_style_name(style) + ".mlp";
+    if (!nn::save_mlp_file(net, path)) {
+      std::fprintf(stderr, "failed to save %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("trained %s planner (%zu samples) -> %s\n",
+                planners::planner_style_name(style), options.num_samples,
+                path.c_str());
+  }
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  // cvsafe_cli sweep --kind drop|sensor --points N --sims M
+  const std::string kind = args.value("kind", "drop");
+  const auto setting = kind == "sensor" ? eval::CommSetting::kLost
+                                        : eval::CommSetting::kDelayed;
+  const auto grid = kind == "sensor" ? eval::sensor_delta_grid()
+                                     : eval::drop_prob_grid();
+  const auto points =
+      std::min<std::size_t>(grid.size(),
+                            static_cast<std::size_t>(
+                                args.number("points", 10)));
+  const auto sims = static_cast<std::size_t>(args.number("sims", 200));
+  const auto threads = static_cast<std::size_t>(args.number("threads", 0));
+  const eval::SimConfig base = build_config(args);
+  const auto style = parse_style(args);
+
+  util::Table table("sweep: " + kind + " (" +
+                    planners::planner_style_name(style) + " NN, " +
+                    std::to_string(sims) + " sims/point)");
+  table.set_header({kind == "sensor" ? "delta" : "p_drop", "pure t_r",
+                    "ultimate t_r", "ultimate emergency"});
+  const std::size_t stride = grid.size() / points;
+  for (std::size_t gi = 0; gi < grid.size(); gi += std::max<std::size_t>(
+                                                 1, stride)) {
+    const eval::SimConfig cfg = eval::apply_setting(base, setting, grid[gi]);
+    const auto pure = eval::run_batch(
+        cfg, eval::make_nn_blueprint(cfg, style,
+                                     eval::PlannerVariant::kPureNn),
+        sims, 1, threads);
+    const auto ult = eval::run_batch(
+        cfg, eval::make_nn_blueprint(cfg, style,
+                                     eval::PlannerVariant::kUltimate),
+        sims, 1, threads);
+    table.add_row({util::Table::num(grid[gi], 2),
+                   util::Table::num(pure.mean_reach_time) + "s",
+                   util::Table::num(ult.mean_reach_time) + "s",
+                   util::Table::percent(ult.emergency_frequency())});
+  }
+  std::cout << table;
+  return 0;
+}
+
+int cmd_certify(const Args& args) {
+  const eval::SimConfig config = build_config(args);
+  const auto scenario = config.make_scenario();
+  util::Rng rng(static_cast<std::uint64_t>(args.number("seed", 20230417)));
+
+  int failures = 0;
+  const auto report = [&failures](const verify::Certificate& cert) {
+    std::printf("%-72s %8zu checks  %s\n", cert.property.c_str(),
+                cert.checked, cert.holds() ? "CERTIFIED" : "FAILED");
+    if (!cert.holds()) ++failures;
+  };
+  report(verify::certify_emergency_eq4(*scenario));
+  report(verify::certify_resolvability_invariance(*scenario, 20000, rng));
+  report(verify::certify_window_soundness(*scenario, 200, rng));
+  report(verify::certify_filter_monotonicity(
+      *scenario, config.sensor, config.comm, 150, rng));
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  try {
+    if (args.command == "run") return cmd_run(args);
+    if (args.command == "batch") return cmd_batch(args);
+    if (args.command == "train") return cmd_train(args);
+    if (args.command == "sweep") return cmd_sweep(args);
+    if (args.command == "certify") return cmd_certify(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cvsafe_cli: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
