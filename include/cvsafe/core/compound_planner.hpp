@@ -1,6 +1,5 @@
 #pragma once
 
-#include <cassert>
 #include <cstddef>
 #include <memory>
 #include <string>
@@ -9,6 +8,7 @@
 
 #include "cvsafe/core/planner.hpp"
 #include "cvsafe/core/safety_model.hpp"
+#include "cvsafe/util/contracts.hpp"
 
 /// \file compound_planner.hpp
 /// The compound planner kappa_c of Section III (Fig. 2): a runtime monitor
@@ -65,10 +65,13 @@ class CompoundPlanner final : public PlannerBase<World> {
                   CompoundOptions options = {})
       : nn_planner_(std::move(nn_planner)),
         safety_model_(std::move(safety_model)),
-        options_(options),
-        name_(std::string("compound(") + std::string(nn_planner_->name()) +
-              (options.aggressive_unsafe_set ? ", aggressive)" : ")")) {
-    assert(nn_planner_ != nullptr && safety_model_ != nullptr);
+        options_(options) {
+    CVSAFE_EXPECTS(nn_planner_ != nullptr,
+                   "compound planner needs an embedded planner");
+    CVSAFE_EXPECTS(safety_model_ != nullptr,
+                   "compound planner needs a safety model");
+    name_ = std::string("compound(") + std::string(nn_planner_->name()) +
+            (options.aggressive_unsafe_set ? ", aggressive)" : ")");
   }
 
   /// One control step of the runtime monitor (Section III-C):

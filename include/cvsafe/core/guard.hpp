@@ -1,6 +1,5 @@
 #pragma once
 
-#include <cassert>
 #include <cmath>
 #include <cstddef>
 #include <memory>
@@ -9,6 +8,7 @@
 
 #include "cvsafe/core/planner.hpp"
 #include "cvsafe/core/safety_model.hpp"
+#include "cvsafe/util/contracts.hpp"
 
 /// \file guard.hpp
 /// Output guard for embedded planners.
@@ -30,10 +30,10 @@ class GuardedPlanner final : public PlannerBase<World> {
  public:
   GuardedPlanner(std::shared_ptr<PlannerBase<World>> inner,
                  std::shared_ptr<const SafetyModelBase<World>> safety_model)
-      : inner_(std::move(inner)),
-        safety_model_(std::move(safety_model)),
-        name_(std::string("guarded(") + std::string(inner_->name()) + ")") {
-    assert(inner_ != nullptr && safety_model_ != nullptr);
+      : inner_(std::move(inner)), safety_model_(std::move(safety_model)) {
+    CVSAFE_EXPECTS(inner_ != nullptr, "guard needs an inner planner");
+    CVSAFE_EXPECTS(safety_model_ != nullptr, "guard needs a safety model");
+    name_ = std::string("guarded(") + std::string(inner_->name()) + ")";
   }
 
   double plan(const World& world) override {

@@ -4,6 +4,8 @@
 #include <functional>
 #include <vector>
 
+#include "cvsafe/util/contracts.hpp"
+
 /// \file preimage.hpp
 /// Generic one-step preimage computation — Eq. 3 as an operator.
 ///
@@ -55,6 +57,7 @@ struct PreimageResult {
   std::vector<RegionLabel> labels;  ///< row-major: j * nx + i
 
   RegionLabel at(std::size_t i, std::size_t j) const {
+    CVSAFE_EXPECTS(i < grid.nx && j < grid.nv, "grid index out of range");
     return labels[j * grid.nx + i];
   }
   std::size_t count(RegionLabel label) const {

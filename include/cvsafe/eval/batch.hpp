@@ -50,7 +50,8 @@ BatchStats run_batch(const SimConfig& config, const AgentBlueprint& blueprint,
 
 /// Winning percentage of Tables I and II: the fraction of paired episodes
 /// in which planner A achieves a higher eta than planner B. \p tolerance
-/// treats differences up to it as wins for A; the tables use a tolerance
+/// treats differences up to it as wins for A, except that an exact tie is
+/// a coin flip and counts half a win; the tables use a tolerance
 /// equivalent to one control step of reaching time (eta values within
 /// ~1e-3 of each other describe episodes that differ by at most one
 /// 50 ms decision), matching the paper's tie-inclusive percentages.

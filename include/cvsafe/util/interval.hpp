@@ -4,6 +4,8 @@
 #include <cmath>
 #include <iosfwd>
 
+#include "cvsafe/util/contracts.hpp"
+
 /// \file interval.hpp
 /// Closed real interval arithmetic.
 ///
@@ -29,6 +31,7 @@ struct Interval {
 
   /// Interval [center - radius, center + radius]. Requires radius >= 0.
   static Interval centered(double center, double radius) {
+    CVSAFE_EXPECTS(radius >= 0.0, "centered interval needs radius >= 0");
     return Interval{center - radius, center + radius};
   }
 
@@ -41,8 +44,11 @@ struct Interval {
   /// Width hi - lo; 0 for empty intervals.
   double width() const { return empty() ? 0.0 : hi - lo; }
 
-  /// Midpoint (lo + hi) / 2. Meaningless for empty intervals.
-  double mid() const { return 0.5 * (lo + hi); }
+  /// Midpoint (lo + hi) / 2. Requires non-empty.
+  double mid() const {
+    CVSAFE_EXPECTS(!empty(), "midpoint of an empty interval");
+    return 0.5 * (lo + hi);
+  }
 
   /// True iff x lies in [lo, hi].
   bool contains(double x) const { return lo <= x && x <= hi; }
@@ -79,12 +85,16 @@ struct Interval {
 
   /// Interval expanded by \p margin on both sides (margin >= 0).
   Interval inflated(double margin) const {
+    CVSAFE_EXPECTS(margin >= 0.0, "inflate margin must be >= 0");
     if (empty()) return empty_interval();
     return Interval{lo - margin, hi + margin};
   }
 
   /// Clamps x into the interval. Requires non-empty.
-  double clamp(double x) const { return std::clamp(x, lo, hi); }
+  double clamp(double x) const {
+    CVSAFE_EXPECTS(!empty(), "clamp against an empty interval");
+    return std::clamp(x, lo, hi);
+  }
 
   /// Minkowski sum: [lo1+lo2, hi1+hi2].
   Interval operator+(const Interval& other) const {

@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "cvsafe/util/contracts.hpp"
 #include "cvsafe/util/interval.hpp"
 
 /// \file interval_set.hpp
@@ -36,18 +37,27 @@ class IntervalSet {
   std::size_t size() const { return parts_.size(); }
 
   /// The i-th maximal interval (sorted by lower bound).
-  const Interval& operator[](std::size_t i) const { return parts_[i]; }
+  const Interval& operator[](std::size_t i) const {
+    CVSAFE_EXPECTS(i < parts_.size(), "interval index out of range");
+    return parts_[i];
+  }
   auto begin() const { return parts_.begin(); }
   auto end() const { return parts_.end(); }
 
   /// Total measure (sum of widths).
   double measure() const;
 
-  /// Smallest covered point; meaningless when empty.
-  double min() const { return parts_.front().lo; }
+  /// Smallest covered point; requires non-empty.
+  double min() const {
+    CVSAFE_EXPECTS(!empty(), "min of an empty interval set");
+    return parts_.front().lo;
+  }
 
-  /// Largest covered point; meaningless when empty.
-  double max() const { return parts_.back().hi; }
+  /// Largest covered point; requires non-empty.
+  double max() const {
+    CVSAFE_EXPECTS(!empty(), "max of an empty interval set");
+    return parts_.back().hi;
+  }
 
   /// Smallest single interval containing the whole set.
   Interval hull() const;

@@ -1,12 +1,13 @@
 #include "cvsafe/core/preimage.hpp"
 
-#include <cassert>
+#include "cvsafe/util/contracts.hpp"
 
 namespace cvsafe::core {
 
 std::vector<double> sample_controls(double u_min, double u_max,
                                     std::size_t count) {
-  assert(count >= 2 && u_min <= u_max);
+  CVSAFE_EXPECTS(count >= 2, "control sampling needs at least 2 points");
+  CVSAFE_EXPECTS(u_min <= u_max, "control range must be ordered");
   std::vector<double> controls;
   controls.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
@@ -20,7 +21,10 @@ PreimageResult compute_boundary_grid(const PreimageGrid& grid,
                                      const StepFn& step,
                                      const UnsafeFn& unsafe,
                                      const std::vector<double>& controls) {
-  assert(!controls.empty());
+  CVSAFE_EXPECTS(!controls.empty(), "boundary grid needs control samples");
+  CVSAFE_EXPECTS(grid.nx > 0 && grid.nv > 0, "preimage grid must be non-empty");
+  CVSAFE_EXPECTS(step != nullptr && unsafe != nullptr,
+                 "step and unsafe predicates must be callable");
   PreimageResult result;
   result.grid = grid;
   result.labels.assign(grid.nx * grid.nv, RegionLabel::kSafe);

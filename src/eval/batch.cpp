@@ -1,7 +1,6 @@
 #include "cvsafe/eval/batch.hpp"
 
-#include <cassert>
-
+#include "cvsafe/util/contracts.hpp"
 #include "cvsafe/util/thread_pool.hpp"
 
 namespace cvsafe::eval {
@@ -32,7 +31,7 @@ void BatchStats::merge(const BatchStats& other) {
 BatchStats run_batch(const SimConfig& config, const AgentBlueprint& blueprint,
                      std::size_t n, std::uint64_t base_seed,
                      std::size_t threads) {
-  assert(n > 0);
+  CVSAFE_EXPECTS(n > 0, "batch must contain at least one episode");
   std::vector<SimResult> results(n);
   util::parallel_for(
       n,
@@ -68,12 +67,19 @@ BatchStats run_batch(const SimConfig& config, const AgentBlueprint& blueprint,
 
 double winning_fraction(std::span<const double> etas_a,
                         std::span<const double> etas_b, double tolerance) {
-  assert(etas_a.size() == etas_b.size() && !etas_a.empty());
-  std::size_t wins = 0;
+  CVSAFE_EXPECTS(etas_a.size() == etas_b.size(),
+                 "winning_fraction requires paired eta vectors");
+  CVSAFE_EXPECTS(!etas_a.empty(),
+                 "winning_fraction requires at least one episode");
+  CVSAFE_EXPECTS(tolerance >= 0.0, "tie tolerance must be non-negative");
+  double wins = 0.0;
   for (std::size_t i = 0; i < etas_a.size(); ++i) {
-    if (etas_a[i] > etas_b[i] - tolerance) ++wins;
+    if (!(etas_a[i] > etas_b[i] - tolerance)) continue;
+    // Within-tolerance comparisons count as wins for A, but an exact tie
+    // is a coin flip and contributes only half a win.
+    wins += etas_a[i] == etas_b[i] ? 0.5 : 1.0;  // cvsafe-lint: allow(float-compare)
   }
-  return static_cast<double>(wins) / static_cast<double>(etas_a.size());
+  return wins / static_cast<double>(etas_a.size());
 }
 
 }  // namespace cvsafe::eval

@@ -1,17 +1,20 @@
 #include "cvsafe/filter/consistency.hpp"
 
-#include <cassert>
+#include "cvsafe/util/contracts.hpp"
 
 namespace cvsafe::filter {
 
 NisMonitor::NisMonitor(double alpha, double high_gate, std::size_t warmup)
     : alpha_(alpha), high_gate_(high_gate), warmup_(warmup) {
-  assert(alpha > 0.0 && alpha <= 1.0);
-  assert(high_gate > 0.0);
+  CVSAFE_EXPECTS(alpha > 0.0 && alpha <= 1.0,
+                 "NIS smoothing factor must lie in (0, 1]");
+  CVSAFE_EXPECTS(high_gate > 0.0, "NIS divergence gate must be positive");
 }
 
 double NisMonitor::update(const util::Vec2& y, const util::Mat2& s) {
-  assert(s.determinant() != 0.0);
+  // cvsafe-lint: allow(float-compare) exact singularity guard
+  CVSAFE_EXPECTS(s.determinant() != 0.0,
+                 "innovation covariance must be invertible");
   const util::Vec2 si_y = s.inverse() * y;
   const double nis = y.dot(si_y);
   ++count_;

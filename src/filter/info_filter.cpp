@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "cvsafe/util/contracts.hpp"
+
 namespace cvsafe::filter {
 
 using util::Interval;
@@ -33,6 +35,8 @@ InformationFilter::InformationFilter(vehicle::VehicleLimits limits,
                            sensor.delta_a, 3.0, 64}) {}
 
 void InformationFilter::fuse(const StateBounds& incoming) {
+  CVSAFE_EXPECTS(!incoming.p.empty() && !incoming.v.empty(),
+                 "fused information must describe a non-empty state set");
   if (!fused_) {
     fused_ = incoming;
     return;
@@ -136,6 +140,10 @@ StateEstimate InformationFilter::estimate(double t) const {
   est.a_hat = (last_msg_time_ >= last_sense_time_) ? last_msg_accel_
                                                    : last_sense_accel_;
   est.valid = true;
+  CVSAFE_ENSURES(!est.p.empty() && !est.v.empty(),
+                 "a valid estimate must carry non-empty bounds");
+  CVSAFE_ENSURES(est.p.contains(est.p_hat) && est.v.contains(est.v_hat),
+                 "point estimate must lie inside its own bounds");
   return est;
 }
 

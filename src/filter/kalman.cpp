@@ -1,8 +1,9 @@
 #include "cvsafe/filter/kalman.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "cvsafe/util/contracts.hpp"
 
 namespace cvsafe::filter {
 
@@ -33,7 +34,12 @@ KalmanFilter::KalmanFilter(KalmanConfig config)
       q_(process_noise(config.dt, config.delta_a)),
       r_(Mat2::diagonal(config.delta_p * config.delta_p / 3.0,
                         config.delta_v * config.delta_v / 3.0)) {
-  assert(config.dt > 0.0);
+  CVSAFE_EXPECTS(config.dt > 0.0, "Kalman filter needs dt > 0");
+  CVSAFE_EXPECTS(config.delta_p >= 0.0 && config.delta_v >= 0.0 &&
+                     config.delta_a >= 0.0,
+                 "sensor error bounds must be non-negative");
+  CVSAFE_EXPECTS(config.sigma_bound > 0.0,
+                 "confidence interval needs sigma_bound > 0");
 }
 
 void KalmanFilter::predict(Vec2& x, Mat2& p, double dt, double a,
@@ -45,7 +51,8 @@ void KalmanFilter::predict(Vec2& x, Mat2& p, double dt, double a,
 }
 
 void KalmanFilter::update(const sensing::SensorReading& reading) {
-  assert(!initialized_ || reading.t >= t_);
+  CVSAFE_EXPECTS(!initialized_ || reading.t >= t_,
+                 "sensor readings must arrive in time order");
   if (!initialized_) {
     // Initialize from the first measurement with measurement covariance.
     x_ = Vec2{reading.p, reading.v};
@@ -88,10 +95,14 @@ void KalmanFilter::apply_update(const sensing::SensorReading& reading) {
   // Joseph form keeps P symmetric positive semidefinite.
   const Mat2 ik = Mat2::identity() - k;
   p_ = ik * p_ * ik.transpose() + k * r_ * k.transpose();
+  CVSAFE_ENSURES(p_.a >= 0.0 && p_.d >= 0.0,
+                 "covariance diagonal must stay non-negative");
 }
 
 void KalmanFilter::correct_with_message(double t_k, double p, double v,
                                         double a) {
+  CVSAFE_EXPECTS(std::isfinite(t_k),
+                 "message rollback timestamp must be finite");
   if (!initialized_) {
     // A message before any sensing: adopt it as an exact initialization.
     x_ = Vec2{p, v};
@@ -151,14 +162,14 @@ void KalmanFilter::correct_with_message(double t_k, double p, double v,
 }
 
 Vec2 KalmanFilter::state_at(double t) const {
-  assert(initialized_);
+  CVSAFE_EXPECTS(initialized_, "state_at before the first measurement");
   const double dt = t - t_;
   if (dt <= 0.0) return x_;
   return transition(dt) * x_ + control(dt) * last_a_;
 }
 
 Mat2 KalmanFilter::covariance_at(double t) const {
-  assert(initialized_);
+  CVSAFE_EXPECTS(initialized_, "covariance_at before the first measurement");
   const double dt = t - t_;
   if (dt <= 0.0) return p_;
   const Mat2 f = transition(dt);

@@ -1,8 +1,8 @@
 #include "cvsafe/filter/reachability.hpp"
 
 #include <algorithm>
-#include <cassert>
 
+#include "cvsafe/util/contracts.hpp"
 #include "cvsafe/util/kinematics.hpp"
 
 namespace cvsafe::filter {
@@ -16,6 +16,9 @@ StateBounds StateBounds::exact(double t, double p, double v) {
 StateBounds StateBounds::from_measurement(
     double t, double p, double v, double dp, double dv,
     const vehicle::VehicleLimits& limits) {
+  CVSAFE_EXPECTS(dp >= 0.0 && dv >= 0.0,
+                 "measurement error bounds must be non-negative");
+  CVSAFE_EXPECTS(limits.valid(), "vehicle limits must be well-formed");
   Interval vi = Interval::centered(v, dv).intersect(
       Interval{limits.v_min, limits.v_max});
   if (vi.empty()) {
@@ -29,7 +32,9 @@ StateBounds StateBounds::from_measurement(
 
 StateBounds propagate(const StateBounds& bounds, double t,
                       const vehicle::VehicleLimits& limits) {
-  assert(limits.valid());
+  CVSAFE_EXPECTS(limits.valid(), "vehicle limits must be well-formed");
+  CVSAFE_EXPECTS(!bounds.p.empty() && !bounds.v.empty(),
+                 "cannot propagate empty state bounds");
   const double dt = t - bounds.t;
   if (dt <= 0.0) return bounds;
   StateBounds out;
@@ -46,6 +51,8 @@ StateBounds propagate(const StateBounds& bounds, double t,
   out.v = Interval{
       util::speed_after(bounds.v.lo, limits.a_min, dt, limits.v_min),
       util::speed_after(bounds.v.hi, limits.a_max, dt, limits.v_max)};
+  CVSAFE_ENSURES(!out.p.empty() && !out.v.empty(),
+                 "propagation must preserve non-empty bounds");
   return out;
 }
 

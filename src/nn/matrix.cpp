@@ -39,6 +39,7 @@ Matrix Matrix::matmul(const Matrix& other) const {
   for (std::size_t i = 0; i < rows_; ++i) {
     for (std::size_t k = 0; k < cols_; ++k) {
       const double a = (*this)(i, k);
+      // cvsafe-lint: allow(float-compare) exact-zero sparsity skip
       if (a == 0.0) continue;
       const double* brow = &other.data_[k * other.cols_];
       double* orow = &out.data_[i * other.cols_];
@@ -71,6 +72,7 @@ Matrix Matrix::transposed_matmul(const Matrix& other) const {
     const double* brow = &other.data_[k * other.cols_];
     for (std::size_t i = 0; i < cols_; ++i) {
       const double a = arow[i];
+      // cvsafe-lint: allow(float-compare) exact-zero sparsity skip
       if (a == 0.0) continue;
       double* orow = &out.data_[i * other.cols_];
       for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];

@@ -1,10 +1,10 @@
 #include "cvsafe/scenario/left_turn.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 
+#include "cvsafe/util/contracts.hpp"
 #include "cvsafe/util/kinematics.hpp"
 
 namespace cvsafe::scenario {
@@ -21,9 +21,10 @@ LeftTurnScenario::LeftTurnScenario(LeftTurnGeometry geometry,
                                    vehicle::VehicleLimits oncoming,
                                    double dt_c)
     : geometry_(geometry), ego_(ego), c1_(oncoming), dt_c_(dt_c) {
-  assert(geometry_.valid());
-  assert(ego_.valid() && c1_.valid());
-  assert(dt_c_ > 0.0);
+  CVSAFE_EXPECTS(geometry_.valid(), "left-turn geometry must be well-formed");
+  CVSAFE_EXPECTS(ego_.valid(), "ego vehicle limits must be well-formed");
+  CVSAFE_EXPECTS(c1_.valid(), "oncoming vehicle limits must be well-formed");
+  CVSAFE_EXPECTS(dt_c_ > 0.0, "control period must be positive");
 }
 
 double LeftTurnScenario::ego_braking_distance(double v0) const {

@@ -1,0 +1,43 @@
+#include "cvsafe/util/contracts.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cvsafe::util {
+
+namespace {
+
+std::atomic<ContractMode> g_mode{ContractMode::kAbort};
+
+}  // namespace
+
+ContractMode contract_mode() noexcept {
+  return g_mode.load(std::memory_order_relaxed);
+}
+
+ContractMode set_contract_mode(ContractMode mode) noexcept {
+  return g_mode.exchange(mode, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void contract_violation(const char* kind, const char* condition,
+                        const char* file, int line, const char* message) {
+  std::string what = std::string("cvsafe contract violation: ") + kind +
+                     " `" + condition + "` failed at " + file + ":" +
+                     std::to_string(line);
+  if (message != nullptr && message[0] != '\0') {
+    what += ": ";
+    what += message;
+  }
+  if (contract_mode() == ContractMode::kThrow) {
+    throw ContractViolation(what);
+  }
+  std::fprintf(stderr, "%s\n", what.c_str());
+  std::abort();
+}
+
+}  // namespace detail
+
+}  // namespace cvsafe::util

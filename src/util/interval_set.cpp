@@ -23,6 +23,7 @@ void IntervalSet::normalize() {
   std::vector<Interval> merged;
   merged.reserve(parts_.size());
   for (const auto& iv : parts_) {
+    CVSAFE_ASSERT(!iv.empty(), "normalize must never see empty parts");
     if (!merged.empty() && iv.lo <= merged.back().hi) {
       merged.back().hi = std::max(merged.back().hi, iv.hi);
     } else {

@@ -1,8 +1,9 @@
 #include "cvsafe/util/kinematics.hpp"
 
-#include <cassert>
 #include <cmath>
 #include <limits>
+
+#include "cvsafe/util/contracts.hpp"
 
 namespace cvsafe::util {
 namespace {
@@ -16,8 +17,8 @@ bool cap_binding(double v, double a, double v_limit) {
 }  // namespace
 
 std::optional<QuadraticRoots> solve_quadratic(double a, double b, double c) {
-  if (a == 0.0) {
-    if (b == 0.0) return std::nullopt;
+  if (a == 0.0) {  // cvsafe-lint: allow(float-compare) exact degenerate case
+    if (b == 0.0) return std::nullopt;  // cvsafe-lint: allow(float-compare)
     const double r = -c / b;
     return QuadraticRoots{r, r};
   }
@@ -27,19 +28,21 @@ std::optional<QuadraticRoots> solve_quadratic(double a, double b, double c) {
   // Numerically stable: compute the larger-magnitude root first.
   const double q = -0.5 * (b + std::copysign(s, b));
   double r1 = q / a;
-  double r2 = (q == 0.0) ? r1 : c / q;
+  double r2 = (q == 0.0) ? r1 : c / q;  // cvsafe-lint: allow(float-compare)
   if (r1 > r2) std::swap(r1, r2);
   return QuadraticRoots{r1, r2};
 }
 
 double braking_distance(double v, double a_min) {
-  assert(a_min < 0.0 && "braking_distance requires a deceleration limit");
+  CVSAFE_EXPECTS(a_min < 0.0,
+                 "braking_distance requires a deceleration limit");
   return -(v * v) / (2.0 * a_min);
 }
 
 double displacement_with_speed_cap(double v, double a, double dt,
                                    double v_limit) {
-  assert(dt >= 0.0);
+  CVSAFE_EXPECTS(dt >= 0.0, "displacement needs dt >= 0");
+  // cvsafe-lint: allow(float-compare) exact zero-acceleration fast path
   if (a == 0.0 || cap_binding(v, a, v_limit)) {
     // Saturated (or no acceleration): pure cruise at the current speed.
     return v * dt;
@@ -51,7 +54,8 @@ double displacement_with_speed_cap(double v, double a, double dt,
 }
 
 double speed_after(double v, double a, double dt, double v_limit) {
-  assert(dt >= 0.0);
+  CVSAFE_EXPECTS(dt >= 0.0, "speed projection needs dt >= 0");
+  // cvsafe-lint: allow(float-compare) exact zero-acceleration fast path
   if (a == 0.0 || cap_binding(v, a, v_limit)) return v;
   const double t_hit = (v_limit - v) / a;
   return (t_hit >= dt) ? v + a * dt : v_limit;
@@ -59,6 +63,7 @@ double speed_after(double v, double a, double dt, double v_limit) {
 
 double time_to_travel(double d, double v, double a, double v_limit) {
   if (d <= 0.0) return 0.0;
+  // cvsafe-lint: allow(float-compare) exact zero-acceleration fast path
   if (a == 0.0 || cap_binding(v, a, v_limit)) {
     return (v > 0.0) ? d / v : kInf;
   }

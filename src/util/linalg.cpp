@@ -1,14 +1,16 @@
 #include "cvsafe/util/linalg.hpp"
 
-#include <cassert>
 #include <cmath>
 #include <ostream>
+
+#include "cvsafe/util/contracts.hpp"
 
 namespace cvsafe::util {
 
 Mat2 Mat2::inverse() const {
   const double det = determinant();
-  assert(det != 0.0 && "Mat2::inverse of singular matrix");
+  // cvsafe-lint: allow(float-compare) exact singularity guard
+  CVSAFE_EXPECTS(det != 0.0, "Mat2::inverse of singular matrix");
   const double inv = 1.0 / det;
   return {d * inv, -b * inv, -c * inv, a * inv};
 }

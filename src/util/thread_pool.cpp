@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "cvsafe/util/contracts.hpp"
+
 namespace cvsafe::util {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -25,8 +27,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  CVSAFE_EXPECTS(task != nullptr, "cannot submit an empty task");
   {
     std::lock_guard lock(mutex_);
+    CVSAFE_EXPECTS(!stopping_, "cannot submit to a stopping pool");
     tasks_.push(std::move(task));
   }
   task_available_.notify_one();
@@ -60,6 +64,8 @@ void ThreadPool::worker_loop() {
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   std::size_t num_threads) {
+  CVSAFE_EXPECTS(n == 0 || body != nullptr,
+                 "parallel_for needs a callable body");
   if (n == 0) return;
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());

@@ -1,8 +1,8 @@
 #include "cvsafe/vehicle/dynamics.hpp"
 
 #include <algorithm>
-#include <cassert>
 
+#include "cvsafe/util/contracts.hpp"
 #include "cvsafe/util/kinematics.hpp"
 
 namespace cvsafe::vehicle {
@@ -21,7 +21,8 @@ bool VehicleLimits::valid() const {
 
 VehicleState DoubleIntegrator::step(const VehicleState& s, double a_cmd,
                                     double dt) const {
-  assert(dt > 0.0);
+  CVSAFE_EXPECTS(dt > 0.0, "integration step needs dt > 0");
+  CVSAFE_EXPECTS(limits_.valid(), "vehicle limits must be well-formed");
   const double a = limits_.clamp_accel(a_cmd);
   // Velocity saturates at the limit crossed in the direction of a.
   const double cap = a >= 0.0 ? limits_.v_max : limits_.v_min;
@@ -34,7 +35,7 @@ VehicleState DoubleIntegrator::step(const VehicleState& s, double a_cmd,
 VehicleState DoubleIntegrator::step_unsaturated(const VehicleState& s,
                                                 double a_cmd,
                                                 double dt) const {
-  assert(dt > 0.0);
+  CVSAFE_EXPECTS(dt > 0.0, "integration step needs dt > 0");
   const double a = limits_.clamp_accel(a_cmd);
   return VehicleState{s.p + s.v * dt + 0.5 * a * dt * dt, s.v + a * dt};
 }

@@ -1,0 +1,149 @@
+// The contracts layer itself: violation reporting in throw mode, message
+// formatting, mode switching, and the contracts applied across the
+// safety-critical chain (interval misuse, filter preconditions, planner
+// wiring). Compile-out behaviour is covered separately by
+// util_contracts_disabled_test.cpp, which builds with -DCVSAFE_NO_CONTRACTS.
+
+#include "cvsafe/util/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "cvsafe/core/compound_planner.hpp"
+#include "cvsafe/core/preimage.hpp"
+#include "cvsafe/filter/kalman.hpp"
+#include "cvsafe/filter/reachability.hpp"
+#include "cvsafe/util/interval.hpp"
+#include "cvsafe/util/interval_set.hpp"
+#include "cvsafe/util/thread_pool.hpp"
+#include "cvsafe/vehicle/dynamics.hpp"
+
+namespace cvsafe::util {
+namespace {
+
+TEST(Contracts, ThrowModeRaisesContractViolation) {
+  ScopedContractMode mode(ContractMode::kThrow);
+  EXPECT_THROW(CVSAFE_EXPECTS(false, "must not hold"), ContractViolation);
+  EXPECT_THROW(CVSAFE_ENSURES(1 + 1 == 3), ContractViolation);
+  EXPECT_THROW(CVSAFE_ASSERT(false), ContractViolation);
+}
+
+TEST(Contracts, PassingChecksAreSilent) {
+  ScopedContractMode mode(ContractMode::kThrow);
+  EXPECT_NO_THROW(CVSAFE_EXPECTS(true));
+  EXPECT_NO_THROW(CVSAFE_ENSURES(2 > 1, "arithmetic still works"));
+  EXPECT_NO_THROW(CVSAFE_ASSERT(true, "fine"));
+}
+
+TEST(Contracts, MessageCarriesKindConditionAndLocation) {
+  ScopedContractMode mode(ContractMode::kThrow);
+  try {
+    CVSAFE_EXPECTS(2 < 1, "two is not smaller");
+    FAIL() << "contract did not fire";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 < 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("util_contracts_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("two is not smaller"), std::string::npos) << what;
+  }
+}
+
+TEST(Contracts, ScopedModeRestoresPrevious) {
+  const ContractMode before = contract_mode();
+  {
+    ScopedContractMode mode(ContractMode::kThrow);
+    EXPECT_EQ(contract_mode(), ContractMode::kThrow);
+  }
+  EXPECT_EQ(contract_mode(), before);
+}
+
+TEST(Contracts, ConditionEvaluatedExactlyOnce) {
+  ScopedContractMode mode(ContractMode::kThrow);
+  int evaluations = 0;
+  CVSAFE_ASSERT(++evaluations > 0);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(ContractsChain, IntervalMisuseFires) {
+  ScopedContractMode mode(ContractMode::kThrow);
+  EXPECT_THROW(Interval::centered(0.0, -1.0), ContractViolation);
+  EXPECT_THROW(Interval::empty_interval().mid(), ContractViolation);
+  EXPECT_THROW(Interval::empty_interval().clamp(0.0), ContractViolation);
+  EXPECT_THROW(Interval::point(1.0).inflated(-0.5), ContractViolation);
+  // NaN radii are not >= 0 either: NaN misuse is caught at the source.
+  EXPECT_THROW(Interval::centered(0.0, std::nan("")), ContractViolation);
+}
+
+TEST(ContractsChain, IntervalSetMisuseFires) {
+  ScopedContractMode mode(ContractMode::kThrow);
+  const IntervalSet empty;
+  EXPECT_THROW(empty.min(), ContractViolation);
+  EXPECT_THROW(empty.max(), ContractViolation);
+  EXPECT_THROW(empty[0], ContractViolation);
+}
+
+TEST(ContractsChain, KalmanPreconditionsFire) {
+  ScopedContractMode mode(ContractMode::kThrow);
+  filter::KalmanConfig bad_dt;
+  bad_dt.dt = 0.0;
+  EXPECT_THROW(filter::KalmanFilter{bad_dt}, ContractViolation);
+
+  filter::KalmanConfig ok;
+  filter::KalmanFilter fresh(ok);
+  EXPECT_THROW(fresh.state_at(0.0), ContractViolation);
+
+  filter::KalmanFilter filter(ok);
+  filter.update(sensing::SensorReading{1.0, 0.0, 5.0, 0.0});
+  // Time must not run backwards.
+  EXPECT_THROW(filter.update(sensing::SensorReading{0.5, 0.0, 5.0, 0.0}),
+               ContractViolation);
+  // Rollback timestamps must be finite.
+  EXPECT_THROW(filter.correct_with_message(
+                   std::numeric_limits<double>::quiet_NaN(), 0.0, 5.0, 0.0),
+               ContractViolation);
+}
+
+TEST(ContractsChain, ReachabilityPreconditionsFire) {
+  ScopedContractMode mode(ContractMode::kThrow);
+  const vehicle::VehicleLimits limits{0.0, 15.0, -6.0, 3.0};
+  EXPECT_THROW(filter::StateBounds::from_measurement(0.0, 0.0, 5.0, -1.0, 0.5,
+                                                     limits),
+               ContractViolation);
+  filter::StateBounds empty_bounds;
+  empty_bounds.p = Interval::empty_interval();
+  EXPECT_THROW(filter::propagate(empty_bounds, 1.0, limits),
+               ContractViolation);
+  const vehicle::VehicleLimits bad{10.0, 5.0, -6.0, 3.0};  // v_min > v_max
+  const auto sound = filter::StateBounds::exact(0.0, 0.0, 5.0);
+  EXPECT_THROW(filter::propagate(sound, 1.0, bad), ContractViolation);
+}
+
+TEST(ContractsChain, DynamicsAndPoolPreconditionsFire) {
+  ScopedContractMode mode(ContractMode::kThrow);
+  const vehicle::VehicleLimits limits{0.0, 15.0, -6.0, 3.0};
+  const vehicle::DoubleIntegrator dyn(limits);
+  EXPECT_THROW(dyn.step(vehicle::VehicleState{0.0, 5.0}, 1.0, 0.0),
+               ContractViolation);
+
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), ContractViolation);
+  EXPECT_THROW(parallel_for(4, nullptr, 2), ContractViolation);
+}
+
+TEST(ContractsChain, PreimagePreconditionsFire) {
+  ScopedContractMode mode(ContractMode::kThrow);
+  EXPECT_THROW(core::sample_controls(1.0, -1.0, 5), ContractViolation);
+  EXPECT_THROW(core::sample_controls(-1.0, 1.0, 1), ContractViolation);
+  const core::PreimageGrid grid;
+  EXPECT_THROW(
+      core::compute_boundary_grid(grid, nullptr, nullptr, {0.0}),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace cvsafe::util

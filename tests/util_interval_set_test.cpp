@@ -95,6 +95,57 @@ TEST(IntervalSet, FirstPointAfter) {
   EXPECT_FALSE(s.first_point_after(6.5).has_value());
 }
 
+// Degenerate inputs guarded by the contracts layer: empty operands and
+// point (zero-width) intervals must flow through every operation without
+// tripping an invariant or producing de-normalized sets.
+TEST(IntervalSetDegenerate, EmptyJoinAndIntersect) {
+  const IntervalSet empty;
+  const IntervalSet s{{0.0, 1.0}, {3.0, 4.0}};
+  EXPECT_EQ(empty.unite(empty), IntervalSet{});
+  EXPECT_EQ(empty.unite(s), s);
+  EXPECT_EQ(s.unite(empty), s);
+  EXPECT_TRUE(empty.intersect(Interval{0.0, 10.0}).empty());
+  EXPECT_TRUE(s.intersect(Interval::empty_interval()).empty());
+  EXPECT_TRUE(empty.after(0.0).empty());
+  EXPECT_FALSE(empty.first_point_after(0.0).has_value());
+  EXPECT_FALSE(empty.intersects(Interval{0.0, 1.0}));
+}
+
+TEST(IntervalSetDegenerate, PointIntervals) {
+  IntervalSet s;
+  s.insert(Interval::point(2.0));
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.measure(), 0.0);
+  EXPECT_TRUE(s.contains(2.0));
+  EXPECT_FALSE(s.contains(2.0 + 1e-12));
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 2.0);
+
+  // A point touching a closed end merges rather than duplicating.
+  s.insert(Interval{2.0, 3.0});
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0], (Interval{2.0, 3.0}));
+
+  // A disjoint point stays its own part and participates in queries.
+  s.insert(Interval::point(5.0));
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.intersects(Interval{4.5, 5.5}));
+  EXPECT_EQ(s.first_point_after(4.0).value(), 5.0);
+  const IntervalSet clipped = s.intersect(Interval{5.0, 9.0});
+  ASSERT_EQ(clipped.size(), 1u);
+  EXPECT_EQ(clipped[0], Interval::point(5.0));
+}
+
+TEST(IntervalSetDegenerate, PointOnlySetsNormalize) {
+  const IntervalSet s{Interval::point(1.0), Interval::point(1.0),
+                      Interval::point(0.0)};
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], Interval::point(0.0));
+  EXPECT_EQ(s[1], Interval::point(1.0));
+  EXPECT_EQ(s.hull(), (Interval{0.0, 1.0}));
+  EXPECT_EQ(s.measure(), 0.0);
+}
+
 // Property: membership in the union equals membership in some operand.
 TEST(IntervalSetProperty, UnionMembership) {
   Rng rng(1);

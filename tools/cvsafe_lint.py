@@ -1,0 +1,324 @@
+#!/usr/bin/env python3
+"""cvsafe_lint: project-specific static checks for the cvsafe tree.
+
+The safety framework's guarantee (the compound planner never enters the
+unsafe set) is only as strong as the code computing it, so a handful of
+constructions are banned outright in the library sources (src/ and
+include/):
+
+  pragma-once        every header starts with #pragma once
+  no-iostream-header <iostream> must not be included from public headers
+                     (it injects static init order dependencies and pulls
+                     heavy streams into every consumer; use <iosfwd>)
+  no-std-rand        std::rand/srand/rand are banned — all randomness goes
+                     through util::Rng so runs stay seed-reproducible
+  no-naked-new       no naked new/delete; ownership goes through
+                     make_unique/make_shared/containers
+  float-compare      ==/!= against floating-point literals is almost
+                     always a bug in interval/filter code; annotate the
+                     rare intentional exact comparison
+  missing-override   implementations of the planner/filter/safety-model
+                     virtual interfaces must say `override` (or `final`)
+  no-assert-header   public headers use the CVSAFE_EXPECTS/ENSURES/ASSERT
+                     contracts (configurable, always-on) instead of assert
+
+A finding on a line that carries the annotation
+    cvsafe-lint: allow(<rule>)
+is suppressed; the annotation documents intent at the site.
+
+Exit status: 0 when clean, 1 when findings were reported, 2 on usage
+errors. Run as `ctest -R cvsafe_lint` or directly:
+    python3 tools/cvsafe_lint.py --root .
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+from dataclasses import dataclass
+
+HEADER_SUFFIXES = {".hpp", ".h", ".hh"}
+SOURCE_SUFFIXES = {".cpp", ".cc", ".cxx"} | HEADER_SUFFIXES
+
+# Virtual methods declared by the project's polymorphic interfaces
+# (PlannerBase, SafetyModelBase, Estimator, Optimizer). Implementations in
+# derived classes must be marked override/final.
+KNOWN_VIRTUALS = {
+    "plan",
+    "name",
+    "in_unsafe_set",
+    "in_boundary_safe_set",
+    "emergency_accel",
+    "shrink_for_planner",
+    "boundary_reason",
+    "on_sensor",
+    "on_message",
+    "estimate",
+    "update",
+    "end_step",
+    "set_learning_rate",
+    "learning_rate",
+}
+
+# Base classes whose derived classes the missing-override rule inspects.
+INTERFACE_BASES = re.compile(
+    r":\s*(?:public|protected|private)\s+"
+    r"(?:\w+::)*(PlannerBase|SafetyModelBase|Estimator|Optimizer)\b"
+)
+
+FLOAT_LITERAL = r"(?:\d+\.\d*|\.\d+|\d+\.)(?:[eE][+-]?\d+)?[fFlL]?|\d+[eE][+-]?\d+[fFlL]?"
+RE_FLOAT_CMP = re.compile(
+    rf"(?:(?:{FLOAT_LITERAL})\s*[=!]=)|(?:[=!]=\s*(?:{FLOAT_LITERAL}))"
+)
+RE_STD_RAND = re.compile(r"\bstd\s*::\s*rand\b|\bsrand\s*\(|(?<![\w:.])rand\s*\(")
+RE_NAKED_NEW = re.compile(r"(?<![\w:])new\b(?!\s*\()")
+RE_NAKED_DELETE = re.compile(r"(?<![\w:])delete\b(?:\s*\[\s*\])?\s+[\w:*(]")
+RE_ASSERT = re.compile(r"(?<![\w.])assert\s*\(|#\s*include\s*<cassert>")
+RE_IOSTREAM = re.compile(r"#\s*include\s*<iostream>")
+RE_PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\b")
+RE_ALLOW = re.compile(r"cvsafe-lint:\s*allow\(([a-z0-9_,\- ]+)\)")
+RE_CLASS_DECL = re.compile(r"\b(?:class|struct)\s+(\w+)[^;{]*")
+RE_MEMBER_DECL = re.compile(
+    r"^\s*(?:virtual\s+)?[\w:<>,&*\s]+?\b(\w+)\s*\("
+)
+
+
+@dataclass
+class Finding:
+    path: pathlib.Path
+    line: int
+    rule: str
+    message: str
+
+    def render(self, root: pathlib.Path) -> str:
+        rel = self.path.relative_to(root)
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(lines: list[str]) -> list[str]:
+    """Returns a 'code view' of each line: comments and string/char literal
+    contents replaced by spaces, so rules do not fire inside prose."""
+    out = []
+    in_block = False
+    for raw in lines:
+        buf = []
+        i = 0
+        n = len(raw)
+        while i < n:
+            ch = raw[i]
+            nxt = raw[i + 1] if i + 1 < n else ""
+            if in_block:
+                if ch == "*" and nxt == "/":
+                    in_block = False
+                    buf.append("  ")
+                    i += 2
+                else:
+                    buf.append(" ")
+                    i += 1
+            elif ch == "/" and nxt == "/":
+                buf.append(" " * (n - i))
+                break
+            elif ch == "/" and nxt == "*":
+                in_block = True
+                buf.append("  ")
+                i += 2
+            elif ch in "\"'":
+                quote = ch
+                buf.append(quote)
+                i += 1
+                while i < n:
+                    if raw[i] == "\\" and i + 1 < n:
+                        buf.append("  ")
+                        i += 2
+                    elif raw[i] == quote:
+                        buf.append(quote)
+                        i += 1
+                        break
+                    else:
+                        buf.append(" ")
+                        i += 1
+            else:
+                buf.append(ch)
+                i += 1
+        out.append("".join(buf))
+    return out
+
+
+def allowed_rules(raw_line: str) -> set[str]:
+    rules: set[str] = set()
+    for match in RE_ALLOW.finditer(raw_line):
+        for rule in match.group(1).split(","):
+            rules.add(rule.strip())
+    return rules
+
+
+class FileLinter:
+    def __init__(self, path: pathlib.Path, in_include_tree: bool):
+        self.path = path
+        self.in_include_tree = in_include_tree
+        self.raw = path.read_text(encoding="utf-8").splitlines()
+        self.code = strip_comments_and_strings(self.raw)
+        self.findings: list[Finding] = []
+
+    def report(self, line_no: int, rule: str, message: str) -> None:
+        # Allow-annotations may sit on the offending line, or on a
+        # comment-only line directly above (so a trailing annotation never
+        # leaks onto the next line).
+        here = allowed_rules(self.raw[line_no - 1])
+        above: set[str] = set()
+        if line_no >= 2 and self.raw[line_no - 2].lstrip().startswith("//"):
+            above = allowed_rules(self.raw[line_no - 2])
+        if rule in here or rule in above:
+            return
+        self.findings.append(Finding(self.path, line_no, rule, message))
+
+    # --- rules -----------------------------------------------------------
+
+    def check_pragma_once(self) -> None:
+        if self.path.suffix not in HEADER_SUFFIXES:
+            return
+        for line_no, code in enumerate(self.code, start=1):
+            if not code.strip():
+                continue
+            if RE_PRAGMA_ONCE.match(code):
+                return
+            break
+        self.report(1, "pragma-once",
+                    "header must start with '#pragma once'")
+
+    def check_line_rules(self) -> None:
+        is_header = self.path.suffix in HEADER_SUFFIXES
+        for line_no, code in enumerate(self.code, start=1):
+            if RE_STD_RAND.search(code):
+                self.report(line_no, "no-std-rand",
+                            "use util::Rng, not the C rand family "
+                            "(seed-reproducibility)")
+            if RE_NAKED_NEW.search(code):
+                self.report(line_no, "no-naked-new",
+                            "naked 'new'; use make_unique/make_shared or a "
+                            "container")
+            if RE_NAKED_DELETE.search(code):
+                self.report(line_no, "no-naked-new",
+                            "naked 'delete'; ownership must be RAII-managed")
+            if RE_FLOAT_CMP.search(code):
+                self.report(line_no, "float-compare",
+                            "==/!= against a floating-point literal; compare "
+                            "with a tolerance or annotate the exact intent")
+            if is_header and self.in_include_tree:
+                if RE_IOSTREAM.search(code):
+                    self.report(line_no, "no-iostream-header",
+                                "public headers must not include <iostream>; "
+                                "use <iosfwd>")
+                if RE_ASSERT.search(code):
+                    self.report(line_no, "no-assert-header",
+                                "public headers use CVSAFE_EXPECTS/ENSURES/"
+                                "ASSERT contracts, not assert()")
+
+    def check_missing_override(self) -> None:
+        """Flags declarations of known interface virtuals, at direct class
+        scope of a class deriving from a project interface, that lack
+        override/final. Brace-depth tracking keeps method bodies (where
+        those names appear as *calls*) out of scope."""
+        depth = 0
+        class_stack: list[tuple[int, bool]] = []  # (body depth, is_derived)
+        pending_decl: tuple[int, str] | None = None
+
+        for line_no, code in enumerate(self.code, start=1):
+            stripped = code.strip()
+
+            if pending_decl is not None:
+                first_line, acc = pending_decl
+                acc += " " + stripped
+                if ";" in stripped or "{" in stripped:
+                    self._check_decl(first_line, acc)
+                    pending_decl = None
+                else:
+                    pending_decl = (first_line, acc)
+
+            at_class_scope = bool(class_stack) and depth == class_stack[-1][0]
+            derived = class_stack[-1][1] if class_stack else False
+            class_decl = RE_CLASS_DECL.search(code)
+            opens_class_body = class_decl and "{" in code and ";" not in code.split("{")[0]
+
+            if (pending_decl is None and at_class_scope and derived
+                    and not opens_class_body):
+                member = RE_MEMBER_DECL.match(code)
+                if member and member.group(1) in KNOWN_VIRTUALS:
+                    if ";" in code or "{" in code:
+                        self._check_decl(line_no, code)
+                    else:
+                        pending_decl = (line_no, stripped)
+
+            for ch in code:
+                if ch == "{":
+                    depth += 1
+                    if opens_class_body:
+                        is_derived = bool(INTERFACE_BASES.search(code))
+                        class_stack.append((depth, is_derived))
+                        opens_class_body = False
+                elif ch == "}":
+                    if class_stack and depth == class_stack[-1][0]:
+                        class_stack.pop()
+                    depth -= 1
+
+    def _check_decl(self, line_no: int, decl: str) -> None:
+        body_or_term = decl.split("{")[0] if "{" in decl else decl
+        if "override" in body_or_term or "final" in body_or_term:
+            return
+        if "= 0" in body_or_term:  # new pure virtual on a derived interface
+            return
+        if "static" in body_or_term:
+            return
+        member = RE_MEMBER_DECL.match(decl)
+        name = member.group(1) if member else "?"
+        self.report(line_no, "missing-override",
+                    f"'{name}' implements an interface virtual and must be "
+                    "marked override")
+
+    def run(self) -> list[Finding]:
+        self.check_pragma_once()
+        self.check_line_rules()
+        self.check_missing_override()
+        return self.findings
+
+
+def lint_tree(root: pathlib.Path) -> list[Finding]:
+    findings: list[Finding] = []
+    for subdir in ("include", "src"):
+        base = root / subdir
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in SOURCE_SUFFIXES or not path.is_file():
+                continue
+            linter = FileLinter(path, in_include_tree=(subdir == "include"))
+            findings.extend(linter.run())
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root (contains include/ and src/)")
+    args = parser.parse_args(argv)
+
+    root = pathlib.Path(args.root).resolve()
+    if not (root / "include").is_dir() or not (root / "src").is_dir():
+        print(f"cvsafe_lint: {root} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+
+    findings = lint_tree(root)
+    for finding in findings:
+        print(finding.render(root))
+    if findings:
+        print(f"cvsafe_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("cvsafe_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
