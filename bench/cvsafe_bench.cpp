@@ -1,0 +1,476 @@
+// cvsafe_bench: the project's perf harness. Times every stage of the
+// per-control-step pipeline (matmul, MLP forward, Kalman, reachability,
+// boundary grid, full-episode batches) and emits a BENCH_<name>.json file
+// that scripts/bench_compare.py diffs against a committed baseline to gate
+// perf regressions in CI (see docs/PERFORMANCE.md for the schema).
+//
+// Heap allocations are counted by replacing the global allocation
+// functions in this translation unit's binary; `allocs_per_op` therefore
+// covers every operator-new in the timed region, which is how the
+// zero-allocation claim of the nn::Workspace path is enforced rather than
+// just asserted.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cvsafe/core/preimage.hpp"
+#include "cvsafe/eval/batch.hpp"
+#include "cvsafe/eval/experiments.hpp"
+#include "cvsafe/filter/kalman.hpp"
+#include "cvsafe/filter/reachability.hpp"
+#include "cvsafe/nn/mlp.hpp"
+#include "cvsafe/nn/workspace.hpp"
+#include "cvsafe/planners/nn_planner.hpp"
+#include "cvsafe/planners/training.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+}  // namespace
+
+// Counting allocation functions. Deliberately exhaustive over the aligned
+// and sized variants so no allocation path escapes the counter.
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = std::max<std::size_t>(static_cast<std::size_t>(align),
+                                              sizeof(void*));
+  void* p = nullptr;
+  if (posix_memalign(&p, a, size ? size : a) != 0) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+volatile double g_sink = 0.0;  // defeats dead-code elimination
+
+struct BenchResult {
+  std::string name;
+  double ns_per_op = 0.0;
+  double ops_per_sec = 0.0;
+  double allocs_per_op = 0.0;
+  std::uint64_t iterations = 0;
+};
+
+struct Options {
+  std::string out = "BENCH_micro.json";
+  std::string filter;            // substring match on bench names
+  double min_time_s = 0.25;      // measured time per benchmark
+  std::size_t grid = 512;        // boundary-grid side length
+  std::size_t grid_threads = 8;  // worker count for the parallel grid
+  bool list = false;
+};
+
+double elapsed_s(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// Runs fn(iters) batches, growing iters until the batch takes at least
+/// min_time_s, then reports per-op time and per-op allocation count from
+/// the final (longest) batch.
+template <typename F>
+BenchResult run_bench(const std::string& name, double min_time_s, F&& fn) {
+  std::uint64_t iters = 1;
+  fn(1);  // warm-up: caches, lazy statics, workspace buffers
+  for (;;) {
+    const std::uint64_t allocs_before =
+        g_alloc_count.load(std::memory_order_relaxed);
+    const auto t0 = Clock::now();
+    fn(iters);
+    const auto t1 = Clock::now();
+    const std::uint64_t allocs =
+        g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+    const double secs = elapsed_s(t0, t1);
+    if (secs >= min_time_s || iters >= (1ull << 40)) {
+      BenchResult r;
+      r.name = name;
+      r.iterations = iters;
+      r.ns_per_op = secs * 1e9 / static_cast<double>(iters);
+      r.ops_per_sec = static_cast<double>(iters) / secs;
+      r.allocs_per_op =
+          static_cast<double>(allocs) / static_cast<double>(iters);
+      return r;
+    }
+    // Aim directly for the target with 20% headroom, at least doubling.
+    const double scale =
+        secs > 0.0 ? 1.2 * min_time_s / secs : 2.0;
+    iters = std::max(iters * 2,
+                     static_cast<std::uint64_t>(
+                         static_cast<double>(iters) * scale));
+  }
+}
+
+// --- fixtures -------------------------------------------------------------
+
+// Same architecture as TrainingOptions' default planner network, so the
+// MLP numbers reflect the actual kappa_n hot path.
+cvsafe::nn::Mlp make_test_net() {
+  cvsafe::util::Rng rng(20240806);
+  cvsafe::nn::MlpSpec spec;
+  spec.layer_sizes = {4, 24, 24, 1};
+  return cvsafe::nn::Mlp(spec, rng);
+}
+
+cvsafe::nn::Matrix random_matrix(std::size_t r, std::size_t c,
+                                 cvsafe::util::Rng& rng) {
+  cvsafe::nn::Matrix m(r, c);
+  for (auto& x : m.data()) x = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+/// Double-integrator step over the grid slice, the bench's black-box
+/// system for the preimage operator.
+std::pair<double, double> grid_step(double x, double v, double u) {
+  const double dt = 0.1;
+  return {x + v * dt + 0.5 * u * dt * dt, v + u * dt};
+}
+
+struct BandUnsafe {
+  double lo = 0.4;
+  double hi = 0.6;
+  bool operator()(double x, double /*v*/) const { return x >= lo && x <= hi; }
+};
+
+// --- registry -------------------------------------------------------------
+
+struct Bench {
+  std::string name;
+  std::function<BenchResult(const Options&)> run;
+};
+
+std::vector<Bench> build_registry() {
+  using namespace cvsafe;
+  std::vector<Bench> benches;
+
+  benches.push_back({"matmul_dense_64_alloc", [](const Options& o) {
+    util::Rng rng(1);
+    const nn::Matrix a = random_matrix(64, 64, rng);
+    const nn::Matrix b = random_matrix(64, 64, rng);
+    return run_bench("matmul_dense_64_alloc", o.min_time_s,
+                     [&](std::uint64_t n) {
+                       for (std::uint64_t it = 0; it < n; ++it) {
+                         g_sink = a.matmul(b)(0, 0);
+                       }
+                     });
+  }});
+
+  benches.push_back({"matmul_dense_64_into", [](const Options& o) {
+    util::Rng rng(1);
+    const nn::Matrix a = random_matrix(64, 64, rng);
+    const nn::Matrix b = random_matrix(64, 64, rng);
+    nn::Matrix out;
+    return run_bench("matmul_dense_64_into", o.min_time_s,
+                     [&](std::uint64_t n) {
+                       for (std::uint64_t it = 0; it < n; ++it) {
+                         nn::matmul_into(a, b, out);
+                         g_sink = out(0, 0);
+                       }
+                     });
+  }});
+
+  benches.push_back({"matmul_transposed_64_into", [](const Options& o) {
+    util::Rng rng(1);
+    const nn::Matrix a = random_matrix(64, 64, rng);
+    const nn::Matrix b = random_matrix(64, 64, rng);
+    nn::Matrix out;
+    return run_bench("matmul_transposed_64_into", o.min_time_s,
+                     [&](std::uint64_t n) {
+                       for (std::uint64_t it = 0; it < n; ++it) {
+                         nn::matmul_transposed_into(a, b, out);
+                         g_sink = out(0, 0);
+                       }
+                     });
+  }});
+
+  benches.push_back({"mlp_forward_alloc", [](const Options& o) {
+    const nn::Mlp net = make_test_net();
+    const std::vector<double> x{-0.5, 0.6, 0.3, 0.7};
+    return run_bench("mlp_forward_alloc", o.min_time_s,
+                     [&](std::uint64_t n) {
+                       for (std::uint64_t it = 0; it < n; ++it) {
+                         g_sink = net.predict(x)[0];
+                       }
+                     });
+  }});
+
+  benches.push_back({"mlp_forward_workspace", [](const Options& o) {
+    const nn::Mlp net = make_test_net();
+    const std::vector<double> x{-0.5, 0.6, 0.3, 0.7};
+    nn::Workspace ws;
+    return run_bench("mlp_forward_workspace", o.min_time_s,
+                     [&](std::uint64_t n) {
+                       for (std::uint64_t it = 0; it < n; ++it) {
+                         g_sink = net.predict_scalar(x, ws);
+                       }
+                     });
+  }});
+
+  benches.push_back({"mlp_forward_batch64", [](const Options& o) {
+    const nn::Mlp net = make_test_net();
+    util::Rng rng(7);
+    nn::Workspace ws;
+    nn::Matrix& in = ws.input(64, 4);
+    for (auto& v : in.data()) v = rng.uniform(-1.0, 1.0);
+    // One op = one 64-sample batch; divide ns_per_op by 64 for per-sample.
+    return run_bench("mlp_forward_batch64", o.min_time_s,
+                     [&](std::uint64_t n) {
+                       for (std::uint64_t it = 0; it < n; ++it) {
+                         g_sink = net.forward_into(in, ws)(63, 0);
+                       }
+                     });
+  }});
+
+  benches.push_back({"kalman_update", [](const Options& o) {
+    filter::KalmanFilter kf({0.1, 1.0, 1.0, 1.0, 3.0, 64});
+    util::Rng rng(1);
+    double t = 0.0;
+    return run_bench("kalman_update", o.min_time_s, [&](std::uint64_t n) {
+      for (std::uint64_t it = 0; it < n; ++it) {
+        sensing::SensorReading r{t, -50.0 + 9.0 * t + rng.uniform(-1.0, 1.0),
+                                 9.0 + rng.uniform(-1.0, 1.0),
+                                 rng.uniform(-1.0, 1.0)};
+        kf.update(r);
+        g_sink = kf.state_at(t).x;
+        t += 0.1;
+      }
+    });
+  }});
+
+  benches.push_back({"reachability_propagate", [](const Options& o) {
+    const vehicle::VehicleLimits limits{2.0, 15.0, -3.0, 3.0};
+    const auto bounds = filter::StateBounds::exact(0.0, -50.0, 9.0);
+    double dt = 0.05;
+    return run_bench("reachability_propagate", o.min_time_s,
+                     [&](std::uint64_t n) {
+                       for (std::uint64_t it = 0; it < n; ++it) {
+                         g_sink = filter::propagate(bounds, dt, limits).p.lo;
+                         dt = dt < 3.0 ? dt + 0.05 : 0.05;
+                       }
+                     });
+  }});
+
+  benches.push_back({"boundary_grid_serial", [](const Options& o) {
+    core::PreimageGrid grid;
+    grid.nx = o.grid;
+    grid.nv = o.grid;
+    const auto controls = core::sample_controls(-3.0, 3.0, 8);
+    const core::StepFn step = grid_step;
+    const core::UnsafeFn unsafe = BandUnsafe{};
+    return run_bench(
+        "boundary_grid_serial", o.min_time_s, [&](std::uint64_t n) {
+          for (std::uint64_t it = 0; it < n; ++it) {
+            const auto res =
+                core::compute_boundary_grid(grid, step, unsafe, controls);
+            g_sink = static_cast<double>(res.count(core::RegionLabel::kBoundary));
+          }
+        });
+  }});
+
+  benches.push_back({"boundary_grid_parallel", [](const Options& o) {
+    core::PreimageGrid grid;
+    grid.nx = o.grid;
+    grid.nv = o.grid;
+    const auto controls = core::sample_controls(-3.0, 3.0, 8);
+    const core::StepFn step = grid_step;
+    const core::UnsafeFn unsafe = BandUnsafe{};
+    return run_bench(
+        "boundary_grid_parallel", o.min_time_s, [&](std::uint64_t n) {
+          for (std::uint64_t it = 0; it < n; ++it) {
+            const auto res = core::compute_boundary_grid_parallel(
+                grid, step, unsafe, controls, o.grid_threads);
+            g_sink = static_cast<double>(res.count(core::RegionLabel::kBoundary));
+          }
+        });
+  }});
+
+  benches.push_back({"boundary_grid_memoized_full", [](const Options& o) {
+    core::PreimageGrid grid;
+    grid.nx = o.grid;
+    grid.nv = o.grid;
+    core::IncrementalBoundaryGrid inc(grid, grid_step,
+                                      core::sample_controls(-3.0, 3.0, 8));
+    const core::UnsafeFn unsafe = BandUnsafe{};
+    return run_bench(
+        "boundary_grid_memoized_full", o.min_time_s, [&](std::uint64_t n) {
+          for (std::uint64_t it = 0; it < n; ++it) {
+            const auto& res = inc.relabel(unsafe);
+            g_sink = static_cast<double>(res.count(core::RegionLabel::kBoundary));
+          }
+        });
+  }});
+
+  benches.push_back({"boundary_grid_incremental", [](const Options& o) {
+    core::PreimageGrid grid;
+    grid.nx = o.grid;
+    grid.nv = o.grid;
+    core::IncrementalBoundaryGrid inc(grid, grid_step,
+                                      core::sample_controls(-3.0, 3.0, 8));
+    BandUnsafe band;
+    inc.relabel(core::UnsafeFn(band));  // prime
+    double phase = 0.0;
+    // Per step the unsafe band drifts by ~one cell, the Eq.-8 common case:
+    // relabel only the footprint-intersecting sliver.
+    return run_bench(
+        "boundary_grid_incremental", o.min_time_s, [&](std::uint64_t n) {
+          for (std::uint64_t it = 0; it < n; ++it) {
+            const BandUnsafe old_band = band;
+            phase += 0.002;
+            if (phase > 0.2) phase = 0.0;
+            band.lo = 0.4 + phase;
+            band.hi = 0.6 + phase;
+            const core::ChangedRegion changed{
+                std::min(old_band.lo, band.lo), std::max(old_band.hi, band.hi),
+                grid.v_min, grid.v_max};
+            const auto& res = inc.relabel(core::UnsafeFn(band), changed);
+            g_sink = static_cast<double>(res.count(core::RegionLabel::kBoundary));
+          }
+        });
+  }});
+
+  benches.push_back({"run_batch_episodes8", [](const Options& o) {
+    const auto cfg = eval::SimConfig::paper_defaults();
+    const auto bp = eval::make_nn_blueprint(
+        cfg, planners::PlannerStyle::kConservative,
+        eval::PlannerVariant::kUltimate);
+    std::uint64_t seed = 1;
+    return run_bench("run_batch_episodes8", o.min_time_s,
+                     [&](std::uint64_t n) {
+                       for (std::uint64_t it = 0; it < n; ++it) {
+                         const auto stats =
+                             eval::run_batch(cfg, bp, 8, seed, 1);
+                         g_sink = stats.mean_eta;
+                         seed += 8;
+                       }
+                     });
+  }});
+
+  return benches;
+}
+
+// --- output ---------------------------------------------------------------
+
+void write_json(const Options& opt, const std::vector<BenchResult>& results) {
+  std::FILE* f = std::fopen(opt.out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cvsafe_bench: cannot open %s for writing\n",
+                 opt.out.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"cvsafe-bench-v1\",\n");
+  std::fprintf(f, "  \"config\": {\n");
+  std::fprintf(f, "    \"min_time_s\": %g,\n", opt.min_time_s);
+  std::fprintf(f, "    \"grid\": %zu,\n", opt.grid);
+  std::fprintf(f, "    \"grid_threads\": %zu,\n", opt.grid_threads);
+  std::fprintf(f, "    \"hardware_threads\": %u\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"ns_per_op\": %.1f, "
+                 "\"ops_per_sec\": %.1f, \"allocs_per_op\": %.3f, "
+                 "\"iterations\": %llu}%s\n",
+                 r.name.c_str(), r.ns_per_op, r.ops_per_sec, r.allocs_per_op,
+                 static_cast<unsigned long long>(r.iterations),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--out FILE] [--filter SUBSTR] [--min-time SECONDS]\n"
+      "          [--grid N] [--grid-threads N] [--list]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::exit(usage(argv[0]));
+      }
+      return argv[++i];
+    };
+    if (arg == "--out") {
+      opt.out = next();
+    } else if (arg == "--filter") {
+      opt.filter = next();
+    } else if (arg == "--min-time") {
+      opt.min_time_s = std::atof(next());
+    } else if (arg == "--grid") {
+      opt.grid = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--grid-threads") {
+      opt.grid_threads = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--list") {
+      opt.list = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  const auto registry = build_registry();
+  if (opt.list) {
+    for (const auto& b : registry) std::printf("%s\n", b.name.c_str());
+    return 0;
+  }
+
+  std::vector<BenchResult> results;
+  for (const auto& b : registry) {
+    if (!opt.filter.empty() &&
+        b.name.find(opt.filter) == std::string::npos) {
+      continue;
+    }
+    std::fprintf(stderr, "running %-32s ", b.name.c_str());
+    const BenchResult r = b.run(opt);
+    std::fprintf(stderr, "%12.1f ns/op %10.3f allocs/op (%llu iters)\n",
+                 r.ns_per_op, r.allocs_per_op,
+                 static_cast<unsigned long long>(r.iterations));
+    results.push_back(r);
+  }
+  write_json(opt, results);
+  std::fprintf(stderr, "wrote %s\n", opt.out.c_str());
+  return 0;
+}

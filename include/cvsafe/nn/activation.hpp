@@ -20,6 +20,15 @@ enum class Activation {
 /// Applies the activation elementwise.
 Matrix apply_activation(Activation act, const Matrix& z);
 
+/// Applies the activation elementwise in place (no allocation).
+void apply_activation_inplace(Activation act, Matrix& z);
+
+/// Fused z += bias (row broadcast) followed by the activation, in one pass
+/// over \p z. Elementwise result is f(z + b) exactly as the two-step
+/// sequence computes it, so this is bit-identical to
+/// add_row_broadcast + apply_activation_inplace. \p bias must be 1 x cols.
+void bias_activation_inplace(Activation act, const Matrix& bias, Matrix& z);
+
 /// Derivative f'(z) elementwise (as a function of the pre-activation z).
 Matrix activation_derivative(Activation act, const Matrix& z);
 

@@ -24,14 +24,30 @@ class DenseLayer {
 
   const Matrix& weights() const { return weights_; }
   const Matrix& bias() const { return bias_; }
-  Matrix& mutable_weights() { return weights_; }
+  /// Mutable access marks the inference transpose cache stale; call
+  /// refresh_inference_cache() after the last mutation to restore the
+  /// fast infer_into path (results are identical either way).
+  Matrix& mutable_weights() {
+    wt_dirty_ = true;
+    return weights_;
+  }
   Matrix& mutable_bias() { return bias_; }
+
+  /// Rebuilds the cached W^T used by infer_into. Not thread-safe against
+  /// concurrent inference; meant for the (single-threaded) end of a
+  /// training run.
+  void refresh_inference_cache();
 
   /// Forward pass on a batch (n x in), caching inputs for backward().
   Matrix forward(const Matrix& x);
 
   /// Forward pass without caching (inference).
   Matrix infer(const Matrix& x) const;
+
+  /// Forward pass writing into caller-provided storage (no allocation once
+  /// \p out capacity is warm). Bit-identical to infer(). \p out must not
+  /// alias \p x.
+  void infer_into(const Matrix& x, Matrix& out) const;
 
   /// Backward pass: \p grad_out is dL/dy (n x out) from the next layer.
   /// Accumulates dL/dW and dL/db internally and returns dL/dx (n x in).
@@ -43,8 +59,12 @@ class DenseLayer {
   const Matrix& bias_grad() const { return grad_bias_; }
 
  private:
-  Matrix weights_;  // out x in
-  Matrix bias_;     // 1 x out
+  Matrix weights_;    // out x in
+  Matrix weights_t_;  // in x out: inference-layout copy; lets infer_into
+                      // run a j-contiguous axpy kernel (vectorizable with
+                      // no change in per-element accumulation order)
+  bool wt_dirty_ = false;
+  Matrix bias_;  // 1 x out
   Activation act_;
 
   // Cached forward state.

@@ -41,6 +41,11 @@ class Matrix {
   std::size_t cols() const { return cols_; }
   std::size_t size() const { return data_.size(); }
 
+  /// Reshapes to rows x cols, reusing the existing heap block whenever the
+  /// new element count fits in capacity. Contents are unspecified after a
+  /// resize (kernels writing "into" a matrix overwrite every element).
+  void resize(std::size_t rows, std::size_t cols);
+
   double& operator()(std::size_t r, std::size_t c) {
     return data_[r * cols_ + c];
   }
@@ -87,5 +92,16 @@ class Matrix {
 };
 
 std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+/// out = a * b (a: m x k, b: k x n), written into caller-provided storage.
+/// \p out is resized to m x n and fully overwritten; once its capacity is
+/// warm the call performs no heap allocation. Produces bit-identical
+/// results to Matrix::matmul (same per-element accumulation order).
+/// \p out must not alias \p a or \p b.
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a * b^T (a: m x k, b: n x k), same storage contract as
+/// matmul_into; bit-identical to Matrix::matmul_transposed.
+void matmul_transposed_into(const Matrix& a, const Matrix& b, Matrix& out);
 
 }  // namespace cvsafe::nn

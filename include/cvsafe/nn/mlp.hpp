@@ -1,8 +1,10 @@
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "cvsafe/nn/layer.hpp"
+#include "cvsafe/nn/workspace.hpp"
 
 /// \file mlp.hpp
 /// Multi-layer perceptron: the network architecture behind the paper's
@@ -41,11 +43,26 @@ class Mlp {
   /// Single-sample inference convenience.
   std::vector<double> predict(const std::vector<double>& x) const;
 
+  /// Batch inference into workspace storage: evaluates all rows of \p x
+  /// in one matmul per layer. Returns a reference to the workspace buffer
+  /// holding the n x output_dim result (valid until the workspace is next
+  /// used). Bit-identical to infer(); performs no heap allocation once the
+  /// workspace is warm.
+  const Matrix& forward_into(const Matrix& x, Workspace& ws) const;
+
+  /// Zero-allocation single-sample inference for 1-output networks
+  /// (the planner hot path). \p x.size() must equal input_dim().
+  double predict_scalar(std::span<const double> x, Workspace& ws) const;
+
   /// Backpropagates dL/dy through every layer (after forward()).
   void backward(const Matrix& grad_out);
 
   /// Total number of trainable parameters.
   std::size_t parameter_count() const;
+
+  /// Rebuilds every layer's inference transpose cache after in-place
+  /// weight mutation (optimizer steps). Single-threaded use only.
+  void refresh_inference_cache();
 
  private:
   std::vector<DenseLayer> layers_;

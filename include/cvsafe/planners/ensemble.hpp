@@ -45,6 +45,8 @@ class EnsemblePlanner final
   std::string name_;
   double sigma_penalty_;
   double last_disagreement_ = 0.0;
+  nn::Workspace workspace_;  ///< shared across members (same architecture);
+                             ///< planners are per-episode, single-threaded
 };
 
 /// Trains (or loads from cache) an ensemble of \p k members for the given

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,11 @@ struct InputEncoding {
   std::vector<double> encode(double t, double p0, double v0,
                              const util::Interval& tau1) const;
 
+  /// Encodes into caller-provided storage (\p out.size() == dim());
+  /// allocation-free variant for the per-control-step hot path.
+  void encode_into(double t, double p0, double v0, const util::Interval& tau1,
+                   std::span<double> out) const;
+
   /// Input dimensionality (4).
   static constexpr std::size_t dim() { return 4; }
 };
@@ -45,7 +51,15 @@ class NnPlanner final : public core::PlannerBase<scenario::LeftTurnWorld> {
 
   /// Runs the network on (ego state, NN-facing window) and returns the
   /// predicted acceleration (clamped downstream by the dynamics).
+  /// Allocation-free after the first call (reuses an internal workspace).
   double plan(const scenario::LeftTurnWorld& world) override;
+
+  /// Evaluates kappa_n for \p worlds in one matmul per layer, writing one
+  /// acceleration per world into \p out (sizes must match). Amortizes the
+  /// weight-matrix traffic across the batch; bit-identical to calling
+  /// plan() per world.
+  void plan_batch(std::span<const scenario::LeftTurnWorld> worlds,
+                  std::span<double> out);
 
   std::string_view name() const override { return name_; }
 
@@ -56,6 +70,9 @@ class NnPlanner final : public core::PlannerBase<scenario::LeftTurnWorld> {
   std::shared_ptr<const nn::Mlp> net_;
   InputEncoding encoding_;
   std::string name_;
+  nn::Workspace workspace_;  ///< per-planner scratch; planners are
+                             ///< per-episode objects, never shared across
+                             ///< threads (see AgentBlueprint::make)
 };
 
 }  // namespace cvsafe::planners

@@ -25,6 +25,7 @@ void BatchStats::merge(const BatchStats& other) {
   mean_reach_time = reached_count
                         ? reach_sum / static_cast<double>(reached_count)
                         : 0.0;
+  etas.reserve(etas.size() + other.etas.size());
   etas.insert(etas.end(), other.etas.begin(), other.etas.end());
 }
 

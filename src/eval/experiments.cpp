@@ -102,6 +102,7 @@ BatchStats run_setting(const SimConfig& base, const AgentBlueprint& blueprint,
   constexpr std::uint64_t kSeedStride = 1u << 24;
 
   BatchStats total;
+  total.etas.reserve(per_point * grid.size());
   for (std::size_t gi = 0; gi < grid.size(); ++gi) {
     const SimConfig cfg = apply_setting(base, setting, grid[gi]);
     AgentBlueprint bp = blueprint;

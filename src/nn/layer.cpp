@@ -8,11 +8,19 @@ DenseLayer::DenseLayer(std::size_t in_dim, std::size_t out_dim, Activation act,
                        util::Rng& rng)
     : weights_(Matrix::glorot(out_dim, in_dim, rng)),
       bias_(1, out_dim),
-      act_(act) {}
+      act_(act) {
+  refresh_inference_cache();
+}
 
 DenseLayer::DenseLayer(Matrix weights, Matrix bias, Activation act)
     : weights_(std::move(weights)), bias_(std::move(bias)), act_(act) {
   assert(bias_.rows() == 1 && bias_.cols() == weights_.rows());
+  refresh_inference_cache();
+}
+
+void DenseLayer::refresh_inference_cache() {
+  weights_t_ = weights_.transpose();
+  wt_dirty_ = false;
 }
 
 Matrix DenseLayer::forward(const Matrix& x) {
@@ -28,6 +36,20 @@ Matrix DenseLayer::infer(const Matrix& x) const {
   Matrix z = x.matmul_transposed(weights_);
   z.add_row_broadcast(bias_);
   return apply_activation(act_, z);
+}
+
+void DenseLayer::infer_into(const Matrix& x, Matrix& out) const {
+  assert(x.cols() == in_dim());
+  // x * W^T via the transposed-layout cache when it is in sync: the axpy
+  // kernel streams W^T rows contiguously (vectorizable across output
+  // neurons) while accumulating each output element over k in the same
+  // order as the dot-product kernel, so both paths are bit-identical.
+  if (!wt_dirty_) {
+    matmul_into(x, weights_t_, out);
+  } else {
+    matmul_transposed_into(x, weights_, out);
+  }
+  bias_activation_inplace(act_, bias_, out);
 }
 
 Matrix DenseLayer::backward(const Matrix& grad_out) {

@@ -5,7 +5,30 @@
 #include <cmath>
 #include <ostream>
 
+#if defined(__GNUC__) || defined(__clang__)
+#define CVSAFE_RESTRICT __restrict__
+#else
+#define CVSAFE_RESTRICT
+#endif
+
 namespace cvsafe::nn {
+
+namespace {
+
+/// Fraction-of-zeros probe for the sparsity fast path. The exact-zero skip
+/// in the accumulation kernels only pays off when a sizeable share of the
+/// left operand is zero; on dense NN weight matrices the per-element branch
+/// mispredicts and pessimizes the hot loop, so callers gate on this.
+bool mostly_zero(const std::vector<double>& values) {
+  if (values.size() < 4096) return false;  // probe cost dominates small inputs
+  std::size_t zeros = 0;
+  for (const double v : values) {
+    zeros += (v == 0.0) ? 1 : 0;  // cvsafe-lint: allow(float-compare)
+  }
+  return zeros * 2 >= values.size();
+}
+
+}  // namespace
 
 Matrix::Matrix(std::size_t rows, std::size_t cols)
     : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
@@ -33,48 +56,110 @@ Matrix Matrix::glorot(std::size_t rows, std::size_t cols, util::Rng& rng) {
   return m;
 }
 
-Matrix Matrix::matmul(const Matrix& other) const {
-  assert(cols_ == other.rows_);
-  Matrix out(rows_, other.cols_);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double a = (*this)(i, k);
-      // cvsafe-lint: allow(float-compare) exact-zero sparsity skip
-      if (a == 0.0) continue;
-      const double* brow = &other.data_[k * other.cols_];
-      double* orow = &out.data_[i * other.cols_];
-      for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols() == b.rows());
+  assert(&out != &a && &out != &b);
+  const std::size_t m = a.rows();
+  const std::size_t kk = a.cols();
+  const std::size_t n = b.cols();
+  out.resize(m, n);
+  std::fill(out.data().begin(), out.data().end(), 0.0);
+
+  const double* CVSAFE_RESTRICT ap = a.data().data();
+  const double* CVSAFE_RESTRICT bp = b.data().data();
+  double* CVSAFE_RESTRICT op = out.data().data();
+
+  // Accumulation order per output element is k ascending in both paths, so
+  // results are bit-identical regardless of which path runs (adding an
+  // exact zero never changes a finite accumulator).
+  if (mostly_zero(a.data())) {
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t k = 0; k < kk; ++k) {
+        const double av = ap[i * kk + k];
+        // cvsafe-lint: allow(float-compare) exact-zero sparsity skip
+        if (av == 0.0) continue;
+        const double* CVSAFE_RESTRICT brow = bp + k * n;
+        double* CVSAFE_RESTRICT orow = op + i * n;
+        for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
+    }
+    return;
+  }
+
+  // Dense path: branch-free inner loop, blocked over columns so the output
+  // row tile and the B tile stay cache-resident across the k sweep.
+  constexpr std::size_t kColBlock = 256;
+  for (std::size_t i = 0; i < m; ++i) {
+    double* CVSAFE_RESTRICT orow = op + i * n;
+    for (std::size_t j0 = 0; j0 < n; j0 += kColBlock) {
+      const std::size_t j1 = std::min(j0 + kColBlock, n);
+      for (std::size_t k = 0; k < kk; ++k) {
+        const double av = ap[i * kk + k];
+        const double* CVSAFE_RESTRICT brow = bp + k * n;
+        for (std::size_t j = j0; j < j1; ++j) orow[j] += av * brow[j];
+      }
     }
   }
+}
+
+void matmul_transposed_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols() == b.cols());
+  assert(&out != &a && &out != &b);
+  const std::size_t m = a.rows();
+  const std::size_t kk = a.cols();
+  const std::size_t n = b.rows();
+  out.resize(m, n);
+
+  const double* CVSAFE_RESTRICT ap = a.data().data();
+  const double* CVSAFE_RESTRICT bp = b.data().data();
+  double* CVSAFE_RESTRICT op = out.data().data();
+
+  // Both operand rows are contiguous; each output element is an in-order
+  // dot product over k (bit-identical to the historical kernel).
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* CVSAFE_RESTRICT arow = ap + i * kk;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* CVSAFE_RESTRICT brow = bp + j * kk;
+      double s = 0.0;
+      for (std::size_t k = 0; k < kk; ++k) s += arow[k] * brow[k];
+      op[i * n + j] = s;
+    }
+  }
+}
+
+Matrix Matrix::matmul(const Matrix& other) const {
+  Matrix out;
+  matmul_into(*this, other, out);
   return out;
 }
 
 Matrix Matrix::matmul_transposed(const Matrix& other) const {
-  assert(cols_ == other.cols_);
-  Matrix out(rows_, other.rows_);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    const double* arow = &data_[i * cols_];
-    for (std::size_t j = 0; j < other.rows_; ++j) {
-      const double* brow = &other.data_[j * other.cols_];
-      double s = 0.0;
-      for (std::size_t k = 0; k < cols_; ++k) s += arow[k] * brow[k];
-      out(i, j) = s;
-    }
-  }
+  Matrix out;
+  matmul_transposed_into(*this, other, out);
   return out;
 }
 
 Matrix Matrix::transposed_matmul(const Matrix& other) const {
   assert(rows_ == other.rows_);
   Matrix out(cols_, other.cols_);
+  // The left operand here is a backpropagated gradient; with ReLU-family
+  // activations those are legitimately sparse, so the exact-zero skip is
+  // gated on measured density rather than applied unconditionally.
+  const bool sparse = mostly_zero(data_);
   for (std::size_t k = 0; k < rows_; ++k) {
-    const double* arow = &data_[k * cols_];
-    const double* brow = &other.data_[k * other.cols_];
+    const double* CVSAFE_RESTRICT arow = &data_[k * cols_];
+    const double* CVSAFE_RESTRICT brow = &other.data_[k * other.cols_];
     for (std::size_t i = 0; i < cols_; ++i) {
       const double a = arow[i];
       // cvsafe-lint: allow(float-compare) exact-zero sparsity skip
-      if (a == 0.0) continue;
-      double* orow = &out.data_[i * other.cols_];
+      if (sparse && a == 0.0) continue;
+      double* CVSAFE_RESTRICT orow = &out.data_[i * other.cols_];
       for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
     }
   }

@@ -1,5 +1,6 @@
 #include "cvsafe/nn/mlp.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace cvsafe::nn {
@@ -37,11 +38,34 @@ std::vector<double> Mlp::predict(const std::vector<double>& x) const {
   return y.data();
 }
 
+const Matrix& Mlp::forward_into(const Matrix& x, Workspace& ws) const {
+  assert(x.cols() == input_dim());
+  const Matrix* in = &x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    Matrix& out = ws.layer_out(i);
+    layers_[i].infer_into(*in, out);
+    in = &out;
+  }
+  return *in;
+}
+
+double Mlp::predict_scalar(std::span<const double> x, Workspace& ws) const {
+  assert(x.size() == input_dim());
+  assert(output_dim() == 1);
+  Matrix& in = ws.input(1, x.size());
+  std::copy(x.begin(), x.end(), in.data().begin());
+  return forward_into(in, ws)(0, 0);
+}
+
 void Mlp::backward(const Matrix& grad_out) {
   Matrix g = grad_out;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
     g = it->backward(g);
   }
+}
+
+void Mlp::refresh_inference_cache() {
+  for (auto& layer : layers_) layer.refresh_inference_cache();
 }
 
 std::size_t Mlp::parameter_count() const {

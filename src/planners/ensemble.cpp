@@ -1,5 +1,6 @@
 #include "cvsafe/planners/ensemble.hpp"
 
+#include <array>
 #include <cassert>
 #include <cmath>
 
@@ -21,12 +22,12 @@ EnsemblePlanner::EnsemblePlanner(
 }
 
 double EnsemblePlanner::plan(const scenario::LeftTurnWorld& world) {
-  const auto x = encoding_.encode(world.t, world.ego.p, world.ego.v,
-                                  world.tau1_nn);
+  std::array<double, InputEncoding::dim()> x;
+  encoding_.encode_into(world.t, world.ego.p, world.ego.v, world.tau1_nn, x);
   double sum = 0.0;
   double sum2 = 0.0;
   for (const auto& m : members_) {
-    const double y = m->predict(x)[0];
+    const double y = m->predict_scalar(x, workspace_);
     sum += y;
     sum2 += y * y;
   }

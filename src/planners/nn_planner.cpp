@@ -1,12 +1,22 @@
 #include "cvsafe/planners/nn_planner.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 
 namespace cvsafe::planners {
 
 std::vector<double> InputEncoding::encode(double t, double p0, double v0,
                                           const util::Interval& tau1) const {
+  std::vector<double> out(dim());
+  encode_into(t, p0, v0, tau1, out);
+  return out;
+}
+
+void InputEncoding::encode_into(double t, double p0, double v0,
+                                const util::Interval& tau1,
+                                std::span<double> out) const {
+  assert(out.size() == dim());
   double w_lo;
   double w_hi;
   if (tau1.empty() || tau1.hi <= t) {
@@ -16,7 +26,10 @@ std::vector<double> InputEncoding::encode(double t, double p0, double v0,
     w_lo = std::clamp(tau1.lo - t, w_min, w_max);
     w_hi = std::clamp(tau1.hi - t, w_min, w_max);
   }
-  return {p0 / p_scale, v0 / v_scale, w_lo / w_scale, w_hi / w_scale};
+  out[0] = p0 / p_scale;
+  out[1] = v0 / v_scale;
+  out[2] = w_lo / w_scale;
+  out[3] = w_hi / w_scale;
 }
 
 NnPlanner::NnPlanner(std::shared_ptr<const nn::Mlp> net,
@@ -28,9 +41,25 @@ NnPlanner::NnPlanner(std::shared_ptr<const nn::Mlp> net,
 }
 
 double NnPlanner::plan(const scenario::LeftTurnWorld& world) {
-  const auto x = encoding_.encode(world.t, world.ego.p, world.ego.v,
-                                  world.tau1_nn);
-  return net_->predict(x)[0];
+  std::array<double, InputEncoding::dim()> x;
+  encoding_.encode_into(world.t, world.ego.p, world.ego.v, world.tau1_nn, x);
+  return net_->predict_scalar(x, workspace_);
+}
+
+void NnPlanner::plan_batch(std::span<const scenario::LeftTurnWorld> worlds,
+                           std::span<double> out) {
+  assert(worlds.size() == out.size());
+  if (worlds.empty()) return;
+  nn::Matrix& in = workspace_.input(worlds.size(), InputEncoding::dim());
+  for (std::size_t i = 0; i < worlds.size(); ++i) {
+    const auto& w = worlds[i];
+    encoding_.encode_into(
+        w.t, w.ego.p, w.ego.v, w.tau1_nn,
+        std::span<double>(in.data()).subspan(i * InputEncoding::dim(),
+                                             InputEncoding::dim()));
+  }
+  const nn::Matrix& y = net_->forward_into(in, workspace_);
+  for (std::size_t i = 0; i < worlds.size(); ++i) out[i] = y(i, 0);
 }
 
 }  // namespace cvsafe::planners

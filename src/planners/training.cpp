@@ -1,5 +1,6 @@
 #include "cvsafe/planners/training.hpp"
 
+#include <array>
 #include <cinttypes>
 #include <cstdio>
 #include <filesystem>
@@ -67,6 +68,8 @@ nn::Dataset generate_onpolicy_dataset(
 
   std::vector<std::vector<double>> inputs;
   std::vector<double> labels;
+  nn::Workspace ws;  // reused across every rollout step (no per-step allocs)
+  std::array<double, InputEncoding::dim()> x_step;
   for (std::size_t episode = 0; episode < episodes; ++episode) {
     vehicle::VehicleState ego{g.ego_start, rng.uniform(4.0, 12.0)};
     vehicle::VehicleState c1{rng.uniform(-62.0, -48.0),
@@ -93,8 +96,8 @@ nn::Dataset generate_onpolicy_dataset(
         labels.push_back(expert.act(t, ego.p, ego.v, tau1));
       }
 
-      const double a0 =
-          net.predict(encoding.encode(t, ego.p, ego.v, tau1))[0];
+      encoding.encode_into(t, ego.p, ego.v, tau1, x_step);
+      const double a0 = net.predict_scalar(x_step, ws);
       ego = ego_dyn.step(ego, a0, dt);
       c1 = c1_dyn.step(c1, profile.at(step), dt);
       if (scenario.ego_reached_target(ego.p)) break;
@@ -166,6 +169,7 @@ nn::Mlp train_planner_network(const scenario::LeftTurnScenario& scenario,
     fine.epochs = options.onpolicy_epochs;
     nn::train(net, data, opt, fine, rng);
   }
+  net.refresh_inference_cache();  // optimizer steps left the cache stale
   return net;
 }
 

@@ -1,0 +1,124 @@
+// Equivalence tests for the parallel and memoized boundary-grid sweeps:
+// every variant must reproduce the serial compute_boundary_grid labels
+// exactly (same label enum value in every cell) on randomized grids,
+// including odd sizes and degenerate single-row/column slices.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cvsafe/core/preimage.hpp"
+#include "cvsafe/util/rng.hpp"
+
+namespace {
+
+using cvsafe::core::ChangedRegion;
+using cvsafe::core::compute_boundary_grid;
+using cvsafe::core::compute_boundary_grid_parallel;
+using cvsafe::core::IncrementalBoundaryGrid;
+using cvsafe::core::PreimageGrid;
+using cvsafe::core::PreimageResult;
+using cvsafe::core::RegionLabel;
+
+std::pair<double, double> integrator_step(double x, double v, double u) {
+  const double dt = 0.1;
+  return {x + v * dt + 0.5 * u * dt * dt, v + u * dt};
+}
+
+struct Band {
+  double lo = 0.4;
+  double hi = 0.6;
+  bool operator()(double x, double /*v*/) const { return x >= lo && x <= hi; }
+};
+
+void expect_same_labels(const PreimageResult& a, const PreimageResult& b,
+                        const char* what) {
+  ASSERT_EQ(a.labels.size(), b.labels.size()) << what;
+  for (std::size_t c = 0; c < a.labels.size(); ++c) {
+    ASSERT_EQ(a.labels[c], b.labels[c])
+        << what << ": cell " << c << " (" << c % a.grid.nx << ", "
+        << c / a.grid.nx << ")";
+  }
+}
+
+TEST(PreimageParallelTest, MatchesSerialOnRandomizedGrids) {
+  cvsafe::util::Rng rng(31);
+  for (int trial = 0; trial < 8; ++trial) {
+    PreimageGrid grid;
+    grid.x_min = rng.uniform(-1.0, 0.0);
+    grid.x_max = grid.x_min + rng.uniform(0.5, 2.0);
+    grid.v_min = rng.uniform(-1.0, 0.0);
+    grid.v_max = grid.v_min + rng.uniform(0.5, 2.0);
+    grid.nx = static_cast<std::size_t>(rng.uniform_int(1, 50));
+    grid.nv = static_cast<std::size_t>(rng.uniform_int(1, 50));
+    const auto controls = cvsafe::core::sample_controls(
+        -3.0, 3.0, static_cast<std::size_t>(rng.uniform_int(2, 9)));
+    const Band band{grid.x_min + 0.3 * (grid.x_max - grid.x_min),
+                    grid.x_min + 0.5 * (grid.x_max - grid.x_min)};
+
+    const auto serial = compute_boundary_grid(grid, integrator_step, band,
+                                              controls);
+    for (std::size_t threads : {std::size_t{1}, std::size_t{3},
+                                std::size_t{8}}) {
+      const auto par = compute_boundary_grid_parallel(
+          grid, integrator_step, band, controls, threads);
+      expect_same_labels(serial, par, "parallel");
+    }
+  }
+}
+
+TEST(PreimageParallelTest, MemoizedFullRelabelMatchesSerial) {
+  PreimageGrid grid;
+  grid.nx = 37;
+  grid.nv = 23;
+  const auto controls = cvsafe::core::sample_controls(-3.0, 3.0, 5);
+  const Band band;
+  const auto serial =
+      compute_boundary_grid(grid, integrator_step, band, controls);
+
+  IncrementalBoundaryGrid inc(grid, integrator_step, controls);
+  expect_same_labels(serial, inc.relabel(band), "memoized full");
+}
+
+TEST(PreimageParallelTest, IncrementalRelabelMatchesFreshSweepAsBandDrifts) {
+  PreimageGrid grid;
+  grid.nx = 41;
+  grid.nv = 29;
+  const auto controls = cvsafe::core::sample_controls(-3.0, 3.0, 6);
+
+  IncrementalBoundaryGrid inc(grid, integrator_step, controls);
+  Band band;
+  inc.relabel(band);  // prime with a full pass
+
+  cvsafe::util::Rng rng(32);
+  for (int step = 0; step < 25; ++step) {
+    const Band old_band = band;
+    band.lo = rng.uniform(0.0, 0.7);
+    band.hi = band.lo + rng.uniform(0.05, 0.3);
+    const ChangedRegion changed{std::min(old_band.lo, band.lo),
+                                std::max(old_band.hi, band.hi), grid.v_min,
+                                grid.v_max};
+    const auto& got = inc.relabel(band, changed);
+    const auto fresh =
+        compute_boundary_grid(grid, integrator_step, band, controls);
+    expect_same_labels(fresh, got, "incremental");
+  }
+}
+
+TEST(PreimageParallelTest, IncrementalWithEmptyChangeKeepsLabels) {
+  PreimageGrid grid;
+  grid.nx = 16;
+  grid.nv = 16;
+  const auto controls = cvsafe::core::sample_controls(-2.0, 2.0, 4);
+  IncrementalBoundaryGrid inc(grid, integrator_step, controls);
+  const Band band;
+  const auto before = inc.relabel(band);  // copy
+
+  // A changed region entirely outside the slice: nothing may move.
+  const ChangedRegion nowhere{5.0, 6.0, 5.0, 6.0};
+  expect_same_labels(before, inc.relabel(band, nowhere), "no-op change");
+}
+
+}  // namespace
