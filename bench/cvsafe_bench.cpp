@@ -32,12 +32,20 @@
 #include "cvsafe/nn/workspace.hpp"
 #include "cvsafe/planners/nn_planner.hpp"
 #include "cvsafe/planners/training.hpp"
+#include "support/legacy_reference.hpp"
 
 namespace {
 
 std::atomic<std::uint64_t> g_alloc_count{0};
 
 }  // namespace
+
+// The replaced global allocation functions below pair malloc-backed
+// operator new with free-backed operator delete. That pairing is correct
+// for a full replacement, but once allocations inline into this TU GCC's
+// -Wmismatched-new-delete can no longer see it and reports false
+// positives at every make_shared/make_unique instantiation.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 
 // Counting allocation functions. Deliberately exhaustive over the aligned
 // and sized variants so no allocation path escapes the counter.
@@ -372,6 +380,31 @@ std::vector<Bench> build_registry() {
                          const auto stats =
                              eval::run_batch(cfg, bp, 8, seed, 1);
                          g_sink = stats.mean_eta;
+                         seed += 8;
+                       }
+                     });
+  }});
+
+  // The frozen pre-engine left-turn loop on the identical workload —
+  // the baseline of the engine-overhead gate
+  //   legacy_left_turn_episodes8 : run_batch_episodes8
+  // in CI (per-step engine overhead must stay within a few percent).
+  benches.push_back({"legacy_left_turn_episodes8", [](const Options& o) {
+    const auto cfg = eval::SimConfig::paper_defaults();
+    const auto bp = eval::make_nn_blueprint(
+        cfg, planners::PlannerStyle::kConservative,
+        eval::PlannerVariant::kUltimate);
+    std::uint64_t seed = 1;
+    return run_bench("legacy_left_turn_episodes8", o.min_time_s,
+                     [&](std::uint64_t n) {
+                       for (std::uint64_t it = 0; it < n; ++it) {
+                         double eta_sum = 0.0;
+                         for (std::uint64_t i = 0; i < 8; ++i) {
+                           eta_sum += cvsafe::legacy_ref::run_left_turn(
+                                          cfg, bp, seed + i)
+                                          .eta;
+                         }
+                         g_sink = eta_sum / 8.0;
                          seed += 8;
                        }
                      });

@@ -1,17 +1,14 @@
 // Second case study: the generic framework wrapped around an aggressive
 // merge planner in the lane-change scenario of Section II-A's motivating
-// example. Demonstrates that the compound planner is scenario-agnostic.
+// example. Demonstrates two seams at once: the compound planner is
+// scenario-agnostic, and a custom embedded planner drops into the shared
+// closed-loop engine through LaneChangeAdapter::set_planner_factory —
+// no hand-rolled simulation loop required.
 
 #include <cstdio>
 #include <memory>
 
-#include "cvsafe/comm/channel.hpp"
-#include "cvsafe/core/compound_planner.hpp"
-#include "cvsafe/filter/info_filter.hpp"
-#include "cvsafe/scenario/lane_change.hpp"
-#include "cvsafe/sensing/sensor.hpp"
-#include "cvsafe/vehicle/accel_profile.hpp"
-#include "cvsafe/vehicle/dynamics.hpp"
+#include "cvsafe/sim/lane_change.hpp"
 
 namespace {
 
@@ -27,104 +24,46 @@ class FullThrottlePlanner final : public core::PlannerBase<LaneChangeWorld> {
   std::string_view name() const override { return "full_throttle"; }
 };
 
-struct EpisodeResult {
-  bool violated = false;
-  bool reached = false;
-  double reach_time = 0.0;
-  std::size_t emergency_steps = 0;
-  std::size_t steps = 0;
-};
+sim::LaneChangeAdapter make_adapter(bool use_compound) {
+  sim::LaneChangeSimConfig config;
+  config.comm = comm::CommConfig::delayed(0.3, 0.25);
+  config.c1_gap_min = 2.0;   // leading vehicle starts 2-20 m past the
+  config.c1_gap_max = 20.0;  // merge point at 5-9 m/s
+  config.c1_v_min = 5.0;
+  config.c1_v_max = 9.0;
 
-EpisodeResult run_episode(bool use_compound, std::uint64_t seed) {
-  const scenario::LaneChangeGeometry geometry;
-  const vehicle::VehicleLimits ego_limits{0.0, 18.0, -6.0, 3.0};
-  const vehicle::VehicleLimits c1_limits{3.0, 15.0, -3.0, 2.0};
-  const double dt_c = 0.05;
-  auto scn = std::make_shared<const scenario::LaneChangeScenario>(
-      geometry, ego_limits, c1_limits, dt_c);
+  sim::LaneChangePlannerConfig planner_cfg;
+  planner_cfg.use_compound = use_compound;
 
-  util::Rng rng(seed);
-  vehicle::DoubleIntegrator ego_dyn(ego_limits);
-  vehicle::DoubleIntegrator c1_dyn(c1_limits);
-  vehicle::VehicleState ego{geometry.ego_start, 12.0};
-  vehicle::VehicleState c1{geometry.merge_point + rng.uniform(2.0, 20.0),
-                           rng.uniform(5.0, 9.0)};
-
-  const sensing::SensorConfig sensor_cfg = sensing::SensorConfig::uniform(0.8);
-  sensing::Sensor sensor(sensor_cfg);
-  comm::Channel channel(comm::CommConfig::delayed(0.3, 0.25));
-  filter::InformationFilter estimator(c1_limits, sensor_cfg,
-                                      filter::InfoFilterOptions::ultimate());
-
-  auto inner = std::make_shared<FullThrottlePlanner>();
-  std::shared_ptr<core::PlannerBase<LaneChangeWorld>> planner = inner;
-  core::CompoundPlanner<LaneChangeWorld>* compound = nullptr;
-  if (use_compound) {
-    auto model = std::make_shared<scenario::LaneChangeSafetyModel>(scn);
-    auto c = std::make_shared<core::CompoundPlanner<LaneChangeWorld>>(
-        inner, model);
-    compound = c.get();
-    planner = c;
-  }
-
-  const auto total_steps = static_cast<std::size_t>(30.0 / dt_c);
-  const vehicle::AccelProfile profile = vehicle::AccelProfile::random(
-      total_steps, dt_c, c1.v, c1_limits, {}, rng);
-
-  EpisodeResult result;
-  for (std::size_t step = 0; step < total_steps; ++step) {
-    const double t = static_cast<double>(step) * dt_c;
-    const double a1 = profile.at(step);
-    const vehicle::VehicleSnapshot snap{t, c1, a1};
-    channel.offer(comm::Message{1, snap}, rng);
-    for (const auto& msg : channel.collect(t)) estimator.on_message(msg);
-    if (const auto r = sensor.sense(snap, rng)) estimator.on_sensor(*r);
-
-    LaneChangeWorld world;
-    world.t = t;
-    world.ego = ego;
-    world.c1_monitor = estimator.estimate(t);
-    world.c1_nn = world.c1_monitor;
-    const double a0 = planner->plan(world);
-    ++result.steps;
-    if (compound != nullptr && compound->last_was_emergency()) {
-      ++result.emergency_steps;
-    }
-
-    ego = ego_dyn.step(ego, a0, dt_c);
-    c1 = c1_dyn.step(c1, a1, dt_c);
-    if (scn->violation(ego.p, c1.p)) {
-      result.violated = true;
-      break;
-    }
-    if (scn->reached_target(ego.p)) {
-      result.reached = true;
-      result.reach_time = t + dt_c;
-      break;
-    }
-  }
-  return result;
+  sim::LaneChangeAdapter adapter(config, planner_cfg);
+  adapter.set_planner_factory([](const sim::LaneChangeSimConfig&) {
+    return std::make_shared<FullThrottlePlanner>();
+  });
+  return adapter;
 }
 
 }  // namespace
 
 int main() {
+  const auto raw_adapter = make_adapter(/*use_compound=*/false);
+  const auto compound_adapter = make_adapter(/*use_compound=*/true);
+
   std::printf("%-18s %-6s %-9s %-8s %-8s %s\n", "planner", "seed",
               "violated", "reached", "t_r", "emergency steps");
   std::size_t violations_raw = 0;
   std::size_t violations_compound = 0;
   for (std::uint64_t seed = 1; seed <= 12; ++seed) {
-    const auto raw = run_episode(/*use_compound=*/false, seed);
-    const auto safe = run_episode(/*use_compound=*/true, seed);
-    violations_raw += raw.violated ? 1 : 0;
-    violations_compound += safe.violated ? 1 : 0;
+    const sim::RunResult raw = sim::run_episode(raw_adapter, seed);
+    const sim::RunResult safe = sim::run_episode(compound_adapter, seed);
+    violations_raw += raw.collided ? 1 : 0;
+    violations_compound += safe.collided ? 1 : 0;
     std::printf("%-18s %-6llu %-9s %-8s %-8.2f -\n", "full throttle",
                 static_cast<unsigned long long>(seed),
-                raw.violated ? "YES" : "no", raw.reached ? "yes" : "no",
+                raw.collided ? "YES" : "no", raw.reached ? "yes" : "no",
                 raw.reach_time);
     std::printf("%-18s %-6llu %-9s %-8s %-8.2f %zu/%zu\n", "compound",
                 static_cast<unsigned long long>(seed),
-                safe.violated ? "YES" : "no", safe.reached ? "yes" : "no",
+                safe.collided ? "YES" : "no", safe.reached ? "yes" : "no",
                 safe.reach_time, safe.emergency_steps, safe.steps);
   }
   std::printf("\nviolations: raw planner %zu/12, compound planner %zu/12\n",

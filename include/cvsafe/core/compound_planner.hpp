@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -78,6 +79,19 @@ class CompoundPlanner final : public PlannerBase<World> {
   /// kappa_e iff x(t) in X_b, otherwise kappa_n — with the aggressive
   /// unsafe set substituted when enabled.
   double plan(const World& world) override {
+    if (const auto emergency = monitor_gate(world)) return *emergency;
+    if (options_.aggressive_unsafe_set) {
+      return nn_planner_->plan(safety_model_->shrink_for_planner(world));
+    }
+    return nn_planner_->plan(world);
+  }
+
+  /// The monitor's half of plan(): advances the step/switch bookkeeping
+  /// and returns the emergency acceleration when kappa_e takes this step,
+  /// nullopt when control falls through to the embedded planner (which
+  /// must then be evaluated on planner_view(world)). Exactly one of
+  /// monitor_gate()/plan() may be called per control step.
+  std::optional<double> monitor_gate(const World& world) {
     const std::size_t step = stats_.total_steps++;
     if (safety_model_->in_boundary_safe_set(world)) {
       ++stats_.emergency_steps;
@@ -89,10 +103,16 @@ class CompoundPlanner final : public PlannerBase<World> {
     }
     if (last_was_emergency_) record_switch(step, false, {});
     last_was_emergency_ = false;
-    if (options_.aggressive_unsafe_set) {
-      return nn_planner_->plan(safety_model_->shrink_for_planner(world));
-    }
-    return nn_planner_->plan(world);
+    return std::nullopt;
+  }
+
+  /// The world the embedded planner sees when the monitor falls through:
+  /// the aggressive (underestimated) unsafe set when enabled, the
+  /// monitor's own view otherwise.
+  World planner_view(const World& world) const {
+    return options_.aggressive_unsafe_set
+               ? safety_model_->shrink_for_planner(world)
+               : world;
   }
 
   std::string_view name() const override { return name_; }

@@ -1,121 +1,14 @@
 #pragma once
 
-#include <memory>
-#include <string>
-#include <vector>
-
-#include "cvsafe/core/compound_planner.hpp"
-#include "cvsafe/filter/info_filter.hpp"
-#include "cvsafe/filter/naive.hpp"
-#include "cvsafe/planners/ensemble.hpp"
-#include "cvsafe/planners/expert.hpp"
-#include "cvsafe/planners/nn_planner.hpp"
-#include "cvsafe/scenario/safety_model.hpp"
-#include "cvsafe/sensing/sensor.hpp"
+#include "cvsafe/sim/left_turn_stack.hpp"
 
 /// \file agent.hpp
-/// Assembly of one ego-vehicle control stack for the left-turn scenario:
-/// estimators -> runtime monitor -> (NN | emergency) planner, per Fig. 2.
-///
-/// The configuration space covers every planner variant evaluated in the
-/// paper plus the ablation crosses:
-///
-///   pure NN            — naive estimator, no monitor;
-///   basic compound     — naive estimator for the NN, sound reachability
-///                        bounds for the monitor, no aggressive shrink;
-///   ultimate compound  — information filter (reachability ∩ Kalman) for
-///                        both, aggressive unsafe set for the NN;
-///   ablations          — each technique toggled independently.
+/// Compatibility aliases: the left-turn control-stack assembly now lives
+/// in cvsafe/sim/left_turn_stack.hpp as sim::LeftTurnStack.
 
 namespace cvsafe::eval {
 
-/// Which estimator feeds the embedded NN planner / the monitor.
-struct AgentConfig {
-  /// Wrap the planner in the compound planner (monitor + kappa_e).
-  bool use_compound = true;
-
-  /// Monitor + NN use the full information filter (Kalman fusion); when
-  /// false the monitor uses sound reachability bounds only and the NN
-  /// sees the naive extrapolation (pure-NN / basic behavior).
-  bool use_info_filter = false;
-
-  /// Feed the NN the aggressive (Eq. 8) window.
-  bool use_aggressive = false;
-
-  /// Buffers of the aggressive estimation.
-  scenario::AggressiveBuffers buffers;
-
-  /// Use the closed-form expert instead of a trained network as kappa_n
-  /// (fast tests / baselines; the framework wraps any planner).
-  bool use_expert_planner = false;
-  planners::ExpertParams expert_params = planners::ExpertParams::conservative();
-
-  /// Uncertainty-aversion of an ensemble kappa_n (only used when the
-  /// agent is constructed with ensemble members): the commanded
-  /// acceleration is reduced by this many member standard deviations.
-  double ensemble_sigma_penalty = 0.0;
-
-  static AgentConfig pure_nn();
-  static AgentConfig basic_compound();
-  static AgentConfig ultimate_compound();
-};
-
-/// One ego control stack with per-episode estimator state.
-class LeftTurnAgent {
- public:
-  /// \param scenario  shared case-study math
-  /// \param net       trained planner network (may be null when
-  ///                  config.use_expert_planner is set)
-  /// \param sensor    sensor model (noise feeds estimator construction)
-  LeftTurnAgent(std::shared_ptr<const scenario::LeftTurnScenario> scenario,
-                std::shared_ptr<const nn::Mlp> net,
-                sensing::SensorConfig sensor, AgentConfig config);
-
-  /// Deep-ensemble variant: kappa_n is the ensemble mean, optionally
-  /// reduced by config.ensemble_sigma_penalty member deviations.
-  LeftTurnAgent(std::shared_ptr<const scenario::LeftTurnScenario> scenario,
-                std::vector<std::shared_ptr<const nn::Mlp>> ensemble,
-                sensing::SensorConfig sensor, AgentConfig config);
-
-  /// Feeds a sensor reading of the oncoming vehicle.
-  void observe_sensor(const sensing::SensorReading& reading);
-
-  /// Feeds a delivered V2V message.
-  void observe_message(const comm::Message& msg);
-
-  /// Plans the ego acceleration for the current step.
-  double act(double t, const vehicle::VehicleState& ego);
-
-  /// True iff the last act() was handled by the emergency planner.
-  bool last_was_emergency() const;
-
-  /// Monitor statistics (empty stats when not a compound agent).
-  core::MonitorStats monitor_stats() const;
-
-  /// Planner hand-over events (empty when not a compound agent).
-  std::vector<core::SwitchEvent> switch_events() const;
-
-  /// The world view built by the last act() (introspection / traces).
-  const scenario::LeftTurnWorld& last_world() const { return last_world_; }
-
-  const AgentConfig& config() const { return config_; }
-
- private:
-  /// Builds the estimators and wraps \p inner per the configuration.
-  void setup(std::shared_ptr<core::PlannerBase<scenario::LeftTurnWorld>>
-                 inner,
-             const sensing::SensorConfig& sensor);
-
-  std::shared_ptr<const scenario::LeftTurnScenario> scenario_;
-  AgentConfig config_;
-
-  std::unique_ptr<filter::Estimator> nn_estimator_;
-  std::unique_ptr<filter::Estimator> monitor_estimator_;  ///< may alias null
-
-  std::shared_ptr<core::PlannerBase<scenario::LeftTurnWorld>> planner_;
-  core::CompoundPlanner<scenario::LeftTurnWorld>* compound_ = nullptr;
-
-  scenario::LeftTurnWorld last_world_;
-};
+using AgentConfig = sim::AgentConfig;
+using LeftTurnAgent = sim::LeftTurnStack;
 
 }  // namespace cvsafe::eval

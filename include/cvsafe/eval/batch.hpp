@@ -2,51 +2,30 @@
 
 #include <cstdint>
 #include <span>
-#include <vector>
 
 #include "cvsafe/eval/simulation.hpp"
 
 /// \file batch.hpp
-/// Parallel batch execution and the aggregate statistics reported in
+/// Parallel batch execution (now a thin veneer over the generic engine's
+/// batch runner) and the paired-episode winning percentage reported in
 /// Tables I and II of the paper.
 
 namespace cvsafe::eval {
 
-/// Aggregate over a batch of simulations.
-struct BatchStats {
-  std::size_t n = 0;
-  std::size_t safe_count = 0;        ///< episodes without collision
-  std::size_t reached_count = 0;     ///< episodes reaching the target set
-  std::size_t total_steps = 0;       ///< control steps across the batch
-  std::size_t emergency_steps = 0;   ///< kappa_e steps across the batch
-  double mean_eta = 0.0;             ///< mean evaluation value
-  double mean_reach_time = 0.0;      ///< mean t_r over safe reached episodes
-  std::vector<double> etas;          ///< per-episode eta (seed-aligned)
-
-  double safe_rate() const {
-    return n ? static_cast<double>(safe_count) / static_cast<double>(n) : 0.0;
-  }
-  double reach_rate() const {
-    return n ? static_cast<double>(reached_count) / static_cast<double>(n)
-             : 0.0;
-  }
-  double emergency_frequency() const {
-    return total_steps ? static_cast<double>(emergency_steps) /
-                             static_cast<double>(total_steps)
-                       : 0.0;
-  }
-
-  /// Merges another batch (concatenating etas in order).
-  void merge(const BatchStats& other);
-};
+using BatchStats = sim::BatchStats;
 
 /// Runs \p n simulations with seeds base_seed .. base_seed + n - 1 in
 /// parallel (CVSAFE_THREADS-controllable worker count, 0 = hardware).
 /// Seeds drive the entire episode, so two batches over the same seed range
-/// see *paired* workloads and disturbances.
-BatchStats run_batch(const SimConfig& config, const AgentBlueprint& blueprint,
-                     std::size_t n, std::uint64_t base_seed = 1,
-                     std::size_t threads = 0);
+/// see *paired* workloads and disturbances. Single-network NN blueprints
+/// are evaluated in lockstep (batched NN inference across episodes),
+/// bit-identically to the per-episode path.
+inline BatchStats run_batch(const SimConfig& config,
+                            const AgentBlueprint& blueprint, std::size_t n,
+                            std::uint64_t base_seed = 1,
+                            std::size_t threads = 0) {
+  return sim::run_left_turn_batch(config, blueprint, n, base_seed, threads);
+}
 
 /// Winning percentage of Tables I and II: the fraction of paired episodes
 /// in which planner A achieves a higher eta than planner B. \p tolerance

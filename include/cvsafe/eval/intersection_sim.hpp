@@ -1,88 +1,18 @@
 #pragma once
 
-#include <cstdint>
-#include <memory>
-
-#include "cvsafe/comm/channel.hpp"
-#include "cvsafe/scenario/intersection.hpp"
-#include "cvsafe/sensing/sensor.hpp"
+#include "cvsafe/sim/intersection.hpp"
 
 /// \file intersection_sim.hpp
-/// Closed-loop evaluation of the two-zone intersection crossing: streams
-/// of crossing vehicles on both lanes, each observed through its own
-/// (possibly disturbed) V2V channel and noisy sensor; the monitor builds
-/// per-lane occupancy-window sets from sound per-vehicle estimates.
+/// Compatibility aliases: the intersection closed loop now runs on the
+/// generic engine in cvsafe/sim/intersection.hpp.
 
 namespace cvsafe::eval {
 
-/// Configuration of one intersection simulation cell.
-struct IntersectionSimConfig {
-  scenario::IntersectionGeometry geometry;
-  vehicle::VehicleLimits ego_limits{0.0, 15.0, -6.0, 3.0};
-  vehicle::VehicleLimits cross_limits{2.0, 14.0, -3.0, 3.0};
-  double dt_c = 0.05;
-  double horizon = 40.0;
-  double ego_v0 = 8.0;
-  comm::CommConfig comm = comm::CommConfig::no_disturbance();
-  sensing::SensorConfig sensor = sensing::SensorConfig::uniform(1.0);
+using IntersectionSimConfig = sim::IntersectionSimConfig;
+using IntersectionSimResult = sim::RunResult;
+using IntersectionBatchStats = sim::BatchStats;
 
-  /// Cross-traffic stream shape (per lane).
-  std::size_t vehicles_per_lane = 2;
-  double headway_min = 20.0;  ///< spacing between stream vehicles [m]
-  double headway_max = 45.0;
-  double v_init_min = 6.0;
-  double v_init_max = 12.0;
-
-  /// Crossing corridor of the perpendicular road in each cross vehicle's
-  /// OWN path coordinate (entry / exit of the conflict square).
-  double cross_zone_front = 30.0;
-  double cross_zone_back = 33.5;
-  /// Initial distance of each lane's lead vehicle to its zone entry [m].
-  double lead_gap_min = 20.0;
-  double lead_gap_max = 50.0;
-
-  std::shared_ptr<const scenario::IntersectionScenario> make_scenario()
-      const;
-};
-
-/// Episode outcome.
-struct IntersectionSimResult {
-  bool collided = false;  ///< co-presence in either conflict square
-  bool reached = false;
-  double reach_time = 0.0;
-  double eta = 0.0;
-  std::size_t steps = 0;
-  std::size_t emergency_steps = 0;
-};
-
-/// Runs one episode. \p use_compound wraps the reckless cruise planner in
-/// the compound planner; without it the baseline simply drives through.
-IntersectionSimResult run_intersection_simulation(
-    const IntersectionSimConfig& config, bool use_compound,
-    std::uint64_t seed);
-
-/// Aggregate over a batch (parallel, seed-paired).
-struct IntersectionBatchStats {
-  std::size_t n = 0;
-  std::size_t safe_count = 0;
-  std::size_t reached_count = 0;
-  std::size_t total_steps = 0;
-  std::size_t emergency_steps = 0;
-  double mean_eta = 0.0;
-  double mean_reach_time = 0.0;
-
-  double safe_rate() const {
-    return n ? static_cast<double>(safe_count) / static_cast<double>(n) : 0.0;
-  }
-  double emergency_frequency() const {
-    return total_steps ? static_cast<double>(emergency_steps) /
-                             static_cast<double>(total_steps)
-                       : 0.0;
-  }
-};
-
-IntersectionBatchStats run_intersection_batch(
-    const IntersectionSimConfig& config, bool use_compound, std::size_t n,
-    std::uint64_t base_seed = 1, std::size_t threads = 0);
+using sim::run_intersection_simulation;
+using sim::run_intersection_batch;
 
 }  // namespace cvsafe::eval

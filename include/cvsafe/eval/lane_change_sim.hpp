@@ -1,89 +1,19 @@
 #pragma once
 
-#include <cstdint>
-#include <memory>
-
-#include "cvsafe/comm/channel.hpp"
-#include "cvsafe/scenario/lane_change.hpp"
-#include "cvsafe/sensing/sensor.hpp"
-#include "cvsafe/vehicle/accel_profile.hpp"
+#include "cvsafe/sim/lane_change.hpp"
 
 /// \file lane_change_sim.hpp
-/// Closed-loop evaluation harness for the lane-change / merge scenario —
-/// the same experiment machinery as the left-turn case study, applied to
-/// the second instantiation of the framework. Quantifies that the
-/// compound planner's guarantee and efficiency story generalize beyond
-/// the paper's case study.
+/// Compatibility aliases: the lane-change closed loop now runs on the
+/// generic engine in cvsafe/sim/lane_change.hpp.
 
 namespace cvsafe::eval {
 
-/// Configuration of one lane-change simulation cell.
-struct LaneChangeSimConfig {
-  scenario::LaneChangeGeometry geometry;
-  vehicle::VehicleLimits ego_limits{0.0, 18.0, -6.0, 3.0};
-  vehicle::VehicleLimits c1_limits{3.0, 15.0, -3.0, 2.0};
-  double dt_c = 0.05;
-  double horizon = 30.0;
-  double ego_v0 = 12.0;
-  comm::CommConfig comm = comm::CommConfig::no_disturbance();
-  sensing::SensorConfig sensor = sensing::SensorConfig::uniform(0.8);
+using LaneChangeSimConfig = sim::LaneChangeSimConfig;
+using LaneChangePlannerConfig = sim::LaneChangePlannerConfig;
+using LaneChangeSimResult = sim::RunResult;
+using LaneChangeBatchStats = sim::BatchStats;
 
-  /// Oncoming... leading-vehicle workload: initial headway ahead of the
-  /// merge point and initial speed ranges.
-  double c1_gap_min = 0.0;
-  double c1_gap_max = 25.0;
-  double c1_v_min = 4.0;
-  double c1_v_max = 10.0;
-
-  std::shared_ptr<const scenario::LaneChangeScenario> make_scenario() const;
-};
-
-/// Planner selection for the lane-change harness.
-struct LaneChangePlannerConfig {
-  /// Target-speed tracking gain of the (reckless) merging planner.
-  double cruise_speed = 16.0;
-  bool use_compound = true;          ///< monitor + emergency wrap
-  bool use_info_filter = true;       ///< ultimate estimators for the monitor
-};
-
-/// Episode outcome.
-struct LaneChangeSimResult {
-  bool violated = false;   ///< gap constraint violated while merged
-  bool reached = false;
-  double reach_time = 0.0;
-  double eta = 0.0;
-  std::size_t steps = 0;
-  std::size_t emergency_steps = 0;
-};
-
-/// Runs one lane-change episode.
-LaneChangeSimResult run_lane_change_simulation(
-    const LaneChangeSimConfig& config,
-    const LaneChangePlannerConfig& planner, std::uint64_t seed);
-
-/// Aggregate over a batch (parallel, seed-paired).
-struct LaneChangeBatchStats {
-  std::size_t n = 0;
-  std::size_t safe_count = 0;
-  std::size_t reached_count = 0;
-  std::size_t total_steps = 0;
-  std::size_t emergency_steps = 0;
-  double mean_eta = 0.0;
-  double mean_reach_time = 0.0;
-
-  double safe_rate() const {
-    return n ? static_cast<double>(safe_count) / static_cast<double>(n) : 0.0;
-  }
-  double emergency_frequency() const {
-    return total_steps ? static_cast<double>(emergency_steps) /
-                             static_cast<double>(total_steps)
-                       : 0.0;
-  }
-};
-
-LaneChangeBatchStats run_lane_change_batch(
-    const LaneChangeSimConfig& config,
-    const LaneChangePlannerConfig& planner, std::size_t n,
-    std::uint64_t base_seed = 1, std::size_t threads = 0);
+using sim::run_lane_change_simulation;
+using sim::run_lane_change_batch;
 
 }  // namespace cvsafe::eval

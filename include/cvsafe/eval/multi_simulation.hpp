@@ -1,83 +1,20 @@
 #pragma once
 
-#include <cstdint>
-#include <memory>
-
 #include "cvsafe/eval/simulation.hpp"
-#include "cvsafe/scenario/multi_vehicle.hpp"
+#include "cvsafe/sim/multi_vehicle.hpp"
 
 /// \file multi_simulation.hpp
-/// Closed-loop simulation with multiple oncoming vehicles (the paper's
-/// general n-vehicle system model, Section II-A), each with its own V2V
-/// channel, sensor stream and per-vehicle estimators.
+/// Compatibility aliases: the multi-vehicle closed loop now runs on the
+/// generic engine in cvsafe/sim/multi_vehicle.hpp.
 
 namespace cvsafe::eval {
 
-/// Configuration of the oncoming platoon.
-struct MultiVehicleConfig {
-  std::size_t num_oncoming = 2;   ///< vehicles on the opposing lane
-  double platoon_spacing = 25.0;  ///< mean initial headway [m]
-  double spacing_jitter = 8.0;    ///< +- uniform jitter on the headway [m]
-};
+using MultiVehicleConfig = sim::MultiVehicleConfig;
+using MultiAgentSetup = sim::MultiAgentSetup;
+using MultiSimResult = sim::RunResult;
+using MultiBatchStats = sim::BatchStats;
 
-/// Compound-planner configuration for the multi-vehicle run.
-struct MultiAgentSetup {
-  std::shared_ptr<const scenario::LeftTurnScenario> scenario;
-  std::shared_ptr<const nn::Mlp> net;  ///< null -> analytic expert planner
-  planners::ExpertParams expert_params =
-      planners::ExpertParams::conservative();
-  bool use_compound = true;
-  bool use_info_filter = true;    ///< ultimate per-vehicle estimators
-  bool use_aggressive = true;     ///< aggressive windows for the planner
-  scenario::AggressiveBuffers buffers;
-};
-
-/// Outcome of one multi-vehicle episode (collision against ANY vehicle).
-struct MultiSimResult {
-  bool collided = false;
-  bool reached = false;
-  double reach_time = 0.0;
-  double eta = 0.0;
-  std::size_t steps = 0;
-  std::size_t emergency_steps = 0;
-};
-
-/// Runs one episode with \p setup controlling the ego against
-/// \p multi.num_oncoming vehicles driving random acceleration sequences.
-MultiSimResult run_multi_left_turn_simulation(const SimConfig& config,
-                                              const MultiVehicleConfig& multi,
-                                              const MultiAgentSetup& setup,
-                                              std::uint64_t seed);
-
-/// Aggregate over a batch of multi-vehicle episodes.
-struct MultiBatchStats {
-  std::size_t n = 0;
-  std::size_t safe_count = 0;
-  std::size_t reached_count = 0;
-  std::size_t total_steps = 0;
-  std::size_t emergency_steps = 0;
-  double mean_eta = 0.0;
-  double mean_reach_time = 0.0;  ///< over reached episodes
-
-  double safe_rate() const {
-    return n ? static_cast<double>(safe_count) / static_cast<double>(n) : 0.0;
-  }
-  double reach_rate() const {
-    return n ? static_cast<double>(reached_count) / static_cast<double>(n)
-             : 0.0;
-  }
-  double emergency_frequency() const {
-    return total_steps ? static_cast<double>(emergency_steps) /
-                             static_cast<double>(total_steps)
-                       : 0.0;
-  }
-};
-
-/// Parallel batch of multi-vehicle episodes (seeds base_seed ... +n-1).
-MultiBatchStats run_multi_batch(const SimConfig& config,
-                                const MultiVehicleConfig& multi,
-                                const MultiAgentSetup& setup, std::size_t n,
-                                std::uint64_t base_seed = 1,
-                                std::size_t threads = 0);
+using sim::run_multi_left_turn_simulation;
+using sim::run_multi_batch;
 
 }  // namespace cvsafe::eval

@@ -1,102 +1,21 @@
 #pragma once
 
-#include <cstdint>
-#include <memory>
-#include <string>
-#include <vector>
-
-#include "cvsafe/comm/channel.hpp"
-#include "cvsafe/core/evaluation.hpp"
 #include "cvsafe/eval/agent.hpp"
-#include "cvsafe/scenario/left_turn.hpp"
-#include "cvsafe/vehicle/accel_profile.hpp"
-#include "cvsafe/vehicle/trajectory.hpp"
+#include "cvsafe/sim/left_turn.hpp"
 
 /// \file simulation.hpp
-/// The closed-loop left-turn simulation of Section V: ego control stack
-/// vs an oncoming vehicle driving a random acceleration sequence, under a
-/// configurable communication / sensing disturbance.
+/// Compatibility aliases: the left-turn closed loop now runs on the
+/// generic engine in cvsafe/sim/left_turn.hpp. Existing call sites keep
+/// compiling against the eval:: names.
 
 namespace cvsafe::eval {
 
-/// Workload generation parameters (the paper's Section V setup).
-struct WorkloadParams {
-  /// Grid of oncoming initial positions, paper coordinates
-  /// {50.5 + 0.5 j | j = 0..19}; one is drawn per simulation.
-  std::vector<double> p1_grid;
+using WorkloadParams = sim::WorkloadParams;
+using SimConfig = sim::LeftTurnSimConfig;
+using AgentBlueprint = sim::AgentBlueprint;
+using SimResult = sim::RunResult;
+using SimTrace = sim::SimTrace;
 
-  /// Oncoming initial speed range [m/s].
-  double v1_init_min = 7.0;
-  double v1_init_max = 14.0;
-
-  /// Random acceleration-sequence shape.
-  vehicle::AccelProfileParams profile;
-
-  /// The paper's grid.
-  static std::vector<double> paper_p1_grid();
-};
-
-/// Full configuration of one simulation cell.
-struct SimConfig {
-  scenario::LeftTurnGeometry geometry;
-  vehicle::VehicleLimits ego_limits{0.0, 15.0, -6.0, 3.0};
-  vehicle::VehicleLimits c1_limits{2.0, 15.0, -3.0, 3.0};
-  double dt_c = 0.05;    ///< control period [s]
-  double horizon = 25.0; ///< episode cut-off [s]
-  double ego_v0 = 8.0;   ///< ego initial speed [m/s]
-  comm::CommConfig comm = comm::CommConfig::no_disturbance();
-  sensing::SensorConfig sensor = sensing::SensorConfig::uniform(1.0);
-  WorkloadParams workload;
-
-  /// Paper-default configuration (Section V parameters).
-  static SimConfig paper_defaults();
-
-  /// The shared scenario math object for this configuration.
-  std::shared_ptr<const scenario::LeftTurnScenario> make_scenario() const;
-};
-
-/// Reusable description of an agent; make() produces a fresh control
-/// stack (estimator state is per episode).
-struct AgentBlueprint {
-  std::string name;
-  std::shared_ptr<const scenario::LeftTurnScenario> scenario;
-  std::shared_ptr<const nn::Mlp> net;  ///< null for expert agents
-  /// Non-empty: kappa_n is a deep ensemble of these members (takes
-  /// precedence over `net`).
-  std::vector<std::shared_ptr<const nn::Mlp>> ensemble;
-  sensing::SensorConfig sensor;
-  AgentConfig config;
-
-  std::unique_ptr<LeftTurnAgent> make() const;
-};
-
-/// Outcome of a single simulation.
-struct SimResult {
-  bool collided = false;     ///< both vehicles in the zone simultaneously
-  bool reached = false;      ///< ego reached the target set
-  double reach_time = 0.0;   ///< t_r when reached
-  double eta = 0.0;          ///< evaluation function (Section II-A)
-  std::size_t steps = 0;     ///< control steps executed
-  std::size_t emergency_steps = 0;  ///< steps handled by kappa_e
-};
-
-/// Optional per-step recording for figures and examples.
-struct SimTrace {
-  vehicle::Trajectory ego;
-  vehicle::Trajectory c1;                 ///< oncoming, u frame
-  std::vector<double> accel_commands;     ///< ego command per step
-  std::vector<bool> emergency_flags;      ///< kappa_e engaged per step
-  std::vector<double> tau1_lo, tau1_hi;   ///< NN-facing window per step
-  std::vector<core::SwitchEvent> switches;  ///< monitor hand-overs
-};
-
-/// Runs one episode. \p seed drives every random choice (workload,
-/// channel drops, sensor noise), so results are exactly reproducible and
-/// different planners can be compared on *paired* workloads by sharing
-/// seeds. \p trace, when non-null, receives the per-step recording.
-SimResult run_left_turn_simulation(const SimConfig& config,
-                                   const AgentBlueprint& blueprint,
-                                   std::uint64_t seed,
-                                   SimTrace* trace = nullptr);
+using sim::run_left_turn_simulation;
 
 }  // namespace cvsafe::eval

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <algorithm>
+
+#include "cvsafe/core/planner.hpp"
+#include "cvsafe/vehicle/dynamics.hpp"
+
+/// \file cruise_planner.hpp
+/// The shared proportional cruise controller used as the nominal planner
+/// of the lane-change and intersection scenarios (previously two
+/// file-local copies inside the legacy drivers).
+
+namespace cvsafe::sim {
+
+/// Proportional speed tracking toward a cruise set-point, clamped to the
+/// ego acceleration limits. Deliberately unsafe on its own — it is the
+/// kappa_n the compound planner has to guard.
+template <typename World>
+class CruisePlanner final : public core::PlannerBase<World> {
+ public:
+  CruisePlanner(double cruise_speed, vehicle::VehicleLimits limits)
+      : cruise_(cruise_speed), limits_(limits) {}
+
+  double plan(const World& world) override {
+    const double accel = 2.0 * (cruise_ - world.ego.v);
+    return std::clamp(accel, limits_.a_min, limits_.a_max);
+  }
+
+  std::string_view name() const override { return "cruise"; }
+
+ private:
+  double cruise_;
+  vehicle::VehicleLimits limits_;
+};
+
+}  // namespace cvsafe::sim

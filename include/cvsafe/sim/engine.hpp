@@ -1,0 +1,298 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "cvsafe/comm/channel.hpp"
+#include "cvsafe/core/compound_planner.hpp"
+#include "cvsafe/core/evaluation.hpp"
+#include "cvsafe/core/planner.hpp"
+#include "cvsafe/filter/estimate.hpp"
+#include "cvsafe/sensing/sensor.hpp"
+#include "cvsafe/sim/run_config.hpp"
+#include "cvsafe/sim/run_result.hpp"
+#include "cvsafe/sim/seeding.hpp"
+#include "cvsafe/util/contracts.hpp"
+#include "cvsafe/util/rng.hpp"
+#include "cvsafe/util/thread_pool.hpp"
+#include "cvsafe/vehicle/accel_profile.hpp"
+#include "cvsafe/vehicle/dynamics.hpp"
+
+/// \file engine.hpp
+/// The generic closed-loop engine: ONE implementation of the per-step
+/// sense -> deliver -> estimate -> monitor -> plan -> act loop that every
+/// scenario shares, parameterized by a ScenarioAdapter. The engine owns
+/// the step sequencing — traffic broadcast, channel delivery, estimator
+/// update, planner dispatch (monitor query included via the compound
+/// planner seam), dynamics stepping, eta/trace recording — while the
+/// adapter owns what is genuinely scenario-specific: workload generation,
+/// world-view construction and unsafe/target classification.
+///
+/// Determinism contract: one util::Rng drives an entire episode. The
+/// draw order is fixed — workload draws in ScenarioAdapter::make_episode
+/// first, then per step and per traffic actor (in creation order) the
+/// channel offer followed by the sensor sample. Batch runners seed each
+/// episode independently (seeding.hpp), so results are bit-reproducible
+/// regardless of thread scheduling.
+
+namespace cvsafe::sim {
+
+/// One simulated traffic participant: physical state, its scripted
+/// acceleration profile, the V2V channel and sensor through which the ego
+/// observes it, and the estimator(s) consuming those observations.
+struct TrafficActor {
+  std::uint32_t id = 1;  ///< V2V message source id
+  vehicle::VehicleState state{};
+  vehicle::AccelProfile profile;
+  comm::Channel channel;
+  sensing::Sensor sensor;
+  /// Estimators fed by pump(), updated in vector order per delivery.
+  std::vector<std::unique_ptr<filter::Estimator>> estimators;
+};
+
+/// The per-actor half of an engine step: the actor broadcasts its current
+/// snapshot on its channel, due messages are delivered and a sensor
+/// sample is (possibly) taken, each forwarded to the estimator sinks.
+/// RNG draw order: channel offer, then sensor sample. Returns the
+/// pre-step snapshot (used by traces and for the dynamics step).
+template <typename OnMessage, typename OnSensor>
+vehicle::VehicleSnapshot broadcast_and_observe(TrafficActor& actor, double t,
+                                               std::size_t step,
+                                               util::Rng& rng,
+                                               OnMessage&& on_message,
+                                               OnSensor&& on_sensor) {
+  const double accel = actor.profile.at(step);
+  const vehicle::VehicleSnapshot snapshot{t, actor.state, accel};
+  actor.channel.offer(comm::Message{actor.id, snapshot}, rng);
+  for (const auto& msg : actor.channel.collect(t)) on_message(msg);
+  if (const auto reading = actor.sensor.sense(snapshot, rng)) {
+    on_sensor(*reading);
+  }
+  return snapshot;
+}
+
+/// broadcast_and_observe into the actor's own estimators.
+inline vehicle::VehicleSnapshot pump(TrafficActor& actor, double t,
+                                     std::size_t step, util::Rng& rng) {
+  return broadcast_and_observe(
+      actor, t, step, rng,
+      [&](const comm::Message& msg) {
+        for (const auto& est : actor.estimators) est->on_message(msg);
+      },
+      [&](const sensing::SensorReading& reading) {
+        for (const auto& est : actor.estimators) est->on_sensor(reading);
+      });
+}
+
+/// Per-episode scenario state: traffic, estimators and the assembled
+/// control stack. Instances are created fresh by ScenarioAdapter for
+/// every episode (estimator and monitor state is per episode).
+template <typename World>
+class Episode {
+ public:
+  virtual ~Episode() = default;
+
+  /// Pumps every traffic actor's channel/sensor at (t, step) and fills
+  /// the scenario fields of \p world (estimates, occupancy windows). The
+  /// engine has already set world.t and world.ego.
+  virtual void observe(World& world, double t, std::size_t step,
+                       util::Rng& rng) = 0;
+
+  /// Steps all traffic with the scenario dynamics.
+  virtual void advance_traffic(std::size_t step, double dt) = 0;
+
+  /// Classifies the post-step configuration (unsafe / target set).
+  virtual StepStatus check(const vehicle::VehicleState& ego) const = 0;
+
+  /// Attaches scenario extras to the finished result (default: none).
+  virtual void finalize(RunResult& result) const { (void)result; }
+
+  core::PlannerBase<World>& planner() { return *planner_; }
+  const std::shared_ptr<core::PlannerBase<World>>& planner_ptr() const {
+    return planner_;
+  }
+  /// The compound planner wrapping kappa_n, or nullptr when the stack is
+  /// unmonitored (pure-NN / raw baselines).
+  core::CompoundPlanner<World>* compound() const { return compound_; }
+  const vehicle::VehicleState& ego_init() const { return ego_init_; }
+
+ protected:
+  std::shared_ptr<core::PlannerBase<World>> planner_;
+  core::CompoundPlanner<World>* compound_ = nullptr;  ///< non-owning view
+  vehicle::VehicleState ego_init_{};
+};
+
+/// Scenario plug-in: everything the engine cannot know. Stateless across
+/// episodes — all per-episode state lives in the Episode it creates.
+template <typename World>
+class ScenarioAdapter {
+ public:
+  using WorldType = World;
+
+  virtual ~ScenarioAdapter() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// The scenario-independent loop parameters.
+  virtual const RunConfig& run() const = 0;
+
+  /// Draws the episode workload from \p rng and assembles traffic +
+  /// control stack. Every random workload choice happens here, before
+  /// the first step, in an order documented by the adapter.
+  virtual std::unique_ptr<Episode<World>> make_episode(
+      util::Rng& rng, std::size_t total_steps) const = 0;
+};
+
+/// Optional per-step observer (figure traces, debugging). on_step fires
+/// after planning and before the dynamics step — ego and the traffic are
+/// still in their pre-step states.
+template <typename World>
+class StepHook {
+ public:
+  virtual ~StepHook() = default;
+  virtual void on_step(std::size_t step, double t, const World& world,
+                       const vehicle::VehicleState& ego, double a0,
+                       bool emergency, const Episode<World>& episode) = 0;
+  virtual void on_finish(const Episode<World>& episode) { (void)episode; }
+};
+
+/// Drives one episode through the engine loop with explicit phases, so
+/// callers can either step it to completion (run_episode) or interleave
+/// many runners and batch the NN evaluations across them (batch.hpp).
+template <typename World>
+class EpisodeRunner {
+ public:
+  EpisodeRunner(const ScenarioAdapter<World>& adapter, std::uint64_t seed,
+                StepHook<World>* hook = nullptr)
+      : config_(&adapter.run()),
+        rng_(seed),
+        hook_(hook),
+        total_steps_(config_->total_steps()),
+        episode_(adapter.make_episode(rng_, total_steps_)),
+        ego_dyn_(config_->ego_limits),
+        ego_(episode_->ego_init()) {}
+
+  bool done() const { return finished_ || step_ >= total_steps_; }
+
+  /// Phase 1: traffic broadcast, channel delivery, estimator update;
+  /// builds the planner's world view for the current step.
+  const World& observe() {
+    CVSAFE_EXPECTS(!done(), "observe() after the episode finished");
+    t_ = static_cast<double>(step_) * config_->dt_c;
+    world_ = World{};
+    world_.t = t_;
+    world_.ego = ego_;
+    episode_->observe(world_, t_, step_, rng_);
+    return world_;
+  }
+
+  /// Phase 2a (single-episode path): full planner dispatch.
+  double plan() { return episode_->planner().plan(world_); }
+
+  /// Phase 2b (lockstep path): the runtime monitor's decision only —
+  /// the emergency acceleration when kappa_e takes this step, nullopt
+  /// when the embedded planner must be evaluated on nn_world(). For an
+  /// unmonitored stack this always returns nullopt.
+  std::optional<double> monitor_gate() {
+    auto* compound = episode_->compound();
+    if (compound == nullptr) return std::nullopt;
+    return compound->monitor_gate(world_);
+  }
+
+  /// The world view the embedded planner sees this step (aggressive
+  /// shrink applied when the compound planner is configured for it).
+  World nn_world() const {
+    auto* compound = episode_->compound();
+    return compound != nullptr ? compound->planner_view(world_) : world_;
+  }
+
+  /// Phase 3: bookkeeping, dynamics and outcome for the chosen command.
+  void advance(double a0) {
+    ++result_.steps;
+    auto* compound = episode_->compound();
+    const bool emergency =
+        compound != nullptr && compound->last_was_emergency();
+    if (emergency) ++result_.emergency_steps;
+    if (hook_ != nullptr) {
+      hook_->on_step(step_, t_, world_, ego_, a0, emergency, *episode_);
+    }
+    ego_ = ego_dyn_.step(ego_, a0, config_->dt_c);
+    episode_->advance_traffic(step_, config_->dt_c);
+    const StepStatus status = episode_->check(ego_);
+    if (status.collided) {
+      result_.collided = true;
+      finished_ = true;
+    } else if (status.reached) {
+      result_.reached = true;
+      result_.reach_time = t_ + config_->dt_c;
+      finished_ = true;
+    }
+    ++step_;
+  }
+
+  /// Seals the episode: eta evaluation, scenario extras, finish hook.
+  RunResult finish() {
+    if (hook_ != nullptr) hook_->on_finish(*episode_);
+    core::EpisodeOutcome outcome;
+    outcome.entered_unsafe_set = result_.collided;
+    outcome.reached_target = result_.reached;
+    outcome.reach_time = result_.reach_time;
+    result_.eta = core::eta(outcome);
+    episode_->finalize(result_);
+    return std::move(result_);
+  }
+
+  const Episode<World>& episode() const { return *episode_; }
+
+ private:
+  const RunConfig* config_;
+  util::Rng rng_;
+  StepHook<World>* hook_;
+  std::size_t total_steps_;
+  std::unique_ptr<Episode<World>> episode_;
+  vehicle::DoubleIntegrator ego_dyn_;
+  vehicle::VehicleState ego_;
+  World world_{};
+  double t_ = 0.0;
+  std::size_t step_ = 0;
+  bool finished_ = false;
+  RunResult result_;
+};
+
+/// Runs one episode to completion. \p seed drives every random choice
+/// (workload, channel drops, sensor noise); \p hook, when non-null,
+/// receives the per-step recording.
+template <typename World>
+RunResult run_episode(const ScenarioAdapter<World>& adapter,
+                      std::uint64_t seed, StepHook<World>* hook = nullptr) {
+  EpisodeRunner<World> runner(adapter, seed, hook);
+  while (!runner.done()) {
+    runner.observe();
+    runner.advance(runner.plan());
+  }
+  return runner.finish();
+}
+
+/// Runs \p n independent episodes in parallel (util::parallel_for; 0 =
+/// hardware thread count) and returns the seed-ordered results.
+template <typename World>
+std::vector<RunResult> run_episodes(const ScenarioAdapter<World>& adapter,
+                                    std::size_t n, std::uint64_t base_seed,
+                                    std::size_t threads = 0,
+                                    SeedPolicy policy = SeedPolicy::kPaired) {
+  CVSAFE_EXPECTS(n > 0, "batch must contain at least one episode");
+  std::vector<RunResult> results(n);
+  util::parallel_for(
+      n,
+      [&](std::size_t i) {
+        results[i] = run_episode(adapter, episode_seed(base_seed, i, policy));
+      },
+      threads);
+  return results;
+}
+
+}  // namespace cvsafe::sim

@@ -1,0 +1,168 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cvsafe/scenario/left_turn.hpp"
+#include "cvsafe/sim/engine.hpp"
+#include "cvsafe/sim/left_turn_stack.hpp"
+#include "cvsafe/vehicle/accel_profile.hpp"
+#include "cvsafe/vehicle/trajectory.hpp"
+
+/// \file left_turn.hpp
+/// The closed-loop left-turn scenario of Section V as a sim::Engine
+/// adapter: ego control stack vs an oncoming vehicle driving a random
+/// acceleration sequence, under a configurable communication / sensing
+/// disturbance.
+
+namespace cvsafe::sim {
+
+/// Workload generation parameters (the paper's Section V setup).
+struct WorkloadParams {
+  /// Grid of oncoming initial positions, paper coordinates
+  /// {50.5 + 0.5 j | j = 0..19}; one is drawn per simulation.
+  std::vector<double> p1_grid;
+
+  /// Oncoming initial speed range [m/s].
+  double v1_init_min = 7.0;
+  double v1_init_max = 14.0;
+
+  /// Random acceleration-sequence shape.
+  vehicle::AccelProfileParams profile;
+
+  /// The paper's grid.
+  static std::vector<double> paper_p1_grid();
+};
+
+/// Full configuration of one left-turn simulation cell. The engine-facing
+/// loop parameters live in the RunConfig base (their defaults already are
+/// the paper's left-turn values).
+struct LeftTurnSimConfig : RunConfig {
+  scenario::LeftTurnGeometry geometry;
+  vehicle::VehicleLimits c1_limits{2.0, 15.0, -3.0, 3.0};
+  WorkloadParams workload;
+
+  /// Paper-default configuration (Section V parameters).
+  static LeftTurnSimConfig paper_defaults();
+
+  /// The shared scenario math object for this configuration.
+  std::shared_ptr<const scenario::LeftTurnScenario> make_scenario() const;
+};
+
+/// Reusable description of an agent; make() produces a fresh control
+/// stack (estimator state is per episode).
+struct AgentBlueprint {
+  std::string name;
+  std::shared_ptr<const scenario::LeftTurnScenario> scenario;
+  std::shared_ptr<const nn::Mlp> net;  ///< null for expert agents
+  /// Non-empty: kappa_n is a deep ensemble of these members (takes
+  /// precedence over `net`).
+  std::vector<std::shared_ptr<const nn::Mlp>> ensemble;
+  sensing::SensorConfig sensor;
+  AgentConfig config;
+
+  std::unique_ptr<LeftTurnStack> make() const;
+};
+
+/// Optional per-step recording for figures and examples.
+struct SimTrace {
+  vehicle::Trajectory ego;
+  vehicle::Trajectory c1;                 ///< oncoming, u frame
+  std::vector<double> accel_commands;     ///< ego command per step
+  std::vector<bool> emergency_flags;      ///< kappa_e engaged per step
+  std::vector<double> tau1_lo, tau1_hi;   ///< NN-facing window per step
+  std::vector<core::SwitchEvent> switches;  ///< monitor hand-overs
+};
+
+/// Per-episode left-turn state: the oncoming vehicle (its channel/sensor
+/// pair) plus the assembled ego control stack.
+class LeftTurnEpisode final : public Episode<scenario::LeftTurnWorld> {
+ public:
+  /// Workload draw order (fixed; golden traces depend on it): oncoming
+  /// grid index, initial speed, acceleration profile.
+  LeftTurnEpisode(const LeftTurnSimConfig& config,
+                  const AgentBlueprint& blueprint, util::Rng& rng,
+                  std::size_t total_steps);
+
+  void observe(scenario::LeftTurnWorld& world, double t, std::size_t step,
+               util::Rng& rng) override;
+  void advance_traffic(std::size_t step, double dt) override;
+  StepStatus check(const vehicle::VehicleState& ego) const override;
+
+  /// Attaches the monitor statistics (compound stacks only) as a
+  /// RunResult extra.
+  void finalize(RunResult& result) const override;
+
+  LeftTurnStack& stack() { return *stack_; }
+  const LeftTurnStack& stack() const { return *stack_; }
+
+  /// The oncoming vehicle's ground-truth snapshot of the current step
+  /// (valid after observe(); used by trace recording).
+  const vehicle::VehicleSnapshot& c1_snapshot() const {
+    return c1_snapshot_;
+  }
+
+ private:
+  const scenario::LeftTurnScenario* scn_;
+  vehicle::DoubleIntegrator c1_dyn_;
+  TrafficActor c1_;
+  std::unique_ptr<LeftTurnStack> stack_;
+  vehicle::VehicleSnapshot c1_snapshot_{};
+};
+
+/// The left-turn scenario plugged into the generic engine.
+class LeftTurnAdapter final : public ScenarioAdapter<scenario::LeftTurnWorld> {
+ public:
+  LeftTurnAdapter(LeftTurnSimConfig config, AgentBlueprint blueprint)
+      : config_(std::move(config)), blueprint_(std::move(blueprint)) {}
+
+  std::string_view name() const override { return "left-turn"; }
+  const RunConfig& run() const override { return config_; }
+  std::unique_ptr<Episode<scenario::LeftTurnWorld>> make_episode(
+      util::Rng& rng, std::size_t total_steps) const override;
+
+  const LeftTurnSimConfig& config() const { return config_; }
+  const AgentBlueprint& blueprint() const { return blueprint_; }
+
+ private:
+  LeftTurnSimConfig config_;
+  AgentBlueprint blueprint_;
+};
+
+/// Runs one episode. \p seed drives every random choice (workload,
+/// channel drops, sensor noise), so results are exactly reproducible and
+/// different planners can be compared on *paired* workloads by sharing
+/// seeds. \p trace, when non-null, receives the per-step recording.
+RunResult run_left_turn_simulation(const LeftTurnSimConfig& config,
+                                   const AgentBlueprint& blueprint,
+                                   std::uint64_t seed,
+                                   SimTrace* trace = nullptr);
+
+/// How run_left_turn_batch evaluates the NN planner across episodes.
+enum class BatchMode {
+  kAuto,        ///< lockstep when the blueprint is a single-network NN
+  kPerEpisode,  ///< one planner dispatch per episode per step
+  kLockstep,    ///< batched NN evaluation across in-flight episodes
+};
+
+/// Runs \p n simulations in parallel (CVSAFE_THREADS-controllable worker
+/// count, 0 = hardware). Under SeedPolicy::kPaired (the default) seeds
+/// are base_seed .. base_seed + n - 1, so two batches over the same seed
+/// range see *paired* workloads and disturbances.
+///
+/// Single-network NN blueprints are (under kAuto) evaluated in lockstep:
+/// each worker advances a shard of episodes step-synchronously and feeds
+/// all non-emergency worlds through one NnPlanner::plan_batch call per
+/// step — bit-identical to the per-episode path, since plan_batch is
+/// bit-identical to plan() and the monitor decision is factored out
+/// through CompoundPlanner::monitor_gate.
+BatchStats run_left_turn_batch(const LeftTurnSimConfig& config,
+                               const AgentBlueprint& blueprint,
+                               std::size_t n, std::uint64_t base_seed = 1,
+                               std::size_t threads = 0,
+                               BatchMode mode = BatchMode::kAuto,
+                               SeedPolicy policy = SeedPolicy::kPaired);
+
+}  // namespace cvsafe::sim

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "cvsafe/comm/channel.hpp"
+#include "cvsafe/sensing/sensor.hpp"
+#include "cvsafe/vehicle/dynamics.hpp"
+
+/// \file run_config.hpp
+/// The scenario-independent half of a closed-loop simulation
+/// configuration. Every scenario config (left turn, lane change,
+/// intersection, multi-vehicle) derives from RunConfig and adds its
+/// geometry, traffic limits and workload parameters on top; the engine
+/// (engine.hpp) only ever reads this base.
+
+namespace cvsafe::sim {
+
+/// Per-step loop parameters shared by every scenario. Defaults are the
+/// paper's Section V left-turn setup; derived scenario configs override
+/// them in their constructors.
+struct RunConfig {
+  vehicle::VehicleLimits ego_limits{0.0, 15.0, -6.0, 3.0};
+  double dt_c = 0.05;     ///< control period [s]
+  double horizon = 25.0;  ///< episode cut-off [s]
+  double ego_v0 = 8.0;    ///< ego initial speed [m/s]
+  comm::CommConfig comm = comm::CommConfig::no_disturbance();
+  sensing::SensorConfig sensor = sensing::SensorConfig::uniform(1.0);
+
+  /// Control steps per episode (the engine's loop bound).
+  std::size_t total_steps() const {
+    return static_cast<std::size_t>(std::ceil(horizon / dt_c));
+  }
+};
+
+}  // namespace cvsafe::sim

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+/// \file run_result.hpp
+/// The unified episode outcome and batch aggregate shared by every
+/// scenario: one RunResult / BatchStats family instead of the four
+/// per-driver copies the eval layer used to carry. Scenario-specific
+/// extras (e.g. the monitor statistics of a compound run) travel in a
+/// typed extension slot rather than per-scenario result structs.
+
+namespace cvsafe::sim {
+
+/// Outcome classification of one engine step (post-dynamics states).
+struct StepStatus {
+  bool collided = false;  ///< entered the unsafe set
+  bool reached = false;   ///< entered the target set
+};
+
+/// Outcome of a single closed-loop episode, scenario-independent.
+struct RunResult {
+  bool collided = false;    ///< entered the unsafe set before the target
+  bool reached = false;     ///< reached the target set
+  double reach_time = 0.0;  ///< t_r when reached
+  double eta = 0.0;         ///< evaluation function (Section II-A)
+  std::size_t steps = 0;    ///< control steps executed
+  std::size_t emergency_steps = 0;  ///< steps handled by kappa_e
+
+  /// Attaches a scenario-specific extra (at most one per result; a second
+  /// set_extra replaces the first). The slot is typed: extra<T>() returns
+  /// the value only when queried with the type that stored it.
+  template <typename T>
+  void set_extra(T value) {
+    extra_ = std::make_shared<T>(std::move(value));
+    extra_tag_ = tag<T>();
+  }
+
+  /// The stored extra of type T, or nullptr when absent / different type.
+  template <typename T>
+  const T* extra() const {
+    return extra_tag_ == tag<T>() ? static_cast<const T*>(extra_.get())
+                                  : nullptr;
+  }
+
+ private:
+  template <typename T>
+  static const void* tag() {
+    static const char id = 0;
+    return &id;
+  }
+
+  std::shared_ptr<void> extra_;
+  const void* extra_tag_ = nullptr;
+};
+
+/// Aggregate over a batch of episodes — the single implementation of the
+/// safe-rate / reaching-time / emergency-frequency accumulation reported
+/// in Tables I and II (and consumed by every scenario batch runner).
+struct BatchStats {
+  std::size_t n = 0;
+  std::size_t safe_count = 0;       ///< episodes without collision
+  std::size_t reached_count = 0;    ///< episodes reaching the target set
+  std::size_t total_steps = 0;      ///< control steps across the batch
+  std::size_t emergency_steps = 0;  ///< kappa_e steps across the batch
+  double mean_eta = 0.0;            ///< mean evaluation value
+  double mean_reach_time = 0.0;     ///< mean t_r over reached episodes
+  std::vector<double> etas;         ///< per-episode eta (seed-aligned)
+
+  double safe_rate() const {
+    return n ? static_cast<double>(safe_count) / static_cast<double>(n) : 0.0;
+  }
+  double reach_rate() const {
+    return n ? static_cast<double>(reached_count) / static_cast<double>(n)
+             : 0.0;
+  }
+  double emergency_frequency() const {
+    return total_steps ? static_cast<double>(emergency_steps) /
+                             static_cast<double>(total_steps)
+                       : 0.0;
+  }
+
+  /// Aggregates a seed-ordered result vector.
+  static BatchStats from_results(std::span<const RunResult> results);
+
+  /// Merges another batch (weighted means; etas concatenated in order).
+  void merge(const BatchStats& other);
+};
+
+}  // namespace cvsafe::sim

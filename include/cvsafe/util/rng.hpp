@@ -65,4 +65,13 @@ class Rng {
   bool has_cached_normal_ = false;
 };
 
+/// Derives a well-mixed child seed from a (base, stream) pair: the
+/// SplitMix64 finalizer is applied to the base and again to the
+/// stream-xored result, so nearby bases and consecutive stream indices
+/// land in unrelated generator states. For a fixed base the map
+/// stream -> seed is injective; use one stream index per sub-batch /
+/// sweep point to keep their episode seed ranges from overlapping the
+/// way raw `base + stride * i` arithmetic can.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream);
+
 }  // namespace cvsafe::util

@@ -1,70 +1,8 @@
 #include "cvsafe/eval/batch.hpp"
 
 #include "cvsafe/util/contracts.hpp"
-#include "cvsafe/util/thread_pool.hpp"
 
 namespace cvsafe::eval {
-
-void BatchStats::merge(const BatchStats& other) {
-  if (other.n == 0) return;
-  // Weighted means over episode counts.
-  const double reached_a =
-      static_cast<double>(reached_count);
-  const double reached_b = static_cast<double>(other.reached_count);
-  const double reach_sum =
-      mean_reach_time * reached_a + other.mean_reach_time * reached_b;
-  const double eta_sum = mean_eta * static_cast<double>(n) +
-                         other.mean_eta * static_cast<double>(other.n);
-
-  n += other.n;
-  safe_count += other.safe_count;
-  reached_count += other.reached_count;
-  total_steps += other.total_steps;
-  emergency_steps += other.emergency_steps;
-  mean_eta = eta_sum / static_cast<double>(n);
-  mean_reach_time = reached_count
-                        ? reach_sum / static_cast<double>(reached_count)
-                        : 0.0;
-  etas.reserve(etas.size() + other.etas.size());
-  etas.insert(etas.end(), other.etas.begin(), other.etas.end());
-}
-
-BatchStats run_batch(const SimConfig& config, const AgentBlueprint& blueprint,
-                     std::size_t n, std::uint64_t base_seed,
-                     std::size_t threads) {
-  CVSAFE_EXPECTS(n > 0, "batch must contain at least one episode");
-  std::vector<SimResult> results(n);
-  util::parallel_for(
-      n,
-      [&](std::size_t i) {
-        results[i] = run_left_turn_simulation(config, blueprint,
-                                              base_seed + i);
-      },
-      threads);
-
-  BatchStats stats;
-  stats.n = n;
-  stats.etas.reserve(n);
-  double reach_time_sum = 0.0;
-  double eta_sum = 0.0;
-  for (const auto& r : results) {
-    stats.etas.push_back(r.eta);
-    eta_sum += r.eta;
-    if (!r.collided) ++stats.safe_count;
-    if (r.reached) {
-      ++stats.reached_count;
-      reach_time_sum += r.reach_time;
-    }
-    stats.total_steps += r.steps;
-    stats.emergency_steps += r.emergency_steps;
-  }
-  stats.mean_eta = eta_sum / static_cast<double>(n);
-  stats.mean_reach_time =
-      stats.reached_count > 0
-          ? reach_time_sum / static_cast<double>(stats.reached_count)
-          : 0.0;
-  return stats;
-}
 
 double winning_fraction(std::span<const double> etas_a,
                         std::span<const double> etas_b, double tolerance) {

@@ -1,6 +1,9 @@
 #include "cvsafe/eval/experiments.hpp"
 
 #include <cassert>
+#include <cstdint>
+
+#include "cvsafe/util/rng.hpp"
 
 namespace cvsafe::eval {
 
@@ -98,8 +101,6 @@ BatchStats run_setting(const SimConfig& base, const AgentBlueprint& blueprint,
 
   const std::size_t per_point =
       (sims_total + grid.size() - 1) / grid.size();
-  // Seed stride so sub-batches of different planners stay paired per point.
-  constexpr std::uint64_t kSeedStride = 1u << 24;
 
   BatchStats total;
   total.etas.reserve(per_point * grid.size());
@@ -107,8 +108,14 @@ BatchStats run_setting(const SimConfig& base, const AgentBlueprint& blueprint,
     const SimConfig cfg = apply_setting(base, setting, grid[gi]);
     AgentBlueprint bp = blueprint;
     bp.sensor = cfg.sensor;  // lost setting sweeps the sensor noise
-    total.merge(
-        run_batch(cfg, bp, per_point, base_seed + gi * kSeedStride, threads));
+    // Per-point seed base: derived (never strided) so the episode ranges
+    // of different grid points and settings cannot overlap, while two
+    // planners evaluated on the same (setting, point) stay paired.
+    const std::uint64_t point_base = util::derive_seed(
+        base_seed,
+        (static_cast<std::uint64_t>(setting) << 32) |
+            static_cast<std::uint64_t>(gi));
+    total.merge(run_batch(cfg, bp, per_point, point_base, threads));
   }
   return total;
 }

@@ -1,0 +1,260 @@
+#include "cvsafe/sim/left_turn.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+#include "cvsafe/util/contracts.hpp"
+
+namespace cvsafe::sim {
+
+std::vector<double> WorkloadParams::paper_p1_grid() {
+  std::vector<double> grid;
+  grid.reserve(20);
+  for (int j = 0; j < 20; ++j) grid.push_back(50.5 + 0.5 * j);
+  return grid;
+}
+
+LeftTurnSimConfig LeftTurnSimConfig::paper_defaults() {
+  LeftTurnSimConfig c;
+  c.workload.p1_grid = WorkloadParams::paper_p1_grid();
+  return c;
+}
+
+std::shared_ptr<const scenario::LeftTurnScenario>
+LeftTurnSimConfig::make_scenario() const {
+  return std::make_shared<const scenario::LeftTurnScenario>(
+      geometry, ego_limits, c1_limits, dt_c);
+}
+
+std::unique_ptr<LeftTurnStack> AgentBlueprint::make() const {
+  if (!ensemble.empty()) {
+    return std::make_unique<LeftTurnStack>(scenario, ensemble, sensor,
+                                           config);
+  }
+  return std::make_unique<LeftTurnStack>(scenario, net, sensor, config);
+}
+
+namespace {
+
+/// Draws the oncoming vehicle's workload (grid position, initial speed,
+/// acceleration profile — in that order) and assembles the actor.
+TrafficActor make_oncoming(const LeftTurnSimConfig& config, util::Rng& rng,
+                           std::size_t total_steps) {
+  const auto& wl = config.workload;
+  assert(!wl.p1_grid.empty());
+  const auto grid_idx = static_cast<std::size_t>(rng.uniform_int(
+      0, static_cast<std::int64_t>(wl.p1_grid.size()) - 1));
+  const double u1_start =
+      scenario::LeftTurnGeometry::oncoming_to_frame(wl.p1_grid[grid_idx]);
+  const double v1_start = rng.uniform(wl.v1_init_min, wl.v1_init_max);
+  vehicle::AccelProfile profile = vehicle::AccelProfile::random(
+      total_steps, config.dt_c, v1_start, config.c1_limits, wl.profile, rng);
+  return TrafficActor{1,
+                      vehicle::VehicleState{u1_start, v1_start},
+                      std::move(profile),
+                      comm::Channel(config.comm),
+                      sensing::Sensor(config.sensor),
+                      {}};
+}
+
+}  // namespace
+
+LeftTurnEpisode::LeftTurnEpisode(const LeftTurnSimConfig& config,
+                                 const AgentBlueprint& blueprint,
+                                 util::Rng& rng, std::size_t total_steps)
+    : scn_(blueprint.scenario.get()),
+      c1_dyn_(config.c1_limits),
+      c1_(make_oncoming(config, rng, total_steps)),
+      stack_(blueprint.make()) {
+  assert(scn_ != nullptr);
+  planner_ = stack_->planner_ptr();
+  compound_ = stack_->compound();
+  ego_init_ = vehicle::VehicleState{config.geometry.ego_start, config.ego_v0};
+}
+
+void LeftTurnEpisode::observe(scenario::LeftTurnWorld& world, double t,
+                              std::size_t step, util::Rng& rng) {
+  c1_snapshot_ = broadcast_and_observe(
+      c1_, t, step, rng,
+      [&](const comm::Message& msg) { stack_->observe_message(msg); },
+      [&](const sensing::SensorReading& reading) {
+        stack_->observe_sensor(reading);
+      });
+  stack_->build_world(world);
+}
+
+void LeftTurnEpisode::advance_traffic(std::size_t step, double dt) {
+  c1_.state = c1_dyn_.step(c1_.state, c1_.profile.at(step), dt);
+}
+
+StepStatus LeftTurnEpisode::check(const vehicle::VehicleState& ego) const {
+  StepStatus status;
+  if (scn_->collision(ego.p, c1_.state.p)) {
+    status.collided = true;
+  } else if (scn_->ego_reached_target(ego.p)) {
+    status.reached = true;
+  }
+  return status;
+}
+
+void LeftTurnEpisode::finalize(RunResult& result) const {
+  if (stack_->compound() != nullptr) {
+    result.set_extra(stack_->monitor_stats());
+  }
+}
+
+std::unique_ptr<Episode<scenario::LeftTurnWorld>>
+LeftTurnAdapter::make_episode(util::Rng& rng, std::size_t total_steps) const {
+  return std::make_unique<LeftTurnEpisode>(config_, blueprint_, rng,
+                                           total_steps);
+}
+
+namespace {
+
+/// Streams the per-step figure recording into a SimTrace.
+class TraceHook final : public StepHook<scenario::LeftTurnWorld> {
+ public:
+  explicit TraceHook(SimTrace* trace) : trace_(trace) {}
+
+  void on_step(std::size_t step, double t,
+               const scenario::LeftTurnWorld& world,
+               const vehicle::VehicleState& ego, double a0, bool emergency,
+               const Episode<scenario::LeftTurnWorld>& episode) override {
+    (void)step;
+    const auto& ep = static_cast<const LeftTurnEpisode&>(episode);
+    trace_->ego.push(vehicle::VehicleSnapshot{t, ego, a0});
+    trace_->c1.push(ep.c1_snapshot());
+    trace_->accel_commands.push_back(a0);
+    trace_->emergency_flags.push_back(emergency);
+    trace_->tau1_lo.push_back(world.tau1_nn.empty() ? -1.0
+                                                    : world.tau1_nn.lo);
+    trace_->tau1_hi.push_back(world.tau1_nn.empty() ? -1.0
+                                                    : world.tau1_nn.hi);
+  }
+
+  void on_finish(
+      const Episode<scenario::LeftTurnWorld>& episode) override {
+    const auto& ep = static_cast<const LeftTurnEpisode&>(episode);
+    trace_->switches = ep.stack().switch_events();
+  }
+
+ private:
+  SimTrace* trace_;
+};
+
+}  // namespace
+
+RunResult run_left_turn_simulation(const LeftTurnSimConfig& config,
+                                   const AgentBlueprint& blueprint,
+                                   std::uint64_t seed, SimTrace* trace) {
+  LeftTurnAdapter adapter(config, blueprint);
+  if (trace == nullptr) return run_episode(adapter, seed);
+  TraceHook hook(trace);
+  return run_episode<scenario::LeftTurnWorld>(adapter, seed, &hook);
+}
+
+namespace {
+
+/// Advances a contiguous shard of episodes step-synchronously, feeding
+/// every non-emergency step of the shard through one plan_batch call.
+void run_lockstep_shard(const LeftTurnAdapter& adapter,
+                        const AgentBlueprint& blueprint, std::size_t first,
+                        std::size_t count, std::uint64_t base_seed,
+                        SeedPolicy policy, std::span<RunResult> results) {
+  using Runner = EpisodeRunner<scenario::LeftTurnWorld>;
+  std::vector<Runner> runners;
+  runners.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    runners.emplace_back(adapter,
+                         episode_seed(base_seed, first + k, policy));
+  }
+
+  // One shared batch evaluator; kappa_n is stateless given the world, so
+  // sharing it across the shard's episodes is exact.
+  planners::NnPlanner batch_planner(blueprint.net, planners::InputEncoding{},
+                                    "nn");
+  std::vector<scenario::LeftTurnWorld> worlds;
+  std::vector<double> accels;
+  std::vector<std::size_t> pending;
+
+  for (;;) {
+    worlds.clear();
+    pending.clear();
+    bool any_active = false;
+    for (std::size_t k = 0; k < count; ++k) {
+      Runner& runner = runners[k];
+      if (runner.done()) continue;
+      any_active = true;
+      runner.observe();
+      if (const auto emergency = runner.monitor_gate()) {
+        runner.advance(*emergency);
+      } else {
+        pending.push_back(k);
+        worlds.push_back(runner.nn_world());
+      }
+    }
+    if (!any_active) break;
+    if (!worlds.empty()) {
+      accels.resize(worlds.size());
+      batch_planner.plan_batch(worlds, accels);
+      for (std::size_t j = 0; j < pending.size(); ++j) {
+        runners[pending[j]].advance(accels[j]);
+      }
+    }
+  }
+
+  for (std::size_t k = 0; k < count; ++k) {
+    results[first + k] = runners[k].finish();
+  }
+}
+
+}  // namespace
+
+BatchStats run_left_turn_batch(const LeftTurnSimConfig& config,
+                               const AgentBlueprint& blueprint,
+                               std::size_t n, std::uint64_t base_seed,
+                               std::size_t threads, BatchMode mode,
+                               SeedPolicy policy) {
+  CVSAFE_EXPECTS(n > 0, "batch must contain at least one episode");
+  const bool lockstep_eligible = !blueprint.config.use_expert_planner &&
+                                 blueprint.ensemble.empty() &&
+                                 blueprint.net != nullptr;
+  CVSAFE_EXPECTS(mode != BatchMode::kLockstep || lockstep_eligible,
+                 "lockstep batching requires a single-network NN blueprint");
+  const bool lockstep =
+      mode == BatchMode::kLockstep ||
+      (mode == BatchMode::kAuto && lockstep_eligible);
+
+  LeftTurnAdapter adapter(config, blueprint);
+  std::vector<RunResult> results(n);
+  if (!lockstep) {
+    util::parallel_for(
+        n,
+        [&](std::size_t i) {
+          results[i] =
+              run_episode(adapter, episode_seed(base_seed, i, policy));
+        },
+        threads);
+  } else {
+    std::size_t workers =
+        threads != 0 ? threads
+                     : std::max<std::size_t>(
+                           1, std::thread::hardware_concurrency());
+    const std::size_t n_shards = std::min(workers, n);
+    const std::size_t per_shard = (n + n_shards - 1) / n_shards;
+    util::parallel_for(
+        n_shards,
+        [&](std::size_t shard) {
+          const std::size_t first = shard * per_shard;
+          if (first >= n) return;
+          const std::size_t count = std::min(per_shard, n - first);
+          run_lockstep_shard(adapter, blueprint, first, count, base_seed,
+                             policy, results);
+        },
+        threads);
+  }
+  return BatchStats::from_results(results);
+}
+
+}  // namespace cvsafe::sim

@@ -1,8 +1,8 @@
-#include "cvsafe/eval/agent.hpp"
+#include "cvsafe/sim/left_turn_stack.hpp"
 
 #include <cassert>
 
-namespace cvsafe::eval {
+namespace cvsafe::sim {
 
 AgentConfig AgentConfig::pure_nn() {
   AgentConfig c;
@@ -28,7 +28,7 @@ AgentConfig AgentConfig::ultimate_compound() {
   return c;
 }
 
-void LeftTurnAgent::setup(
+void LeftTurnStack::setup(
     std::shared_ptr<core::PlannerBase<scenario::LeftTurnWorld>> inner,
     const sensing::SensorConfig& sensor) {
   assert(scenario_ != nullptr);
@@ -68,7 +68,7 @@ void LeftTurnAgent::setup(
   }
 }
 
-LeftTurnAgent::LeftTurnAgent(
+LeftTurnStack::LeftTurnStack(
     std::shared_ptr<const scenario::LeftTurnScenario> scenario,
     std::shared_ptr<const nn::Mlp> net, sensing::SensorConfig sensor,
     AgentConfig config)
@@ -78,14 +78,14 @@ LeftTurnAgent::LeftTurnAgent(
     inner = std::make_shared<planners::ExpertPlanner>(
         scenario_, config_.expert_params, "expert");
   } else {
-    assert(net != nullptr && "NN agent requires a trained network");
+    assert(net != nullptr && "NN stack requires a trained network");
     inner = std::make_shared<planners::NnPlanner>(
         std::move(net), planners::InputEncoding{}, "nn");
   }
   setup(std::move(inner), sensor);
 }
 
-LeftTurnAgent::LeftTurnAgent(
+LeftTurnStack::LeftTurnStack(
     std::shared_ptr<const scenario::LeftTurnScenario> scenario,
     std::vector<std::shared_ptr<const nn::Mlp>> ensemble,
     sensing::SensorConfig sensor, AgentConfig config)
@@ -97,41 +97,45 @@ LeftTurnAgent::LeftTurnAgent(
   setup(std::move(inner), sensor);
 }
 
-void LeftTurnAgent::observe_sensor(const sensing::SensorReading& reading) {
+void LeftTurnStack::observe_sensor(const sensing::SensorReading& reading) {
   nn_estimator_->on_sensor(reading);
   if (monitor_estimator_) monitor_estimator_->on_sensor(reading);
 }
 
-void LeftTurnAgent::observe_message(const comm::Message& msg) {
+void LeftTurnStack::observe_message(const comm::Message& msg) {
   nn_estimator_->on_message(msg);
   if (monitor_estimator_) monitor_estimator_->on_message(msg);
 }
 
-double LeftTurnAgent::act(double t, const vehicle::VehicleState& ego) {
-  scenario::LeftTurnWorld world;
-  world.t = t;
-  world.ego = ego;
-  world.c1_nn = nn_estimator_->estimate(t);
+void LeftTurnStack::build_world(scenario::LeftTurnWorld& world) {
+  world.c1_nn = nn_estimator_->estimate(world.t);
   world.tau1_nn = scenario_->c1_window_conservative(world.c1_nn);
   if (monitor_estimator_) {
-    world.c1_monitor = monitor_estimator_->estimate(t);
+    world.c1_monitor = monitor_estimator_->estimate(world.t);
     world.tau1_monitor = scenario_->c1_window_conservative(world.c1_monitor);
   }
   last_world_ = world;
+}
+
+double LeftTurnStack::act(double t, const vehicle::VehicleState& ego) {
+  scenario::LeftTurnWorld world;
+  world.t = t;
+  world.ego = ego;
+  build_world(world);
   return planner_->plan(world);
 }
 
-bool LeftTurnAgent::last_was_emergency() const {
+bool LeftTurnStack::last_was_emergency() const {
   return compound_ != nullptr && compound_->last_was_emergency();
 }
 
-core::MonitorStats LeftTurnAgent::monitor_stats() const {
+core::MonitorStats LeftTurnStack::monitor_stats() const {
   return compound_ != nullptr ? compound_->stats() : core::MonitorStats{};
 }
 
-std::vector<core::SwitchEvent> LeftTurnAgent::switch_events() const {
+std::vector<core::SwitchEvent> LeftTurnStack::switch_events() const {
   return compound_ != nullptr ? compound_->switch_events()
                               : std::vector<core::SwitchEvent>{};
 }
 
-}  // namespace cvsafe::eval
+}  // namespace cvsafe::sim

@@ -86,4 +86,11 @@ double Rng::normal(double mean, double stddev) {
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) {
+  std::uint64_t x = base;
+  const std::uint64_t mixed_base = splitmix64(x);
+  x = mixed_base ^ stream;
+  return splitmix64(x);
+}
+
 }  // namespace cvsafe::util

@@ -15,7 +15,7 @@ TEST(LaneChangeSim, DeterministicGivenSeed) {
   LaneChangePlannerConfig planner;
   const auto a = run_lane_change_simulation(cfg, planner, 5);
   const auto b = run_lane_change_simulation(cfg, planner, 5);
-  EXPECT_EQ(a.violated, b.violated);
+  EXPECT_EQ(a.collided, b.collided);
   EXPECT_EQ(a.reach_time, b.reach_time);
   EXPECT_EQ(a.emergency_steps, b.emergency_steps);
 }
@@ -26,7 +26,7 @@ TEST(LaneChangeSim, RawCruisePlannerViolates) {
   raw.use_compound = false;
   std::size_t violations = 0;
   for (std::uint64_t seed = 1; seed <= 50; ++seed) {
-    violations += run_lane_change_simulation(cfg, raw, seed).violated;
+    violations += run_lane_change_simulation(cfg, raw, seed).collided;
   }
   EXPECT_GT(violations, 10u);  // the workload genuinely probes the gap
 }
@@ -41,7 +41,7 @@ TEST(LaneChangeSim, CompoundNeverViolates) {
     LaneChangePlannerConfig compound;
     for (std::uint64_t seed = 1; seed <= 100; ++seed) {
       const auto r = run_lane_change_simulation(cfg, compound, seed);
-      ASSERT_FALSE(r.violated) << "seed " << seed << " lost=" << lost;
+      ASSERT_FALSE(r.collided) << "seed " << seed << " lost=" << lost;
     }
   }
 }

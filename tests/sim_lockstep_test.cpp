@@ -1,0 +1,99 @@
+// Lockstep batching equivalence: evaluating a single-network NN blueprint
+// with one NnPlanner::plan_batch call per shard-step must be bit-identical
+// to dispatching the planner once per episode per step. This is the
+// correctness contract of BatchMode::kAuto — the throughput path is only
+// allowed to exist because this test holds.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "cvsafe/nn/mlp.hpp"
+#include "cvsafe/sim/left_turn.hpp"
+
+namespace {
+
+using namespace cvsafe;
+
+void expect_stats_equal(const sim::BatchStats& a, const sim::BatchStats& b) {
+  EXPECT_EQ(a.n, b.n);
+  EXPECT_EQ(a.safe_count, b.safe_count);
+  EXPECT_EQ(a.reached_count, b.reached_count);
+  EXPECT_EQ(a.total_steps, b.total_steps);
+  EXPECT_EQ(a.emergency_steps, b.emergency_steps);
+  EXPECT_EQ(a.mean_eta, b.mean_eta);              // exact
+  EXPECT_EQ(a.mean_reach_time, b.mean_reach_time);  // exact
+  ASSERT_EQ(a.etas.size(), b.etas.size());
+  for (std::size_t i = 0; i < a.etas.size(); ++i) {
+    EXPECT_EQ(a.etas[i], b.etas[i]) << "episode " << i;  // exact
+  }
+}
+
+sim::AgentBlueprint nn_blueprint(const sim::LeftTurnSimConfig& cfg,
+                                 sim::AgentConfig agent) {
+  util::Rng net_rng(42);
+  sim::AgentBlueprint bp;
+  bp.name = "nn";
+  bp.scenario = cfg.make_scenario();
+  bp.net = std::make_shared<const nn::Mlp>(nn::MlpSpec{{4, 16, 16, 1}},
+                                           net_rng);
+  bp.sensor = cfg.sensor;
+  bp.config = agent;
+  return bp;
+}
+
+TEST(SimLockstep, MatchesPerEpisodeBitExactly) {
+  sim::LeftTurnSimConfig cfg = sim::LeftTurnSimConfig::paper_defaults();
+  cfg.comm = comm::CommConfig::delayed(0.4, 0.25);
+
+  for (const auto& agent : {sim::AgentConfig::pure_nn(),
+                            sim::AgentConfig::basic_compound(),
+                            sim::AgentConfig::ultimate_compound()}) {
+    const auto bp = nn_blueprint(cfg, agent);
+    const auto per_episode = sim::run_left_turn_batch(
+        cfg, bp, /*n=*/10, /*base_seed=*/601, /*threads=*/2,
+        sim::BatchMode::kPerEpisode);
+    const auto lockstep = sim::run_left_turn_batch(
+        cfg, bp, /*n=*/10, /*base_seed=*/601, /*threads=*/2,
+        sim::BatchMode::kLockstep);
+    expect_stats_equal(per_episode, lockstep);
+  }
+}
+
+TEST(SimLockstep, ShardingDoesNotChangeResults) {
+  // Worker count only shards the lockstep batches differently; the
+  // per-episode streams must stay bit-identical.
+  sim::LeftTurnSimConfig cfg = sim::LeftTurnSimConfig::paper_defaults();
+  cfg.comm = comm::CommConfig::messages_lost();
+  cfg.sensor = sensing::SensorConfig::uniform(2.0);
+  const auto bp = nn_blueprint(cfg, sim::AgentConfig::ultimate_compound());
+
+  const auto one = sim::run_left_turn_batch(cfg, bp, 7, 701, /*threads=*/1,
+                                            sim::BatchMode::kLockstep);
+  const auto four = sim::run_left_turn_batch(cfg, bp, 7, 701, /*threads=*/4,
+                                             sim::BatchMode::kLockstep);
+  expect_stats_equal(one, four);
+}
+
+TEST(SimLockstep, AutoFallsBackForNonBatchableStacks) {
+  // Expert and ensemble blueprints are not lockstep-eligible; kAuto must
+  // produce exactly the per-episode results for them.
+  sim::LeftTurnSimConfig cfg = sim::LeftTurnSimConfig::paper_defaults();
+  cfg.comm = comm::CommConfig::delayed(0.3, 0.25);
+  sim::AgentBlueprint bp;
+  bp.name = "expert";
+  bp.scenario = cfg.make_scenario();
+  bp.sensor = cfg.sensor;
+  bp.config = sim::AgentConfig::ultimate_compound();
+  bp.config.use_expert_planner = true;
+
+  const auto auto_mode = sim::run_left_turn_batch(cfg, bp, 6, 801,
+                                                  /*threads=*/2,
+                                                  sim::BatchMode::kAuto);
+  const auto per_episode = sim::run_left_turn_batch(
+      cfg, bp, 6, 801, /*threads=*/2, sim::BatchMode::kPerEpisode);
+  expect_stats_equal(auto_mode, per_episode);
+}
+
+}  // namespace

@@ -1,0 +1,259 @@
+// Trace equivalence: the generic sim::Engine adapters must reproduce the
+// frozen pre-engine per-scenario loops (tests/support/legacy_reference.hpp)
+// bit-for-bit — same outcome flags, same reach times, same per-step
+// control sequence, same emergency switching — for every scenario and a
+// spread of seeds and disturbance settings. Unlike the golden-file test
+// (which pins against a committed CSV), this test runs both
+// implementations side by side, so it keeps guarding the engine even when
+// the golden file is legitimately regenerated.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cvsafe/nn/mlp.hpp"
+#include "support/legacy_reference.hpp"
+
+namespace {
+
+using namespace cvsafe;
+
+void expect_result_equal(const legacy_ref::LegacyResult& legacy,
+                         const sim::RunResult& engine,
+                         const std::string& what) {
+  EXPECT_EQ(legacy.collided, engine.collided) << what;
+  EXPECT_EQ(legacy.reached, engine.reached) << what;
+  EXPECT_EQ(legacy.reach_time, engine.reach_time) << what;  // exact
+  EXPECT_EQ(legacy.eta, engine.eta) << what;                // exact
+  EXPECT_EQ(legacy.steps, engine.steps) << what;
+  EXPECT_EQ(legacy.emergency_steps, engine.emergency_steps) << what;
+}
+
+// ---------------------------------------------------------------------------
+// Left turn
+// ---------------------------------------------------------------------------
+
+sim::AgentBlueprint expert_blueprint(const sim::LeftTurnSimConfig& cfg,
+                                     sim::AgentConfig agent) {
+  sim::AgentBlueprint bp;
+  bp.name = "expert";
+  bp.scenario = cfg.make_scenario();
+  bp.sensor = cfg.sensor;
+  bp.config = agent;
+  bp.config.use_expert_planner = true;
+  return bp;
+}
+
+TEST(SimTraceEquivalence, LeftTurnExpertVariants) {
+  const sim::LeftTurnSimConfig base = sim::LeftTurnSimConfig::paper_defaults();
+  const sim::AgentConfig variants[] = {sim::AgentConfig::pure_nn(),
+                                       sim::AgentConfig::basic_compound(),
+                                       sim::AgentConfig::ultimate_compound()};
+  const comm::CommConfig comms[] = {comm::CommConfig::no_disturbance(),
+                                    comm::CommConfig::delayed(0.4, 0.25),
+                                    comm::CommConfig::messages_lost()};
+  for (std::size_t vi = 0; vi < std::size(variants); ++vi) {
+    for (std::size_t ci = 0; ci < std::size(comms); ++ci) {
+      sim::LeftTurnSimConfig cfg = base;
+      cfg.comm = comms[ci];
+      if (ci == 2) cfg.sensor = sensing::SensorConfig::uniform(2.0);
+      const auto bp = expert_blueprint(cfg, variants[vi]);
+      for (const std::uint64_t seed : {1u, 17u, 1234u}) {
+        const auto legacy = legacy_ref::run_left_turn(cfg, bp, seed);
+        const auto engine = sim::run_left_turn_simulation(cfg, bp, seed);
+        expect_result_equal(legacy, engine,
+                            "left_turn v" + std::to_string(vi) + " c" +
+                                std::to_string(ci) + " seed" +
+                                std::to_string(seed));
+      }
+    }
+  }
+}
+
+TEST(SimTraceEquivalence, LeftTurnPerStepTrace) {
+  sim::LeftTurnSimConfig cfg = sim::LeftTurnSimConfig::paper_defaults();
+  cfg.comm = comm::CommConfig::delayed(0.5, 0.25);
+  const auto bp = expert_blueprint(cfg, sim::AgentConfig::ultimate_compound());
+
+  for (const std::uint64_t seed : {3u, 7u, 29u, 404u}) {
+    legacy_ref::LegacyTrace legacy_trace;
+    const auto legacy =
+        legacy_ref::run_left_turn(cfg, bp, seed, &legacy_trace);
+    sim::SimTrace engine_trace;
+    const auto engine =
+        sim::run_left_turn_simulation(cfg, bp, seed, &engine_trace);
+    expect_result_equal(legacy, engine, "trace seed" + std::to_string(seed));
+
+    ASSERT_EQ(legacy_trace.accel_commands.size(),
+              engine_trace.accel_commands.size());
+    for (std::size_t i = 0; i < legacy_trace.accel_commands.size(); ++i) {
+      // Every per-step observable matches exactly.
+      EXPECT_EQ(legacy_trace.accel_commands[i],
+                engine_trace.accel_commands[i])
+          << "step " << i;
+      EXPECT_EQ(legacy_trace.emergency_flags[i],
+                engine_trace.emergency_flags[i])
+          << "step " << i;
+      EXPECT_EQ(legacy_trace.tau1_lo[i], engine_trace.tau1_lo[i])
+          << "step " << i;
+      EXPECT_EQ(legacy_trace.tau1_hi[i], engine_trace.tau1_hi[i])
+          << "step " << i;
+      EXPECT_EQ(legacy_trace.ego_p[i], engine_trace.ego[i].state.p)
+          << "step " << i;
+      EXPECT_EQ(legacy_trace.c1_p[i], engine_trace.c1[i].state.p)
+          << "step " << i;
+    }
+    ASSERT_EQ(legacy_trace.switches.size(), engine_trace.switches.size());
+    for (std::size_t i = 0; i < legacy_trace.switches.size(); ++i) {
+      EXPECT_EQ(legacy_trace.switches[i].step, engine_trace.switches[i].step);
+      EXPECT_EQ(legacy_trace.switches[i].to_emergency,
+                engine_trace.switches[i].to_emergency);
+    }
+  }
+}
+
+TEST(SimTraceEquivalence, LeftTurnNnAndEnsemble) {
+  util::Rng net_rng(42);
+  const auto net = std::make_shared<const nn::Mlp>(
+      nn::MlpSpec{{4, 16, 16, 1}}, net_rng);
+  util::Rng net_rng2(43);
+  const auto net2 = std::make_shared<const nn::Mlp>(
+      nn::MlpSpec{{4, 16, 16, 1}}, net_rng2);
+
+  sim::LeftTurnSimConfig cfg = sim::LeftTurnSimConfig::paper_defaults();
+  cfg.comm = comm::CommConfig::delayed(0.4, 0.25);
+
+  for (const auto& agent : {sim::AgentConfig::pure_nn(),
+                            sim::AgentConfig::ultimate_compound()}) {
+    sim::AgentBlueprint bp;
+    bp.name = "nn";
+    bp.scenario = cfg.make_scenario();
+    bp.net = net;
+    bp.sensor = cfg.sensor;
+    bp.config = agent;
+    for (const std::uint64_t seed : {5u, 55u, 555u}) {
+      const auto legacy = legacy_ref::run_left_turn(cfg, bp, seed);
+      const auto engine = sim::run_left_turn_simulation(cfg, bp, seed);
+      expect_result_equal(legacy, engine, "nn seed" + std::to_string(seed));
+    }
+  }
+
+  sim::AgentBlueprint bp;
+  bp.name = "ensemble";
+  bp.scenario = cfg.make_scenario();
+  bp.ensemble = {net, net2};
+  bp.sensor = cfg.sensor;
+  bp.config = sim::AgentConfig::ultimate_compound();
+  bp.config.ensemble_sigma_penalty = 0.5;
+  for (const std::uint64_t seed : {8u, 88u}) {
+    const auto legacy = legacy_ref::run_left_turn(cfg, bp, seed);
+    const auto engine = sim::run_left_turn_simulation(cfg, bp, seed);
+    expect_result_equal(legacy, engine,
+                        "ensemble seed" + std::to_string(seed));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lane change
+// ---------------------------------------------------------------------------
+
+TEST(SimTraceEquivalence, LaneChange) {
+  sim::LaneChangeSimConfig cfg;
+  sim::LaneChangePlannerConfig raw;
+  raw.use_compound = false;
+  sim::LaneChangePlannerConfig basic;
+  basic.use_info_filter = false;
+  const sim::LaneChangePlannerConfig planners[] = {
+      raw, basic, sim::LaneChangePlannerConfig{}};
+
+  const comm::CommConfig comms[] = {comm::CommConfig::no_disturbance(),
+                                    comm::CommConfig::delayed(0.3, 0.25)};
+  for (std::size_t pi = 0; pi < std::size(planners); ++pi) {
+    for (std::size_t ci = 0; ci < std::size(comms); ++ci) {
+      sim::LaneChangeSimConfig c = cfg;
+      c.comm = comms[ci];
+      for (const std::uint64_t seed : {301u, 302u, 9001u}) {
+        const auto legacy =
+            legacy_ref::run_lane_change(c, planners[pi], seed);
+        const auto engine =
+            sim::run_lane_change_simulation(c, planners[pi], seed);
+        expect_result_equal(legacy, engine,
+                            "lane_change p" + std::to_string(pi) + " c" +
+                                std::to_string(ci) + " seed" +
+                                std::to_string(seed));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Intersection
+// ---------------------------------------------------------------------------
+
+TEST(SimTraceEquivalence, Intersection) {
+  sim::IntersectionSimConfig cfg;
+  const comm::CommConfig comms[] = {comm::CommConfig::no_disturbance(),
+                                    comm::CommConfig::delayed(0.4, 0.25)};
+  for (const bool use_compound : {false, true}) {
+    for (std::size_t ci = 0; ci < std::size(comms); ++ci) {
+      sim::IntersectionSimConfig c = cfg;
+      c.comm = comms[ci];
+      for (const std::uint64_t seed : {401u, 402u, 777u}) {
+        const auto legacy =
+            legacy_ref::run_intersection(c, use_compound, seed);
+        const auto engine =
+            sim::run_intersection_simulation(c, use_compound, seed);
+        expect_result_equal(legacy, engine,
+                            std::string("intersection ") +
+                                (use_compound ? "compound" : "raw") + " c" +
+                                std::to_string(ci) + " seed" +
+                                std::to_string(seed));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-vehicle left turn
+// ---------------------------------------------------------------------------
+
+TEST(SimTraceEquivalence, MultiVehicle) {
+  const sim::LeftTurnSimConfig config =
+      sim::LeftTurnSimConfig::paper_defaults();
+  sim::MultiAgentSetup expert;
+  expert.scenario = config.make_scenario();  // net == nullptr -> expert
+
+  sim::MultiAgentSetup naive = expert;
+  naive.use_info_filter = false;
+  naive.use_aggressive = false;
+
+  util::Rng net_rng(42);
+  sim::MultiAgentSetup nn = expert;
+  nn.net = std::make_shared<const nn::Mlp>(nn::MlpSpec{{4, 16, 16, 1}},
+                                           net_rng);
+
+  const sim::MultiAgentSetup setups[] = {expert, naive, nn};
+  for (std::size_t si = 0; si < std::size(setups); ++si) {
+    for (const std::size_t n_cars : {1u, 2u, 3u}) {
+      sim::MultiVehicleConfig multi;
+      multi.num_oncoming = n_cars;
+      sim::LeftTurnSimConfig noisy = config;
+      noisy.comm = comm::CommConfig::delayed(0.3, 0.25);
+      for (const std::uint64_t seed : {501u, 502u}) {
+        const auto legacy =
+            legacy_ref::run_multi(noisy, multi, setups[si], seed);
+        const auto engine =
+            sim::run_multi_left_turn_simulation(noisy, multi, setups[si],
+                                                seed);
+        expect_result_equal(legacy, engine,
+                            "multi s" + std::to_string(si) + " n" +
+                                std::to_string(n_cars) + " seed" +
+                                std::to_string(seed));
+      }
+    }
+  }
+}
+
+}  // namespace

@@ -10,6 +10,9 @@
 // geometry, actuation limits, channel and sensor before flag overrides.
 //
 // Common options:
+//   --scenario left-turn|lane-change|intersection|multi  (run/batch,
+//                            default left-turn)
+//   --cars N                 oncoming platoon size (multi) (default 2)
 //   --style cons|aggr        embedded NN planner style   (default cons)
 //   --variant pure|basic|ultimate                        (default ultimate)
 //   --drop P                 message drop probability    (default 0)
@@ -34,6 +37,9 @@
 #include "cvsafe/eval/config_io.hpp"
 #include "cvsafe/eval/experiments.hpp"
 #include "cvsafe/nn/serialize.hpp"
+#include "cvsafe/sim/intersection.hpp"
+#include "cvsafe/sim/lane_change.hpp"
+#include "cvsafe/sim/multi_vehicle.hpp"
 #include "cvsafe/util/csv.hpp"
 #include "cvsafe/util/table.hpp"
 #include "cvsafe/verify/certify.hpp"
@@ -88,12 +94,9 @@ int usage() {
   return 2;
 }
 
-eval::SimConfig build_config(const Args& args) {
-  // Order: paper defaults -> optional --config file -> flag overrides.
-  eval::SimConfig config = eval::SimConfig::paper_defaults();
-  if (args.values.count("config")) {
-    config = eval::load_sim_config(args.value("config", ""));
-  }
+/// Applies the shared disturbance flags (--drop/--delay/--lost/--delta)
+/// to any scenario's loop configuration.
+void apply_disturbance(sim::RunConfig& config, const Args& args) {
   const double drop = args.number("drop", 0.0);
   const double delay = args.number("delay", 0.0);
   if (args.has_flag("lost")) {
@@ -105,6 +108,15 @@ eval::SimConfig build_config(const Args& args) {
     config.sensor =
         sensing::SensorConfig::uniform(args.number("delta", 1.0));
   }
+}
+
+eval::SimConfig build_config(const Args& args) {
+  // Order: paper defaults -> optional --config file -> flag overrides.
+  eval::SimConfig config = eval::SimConfig::paper_defaults();
+  if (args.values.count("config")) {
+    config = eval::load_sim_config(args.value("config", ""));
+  }
+  apply_disturbance(config, args);
   return config;
 }
 
@@ -121,7 +133,114 @@ eval::PlannerVariant parse_variant(const Args& args) {
   return eval::PlannerVariant::kUltimate;
 }
 
+void print_result(const std::string& planner, const std::string& channel,
+                  std::uint64_t seed, const sim::RunResult& r) {
+  std::printf("planner    %s\n", planner.c_str());
+  std::printf("channel    %s\n", channel.c_str());
+  std::printf("seed       %llu\n", static_cast<unsigned long long>(seed));
+  std::printf("collided   %s\n", r.collided ? "YES" : "no");
+  std::printf("reached    %s\n", r.reached ? "yes" : "no");
+  if (r.reached) std::printf("t_r        %.3f s\n", r.reach_time);
+  std::printf("eta        %.4f\n", r.eta);
+  std::printf("emergency  %zu / %zu steps\n", r.emergency_steps, r.steps);
+}
+
+int print_stats(const std::string& title, const sim::BatchStats& stats) {
+  util::Table table(title);
+  table.set_header({"episodes", "safe rate", "reach rate", "reaching time",
+                    "mean eta", "emergency freq"});
+  table.add_row({std::to_string(stats.n),
+                 util::Table::percent(stats.safe_rate()),
+                 util::Table::percent(stats.reach_rate()),
+                 util::Table::num(stats.mean_reach_time) + "s",
+                 util::Table::num(stats.mean_eta),
+                 util::Table::percent(stats.emergency_frequency())});
+  std::cout << table;
+  return stats.safe_count == stats.n ? 0 : 1;
+}
+
+/// The non-left-turn scenarios behind --scenario; each maps the shared
+/// --variant flag onto its own compound/estimator switches.
+int run_other_scenario(const std::string& scenario, const Args& args,
+                       bool batch) {
+  const std::string variant = args.value("variant", "ultimate");
+  const auto seed = static_cast<std::uint64_t>(args.number("seed", 1));
+  const auto n = static_cast<std::size_t>(args.number("sims", 500));
+  const auto threads = static_cast<std::size_t>(args.number("threads", 0));
+
+  if (scenario == "lane-change") {
+    sim::LaneChangeSimConfig config;
+    apply_disturbance(config, args);
+    sim::LaneChangePlannerConfig planner;
+    if (variant == "pure") planner.use_compound = false;
+    if (variant == "basic") planner.use_info_filter = false;
+    const std::string name = "lane-change cruise (" + variant + ")";
+    if (batch) {
+      return print_stats(
+          "batch: " + name + " under " + config.comm.label(),
+          sim::run_lane_change_batch(config, planner, n, seed, threads));
+    }
+    const auto r = sim::run_lane_change_simulation(config, planner, seed);
+    print_result(name, config.comm.label(), seed, r);
+    return r.collided ? 1 : 0;
+  }
+
+  if (scenario == "intersection") {
+    sim::IntersectionSimConfig config;
+    apply_disturbance(config, args);
+    const bool use_compound = variant != "pure";
+    const std::string name =
+        std::string("intersection cruise (") +
+        (use_compound ? "compound" : "pure") + ")";
+    if (batch) {
+      return print_stats(
+          "batch: " + name + " under " + config.comm.label(),
+          sim::run_intersection_batch(config, use_compound, n, seed,
+                                      threads));
+    }
+    const auto r =
+        sim::run_intersection_simulation(config, use_compound, seed);
+    print_result(name, config.comm.label(), seed, r);
+    return r.collided ? 1 : 0;
+  }
+
+  if (scenario == "multi") {
+    eval::SimConfig config = build_config(args);
+    sim::MultiVehicleConfig multi;
+    multi.num_oncoming =
+        static_cast<std::size_t>(args.number("cars", 2));
+    sim::MultiAgentSetup setup;
+    setup.scenario = config.make_scenario();  // expert kappa_n
+    if (variant == "pure") setup.use_compound = false;
+    if (variant == "basic") {
+      setup.use_info_filter = false;
+      setup.use_aggressive = false;
+    }
+    const std::string name = "multi-vehicle expert (" + variant + ", " +
+                             std::to_string(multi.num_oncoming) + " cars)";
+    if (batch) {
+      return print_stats(
+          "batch: " + name + " under " + config.comm.label(),
+          sim::run_multi_batch(config, multi, setup, n, seed, threads));
+    }
+    const auto r =
+        sim::run_multi_left_turn_simulation(config, multi, setup, seed);
+    print_result(name, config.comm.label(), seed, r);
+    return r.collided ? 1 : 0;
+  }
+
+  std::fprintf(stderr,
+               "unknown --scenario %s "
+               "(left-turn|lane-change|intersection|multi)\n",
+               scenario.c_str());
+  return 2;
+}
+
 int cmd_run(const Args& args) {
+  const std::string scenario = args.value("scenario", "left-turn");
+  if (scenario != "left-turn") {
+    return run_other_scenario(scenario, args, /*batch=*/false);
+  }
   const eval::SimConfig config = build_config(args);
   const auto bp =
       eval::make_nn_blueprint(config, parse_style(args), parse_variant(args));
@@ -163,6 +282,10 @@ int cmd_run(const Args& args) {
 }
 
 int cmd_batch(const Args& args) {
+  const std::string scenario = args.value("scenario", "left-turn");
+  if (scenario != "left-turn") {
+    return run_other_scenario(scenario, args, /*batch=*/true);
+  }
   const eval::SimConfig config = build_config(args);
   const auto bp =
       eval::make_nn_blueprint(config, parse_style(args), parse_variant(args));
@@ -172,17 +295,8 @@ int cmd_batch(const Args& args) {
 
   const eval::BatchStats stats = eval::run_batch(config, bp, n, seed,
                                                  threads);
-  util::Table table("batch: " + bp.name + " under " + config.comm.label());
-  table.set_header({"episodes", "safe rate", "reach rate", "reaching time",
-                    "mean eta", "emergency freq"});
-  table.add_row({std::to_string(stats.n),
-                 util::Table::percent(stats.safe_rate()),
-                 util::Table::percent(stats.reach_rate()),
-                 util::Table::num(stats.mean_reach_time) + "s",
-                 util::Table::num(stats.mean_eta),
-                 util::Table::percent(stats.emergency_frequency())});
-  std::cout << table;
-  return stats.safe_count == stats.n ? 0 : 1;
+  return print_stats("batch: " + bp.name + " under " + config.comm.label(),
+                     stats);
 }
 
 int cmd_train(const Args& args) {

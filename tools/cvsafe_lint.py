@@ -21,6 +21,11 @@ include/):
                      virtual interfaces must say `override` (or `final`)
   no-assert-header   public headers use the CVSAFE_EXPECTS/ENSURES/ASSERT
                      contracts (configurable, always-on) instead of assert
+  no-adhoc-sim-loop  the eval layer must not hand-roll closed-loop
+                     simulations (stepping DoubleIntegrator dynamics or
+                     drawing AccelProfile workloads); scenario loops live
+                     behind sim::Engine / ScenarioAdapter in src/sim and
+                     include/cvsafe/sim
 
 A finding on a line that carries the annotation
     cvsafe-lint: allow(<rule>)
@@ -77,6 +82,17 @@ RE_NAKED_NEW = re.compile(r"(?<![\w:])new\b(?!\s*\()")
 RE_NAKED_DELETE = re.compile(r"(?<![\w:])delete\b(?:\s*\[\s*\])?\s+[\w:*(]")
 RE_ASSERT = re.compile(r"(?<![\w.])assert\s*\(|#\s*include\s*<cassert>")
 RE_IOSTREAM = re.compile(r"#\s*include\s*<iostream>")
+# Markers of a hand-rolled closed-loop simulation: integrating vehicle
+# dynamics or drawing a random workload profile. Outside the engine tree
+# these indicate a per-scenario loop that bypasses sim::Engine (the exact
+# duplication the eval refactor removed).
+RE_ADHOC_SIM = re.compile(
+    r"\bDoubleIntegrator\b|\bAccelProfile\s*::\s*random\b"
+)
+# Directories where hand-rolled loops are banned (relative to the repo
+# root). The eval layer is analysis/reporting only; closed loops belong
+# to src/sim + include/cvsafe/sim.
+ADHOC_SIM_BANNED_DIRS = ("src/eval", "include/cvsafe/eval")
 RE_PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\b")
 RE_ALLOW = re.compile(r"cvsafe-lint:\s*allow\(([a-z0-9_,\- ]+)\)")
 RE_CLASS_DECL = re.compile(r"\b(?:class|struct)\s+(\w+)[^;{]*")
@@ -155,9 +171,11 @@ def allowed_rules(raw_line: str) -> set[str]:
 
 
 class FileLinter:
-    def __init__(self, path: pathlib.Path, in_include_tree: bool):
+    def __init__(self, path: pathlib.Path, in_include_tree: bool,
+                 adhoc_sim_banned: bool = False):
         self.path = path
         self.in_include_tree = in_include_tree
+        self.adhoc_sim_banned = adhoc_sim_banned
         self.raw = path.read_text(encoding="utf-8").splitlines()
         self.code = strip_comments_and_strings(self.raw)
         self.findings: list[Finding] = []
@@ -206,6 +224,11 @@ class FileLinter:
                 self.report(line_no, "float-compare",
                             "==/!= against a floating-point literal; compare "
                             "with a tolerance or annotate the exact intent")
+            if self.adhoc_sim_banned and RE_ADHOC_SIM.search(code):
+                self.report(line_no, "no-adhoc-sim-loop",
+                            "hand-rolled closed-loop simulation in the eval "
+                            "layer; scenario loops go through sim::Engine "
+                            "(src/sim, include/cvsafe/sim)")
             if is_header and self.in_include_tree:
                 if RE_IOSTREAM.search(code):
                     self.report(line_no, "no-iostream-header",
@@ -293,7 +316,11 @@ def lint_tree(root: pathlib.Path) -> list[Finding]:
         for path in sorted(base.rglob("*")):
             if path.suffix not in SOURCE_SUFFIXES or not path.is_file():
                 continue
-            linter = FileLinter(path, in_include_tree=(subdir == "include"))
+            rel = path.relative_to(root).as_posix()
+            banned = any(rel.startswith(d + "/")
+                         for d in ADHOC_SIM_BANNED_DIRS)
+            linter = FileLinter(path, in_include_tree=(subdir == "include"),
+                                adhoc_sim_banned=banned)
             findings.extend(linter.run())
     return findings
 
