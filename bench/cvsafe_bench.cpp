@@ -23,15 +23,21 @@
 #include <thread>
 #include <vector>
 
+#include "cvsafe/comm/channel.hpp"
+#include "cvsafe/core/compound_planner.hpp"
 #include "cvsafe/core/preimage.hpp"
 #include "cvsafe/eval/batch.hpp"
 #include "cvsafe/eval/experiments.hpp"
+#include "cvsafe/fault/fault_plan.hpp"
+#include "cvsafe/fault/faulty_channel.hpp"
 #include "cvsafe/filter/kalman.hpp"
 #include "cvsafe/filter/reachability.hpp"
 #include "cvsafe/nn/mlp.hpp"
 #include "cvsafe/nn/workspace.hpp"
+#include "cvsafe/planners/expert.hpp"
 #include "cvsafe/planners/nn_planner.hpp"
 #include "cvsafe/planners/training.hpp"
+#include "cvsafe/scenario/safety_model.hpp"
 #include "support/legacy_reference.hpp"
 
 namespace {
@@ -107,8 +113,11 @@ double elapsed_s(Clock::time_point a, Clock::time_point b) {
 }
 
 /// Runs fn(iters) batches, growing iters until the batch takes at least
-/// min_time_s, then reports per-op time and per-op allocation count from
-/// the final (longest) batch.
+/// min_time_s, then times the full-size batch three times and reports
+/// per-op time from the fastest repetition (and per-op allocations from
+/// the first): the minimum is far less sensitive to frequency-scaling
+/// and scheduler jitter than a single sample, which matters for the
+/// ratio gates on ~20 ns ops.
 template <typename F>
 BenchResult run_bench(const std::string& name, double min_time_s, F&& fn) {
   std::uint64_t iters = 1;
@@ -121,8 +130,14 @@ BenchResult run_bench(const std::string& name, double min_time_s, F&& fn) {
     const auto t1 = Clock::now();
     const std::uint64_t allocs =
         g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
-    const double secs = elapsed_s(t0, t1);
+    double secs = elapsed_s(t0, t1);
     if (secs >= min_time_s || iters >= (1ull << 40)) {
+      for (int rep = 0; rep < 2; ++rep) {
+        const auto r0 = Clock::now();
+        fn(iters);
+        const auto r1 = Clock::now();
+        secs = std::min(secs, elapsed_s(r0, r1));
+      }
       BenchResult r;
       r.name = name;
       r.iterations = iters;
@@ -364,6 +379,106 @@ std::vector<Bench> build_registry() {
                 grid.v_min, grid.v_max};
             const auto& res = inc.relabel(core::UnsafeFn(band), changed);
             g_sink = static_cast<double>(res.count(core::RegionLabel::kBoundary));
+          }
+        });
+  }});
+
+  // One op = one control step of a V2V channel: offer the current
+  // snapshot, drain due messages. channel_plain is the undecorated
+  // baseline; channel_faulty_nofault is the FaultyChannel decorator with
+  // every fault disabled — measured at parity (~1.0x dev, min-of-3
+  // batches). Even with the min, the ratio of two ~20 ns ops swings
+  // roughly 0.85-1.15x run to run, so CI gates at 0.75: a guard against
+  // gross dispatch pessimization (lost inlining, per-message copies),
+  // not a 10%-level perf pin. Behavioral parity is gated exactly by
+  // fault_injection_test's bit-identical pass-through check.
+  benches.push_back({"channel_plain", [](const Options& o) {
+    comm::Channel ch(comm::CommConfig::delayed(0.1, 0.25));
+    util::Rng rng(1);
+    double t = 0.0;
+    return run_bench("channel_plain", o.min_time_s, [&](std::uint64_t n) {
+      for (std::uint64_t it = 0; it < n; ++it) {
+        const vehicle::VehicleSnapshot snap{t, {-50.0 + 9.0 * t, 9.0}, 0.3};
+        ch.offer(comm::Message{1, snap}, rng);
+        // Drain in batches: the collect() vector churn would otherwise
+        // drown the offer dispatch the overhead gate compares.
+        if ((it & 63u) == 0u) {
+          g_sink = static_cast<double>(ch.collect(t).size());
+        }
+        t += 0.05;
+      }
+    });
+  }});
+
+  benches.push_back({"channel_faulty_nofault", [](const Options& o) {
+    fault::FaultyChannel ch(comm::CommConfig::delayed(0.1, 0.25),
+                            fault::ChannelFaultModel{}, 42);
+    util::Rng rng(1);
+    double t = 0.0;
+    return run_bench("channel_faulty_nofault", o.min_time_s,
+                     [&](std::uint64_t n) {
+                       for (std::uint64_t it = 0; it < n; ++it) {
+                         const vehicle::VehicleSnapshot snap{
+                             t, {-50.0 + 9.0 * t, 9.0}, 0.3};
+                         ch.offer(comm::Message{1, snap}, rng);
+                         if ((it & 63u) == 0u) {
+                           g_sink =
+                               static_cast<double>(ch.collect(t).size());
+                         }
+                         t += 0.05;
+                       }
+                     });
+  }});
+
+  benches.push_back({"channel_faulty_active", [](const Options& o) {
+    const fault::FaultPlan plan = fault::FaultPlan::corruption();
+    fault::FaultyChannel ch(comm::CommConfig::delayed(0.1, 0.25),
+                            plan.channel, 42);
+    util::Rng rng(1);
+    double t = 0.0;
+    return run_bench("channel_faulty_active", o.min_time_s,
+                     [&](std::uint64_t n) {
+                       for (std::uint64_t it = 0; it < n; ++it) {
+                         const vehicle::VehicleSnapshot snap{
+                             t, {-50.0 + 9.0 * t, 9.0}, 0.3};
+                         ch.offer(comm::Message{1, snap}, rng);
+                         if ((it & 63u) == 0u) {
+                           g_sink =
+                               static_cast<double>(ch.collect(t).size());
+                         }
+                         t += 0.05;
+                       }
+                     });
+  }});
+
+  // One op = one compound-planner step with the degradation ladder armed
+  // and signals sweeping across every rung threshold (the ladder-update +
+  // monitor-gate hot path of a faulted episode).
+  benches.push_back({"compound_step_degradation", [](const Options& o) {
+    const auto cfg = eval::SimConfig::paper_defaults();
+    const auto scn = cfg.make_scenario();
+    auto inner = std::make_shared<planners::ExpertPlanner>(
+        scn, planners::ExpertParams::conservative(), "expert");
+    auto model = std::make_shared<scenario::LeftTurnSafetyModel>(scn);
+    core::CompoundPlanner<scenario::LeftTurnWorld> compound(
+        std::move(inner), std::move(model));
+    compound.enable_degradation(core::LadderConfig{});
+    scenario::LeftTurnWorld world;
+    world.t = 1.0;
+    world.ego = vehicle::VehicleState{cfg.geometry.ego_start, 8.0};
+    world.tau1_monitor = util::Interval{5.0, 8.0};
+    world.tau1_nn = world.tau1_monitor;
+    double age = 0.0;
+    return run_bench(
+        "compound_step_degradation", o.min_time_s, [&](std::uint64_t n) {
+          for (std::uint64_t it = 0; it < n; ++it) {
+            core::DegradationSignals signals;
+            signals.have_message = true;
+            signals.message_age = age;
+            signals.filter_consistent = (it & 63u) != 0;
+            compound.note_signals(signals);
+            g_sink = compound.plan(world);
+            age = age < 1.2 ? age + 0.05 : 0.0;
           }
         });
   }});

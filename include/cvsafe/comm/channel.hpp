@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <queue>
 #include <string>
 #include <vector>
@@ -19,7 +20,9 @@
 
 namespace cvsafe::comm {
 
-/// Channel configuration.
+/// Channel configuration. Construction of a Channel validates the
+/// configuration (validate()); NaN or out-of-range values are contract
+/// violations.
 struct CommConfig {
   double period = 0.1;     ///< transmission period dt_m [s]
   double delay = 0.0;      ///< delivery delay dt_d [s]
@@ -58,6 +61,10 @@ struct CommConfig {
 
   /// Human-readable name of the setting.
   std::string label() const;
+
+  /// Contract check: period > 0, delay >= 0, every probability in [0,1],
+  /// all values finite (NaN fails every comparison and is rejected).
+  void validate() const;
 };
 
 /// Simplex channel from one transmitting vehicle to the ego vehicle.
@@ -69,7 +76,9 @@ struct CommConfig {
 /// step to drain messages whose delivery time has come.
 class Channel {
  public:
-  explicit Channel(CommConfig config) : config_(config) {}
+  explicit Channel(CommConfig config) : config_(config) {
+    config_.validate();
+  }
 
   const CommConfig& config() const { return config_; }
 
@@ -78,8 +87,20 @@ class Channel {
   /// t = 0 (a small epsilon absorbs floating-point drift).
   void offer(const Message& msg, util::Rng& rng);
 
+  /// The transmission-schedule / loss-model half of offer(): advances the
+  /// schedule and the Gilbert-Elliott state and returns true when the
+  /// message survived (it must then be enqueued exactly once). Exposed so
+  /// decorators (fault::FaultyChannel) can reshape the delivery of
+  /// admitted messages without touching the episode's RNG draw order.
+  bool admit(const Message& msg, util::Rng& rng);
+
+  /// Enqueues an admitted (possibly decorated) message for delivery at
+  /// \p delivery_time. offer() == admit() + enqueue(stamp + delay).
+  void enqueue(const Message& msg, double delivery_time);
+
   /// Returns (and removes) all messages delivered by time \p t, in
-  /// delivery order.
+  /// delivery order; entries with equal delivery time drain in enqueue
+  /// (FIFO) order.
   std::vector<Message> collect(double t);
 
   /// Number of messages currently in flight.
@@ -92,9 +113,13 @@ class Channel {
  private:
   struct InFlight {
     double delivery_time;
+    std::uint64_t seq;  ///< monotone enqueue index: FIFO tie-break
     Message msg;
     bool operator>(const InFlight& o) const {
-      return delivery_time > o.delivery_time;
+      if (delivery_time != o.delivery_time) {
+        return delivery_time > o.delivery_time;
+      }
+      return seq > o.seq;
     }
   };
 
@@ -103,6 +128,7 @@ class Channel {
   bool in_bad_state_ = false;  ///< Gilbert-Elliott channel state
   std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>>
       pending_;
+  std::uint64_t next_seq_ = 0;
   std::size_t sent_ = 0;
   std::size_t dropped_ = 0;
 };

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "cvsafe/core/degradation.hpp"
 #include "cvsafe/core/planner.hpp"
 #include "cvsafe/core/safety_model.hpp"
 #include "cvsafe/util/contracts.hpp"
@@ -80,10 +81,7 @@ class CompoundPlanner final : public PlannerBase<World> {
   /// unsafe set substituted when enabled.
   double plan(const World& world) override {
     if (const auto emergency = monitor_gate(world)) return *emergency;
-    if (options_.aggressive_unsafe_set) {
-      return nn_planner_->plan(safety_model_->shrink_for_planner(world));
-    }
-    return nn_planner_->plan(world);
+    return nn_planner_->plan(planner_view(world));
   }
 
   /// The monitor's half of plan(): advances the step/switch bookkeeping
@@ -93,10 +91,22 @@ class CompoundPlanner final : public PlannerBase<World> {
   /// monitor_gate()/plan() may be called per control step.
   std::optional<double> monitor_gate(const World& world) {
     const std::size_t step = stats_.total_steps++;
-    if (safety_model_->in_boundary_safe_set(world)) {
+    // Degradation ladder (degradation.hpp): at EMERGENCY-BIASED the X_b
+    // membership test runs on the biased (inflated) view, so the monitor
+    // fires earlier while the estimators are suspect. kappa_e itself is
+    // still evaluated on the monitor's own view.
+    bool biased = false;
+    if (ladder_) {
+      biased = ladder_->update(step, signals_) ==
+               DegradationLevel::kEmergencyBiased;
+    }
+    std::optional<World> biased_world;
+    if (biased) biased_world.emplace(safety_model_->bias_for_emergency(world));
+    const World& check = biased_world ? *biased_world : world;
+    if (safety_model_->in_boundary_safe_set(check)) {
       ++stats_.emergency_steps;
       if (!last_was_emergency_) {
-        record_switch(step, true, safety_model_->boundary_reason(world));
+        record_switch(step, true, safety_model_->boundary_reason(check));
       }
       last_was_emergency_ = true;
       return safety_model_->emergency_accel(world);
@@ -108,12 +118,30 @@ class CompoundPlanner final : public PlannerBase<World> {
 
   /// The world the embedded planner sees when the monitor falls through:
   /// the aggressive (underestimated) unsafe set when enabled, the
-  /// monitor's own view otherwise.
+  /// monitor's own view otherwise. Any degraded ladder level (REACH-ONLY
+  /// and below) disables the aggressive shrink, so the embedded planner
+  /// falls back to the conservative Eq. 7 windows.
   World planner_view(const World& world) const {
+    if (ladder_ && ladder_->level() != DegradationLevel::kFull) return world;
     return options_.aggressive_unsafe_set
                ? safety_model_->shrink_for_planner(world)
                : world;
   }
+
+  /// Arms the degradation ladder; without this call the planner behaves
+  /// exactly as before (no ladder, implicit degradation only).
+  void enable_degradation(const LadderConfig& config) {
+    ladder_.emplace(config);
+  }
+
+  /// Information-quality signals for the NEXT monitor_gate()/plan() call;
+  /// the episode driver refreshes these every step before planning.
+  void note_signals(const DegradationSignals& signals) {
+    signals_ = signals;
+  }
+
+  /// The ladder, when armed (level occupancy, transition log).
+  const std::optional<DegradationLadder>& ladder() const { return ladder_; }
 
   std::string_view name() const override { return name_; }
 
@@ -153,6 +181,8 @@ class CompoundPlanner final : public PlannerBase<World> {
   MonitorStats stats_;
   std::vector<SwitchEvent> switch_events_;
   bool last_was_emergency_ = false;
+  std::optional<DegradationLadder> ladder_;
+  DegradationSignals signals_;
 };
 
 }  // namespace cvsafe::core

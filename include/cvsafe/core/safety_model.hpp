@@ -40,6 +40,17 @@ class SafetyModelBase {
     return world;
   }
 
+  /// Returns a world view whose unsafe-set parameterization is *inflated*
+  /// so the X_b membership test fires earlier. Consumed by the
+  /// EMERGENCY-BIASED rung of the degradation ladder (degradation.hpp)
+  /// when the estimators report themselves inconsistent: with the margin
+  /// toward kappa_e widened, a corrupted estimate has to be wrong by more
+  /// than the inflation before the monitor misses the boundary. The
+  /// default is the identity (no bias).
+  virtual World bias_for_emergency(const World& world) const {
+    return world;
+  }
+
   /// Short human-readable classification of WHY the world view lies in
   /// the boundary safe set (diagnostics / switch logs). Only called when
   /// in_boundary_safe_set returned true.

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file fault_plan.hpp
+/// Deterministic fault-injection plans: WHAT to inject (scripted windows
+/// and stochastic fault models for the V2V channel and the onboard
+/// sensor) and from WHICH random stream.
+///
+/// The paper's disturbance model (channel.hpp) covers fixed delay, i.i.d.
+/// loss, total loss and bursty loss — all benign in the sense that the
+/// delivered payloads are exact and in order. A FaultPlan extends the
+/// workload with the failure modes a safety argument actually has to
+/// survive: jittered delay, reordering, duplication, payload corruption,
+/// stale-timestamp spoofing, blackout windows, and sensor faults
+/// (dropout, stuck-at, bias drift).
+///
+/// Determinism: fault draws never touch the episode RNG. Each decorated
+/// channel/sensor derives its own util::Rng from
+/// (plan seed, episode seed, actor stream) via util::derive_seed, so a
+/// campaign is bit-reproducible from its seeds, and a plan whose models
+/// are all disabled is bit-identical to the undecorated baseline.
+
+namespace cvsafe::fault {
+
+/// Half-open scripted activation window [begin, end) in simulation time.
+struct FaultWindow {
+  double begin = 0.0;
+  double end = 0.0;
+
+  bool contains(double t) const { return t >= begin && t < end; }
+};
+
+/// Stochastic fault model applied to messages ADMITTED by the underlying
+/// channel (its schedule and loss model run unchanged first).
+struct ChannelFaultModel {
+  /// Extra uniform [0, max] delivery delay per message (jittered delay).
+  double delay_jitter_max = 0.0;
+
+  /// With this probability a message is additionally held back by a
+  /// uniform [min, max] extra delay — long enough to overtake later
+  /// transmissions, producing out-of-order delivery.
+  double reorder_prob = 0.0;
+  double reorder_delay_min = 0.1;
+  double reorder_delay_max = 0.3;
+
+  /// With this probability the message is delivered twice, the copy
+  /// lagging by uniform [0, lag_max].
+  double duplicate_prob = 0.0;
+  double duplicate_lag_max = 0.1;
+
+  /// With this probability the payload state is perturbed by uniform
+  /// +-delta (bounded value corruption).
+  double corrupt_prob = 0.0;
+  double corrupt_delta_p = 0.0;
+  double corrupt_delta_v = 0.0;
+  double corrupt_delta_a = 0.0;
+
+  /// With this probability the payload TIMESTAMP is backdated by uniform
+  /// [0, max] (stale-timestamp spoofing; delivery time is unaffected).
+  double stale_spoof_prob = 0.0;
+  double stale_spoof_max = 0.0;
+
+  /// Scripted total-blackout windows: messages transmitted while
+  /// stamp() lies in a window are silently discarded.
+  std::vector<FaultWindow> blackouts;
+
+  /// True when any fault is enabled (a model with all defaults is a
+  /// pass-through).
+  bool any() const;
+};
+
+/// Stochastic fault model applied to readings EMITTED by the underlying
+/// sensor (its schedule and noise model run unchanged first).
+struct SensorFaultModel {
+  /// Per-reading i.i.d. dropout probability.
+  double dropout_prob = 0.0;
+
+  /// Position bias ramp [m per second of simulation time] (drifting
+  /// calibration).
+  double bias_drift_rate = 0.0;
+
+  /// Scripted stuck-at windows: readings inside a window repeat the last
+  /// emitted values (timestamps keep advancing, so downstream time-order
+  /// contracts hold).
+  std::vector<FaultWindow> stuck;
+
+  bool any() const;
+};
+
+/// A named, seeded fault-injection plan for one run or campaign cell.
+struct FaultPlan {
+  std::string name = "none";
+  std::uint64_t seed = 0xFA01;  ///< root of the fault-only RNG streams
+  ChannelFaultModel channel;
+  SensorFaultModel sensor;
+
+  bool any() const { return channel.any() || sensor.any(); }
+
+  /// Contract check: probabilities in [0,1], magnitudes and windows
+  /// finite and non-negative, window begin <= end. NaN rejected.
+  void validate() const;
+
+  /// Presets (the campaign's fault axis).
+  static FaultPlan none();
+  static FaultPlan delay_jitter();
+  static FaultPlan reorder_duplicate();
+  static FaultPlan corruption();
+  static FaultPlan blackout();
+  static FaultPlan sensor_freeze();
+
+  /// Preset by name ("none", "delay-jitter", "reorder-duplicate",
+  /// "corruption", "blackout", "sensor-freeze"), or nullopt.
+  static std::optional<FaultPlan> preset(std::string_view name);
+
+  /// Names accepted by preset(), in a fixed order.
+  static std::vector<std::string> preset_names();
+
+  /// Loads a plan from an INI-style file (util::ConfigFile): keys
+  /// `seed`, `name`, `channel.delay_jitter_max`, `channel.reorder_prob`,
+  /// ..., `sensor.dropout_prob`, ...; windows as comma-separated
+  /// begin:end pairs under `channel.blackouts` / `sensor.stuck`.
+  /// Throws std::runtime_error on I/O or parse failure; the result is
+  /// validated.
+  static FaultPlan from_file(const std::string& path);
+};
+
+}  // namespace cvsafe::fault

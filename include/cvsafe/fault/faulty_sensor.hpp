@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "cvsafe/fault/fault_plan.hpp"
+#include "cvsafe/sensing/sensor.hpp"
+#include "cvsafe/util/rng.hpp"
+
+/// \file faulty_sensor.hpp
+/// Fault-injecting decorator over sensing::Sensor, mirroring
+/// faulty_channel.hpp: the inner sensor's schedule and noise model run
+/// first with the episode RNG, then the decorator applies its fault
+/// model (dropout, stuck-at, bias drift) from its own seeded RNG.
+///
+/// Fault order per emitted reading (fixed): dropout? (1 draw), stuck-at
+/// window (no draw; repeats the last emitted values with the current
+/// timestamp, preserving downstream time-order contracts), bias drift
+/// (no draw).
+
+namespace cvsafe::fault {
+
+/// Injection counters of one decorated sensor (per episode).
+struct SensorFaultStats {
+  std::size_t dropped = 0;
+  std::size_t stuck = 0;
+  std::size_t biased = 0;
+
+  std::size_t total_injected() const { return dropped + stuck + biased; }
+};
+
+/// sensing::Sensor decorated with a SensorFaultModel.
+class FaultySensor {
+ public:
+  /// Pass-through decorator (no faults; bit-identical to Sensor).
+  explicit FaultySensor(sensing::SensorConfig config) : inner_(config) {}
+
+  FaultySensor(sensing::SensorConfig config, const SensorFaultModel& model,
+               std::uint64_t fault_seed)
+      : inner_(config), fault_rng_(fault_seed) {
+    if (model.any()) model_ = model;
+  }
+
+  /// Same contract as Sensor::sense; episode RNG draws are identical to
+  /// the undecorated sensor's.
+  std::optional<sensing::SensorReading> sense(
+      const vehicle::VehicleSnapshot& truth, util::Rng& rng);
+
+  const sensing::SensorConfig& config() const { return inner_.config(); }
+
+  bool faulty() const { return model_.has_value(); }
+
+  const sensing::Sensor& inner() const { return inner_; }
+  const SensorFaultStats& stats() const { return stats_; }
+
+ private:
+  sensing::Sensor inner_;
+  std::optional<SensorFaultModel> model_;
+  util::Rng fault_rng_{0};
+  SensorFaultStats stats_;
+  std::optional<sensing::SensorReading> last_;
+};
+
+}  // namespace cvsafe::fault

@@ -4,6 +4,7 @@
 
 #include "cvsafe/filter/estimate.hpp"
 #include "cvsafe/filter/kalman.hpp"
+#include "cvsafe/filter/plausibility.hpp"
 #include "cvsafe/filter/reachability.hpp"
 #include "cvsafe/vehicle/dynamics.hpp"
 
@@ -45,8 +46,12 @@ class InformationFilter final : public Estimator {
   /// \param limits     actuation limits of the observed vehicle
   /// \param sensor     noise/timing model of the onboard sensor
   /// \param options    which fusion stages are enabled
+  /// \param gate       message plausibility screens (default: permissive,
+  ///                   i.e. non-finite rejection only — bit-identical to
+  ///                   the ungated filter on honest channels)
   InformationFilter(vehicle::VehicleLimits limits,
-                    sensing::SensorConfig sensor, InfoFilterOptions options);
+                    sensing::SensorConfig sensor, InfoFilterOptions options,
+                    GateConfig gate = GateConfig::permissive());
 
   void on_sensor(const sensing::SensorReading& reading) override;
   void on_message(const comm::Message& msg) override;
@@ -64,6 +69,32 @@ class InformationFilter final : public Estimator {
   /// The current recursive set-membership bounds (time of last fusion).
   const std::optional<StateBounds>& fused_bounds() const { return fused_; }
 
+  /// Timestamp of the newest *accepted* message (-1 before the first).
+  double last_message_time() const { return last_msg_time_; }
+
+  /// Newest information of any kind absorbed so far (-1 before any).
+  double newest_information_time() const {
+    return last_msg_time_ > last_sense_time_ ? last_msg_time_
+                                             : last_sense_time_;
+  }
+
+  /// Gate decisions over this estimator's message stream.
+  const RejectionCounters& rejections() const { return gate_.counters(); }
+
+  /// Read access to the plausibility gate (thresholds, suspect state).
+  const PlausibilityGate& gate() const { return gate_; }
+
+  /// Filter health at time \p t: false when the Kalman NIS monitor has
+  /// diverged or the gate rejected a message within its suspect-hold
+  /// window. Drives the EMERGENCY-BIASED rung of the degradation ladder.
+  bool consistent_at(double t) const {
+    if (options_.use_kalman && kalman_.initialized() &&
+        kalman_.nis().diverged()) {
+      return false;
+    }
+    return !gate_.recently_rejected(t);
+  }
+
  private:
   /// Intersects \p incoming (bounds at its own timestamp) into the
   /// recursive estimate: propagate the previous bounds to the incoming
@@ -74,6 +105,7 @@ class InformationFilter final : public Estimator {
   sensing::SensorConfig sensor_;
   InfoFilterOptions options_;
   KalmanFilter kalman_;
+  PlausibilityGate gate_;
 
   /// Recursive sound bounds: the intersection of the propagated bounds
   /// from EVERY past message and sensor reading (a set-membership

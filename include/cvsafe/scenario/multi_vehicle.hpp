@@ -95,6 +95,11 @@ class MultiVehicleSafetyModel final
   LeftTurnMultiWorld shrink_for_planner(
       const LeftTurnMultiWorld& world) const override;
 
+  /// EMERGENCY-BIASED ladder rung: inflates every monitor window by
+  /// LeftTurnSafetyModel::kEmergencyBias seconds on each side.
+  LeftTurnMultiWorld bias_for_emergency(
+      const LeftTurnMultiWorld& world) const override;
+
  private:
   std::shared_ptr<const MultiVehicleLeftTurn> math_;
   AggressiveBuffers buffers_;

@@ -34,6 +34,14 @@ class LeftTurnSafetyModel final
   /// computed from the NN-facing state estimate.
   LeftTurnWorld shrink_for_planner(const LeftTurnWorld& world) const override;
 
+  /// EMERGENCY-BIASED ladder rung: inflates the monitor passing window by
+  /// kEmergencyBias seconds on each side, so the X_b membership test
+  /// fires earlier while the estimators are suspect.
+  LeftTurnWorld bias_for_emergency(
+      const LeftTurnWorld& world) const override;
+
+  static constexpr double kEmergencyBias = 0.25;  ///< window pad [s]
+
   /// "slack band" / "committed" / "inside zone" — which X_b branch fired.
   std::string boundary_reason(const LeftTurnWorld& world) const override;
 

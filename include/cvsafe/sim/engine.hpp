@@ -9,9 +9,13 @@
 
 #include "cvsafe/comm/channel.hpp"
 #include "cvsafe/core/compound_planner.hpp"
+#include "cvsafe/core/degradation.hpp"
 #include "cvsafe/core/evaluation.hpp"
 #include "cvsafe/core/planner.hpp"
+#include "cvsafe/fault/faulty_channel.hpp"
+#include "cvsafe/fault/faulty_sensor.hpp"
 #include "cvsafe/filter/estimate.hpp"
+#include "cvsafe/filter/info_filter.hpp"
 #include "cvsafe/sensing/sensor.hpp"
 #include "cvsafe/sim/run_config.hpp"
 #include "cvsafe/sim/run_result.hpp"
@@ -48,10 +52,63 @@ struct TrafficActor {
   std::uint32_t id = 1;  ///< V2V message source id
   vehicle::VehicleState state{};
   vehicle::AccelProfile profile;
-  comm::Channel channel;
-  sensing::Sensor sensor;
+  /// Channel/sensor are the fault-injecting decorators; with an empty
+  /// FaultPlan (the default) both are pure pass-throughs, bit-identical
+  /// to the undecorated comm::Channel / sensing::Sensor.
+  fault::FaultyChannel channel;
+  fault::FaultySensor sensor;
   /// Estimators fed by pump(), updated in vector order per delivery.
   std::vector<std::unique_ptr<filter::Estimator>> estimators;
+};
+
+/// Builds the (possibly fault-decorated) channel of actor \p actor_id for
+/// the episode seeded with \p episode_seed. Fault randomness comes from a
+/// stream derived from the plan seed and the episode seed — disjoint from
+/// the episode RNG — so enabling faults never shifts workload, drop or
+/// sensor-noise draws, and a fault campaign runs on paired workloads.
+inline fault::FaultyChannel actor_channel(const RunConfig& config,
+                                          std::uint32_t actor_id,
+                                          std::uint64_t episode_seed) {
+  return fault::FaultyChannel(
+      config.comm, config.faults.channel,
+      util::derive_seed(util::derive_seed(config.faults.seed, episode_seed),
+                        2ULL * actor_id));
+}
+
+/// Companion of actor_channel for the actor's sensor (odd stream index).
+inline fault::FaultySensor actor_sensor(const RunConfig& config,
+                                        std::uint32_t actor_id,
+                                        std::uint64_t episode_seed) {
+  return fault::FaultySensor(
+      config.sensor, config.faults.sensor,
+      util::derive_seed(util::derive_seed(config.faults.seed, episode_seed),
+                        2ULL * actor_id + 1ULL));
+}
+
+/// Information-quality signals of one estimator at time \p t (input to
+/// the degradation ladder; see core/degradation.hpp).
+inline core::DegradationSignals degradation_signals(
+    const filter::InformationFilter& filt, double t) {
+  core::DegradationSignals s;
+  s.have_message = filt.last_message_time() >= 0.0;
+  if (s.have_message) s.message_age = t - filt.last_message_time();
+  s.filter_consistent = filt.consistent_at(t);
+  return s;
+}
+
+/// Worst-case signal aggregation across the episode's observed vehicles:
+/// start from a perfect signal set and fold each vehicle in.
+struct SignalAccumulator {
+  core::DegradationSignals worst{0.0, true, true};
+
+  void add(const core::DegradationSignals& s) {
+    if (s.message_age > worst.message_age) {
+      worst.message_age = s.message_age;
+    }
+    worst.have_message = worst.have_message && s.have_message;
+    worst.filter_consistent =
+        worst.filter_consistent && s.filter_consistent;
+  }
 };
 
 /// The per-actor half of an engine step: the actor broadcasts its current
@@ -142,9 +199,13 @@ class ScenarioAdapter {
 
   /// Draws the episode workload from \p rng and assembles traffic +
   /// control stack. Every random workload choice happens here, before
-  /// the first step, in an order documented by the adapter.
+  /// the first step, in an order documented by the adapter. \p seed is
+  /// the episode seed driving \p rng, passed through so the adapter can
+  /// derive the *fault* streams (actor_channel / actor_sensor) without
+  /// touching the episode RNG.
   virtual std::unique_ptr<Episode<World>> make_episode(
-      util::Rng& rng, std::size_t total_steps) const = 0;
+      util::Rng& rng, std::size_t total_steps,
+      std::uint64_t seed) const = 0;
 };
 
 /// Optional per-step observer (figure traces, debugging). on_step fires
@@ -172,7 +233,7 @@ class EpisodeRunner {
         rng_(seed),
         hook_(hook),
         total_steps_(config_->total_steps()),
-        episode_(adapter.make_episode(rng_, total_steps_)),
+        episode_(adapter.make_episode(rng_, total_steps_, seed)),
         ego_dyn_(config_->ego_limits),
         ego_(episode_->ego_init()) {}
 
@@ -242,6 +303,11 @@ class EpisodeRunner {
     outcome.reached_target = result_.reached;
     outcome.reach_time = result_.reach_time;
     result_.eta = core::eta(outcome);
+    if (auto* compound = episode_->compound();
+        compound != nullptr && compound->ladder()) {
+      result_.ladder_steps = compound->ladder()->stats().steps_at;
+      result_.ladder_transitions = compound->ladder()->stats().transitions;
+    }
     episode_->finalize(result_);
     return std::move(result_);
   }

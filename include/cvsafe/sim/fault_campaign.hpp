@@ -1,0 +1,91 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cvsafe/core/degradation.hpp"
+#include "cvsafe/fault/fault_plan.hpp"
+#include "cvsafe/sim/run_result.hpp"
+
+/// \file fault_campaign.hpp
+/// End-to-end safety-invariant campaign: a fault-condition x scenario
+/// matrix of closed-loop batches, each episode run with the hardened
+/// plausibility gate and the degradation ladder armed, asserting the
+/// framework's guarantee eta(kappa_c) >= 0 (no unsafe-set entry) under
+/// every injected failure mode.
+///
+/// Determinism: cell seeds derive from (base seed, fault index, scenario
+/// index) and episodes use SeedPolicy::kDerived, so the campaign CSV is
+/// byte-identical across runs and thread counts.
+
+namespace cvsafe::sim {
+
+/// One (fault condition, scenario) cell aggregate.
+struct CampaignCell {
+  std::string fault;     ///< fault-axis label
+  std::string scenario;  ///< scenario-axis label
+  std::size_t episodes = 0;
+  std::size_t collisions = 0;  ///< unsafe-set entries (must stay 0)
+  std::size_t reached = 0;
+  std::size_t steps = 0;
+  std::size_t emergency_steps = 0;
+  std::array<std::size_t, core::kNumDegradationLevels> ladder_steps{};
+  std::size_t ladder_transitions = 0;
+  std::size_t messages_accepted = 0;
+  std::size_t messages_rejected = 0;
+  double min_eta = 0.0;
+  double mean_eta = 0.0;
+
+  /// The paper's guarantee, per cell: no episode entered X_u.
+  bool invariant_ok() const { return collisions == 0; }
+};
+
+/// Campaign shape: which fault conditions against which scenarios.
+///
+/// Fault-axis names are FaultPlan preset names plus "burst", which runs
+/// the plain Gilbert-Elliott bursty channel (comm-layer disturbance, no
+/// decorator faults). Every non-burst cell additionally runs the paper's
+/// "messages delayed" channel (drop 0.2, dt_d 0.25 s), so decorator
+/// faults compound with a realistic baseline disturbance.
+struct CampaignConfig {
+  std::vector<std::string> faults;
+  std::vector<std::string> scenarios;
+  std::size_t episodes_per_cell = 8;
+  std::uint64_t base_seed = 2026;
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+
+  /// Contract check: non-empty axes, episodes >= 1, fault names known.
+  void validate() const;
+
+  /// The CI matrix: every fault condition x every scenario x 8 seeds.
+  static CampaignConfig ci();
+
+  /// A two-cell subset for fast unit tests.
+  static CampaignConfig smoke();
+};
+
+/// The finished campaign: cells in (fault-major, scenario-minor) order.
+struct CampaignResult {
+  std::vector<CampaignCell> cells;
+
+  bool invariant_ok() const;
+  std::size_t violations() const;  ///< total unsafe-set entries
+};
+
+/// Runs the campaign matrix. Within a cell episodes run in parallel
+/// (threads as configured); cells run sequentially.
+CampaignResult run_fault_campaign(const CampaignConfig& config);
+
+/// Serializes the campaign as a CSV (header + one row per cell, doubles
+/// at %.17g) — byte-stable across runs, threads and platforms with the
+/// same floating-point behavior.
+void write_campaign_csv(std::ostream& os, const CampaignResult& result);
+
+/// write_campaign_csv into a string.
+std::string campaign_csv(const CampaignResult& result);
+
+}  // namespace cvsafe::sim

@@ -51,7 +51,8 @@ class IntersectionAdapter final
   std::string_view name() const override { return "intersection"; }
   const RunConfig& run() const override { return config_; }
   std::unique_ptr<Episode<scenario::IntersectionWorld>> make_episode(
-      util::Rng& rng, std::size_t total_steps) const override;
+      util::Rng& rng, std::size_t total_steps,
+      std::uint64_t seed) const override;
 
   const IntersectionSimConfig& config() const { return config_; }
 

@@ -62,7 +62,8 @@ class LaneChangeAdapter final
   std::string_view name() const override { return "lane-change"; }
   const RunConfig& run() const override { return config_; }
   std::unique_ptr<Episode<scenario::LaneChangeWorld>> make_episode(
-      util::Rng& rng, std::size_t total_steps) const override;
+      util::Rng& rng, std::size_t total_steps,
+      std::uint64_t seed) const override;
 
   /// Replaces the default cruise controller as the embedded planner
   /// (custom baselines, examples).

@@ -84,7 +84,7 @@ class LeftTurnEpisode final : public Episode<scenario::LeftTurnWorld> {
   /// grid index, initial speed, acceleration profile.
   LeftTurnEpisode(const LeftTurnSimConfig& config,
                   const AgentBlueprint& blueprint, util::Rng& rng,
-                  std::size_t total_steps);
+                  std::size_t total_steps, std::uint64_t seed);
 
   void observe(scenario::LeftTurnWorld& world, double t, std::size_t step,
                util::Rng& rng) override;
@@ -121,7 +121,8 @@ class LeftTurnAdapter final : public ScenarioAdapter<scenario::LeftTurnWorld> {
   std::string_view name() const override { return "left-turn"; }
   const RunConfig& run() const override { return config_; }
   std::unique_ptr<Episode<scenario::LeftTurnWorld>> make_episode(
-      util::Rng& rng, std::size_t total_steps) const override;
+      util::Rng& rng, std::size_t total_steps,
+      std::uint64_t seed) const override;
 
   const LeftTurnSimConfig& config() const { return config_; }
   const AgentBlueprint& blueprint() const { return blueprint_; }

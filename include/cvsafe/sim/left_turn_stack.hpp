@@ -1,7 +1,9 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cvsafe/core/compound_planner.hpp"
@@ -55,6 +57,15 @@ struct AgentConfig {
   /// acceleration is reduced by this many member standard deviations.
   double ensemble_sigma_penalty = 0.0;
 
+  /// Message plausibility screens of every information filter in the
+  /// stack (filter/plausibility.hpp). Permissive default = non-finite
+  /// rejection only, bit-identical to the ungated stack.
+  filter::GateConfig gate;
+
+  /// Degradation-ladder thresholds (core/degradation.hpp); armed only on
+  /// compound stacks, disarmed (pre-ladder behavior) by default.
+  std::optional<core::LadderConfig> ladder;
+
   static AgentConfig pure_nn();
   static AgentConfig basic_compound();
   static AgentConfig ultimate_compound();
@@ -100,6 +111,10 @@ class LeftTurnStack {
   /// Planner hand-over events (empty when not a compound stack).
   std::vector<core::SwitchEvent> switch_events() const;
 
+  /// Plausibility-gate tally summed over the stack's information
+  /// filters: {messages accepted, messages rejected}.
+  std::pair<std::size_t, std::size_t> message_tally() const;
+
   /// The world view built by the last act()/build_world() (introspection
   /// and traces).
   const scenario::LeftTurnWorld& last_world() const { return last_world_; }
@@ -128,6 +143,11 @@ class LeftTurnStack {
 
   std::unique_ptr<filter::Estimator> nn_estimator_;
   std::unique_ptr<filter::Estimator> monitor_estimator_;  ///< may alias null
+
+  /// Typed non-owning views of the estimators above when they are
+  /// information filters (gate tallies, degradation signals).
+  filter::InformationFilter* nn_filter_ = nullptr;
+  filter::InformationFilter* monitor_filter_ = nullptr;
 
   std::shared_ptr<core::PlannerBase<scenario::LeftTurnWorld>> planner_;
   core::CompoundPlanner<scenario::LeftTurnWorld>* compound_ = nullptr;

@@ -43,7 +43,8 @@ class MultiVehicleAdapter final
   std::string_view name() const override { return "multi-vehicle"; }
   const RunConfig& run() const override { return config_; }
   std::unique_ptr<Episode<scenario::LeftTurnMultiWorld>> make_episode(
-      util::Rng& rng, std::size_t total_steps) const override;
+      util::Rng& rng, std::size_t total_steps,
+      std::uint64_t seed) const override;
 
   const LeftTurnSimConfig& config() const { return config_; }
   const MultiVehicleConfig& multi() const { return multi_; }

@@ -2,8 +2,12 @@
 
 #include <cmath>
 #include <cstddef>
+#include <optional>
 
 #include "cvsafe/comm/channel.hpp"
+#include "cvsafe/core/degradation.hpp"
+#include "cvsafe/fault/fault_plan.hpp"
+#include "cvsafe/filter/plausibility.hpp"
 #include "cvsafe/sensing/sensor.hpp"
 #include "cvsafe/vehicle/dynamics.hpp"
 
@@ -26,6 +30,19 @@ struct RunConfig {
   double ego_v0 = 8.0;    ///< ego initial speed [m/s]
   comm::CommConfig comm = comm::CommConfig::no_disturbance();
   sensing::SensorConfig sensor = sensing::SensorConfig::uniform(1.0);
+
+  /// Fault-injection plan (fault/fault_plan.hpp). The default plan is
+  /// empty: every channel/sensor decorator is a pure pass-through and the
+  /// episode is bit-identical to a build without the fault subsystem.
+  fault::FaultPlan faults;
+
+  /// Message plausibility screens for every information filter in the
+  /// episode. Permissive default = non-finite rejection only.
+  filter::GateConfig gate;
+
+  /// Degradation-ladder thresholds; disarmed (nullopt) by default, in
+  /// which case the compound planner behaves exactly as before.
+  std::optional<core::LadderConfig> ladder;
 
   /// Control steps per episode (the engine's loop bound).
   std::size_t total_steps() const {

@@ -1,10 +1,13 @@
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <memory>
 #include <span>
 #include <utility>
 #include <vector>
+
+#include "cvsafe/core/degradation.hpp"
 
 /// \file run_result.hpp
 /// The unified episode outcome and batch aggregate shared by every
@@ -29,6 +32,16 @@ struct RunResult {
   double eta = 0.0;         ///< evaluation function (Section II-A)
   std::size_t steps = 0;    ///< control steps executed
   std::size_t emergency_steps = 0;  ///< steps handled by kappa_e
+
+  /// Degradation-ladder occupancy per level (all zero when the ladder is
+  /// disarmed; filled by the engine from the compound planner).
+  std::array<std::size_t, core::kNumDegradationLevels> ladder_steps{};
+  std::size_t ladder_transitions = 0;  ///< logged level changes
+
+  /// Plausibility-gate tally across every estimator of the episode
+  /// (filled by the scenario's finalize).
+  std::size_t messages_accepted = 0;
+  std::size_t messages_rejected = 0;
 
   /// Attaches a scenario-specific extra (at most one per result; a second
   /// set_extra replaces the first). The slot is typed: extra<T>() returns

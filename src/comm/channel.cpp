@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "cvsafe/util/contracts.hpp"
+
 namespace cvsafe::comm {
 namespace {
 // Tolerance for matching transmission instants against the control clock.
@@ -51,6 +53,23 @@ double CommConfig::stationary_drop_prob() const {
   return (1.0 - bad_frac) * drop_prob + bad_frac * burst_drop_prob;
 }
 
+void CommConfig::validate() const {
+  // Comparisons are written so NaN (which fails every ordered
+  // comparison) violates the corresponding contract.
+  CVSAFE_EXPECTS(period > 0.0 && period < 1e9,
+                 "comm period must be positive and finite");
+  CVSAFE_EXPECTS(delay >= 0.0 && delay < 1e9,
+                 "comm delay must be non-negative and finite");
+  CVSAFE_EXPECTS(drop_prob >= 0.0 && drop_prob <= 1.0,
+                 "drop probability must lie in [0,1]");
+  CVSAFE_EXPECTS(burst_drop_prob >= 0.0 && burst_drop_prob <= 1.0,
+                 "burst drop probability must lie in [0,1]");
+  CVSAFE_EXPECTS(p_good_to_bad >= 0.0 && p_good_to_bad <= 1.0,
+                 "burst G->B transition probability must lie in [0,1]");
+  CVSAFE_EXPECTS(p_bad_to_good >= 0.0 && p_bad_to_good <= 1.0,
+                 "burst B->G transition probability must lie in [0,1]");
+}
+
 std::string CommConfig::label() const {
   if (lost || (!burst && drop_prob >= 1.0)) return "messages lost";
   if (burst) {
@@ -68,7 +87,13 @@ std::string CommConfig::label() const {
 }
 
 void Channel::offer(const Message& msg, util::Rng& rng) {
-  if (msg.stamp() + kTimeEps < next_tx_time_) return;  // not a tx instant yet
+  if (admit(msg, rng)) enqueue(msg, msg.stamp() + config_.delay);
+}
+
+bool Channel::admit(const Message& msg, util::Rng& rng) {
+  if (msg.stamp() + kTimeEps < next_tx_time_) {
+    return false;  // not a tx instant yet
+  }
   next_tx_time_ += config_.period;
   ++sent_;
   double p_drop = config_.drop_prob;
@@ -80,9 +105,13 @@ void Channel::offer(const Message& msg, util::Rng& rng) {
   }
   if (config_.lost || rng.bernoulli(p_drop)) {
     ++dropped_;
-    return;
+    return false;
   }
-  pending_.push(InFlight{msg.stamp() + config_.delay, msg});
+  return true;
+}
+
+void Channel::enqueue(const Message& msg, double delivery_time) {
+  pending_.push(InFlight{delivery_time, next_seq_++, msg});
 }
 
 std::vector<Message> Channel::collect(double t) {

@@ -1,0 +1,45 @@
+#include "cvsafe/fault/faulty_channel.hpp"
+
+namespace cvsafe::fault {
+
+void FaultyChannel::offer_faulty(const comm::Message& msg, util::Rng& rng) {
+  if (!inner_.admit(msg, rng)) return;
+  const double base_delivery = msg.stamp() + inner_.config().delay;
+  const ChannelFaultModel& m = *model_;
+  for (const auto& w : m.blackouts) {
+    if (w.contains(msg.stamp())) {
+      ++stats_.blackout_dropped;
+      return;
+    }
+  }
+  comm::Message out = msg;
+  if (m.corrupt_prob > 0.0 && fault_rng_.bernoulli(m.corrupt_prob)) {
+    out.data.state.p +=
+        fault_rng_.uniform(-m.corrupt_delta_p, m.corrupt_delta_p);
+    out.data.state.v +=
+        fault_rng_.uniform(-m.corrupt_delta_v, m.corrupt_delta_v);
+    out.data.a += fault_rng_.uniform(-m.corrupt_delta_a, m.corrupt_delta_a);
+    ++stats_.corrupted;
+  }
+  if (m.stale_spoof_prob > 0.0 && fault_rng_.bernoulli(m.stale_spoof_prob)) {
+    out.data.t -= fault_rng_.uniform(0.0, m.stale_spoof_max);
+    ++stats_.stale_spoofed;
+  }
+  double delivery = base_delivery;
+  if (m.delay_jitter_max > 0.0) {
+    delivery += fault_rng_.uniform(0.0, m.delay_jitter_max);
+    ++stats_.jittered;
+  }
+  if (m.reorder_prob > 0.0 && fault_rng_.bernoulli(m.reorder_prob)) {
+    delivery += fault_rng_.uniform(m.reorder_delay_min, m.reorder_delay_max);
+    ++stats_.reordered;
+  }
+  inner_.enqueue(out, delivery);
+  if (m.duplicate_prob > 0.0 && fault_rng_.bernoulli(m.duplicate_prob)) {
+    inner_.enqueue(out,
+                   delivery + fault_rng_.uniform(0.0, m.duplicate_lag_max));
+    ++stats_.duplicated;
+  }
+}
+
+}  // namespace cvsafe::fault

@@ -1,0 +1,31 @@
+#include "cvsafe/fault/faulty_sensor.hpp"
+
+namespace cvsafe::fault {
+
+std::optional<sensing::SensorReading> FaultySensor::sense(
+    const vehicle::VehicleSnapshot& truth, util::Rng& rng) {
+  auto reading = inner_.sense(truth, rng);
+  if (!reading || !model_) return reading;
+  const SensorFaultModel& m = *model_;
+  if (m.dropout_prob > 0.0 && fault_rng_.bernoulli(m.dropout_prob)) {
+    ++stats_.dropped;
+    return std::nullopt;
+  }
+  for (const auto& w : m.stuck) {
+    if (w.contains(reading->t) && last_) {
+      ++stats_.stuck;
+      sensing::SensorReading frozen = *last_;
+      frozen.t = reading->t;  // keep time monotone for the Kalman filter
+      return frozen;
+    }
+  }
+  // cvsafe-lint: allow(float-compare) exact-zero means "drift disabled"
+  if (m.bias_drift_rate != 0.0) {
+    reading->p += m.bias_drift_rate * reading->t;
+    ++stats_.biased;
+  }
+  last_ = *reading;
+  return reading;
+}
+
+}  // namespace cvsafe::fault

@@ -27,12 +27,14 @@ InfoFilterOptions InfoFilterOptions::ultimate() {
 
 InformationFilter::InformationFilter(vehicle::VehicleLimits limits,
                                      sensing::SensorConfig sensor,
-                                     InfoFilterOptions options)
+                                     InfoFilterOptions options,
+                                     GateConfig gate)
     : limits_(limits),
       sensor_(sensor),
       options_(options),
       kalman_(KalmanConfig{sensor.period, sensor.delta_p, sensor.delta_v,
-                           sensor.delta_a, 3.0, 64}) {}
+                           sensor.delta_a, 3.0, 64}),
+      gate_(gate) {}
 
 void InformationFilter::fuse(const StateBounds& incoming) {
   CVSAFE_EXPECTS(!incoming.p.empty() && !incoming.v.empty(),
@@ -74,17 +76,32 @@ void InformationFilter::on_sensor(const sensing::SensorReading& reading) {
 }
 
 void InformationFilter::on_message(const comm::Message& msg) {
+  // Every payload field is consumed through the plausibility gate; a
+  // rejected message leaves all filter state untouched.
+  const auto screened = gate_.screen(
+      msg, limits_, newest_information_time(), fused_,
+      options_.use_kalman ? &kalman_ : nullptr);
+  if (!screened) return;
   if (options_.use_message_reachability) {
-    fuse(StateBounds::exact(msg.stamp(), msg.data.state.p,
-                            msg.data.state.v));
-    if (msg.stamp() > last_msg_time_) {
-      last_msg_accel_ = msg.data.a;
-      last_msg_time_ = msg.stamp();
+    const GateConfig& g = gate_.config();
+    if (g.trust_margin_p > 0.0 || g.trust_margin_v > 0.0) {
+      // Suspect channel: a payload that survives screening may still be
+      // perturbed, so fuse it as a box rather than an exact point to
+      // keep the set-membership bounds sound.
+      fuse(StateBounds::from_measurement(screened->t, screened->p,
+                                         screened->v, g.trust_margin_p,
+                                         g.trust_margin_v, limits_));
+    } else {
+      fuse(StateBounds::exact(screened->t, screened->p, screened->v));
+    }
+    if (screened->t > last_msg_time_) {
+      last_msg_accel_ = screened->a;
+      last_msg_time_ = screened->t;
     }
   }
   if (options_.use_kalman && options_.kalman_message_rollback) {
-    kalman_.correct_with_message(msg.stamp(), msg.data.state.p,
-                                 msg.data.state.v, msg.data.a);
+    kalman_.correct_with_message(screened->t, screened->p, screened->v,
+                                 screened->a);
   }
 }
 

@@ -1,5 +1,7 @@
 #include "cvsafe/filter/naive.hpp"
 
+#include "cvsafe/filter/plausibility.hpp"
+
 namespace cvsafe::filter {
 
 void NaiveExtrapolator::on_sensor(const sensing::SensorReading& reading) {
@@ -8,9 +10,13 @@ void NaiveExtrapolator::on_sensor(const sensing::SensorReading& reading) {
 }
 
 void NaiveExtrapolator::on_message(const comm::Message& msg) {
-  if (message_.valid && msg.stamp() < message_.t) return;
-  message_ = Source{true, msg.stamp(), msg.data.state.p, msg.data.state.v,
-                    msg.data.a};
+  // Stateless non-finite screen; the extrapolator keeps no bounds to
+  // gate against.
+  const auto screened = PlausibilityGate::screen_fields(msg);
+  if (!screened) return;
+  if (message_.valid && screened->t < message_.t) return;
+  message_ = Source{true, screened->t, screened->p, screened->v,
+                    screened->a};
 }
 
 StateEstimate NaiveExtrapolator::estimate(double t) const {

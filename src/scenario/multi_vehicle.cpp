@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "cvsafe/scenario/safety_model.hpp"
 #include "cvsafe/util/kinematics.hpp"
 
 namespace cvsafe::scenario {
@@ -182,6 +183,17 @@ LeftTurnMultiWorld MultiVehicleSafetyModel::shrink_for_planner(
   LeftTurnMultiWorld shrunk = world;
   shrunk.tau_nn = math_->aggressive_windows(world.oncoming_nn, buffers_);
   return shrunk;
+}
+
+LeftTurnMultiWorld MultiVehicleSafetyModel::bias_for_emergency(
+    const LeftTurnMultiWorld& world) const {
+  LeftTurnMultiWorld biased = world;
+  util::IntervalSet padded;
+  for (const auto& w : world.tau_monitor) {
+    padded.insert(w.inflated(LeftTurnSafetyModel::kEmergencyBias));
+  }
+  biased.tau_monitor = padded;
+  return biased;
 }
 
 FirstConflictAdapter::FirstConflictAdapter(

@@ -34,6 +34,15 @@ LeftTurnWorld LeftTurnSafetyModel::shrink_for_planner(
   return shrunk;
 }
 
+LeftTurnWorld LeftTurnSafetyModel::bias_for_emergency(
+    const LeftTurnWorld& world) const {
+  LeftTurnWorld biased = world;
+  if (!biased.tau1_monitor.empty()) {
+    biased.tau1_monitor = biased.tau1_monitor.inflated(kEmergencyBias);
+  }
+  return biased;
+}
+
 std::string LeftTurnSafetyModel::boundary_reason(
     const LeftTurnWorld& world) const {
   const auto& g = scenario_->geometry();

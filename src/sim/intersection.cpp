@@ -51,12 +51,23 @@ class IntersectionEpisode final : public Episode<IntersectionWorld> {
   IntersectionEpisode(
       const IntersectionSimConfig& config,
       std::shared_ptr<const scenario::IntersectionScenario> scn,
-      bool use_compound, util::Rng& rng, std::size_t total_steps)
+      bool use_compound, util::Rng& rng, std::size_t total_steps,
+      std::uint64_t seed)
       : config_(&config),
         scn_(std::move(scn)),
         cross_dyn_(config.cross_limits) {
-    lane_a_ = make_stream(config, rng, total_steps);
-    lane_b_ = make_stream(config, rng, total_steps);
+    // Actor ids stay unique across lanes so each actor gets its own
+    // fault stream (actor_channel / actor_sensor derive by id).
+    lane_a_ = make_stream(config, rng, total_steps, seed, 1);
+    lane_b_ = make_stream(config, rng, total_steps, seed,
+                          1 + static_cast<std::uint32_t>(
+                                  config.vehicles_per_lane));
+    for (const auto* lane : {&lane_a_, &lane_b_}) {
+      for (const auto& car : *lane) {
+        filters_.push_back(static_cast<const filter::InformationFilter*>(
+            car.estimators.front().get()));
+      }
+    }
 
     auto cruise = std::make_shared<CruisePlanner<IntersectionWorld>>(
         11.0, config.ego_limits);
@@ -68,6 +79,7 @@ class IntersectionEpisode final : public Episode<IntersectionWorld> {
               std::move(cruise), std::move(model));
       compound_ = compound.get();
       planner_ = std::move(compound);
+      if (config.ladder) compound_->enable_degradation(*config.ladder);
     } else {
       planner_ = std::move(cruise);
     }
@@ -79,6 +91,18 @@ class IntersectionEpisode final : public Episode<IntersectionWorld> {
                util::Rng& rng) override {
     update_stream(lane_a_, t, step, rng, world.tau_a);
     update_stream(lane_b_, t, step, rng, world.tau_b);
+    if (compound_ != nullptr && compound_->ladder()) {
+      SignalAccumulator acc;
+      for (const auto* f : filters_) acc.add(degradation_signals(*f, t));
+      compound_->note_signals(acc.worst);
+    }
+  }
+
+  void finalize(RunResult& result) const override {
+    for (const auto* f : filters_) {
+      result.messages_accepted += f->rejections().accepted;
+      result.messages_rejected += f->rejections().total_rejected();
+    }
   }
 
   void advance_traffic(std::size_t step, double dt) override {
@@ -104,24 +128,26 @@ class IntersectionEpisode final : public Episode<IntersectionWorld> {
  private:
   static std::vector<TrafficActor> make_stream(
       const IntersectionSimConfig& config, util::Rng& rng,
-      std::size_t total_steps) {
+      std::size_t total_steps, std::uint64_t seed,
+      std::uint32_t id_base) {
     std::vector<TrafficActor> stream;
     stream.reserve(config.vehicles_per_lane);
     double p = config.cross_zone_front -
                rng.uniform(config.lead_gap_min, config.lead_gap_max);
     for (std::size_t i = 0; i < config.vehicles_per_lane; ++i) {
+      const auto id = id_base + static_cast<std::uint32_t>(i);
       const double v0 = rng.uniform(config.v_init_min, config.v_init_max);
       vehicle::AccelProfile profile = vehicle::AccelProfile::random(
           total_steps, config.dt_c, v0, config.cross_limits, {}, rng);
       std::vector<std::unique_ptr<filter::Estimator>> estimators;
       estimators.push_back(std::make_unique<filter::InformationFilter>(
           config.cross_limits, config.sensor,
-          filter::InfoFilterOptions::basic()));
-      stream.push_back(TrafficActor{static_cast<std::uint32_t>(i + 1),
+          filter::InfoFilterOptions::basic(), config.gate));
+      stream.push_back(TrafficActor{id,
                                     vehicle::VehicleState{p, v0},
                                     std::move(profile),
-                                    comm::Channel(config.comm),
-                                    sensing::Sensor(config.sensor),
+                                    actor_channel(config, id, seed),
+                                    actor_sensor(config, id, seed),
                                     std::move(estimators)});
       p -= rng.uniform(config.headway_min, config.headway_max);
     }
@@ -154,6 +180,8 @@ class IntersectionEpisode final : public Episode<IntersectionWorld> {
   vehicle::DoubleIntegrator cross_dyn_;
   std::vector<TrafficActor> lane_a_;
   std::vector<TrafficActor> lane_b_;
+  /// Typed views of every actor's estimator (signals, gate tallies).
+  std::vector<const filter::InformationFilter*> filters_;
 };
 
 }  // namespace
@@ -165,10 +193,10 @@ IntersectionAdapter::IntersectionAdapter(IntersectionSimConfig config,
       scn_(config_.make_scenario()) {}
 
 std::unique_ptr<Episode<IntersectionWorld>>
-IntersectionAdapter::make_episode(util::Rng& rng,
-                                  std::size_t total_steps) const {
+IntersectionAdapter::make_episode(util::Rng& rng, std::size_t total_steps,
+                                  std::uint64_t seed) const {
   return std::make_unique<IntersectionEpisode>(config_, scn_, use_compound_,
-                                               rng, total_steps);
+                                               rng, total_steps, seed);
 }
 
 RunResult run_intersection_simulation(const IntersectionSimConfig& config,

@@ -26,8 +26,13 @@ class LaneChangeEpisode final : public Episode<LaneChangeWorld> {
                     const LaneChangePlannerConfig& planner_cfg,
                     std::shared_ptr<const scenario::LaneChangeScenario> scn,
                     const LaneChangeAdapter::PlannerFactory& factory,
-                    util::Rng& rng, std::size_t total_steps)
-      : scn_(std::move(scn)), c1_dyn_(config.c1_limits), c1_(make_leading(config, planner_cfg, rng, total_steps)) {
+                    util::Rng& rng, std::size_t total_steps,
+                    std::uint64_t seed)
+      : scn_(std::move(scn)),
+        c1_dyn_(config.c1_limits),
+        c1_(make_leading(config, planner_cfg, rng, total_steps, seed)) {
+    c1_filter_ = static_cast<const filter::InformationFilter*>(
+        c1_.estimators.front().get());
     std::shared_ptr<core::PlannerBase<LaneChangeWorld>> inner =
         factory ? factory(config)
                 : std::make_shared<CruisePlanner<LaneChangeWorld>>(
@@ -39,6 +44,7 @@ class LaneChangeEpisode final : public Episode<LaneChangeWorld> {
               std::move(inner), std::move(model));
       compound_ = compound.get();
       planner_ = std::move(compound);
+      if (config.ladder) compound_->enable_degradation(*config.ladder);
     } else {
       planner_ = std::move(inner);
     }
@@ -51,6 +57,14 @@ class LaneChangeEpisode final : public Episode<LaneChangeWorld> {
     pump(c1_, t, step, rng);
     world.c1_monitor = c1_.estimators.front()->estimate(t);
     world.c1_nn = world.c1_monitor;
+    if (compound_ != nullptr && compound_->ladder()) {
+      compound_->note_signals(degradation_signals(*c1_filter_, t));
+    }
+  }
+
+  void finalize(RunResult& result) const override {
+    result.messages_accepted += c1_filter_->rejections().accepted;
+    result.messages_rejected += c1_filter_->rejections().total_rejected();
   }
 
   void advance_traffic(std::size_t step, double dt) override {
@@ -70,7 +84,8 @@ class LaneChangeEpisode final : public Episode<LaneChangeWorld> {
  private:
   static TrafficActor make_leading(const LaneChangeSimConfig& config,
                                    const LaneChangePlannerConfig& planner_cfg,
-                                   util::Rng& rng, std::size_t total_steps) {
+                                   util::Rng& rng, std::size_t total_steps,
+                                   std::uint64_t seed) {
     const double p0 = config.geometry.merge_point +
                       rng.uniform(config.c1_gap_min, config.c1_gap_max);
     const double v0 = rng.uniform(config.c1_v_min, config.c1_v_max);
@@ -80,18 +95,20 @@ class LaneChangeEpisode final : public Episode<LaneChangeWorld> {
     estimators.push_back(std::make_unique<filter::InformationFilter>(
         config.c1_limits, config.sensor,
         planner_cfg.use_info_filter ? filter::InfoFilterOptions::ultimate()
-                                    : filter::InfoFilterOptions::basic()));
+                                    : filter::InfoFilterOptions::basic(),
+        config.gate));
     return TrafficActor{1,
                         vehicle::VehicleState{p0, v0},
                         std::move(profile),
-                        comm::Channel(config.comm),
-                        sensing::Sensor(config.sensor),
+                        actor_channel(config, 1, seed),
+                        actor_sensor(config, 1, seed),
                         std::move(estimators)};
   }
 
   std::shared_ptr<const scenario::LaneChangeScenario> scn_;
   vehicle::DoubleIntegrator c1_dyn_;
   TrafficActor c1_;
+  const filter::InformationFilter* c1_filter_ = nullptr;
 };
 
 }  // namespace
@@ -103,9 +120,10 @@ LaneChangeAdapter::LaneChangeAdapter(LaneChangeSimConfig config,
       scn_(config_.make_scenario()) {}
 
 std::unique_ptr<Episode<LaneChangeWorld>> LaneChangeAdapter::make_episode(
-    util::Rng& rng, std::size_t total_steps) const {
-  return std::make_unique<LaneChangeEpisode>(
-      config_, planner_cfg_, scn_, planner_factory_, rng, total_steps);
+    util::Rng& rng, std::size_t total_steps, std::uint64_t seed) const {
+  return std::make_unique<LaneChangeEpisode>(config_, planner_cfg_, scn_,
+                                             planner_factory_, rng,
+                                             total_steps, seed);
 }
 
 RunResult run_lane_change_simulation(const LaneChangeSimConfig& config,

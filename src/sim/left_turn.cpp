@@ -40,7 +40,7 @@ namespace {
 /// Draws the oncoming vehicle's workload (grid position, initial speed,
 /// acceleration profile — in that order) and assembles the actor.
 TrafficActor make_oncoming(const LeftTurnSimConfig& config, util::Rng& rng,
-                           std::size_t total_steps) {
+                           std::size_t total_steps, std::uint64_t seed) {
   const auto& wl = config.workload;
   assert(!wl.p1_grid.empty());
   const auto grid_idx = static_cast<std::size_t>(rng.uniform_int(
@@ -53,8 +53,8 @@ TrafficActor make_oncoming(const LeftTurnSimConfig& config, util::Rng& rng,
   return TrafficActor{1,
                       vehicle::VehicleState{u1_start, v1_start},
                       std::move(profile),
-                      comm::Channel(config.comm),
-                      sensing::Sensor(config.sensor),
+                      actor_channel(config, 1, seed),
+                      actor_sensor(config, 1, seed),
                       {}};
 }
 
@@ -62,10 +62,11 @@ TrafficActor make_oncoming(const LeftTurnSimConfig& config, util::Rng& rng,
 
 LeftTurnEpisode::LeftTurnEpisode(const LeftTurnSimConfig& config,
                                  const AgentBlueprint& blueprint,
-                                 util::Rng& rng, std::size_t total_steps)
+                                 util::Rng& rng, std::size_t total_steps,
+                                 std::uint64_t seed)
     : scn_(blueprint.scenario.get()),
       c1_dyn_(config.c1_limits),
-      c1_(make_oncoming(config, rng, total_steps)),
+      c1_(make_oncoming(config, rng, total_steps, seed)),
       stack_(blueprint.make()) {
   assert(scn_ != nullptr);
   planner_ = stack_->planner_ptr();
@@ -102,12 +103,16 @@ void LeftTurnEpisode::finalize(RunResult& result) const {
   if (stack_->compound() != nullptr) {
     result.set_extra(stack_->monitor_stats());
   }
+  const auto [accepted, rejected] = stack_->message_tally();
+  result.messages_accepted += accepted;
+  result.messages_rejected += rejected;
 }
 
 std::unique_ptr<Episode<scenario::LeftTurnWorld>>
-LeftTurnAdapter::make_episode(util::Rng& rng, std::size_t total_steps) const {
+LeftTurnAdapter::make_episode(util::Rng& rng, std::size_t total_steps,
+                              std::uint64_t seed) const {
   return std::make_unique<LeftTurnEpisode>(config_, blueprint_, rng,
-                                           total_steps);
+                                           total_steps, seed);
 }
 
 namespace {

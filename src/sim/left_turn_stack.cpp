@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "cvsafe/sim/engine.hpp"
+
 namespace cvsafe::sim {
 
 AgentConfig AgentConfig::pure_nn() {
@@ -36,8 +38,11 @@ void LeftTurnStack::setup(
 
   // Estimator feeding the embedded planner.
   if (config_.use_info_filter) {
-    nn_estimator_ = std::make_unique<filter::InformationFilter>(
-        c1_limits, sensor, filter::InfoFilterOptions::ultimate());
+    auto nn_filter = std::make_unique<filter::InformationFilter>(
+        c1_limits, sensor, filter::InfoFilterOptions::ultimate(),
+        config_.gate);
+    nn_filter_ = nn_filter.get();
+    nn_estimator_ = std::move(nn_filter);
   } else {
     nn_estimator_ = std::make_unique<filter::NaiveExtrapolator>(
         sensor.delta_p, sensor.delta_v);
@@ -50,8 +55,11 @@ void LeftTurnStack::setup(
   // a 3-sigma band occasionally excludes the true state, and a monitor
   // built on it cannot support the safety guarantee (DESIGN.md).
   if (config_.use_compound) {
-    monitor_estimator_ = std::make_unique<filter::InformationFilter>(
-        c1_limits, sensor, filter::InfoFilterOptions::basic());
+    auto monitor_filter = std::make_unique<filter::InformationFilter>(
+        c1_limits, sensor, filter::InfoFilterOptions::basic(),
+        config_.gate);
+    monitor_filter_ = monitor_filter.get();
+    monitor_estimator_ = std::move(monitor_filter);
   }
 
   if (config_.use_compound) {
@@ -63,6 +71,7 @@ void LeftTurnStack::setup(
             core::CompoundOptions{config_.use_aggressive});
     compound_ = compound.get();
     planner_ = std::move(compound);
+    if (config_.ladder) compound_->enable_degradation(*config_.ladder);
   } else {
     planner_ = std::move(inner);
   }
@@ -114,6 +123,10 @@ void LeftTurnStack::build_world(scenario::LeftTurnWorld& world) {
     world.c1_monitor = monitor_estimator_->estimate(world.t);
     world.tau1_monitor = scenario_->c1_window_conservative(world.c1_monitor);
   }
+  if (compound_ != nullptr && compound_->ladder() &&
+      monitor_filter_ != nullptr) {
+    compound_->note_signals(degradation_signals(*monitor_filter_, world.t));
+  }
   last_world_ = world;
 }
 
@@ -136,6 +149,17 @@ core::MonitorStats LeftTurnStack::monitor_stats() const {
 std::vector<core::SwitchEvent> LeftTurnStack::switch_events() const {
   return compound_ != nullptr ? compound_->switch_events()
                               : std::vector<core::SwitchEvent>{};
+}
+
+std::pair<std::size_t, std::size_t> LeftTurnStack::message_tally() const {
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  for (const filter::InformationFilter* f : {nn_filter_, monitor_filter_}) {
+    if (f == nullptr) continue;
+    accepted += f->rejections().accepted;
+    rejected += f->rejections().total_rejected();
+  }
+  return {accepted, rejected};
 }
 
 }  // namespace cvsafe::sim

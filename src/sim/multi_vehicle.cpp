@@ -24,7 +24,7 @@ class MultiVehicleEpisode final : public Episode<LeftTurnMultiWorld> {
       const LeftTurnSimConfig& config, const MultiVehicleConfig& multi,
       const MultiAgentSetup& setup,
       std::shared_ptr<const scenario::MultiVehicleLeftTurn> math,
-      util::Rng& rng, std::size_t total_steps)
+      util::Rng& rng, std::size_t total_steps, std::uint64_t seed)
       : scn_(setup.scenario.get()),
         math_(std::move(math)),
         c1_dyn_(config.c1_limits) {
@@ -45,23 +45,28 @@ class MultiVehicleEpisode final : public Episode<LeftTurnMultiWorld> {
       vehicle::AccelProfile profile = vehicle::AccelProfile::random(
           total_steps, config.dt_c, v0, config.c1_limits, wl.profile, rng);
       // Estimator order [monitor, nn] fixes the per-delivery update order.
+      const auto id = static_cast<std::uint32_t>(i + 1);
       std::vector<std::unique_ptr<filter::Estimator>> estimators;
-      estimators.push_back(std::make_unique<filter::InformationFilter>(
+      auto monitor_filter = std::make_unique<filter::InformationFilter>(
           config.c1_limits, config.sensor,
-          filter::InfoFilterOptions::basic()));
+          filter::InfoFilterOptions::basic(), config.gate);
+      monitor_filters_.push_back(monitor_filter.get());
+      estimators.push_back(std::move(monitor_filter));
       if (setup.use_info_filter) {
-        estimators.push_back(std::make_unique<filter::InformationFilter>(
+        auto nn_filter = std::make_unique<filter::InformationFilter>(
             config.c1_limits, config.sensor,
-            filter::InfoFilterOptions::ultimate()));
+            filter::InfoFilterOptions::ultimate(), config.gate);
+        nn_filters_.push_back(nn_filter.get());
+        estimators.push_back(std::move(nn_filter));
       } else {
         estimators.push_back(std::make_unique<filter::NaiveExtrapolator>(
             config.sensor.delta_p, config.sensor.delta_v));
       }
-      cars_.push_back(TrafficActor{static_cast<std::uint32_t>(i + 1),
+      cars_.push_back(TrafficActor{id,
                                    vehicle::VehicleState{u, v0},
                                    std::move(profile),
-                                   comm::Channel(config.comm),
-                                   sensing::Sensor(config.sensor),
+                                   actor_channel(config, id, seed),
+                                   actor_sensor(config, id, seed),
                                    std::move(estimators)});
       u -= multi.platoon_spacing +
            rng.uniform(-multi.spacing_jitter, multi.spacing_jitter);
@@ -86,6 +91,7 @@ class MultiVehicleEpisode final : public Episode<LeftTurnMultiWorld> {
               core::CompoundOptions{setup.use_aggressive});
       compound_ = compound.get();
       planner_ = std::move(compound);
+      if (config.ladder) compound_->enable_degradation(*config.ladder);
     } else {
       planner_ = std::move(adapted);
     }
@@ -104,6 +110,22 @@ class MultiVehicleEpisode final : public Episode<LeftTurnMultiWorld> {
     }
     world.tau_monitor = math_->conservative_windows(world.oncoming_monitor);
     world.tau_nn = math_->conservative_windows(world.oncoming_nn);
+    if (compound_ != nullptr && compound_->ladder()) {
+      SignalAccumulator acc;
+      for (const auto* f : monitor_filters_) {
+        acc.add(degradation_signals(*f, t));
+      }
+      compound_->note_signals(acc.worst);
+    }
+  }
+
+  void finalize(RunResult& result) const override {
+    for (const auto* list : {&monitor_filters_, &nn_filters_}) {
+      for (const auto* f : *list) {
+        result.messages_accepted += f->rejections().accepted;
+        result.messages_rejected += f->rejections().total_rejected();
+      }
+    }
   }
 
   void advance_traffic(std::size_t step, double dt) override {
@@ -128,6 +150,10 @@ class MultiVehicleEpisode final : public Episode<LeftTurnMultiWorld> {
   std::shared_ptr<const scenario::MultiVehicleLeftTurn> math_;
   vehicle::DoubleIntegrator c1_dyn_;
   std::vector<TrafficActor> cars_;
+  /// Typed views per car (signals, gate tallies); nn_filters_ is empty
+  /// when the NN side uses the naive extrapolator.
+  std::vector<const filter::InformationFilter*> monitor_filters_;
+  std::vector<const filter::InformationFilter*> nn_filters_;
 };
 
 }  // namespace
@@ -142,10 +168,10 @@ MultiVehicleAdapter::MultiVehicleAdapter(LeftTurnSimConfig config,
           setup_.scenario)) {}
 
 std::unique_ptr<Episode<LeftTurnMultiWorld>>
-MultiVehicleAdapter::make_episode(util::Rng& rng,
-                                  std::size_t total_steps) const {
-  return std::make_unique<MultiVehicleEpisode>(config_, multi_, setup_,
-                                               math_, rng, total_steps);
+MultiVehicleAdapter::make_episode(util::Rng& rng, std::size_t total_steps,
+                                  std::uint64_t seed) const {
+  return std::make_unique<MultiVehicleEpisode>(
+      config_, multi_, setup_, math_, rng, total_steps, seed);
 }
 
 RunResult run_multi_left_turn_simulation(const LeftTurnSimConfig& config,

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
+#include "cvsafe/util/contracts.hpp"
+
 namespace cvsafe::comm {
 namespace {
 
@@ -166,6 +170,75 @@ TEST(Channel, BurstyLossesAreClustered) {
   const int runs_iid = loss_runs(CommConfig::delayed(0.3, 0.0, 0.1), 5);
   const int runs_burst = loss_runs(CommConfig::bursty(0.3, 6.0, 0.0, 0.1), 5);
   EXPECT_LT(runs_burst, runs_iid / 2);
+}
+
+TEST(Channel, EqualDeliveryTimesDrainFifo) {
+  // Regression for the enqueue seam: fault decorators (and delay-free
+  // configs) can put several messages on the same delivery instant; they
+  // must drain in enqueue order, not in priority-queue heap order.
+  Channel ch(CommConfig::no_disturbance(0.1));
+  for (int i = 0; i < 8; ++i) {
+    ch.enqueue(make_msg(0.0, /*p=*/static_cast<double>(i)), 1.0);
+  }
+  const auto got = ch.collect(1.0);
+  ASSERT_EQ(got.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)].data.state.p,
+              static_cast<double>(i))
+        << "position " << i;
+  }
+}
+
+TEST(Channel, EnqueueSeamMatchesOffer) {
+  // offer() == admit() + enqueue(stamp + delay), bit for bit.
+  const auto cfg = CommConfig::delayed(0.4, 0.25, 0.1);
+  Channel direct(cfg), seam(cfg);
+  util::Rng r1(21), r2(21);
+  for (int step = 0; step < 200; ++step) {
+    const double t = step * 0.05;
+    const Message msg = make_msg(t, t);
+    direct.offer(msg, r1);
+    if (seam.admit(msg, r2)) {
+      seam.enqueue(msg, msg.stamp() + cfg.delay);
+    }
+    const auto a = direct.collect(t);
+    const auto b = seam.collect(t);
+    ASSERT_EQ(a.size(), b.size()) << "t = " << t;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].stamp(), b[i].stamp());
+    }
+  }
+  EXPECT_EQ(direct.sent_count(), seam.sent_count());
+  EXPECT_EQ(direct.dropped_count(), seam.dropped_count());
+}
+
+TEST(CommConfig, ValidateRejectsBadValues) {
+  util::ScopedContractMode mode(util::ContractMode::kThrow);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+
+  CommConfig c;
+  c.period = 0.0;
+  EXPECT_THROW(c.validate(), util::ContractViolation);
+  c = CommConfig{};
+  c.delay = -0.1;
+  EXPECT_THROW(c.validate(), util::ContractViolation);
+  c = CommConfig{};
+  c.drop_prob = 1.5;
+  EXPECT_THROW(c.validate(), util::ContractViolation);
+  // NaN fails every ordered comparison: each field must reject it.
+  c = CommConfig{};
+  c.period = nan;
+  EXPECT_THROW(c.validate(), util::ContractViolation);
+  c = CommConfig{};
+  c.delay = nan;
+  EXPECT_THROW(c.validate(), util::ContractViolation);
+  c = CommConfig{};
+  c.drop_prob = nan;
+  EXPECT_THROW(c.validate(), util::ContractViolation);
+  c = CommConfig{};
+  c.burst = true;
+  c.p_good_to_bad = nan;
+  EXPECT_THROW(Channel{c}, util::ContractViolation);
 }
 
 TEST(Channel, NonTransmissionStepsIgnored) {

@@ -1,0 +1,184 @@
+#include "cvsafe/core/degradation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "cvsafe/util/contracts.hpp"
+
+namespace cvsafe::core {
+namespace {
+
+using util::ContractMode;
+using util::ContractViolation;
+using util::ScopedContractMode;
+
+constexpr auto kFull = DegradationLevel::kFull;
+constexpr auto kReach = DegradationLevel::kReachOnly;
+constexpr auto kSensor = DegradationLevel::kSensorOnly;
+constexpr auto kEmergency = DegradationLevel::kEmergencyBiased;
+
+DegradationSignals sig(double age, bool consistent = true) {
+  DegradationSignals s;
+  s.message_age = age;
+  s.have_message = true;
+  s.filter_consistent = consistent;
+  return s;
+}
+
+TEST(LadderConfig, ValidateRejectsBadThresholds) {
+  ScopedContractMode mode(ContractMode::kThrow);
+  LadderConfig c;
+  c.stale_budget = 0.0;
+  EXPECT_THROW(c.validate(), ContractViolation);
+  c = LadderConfig{};
+  c.lost_budget = c.stale_budget / 2.0;  // lost < stale
+  EXPECT_THROW(c.validate(), ContractViolation);
+  c = LadderConfig{};
+  c.recover_margin = 1.5;
+  EXPECT_THROW(c.validate(), ContractViolation);
+  c = LadderConfig{};
+  c.recover_margin = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(c.validate(), ContractViolation);
+  c = LadderConfig{};
+  c.recover_steps = 0;
+  EXPECT_THROW(DegradationLadder{c}, ContractViolation);
+}
+
+TEST(Ladder, LevelNames) {
+  EXPECT_STREQ(to_string(kFull), "full");
+  EXPECT_STREQ(to_string(kReach), "reach-only");
+  EXPECT_STREQ(to_string(kSensor), "sensor-only");
+  EXPECT_STREQ(to_string(kEmergency), "emergency-biased");
+}
+
+TEST(Ladder, NoMessageEverMeansSensorOnly) {
+  DegradationLadder ladder{LadderConfig{}};
+  DegradationSignals s;  // have_message = false, age = inf
+  EXPECT_EQ(ladder.update(0, s), kSensor);
+}
+
+// The ISSUE's acceptance trace: a scripted signal schedule must produce
+// this exact level sequence — degradations immediate, recovery one rung
+// per recover_steps (5) consecutive steps clearing the tightened
+// (recover_margin 0.5) budgets. Defaults: stale 0.3 s, lost 1.0 s.
+TEST(Ladder, ScriptedScheduleProducesExactLevelTrace) {
+  DegradationLadder ladder{LadderConfig{}};
+
+  struct Step {
+    double age;
+    bool consistent;
+    DegradationLevel expect;
+  };
+  const std::vector<Step> script = {
+      // Fresh messages: FULL.
+      {0.1, true, kFull},        // 0
+      {0.1, true, kFull},        // 1
+      {0.1, true, kFull},        // 2
+      // Age crosses the stale budget: degrade immediately.
+      {0.4, true, kReach},       // 3
+      // Age crosses the lost budget: degrade again.
+      {1.2, true, kSensor},      // 4
+      // Filter inconsistency: worst rung, immediately.
+      {1.2, false, kEmergency},  // 5
+      // Signals fully clear (age 0.1 < 0.15 tightened stale budget), but
+      // recovery waits for 5 consecutive clear steps...
+      {0.1, true, kEmergency},   // 6
+      {0.1, true, kEmergency},   // 7
+      {0.1, true, kEmergency},   // 8
+      {0.1, true, kEmergency},   // 9
+      // ...then climbs exactly one rung.
+      {0.1, true, kSensor},      // 10
+      {0.1, true, kSensor},      // 11
+      {0.1, true, kSensor},      // 12
+      {0.1, true, kSensor},      // 13
+      {0.1, true, kSensor},      // 14
+      {0.1, true, kReach},       // 15
+      {0.1, true, kReach},       // 16
+      {0.1, true, kReach},       // 17
+      {0.1, true, kReach},       // 18
+      {0.1, true, kReach},       // 19
+      {0.1, true, kFull},        // 20
+      {0.1, true, kFull},        // 21
+  };
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    EXPECT_EQ(ladder.update(i, sig(script[i].age, script[i].consistent)),
+              script[i].expect)
+        << "step " << i;
+  }
+
+  // The transition log pins every level change.
+  const auto& tr = ladder.transitions();
+  ASSERT_EQ(tr.size(), 6u);
+  const LadderTransition expected[] = {
+      {3, kFull, kReach},      {4, kReach, kSensor},
+      {5, kSensor, kEmergency}, {10, kEmergency, kSensor},
+      {15, kSensor, kReach},   {20, kReach, kFull},
+  };
+  for (std::size_t i = 0; i < tr.size(); ++i) {
+    EXPECT_EQ(tr[i].step, expected[i].step) << "transition " << i;
+    EXPECT_EQ(tr[i].from, expected[i].from) << "transition " << i;
+    EXPECT_EQ(tr[i].to, expected[i].to) << "transition " << i;
+  }
+
+  const auto& stats = ladder.stats();
+  EXPECT_EQ(stats.transitions, 6u);
+  EXPECT_EQ(stats.steps_at[0], 5u);  // full
+  EXPECT_EQ(stats.steps_at[1], 6u);  // reach-only
+  EXPECT_EQ(stats.steps_at[2], 6u);  // sensor-only
+  EXPECT_EQ(stats.steps_at[3], 5u);  // emergency-biased
+}
+
+// Hysteresis: an age oscillating between "fresh enough to degrade-target
+// FULL" and "stale" — but never under the tightened recovery budget —
+// must park the ladder at REACH-ONLY instead of chattering.
+TEST(Ladder, OscillatingAgeDoesNotChatter) {
+  DegradationLadder ladder{LadderConfig{}};
+  ladder.update(0, sig(0.4));  // degrade to REACH-ONLY
+  ASSERT_EQ(ladder.level(), kReach);
+  for (std::size_t step = 1; step <= 40; ++step) {
+    // 0.2 clears the degrade threshold (0.3) but not the tightened
+    // recovery threshold (0.15).
+    const double age = (step % 2 == 0) ? 0.4 : 0.2;
+    EXPECT_EQ(ladder.update(step, sig(age)), kReach) << "step " << step;
+  }
+  EXPECT_EQ(ladder.stats().transitions, 1u);
+}
+
+// A partial clear streak is cancelled by a single dirty step.
+TEST(Ladder, RecoveryStreakResetsOnDirtyStep) {
+  DegradationLadder ladder{LadderConfig{}};
+  ladder.update(0, sig(0.4));
+  ASSERT_EQ(ladder.level(), kReach);
+  for (std::size_t step = 1; step <= 4; ++step) {
+    ladder.update(step, sig(0.1));  // 4 clear steps: one short of recovery
+  }
+  ladder.update(5, sig(0.2));  // dirty (above tightened budget): reset
+  for (std::size_t step = 6; step <= 9; ++step) {
+    EXPECT_EQ(ladder.update(step, sig(0.1)), kReach) << "step " << step;
+  }
+  EXPECT_EQ(ladder.update(10, sig(0.1)), kFull);  // 5th consecutive clear
+}
+
+TEST(Ladder, DegradeCanSkipRungsDownward) {
+  DegradationLadder ladder{LadderConfig{}};
+  EXPECT_EQ(ladder.update(0, sig(0.1, /*consistent=*/false)), kEmergency);
+  EXPECT_EQ(ladder.stats().transitions, 1u);  // FULL -> EMERGENCY in one step
+}
+
+TEST(Ladder, RecoveryNeverSkipsRungs) {
+  LadderConfig cfg;
+  cfg.recover_steps = 1;
+  DegradationLadder ladder{cfg};
+  ladder.update(0, sig(0.1, false));
+  ASSERT_EQ(ladder.level(), kEmergency);
+  // Even with instant recovery, each step climbs at most one rung.
+  EXPECT_EQ(ladder.update(1, sig(0.1)), kSensor);
+  EXPECT_EQ(ladder.update(2, sig(0.1)), kReach);
+  EXPECT_EQ(ladder.update(3, sig(0.1)), kFull);
+}
+
+}  // namespace
+}  // namespace cvsafe::core

@@ -1,0 +1,116 @@
+// End-to-end pin of the fault-injection campaign: the safety invariant
+// eta(kappa_c) >= 0 must hold in every cell, and the campaign CSV must be
+// byte-identical across runs, thread counts, and against the committed
+// golden (the same artifact the CI fault-campaign job checks).
+//
+// Regenerate the golden (only when a behavior change is intended) with:
+//   CVSAFE_UPDATE_GOLDEN=1 ./fault_campaign_test
+
+#include "cvsafe/sim/fault_campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cvsafe/util/contracts.hpp"
+
+namespace cvsafe::sim {
+namespace {
+
+using util::ContractMode;
+using util::ContractViolation;
+using util::ScopedContractMode;
+
+TEST(CampaignConfig, ValidateRejectsBadShapes) {
+  ScopedContractMode mode(ContractMode::kThrow);
+  CampaignConfig c = CampaignConfig::smoke();
+  c.faults.clear();
+  EXPECT_THROW(c.validate(), ContractViolation);
+  c = CampaignConfig::smoke();
+  c.scenarios.clear();
+  EXPECT_THROW(c.validate(), ContractViolation);
+  c = CampaignConfig::smoke();
+  c.episodes_per_cell = 0;
+  EXPECT_THROW(c.validate(), ContractViolation);
+  c = CampaignConfig::smoke();
+  c.faults.push_back("no-such-fault");
+  EXPECT_THROW(c.validate(), ContractViolation);
+  c = CampaignConfig::smoke();
+  c.scenarios.push_back("no-such-scenario");
+  EXPECT_THROW(c.validate(), ContractViolation);
+}
+
+TEST(CampaignConfig, CiCoversTheIssueMatrix) {
+  const auto c = CampaignConfig::ci();
+  EXPECT_EQ(c.faults.size(), 5u);
+  EXPECT_EQ(c.scenarios.size(), 4u);
+  EXPECT_GE(c.episodes_per_cell, 8u);
+  c.validate();
+}
+
+TEST(FaultCampaign, SmokeInvariantHoldsAndIsReproducible) {
+  auto config = CampaignConfig::smoke();
+  config.threads = 1;
+  const CampaignResult a = run_fault_campaign(config);
+  ASSERT_EQ(a.cells.size(),
+            config.faults.size() * config.scenarios.size());
+  EXPECT_TRUE(a.invariant_ok());
+  EXPECT_EQ(a.violations(), 0u);
+  for (const auto& cell : a.cells) {
+    EXPECT_EQ(cell.episodes, config.episodes_per_cell);
+    EXPECT_EQ(cell.collisions, 0u);
+    EXPECT_GE(cell.min_eta, 0.0) << cell.fault << " x " << cell.scenario;
+    EXPECT_GT(cell.steps, 0u);
+  }
+
+  // Byte-identical across a second run and across thread counts.
+  const std::string csv = campaign_csv(a);
+  EXPECT_EQ(csv, campaign_csv(run_fault_campaign(config)));
+  config.threads = 2;
+  EXPECT_EQ(csv, campaign_csv(run_fault_campaign(config)));
+}
+
+TEST(FaultCampaign, CsvHasOneRowPerCellPlusHeader) {
+  auto config = CampaignConfig::smoke();
+  config.threads = 1;
+  const auto result = run_fault_campaign(config);
+  std::istringstream csv(campaign_csv(result));
+  std::string line;
+  ASSERT_TRUE(std::getline(csv, line));
+  EXPECT_EQ(line.substr(0, 14), "fault,scenario");
+  std::size_t rows = 0;
+  while (std::getline(csv, line)) ++rows;
+  EXPECT_EQ(rows, result.cells.size());
+}
+
+// The CI matrix against the committed golden — the exact byte stream the
+// .github fault-campaign job reproduces and compares.
+TEST(FaultCampaign, CiMatrixMatchesCommittedGolden) {
+  const std::string path =
+      std::string(CVSAFE_GOLDEN_DIR) + "/fault_campaign_ci.csv";
+  const auto result = run_fault_campaign(CampaignConfig::ci());
+  EXPECT_TRUE(result.invariant_ok());
+  const std::string csv = campaign_csv(result);
+
+  if (std::getenv("CVSAFE_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << csv;
+    GTEST_SKIP() << "golden regenerated: " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << path
+      << " — regenerate with CVSAFE_UPDATE_GOLDEN=1";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(csv, golden.str())
+      << "campaign CSV diverged from the committed golden";
+}
+
+}  // namespace
+}  // namespace cvsafe::sim

@@ -1,0 +1,376 @@
+#include "cvsafe/fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cvsafe/fault/faulty_channel.hpp"
+#include "cvsafe/fault/faulty_sensor.hpp"
+#include "cvsafe/util/contracts.hpp"
+
+namespace cvsafe::fault {
+namespace {
+
+using util::ContractMode;
+using util::ContractViolation;
+using util::ScopedContractMode;
+
+comm::Message make_msg(double t, double p = 0.0, double v = 5.0,
+                       double a = 0.0) {
+  return comm::Message{1, vehicle::VehicleSnapshot{t, {p, v}, a}};
+}
+
+TEST(FaultPlan, PresetNamesRoundTrip) {
+  const auto names = FaultPlan::preset_names();
+  ASSERT_EQ(names.size(), 6u);
+  for (const auto& name : names) {
+    const auto plan = FaultPlan::preset(name);
+    ASSERT_TRUE(plan.has_value()) << name;
+    EXPECT_EQ(plan->name, name);
+    plan->validate();
+  }
+  EXPECT_FALSE(FaultPlan::preset("no-such-fault").has_value());
+}
+
+TEST(FaultPlan, NonePresetIsPassThrough) {
+  const auto plan = FaultPlan::none();
+  EXPECT_FALSE(plan.any());
+  EXPECT_FALSE(plan.channel.any());
+  EXPECT_FALSE(plan.sensor.any());
+}
+
+TEST(FaultPlan, ActivePresetsReportAny) {
+  EXPECT_TRUE(FaultPlan::delay_jitter().channel.any());
+  EXPECT_TRUE(FaultPlan::reorder_duplicate().channel.any());
+  EXPECT_TRUE(FaultPlan::corruption().channel.any());
+  EXPECT_TRUE(FaultPlan::blackout().channel.any());
+  EXPECT_TRUE(FaultPlan::sensor_freeze().sensor.any());
+}
+
+TEST(FaultPlan, ValidateRejectsBadValues) {
+  ScopedContractMode mode(ContractMode::kThrow);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+
+  FaultPlan p;
+  p.channel.corrupt_prob = 1.5;
+  EXPECT_THROW(p.validate(), ContractViolation);
+
+  p = FaultPlan{};
+  p.channel.delay_jitter_max = nan;
+  EXPECT_THROW(p.validate(), ContractViolation);
+
+  p = FaultPlan{};
+  p.channel.reorder_delay_min = 0.3;
+  p.channel.reorder_delay_max = 0.1;  // inverted range
+  EXPECT_THROW(p.validate(), ContractViolation);
+
+  p = FaultPlan{};
+  p.channel.blackouts = {{4.0, 2.0}};  // end < begin
+  EXPECT_THROW(p.validate(), ContractViolation);
+
+  p = FaultPlan{};
+  p.sensor.dropout_prob = -0.1;
+  EXPECT_THROW(p.validate(), ContractViolation);
+
+  p = FaultPlan{};
+  p.sensor.bias_drift_rate = nan;
+  EXPECT_THROW(p.validate(), ContractViolation);
+}
+
+TEST(FaultPlan, FromFileParsesEveryField) {
+  const std::string path = testing::TempDir() + "/fault_plan_test.ini";
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good());
+    out << "name = custom-mix\n"
+        << "seed = 77\n"
+        << "channel.delay_jitter_max = 0.2\n"
+        << "channel.reorder_prob = 0.1\n"
+        << "channel.duplicate_prob = 0.05\n"
+        << "channel.corrupt_prob = 0.15\n"
+        << "channel.corrupt_delta_p = 1.5\n"
+        << "channel.stale_spoof_prob = 0.1\n"
+        << "channel.stale_spoof_max = 0.3\n"
+        << "channel.blackouts = 1:2,5:6.5\n"
+        << "sensor.dropout_prob = 0.25\n"
+        << "sensor.bias_drift_rate = 0.01\n"
+        << "sensor.stuck = 3:4\n";
+  }
+  const FaultPlan p = FaultPlan::from_file(path);
+  EXPECT_EQ(p.name, "custom-mix");
+  EXPECT_EQ(p.seed, 77u);
+  EXPECT_DOUBLE_EQ(p.channel.delay_jitter_max, 0.2);
+  EXPECT_DOUBLE_EQ(p.channel.reorder_prob, 0.1);
+  EXPECT_DOUBLE_EQ(p.channel.duplicate_prob, 0.05);
+  EXPECT_DOUBLE_EQ(p.channel.corrupt_prob, 0.15);
+  EXPECT_DOUBLE_EQ(p.channel.corrupt_delta_p, 1.5);
+  EXPECT_DOUBLE_EQ(p.channel.stale_spoof_prob, 0.1);
+  EXPECT_DOUBLE_EQ(p.channel.stale_spoof_max, 0.3);
+  ASSERT_EQ(p.channel.blackouts.size(), 2u);
+  EXPECT_DOUBLE_EQ(p.channel.blackouts[1].end, 6.5);
+  EXPECT_DOUBLE_EQ(p.sensor.dropout_prob, 0.25);
+  EXPECT_DOUBLE_EQ(p.sensor.bias_drift_rate, 0.01);
+  ASSERT_EQ(p.sensor.stuck.size(), 1u);
+  EXPECT_TRUE(p.any());
+}
+
+TEST(FaultPlan, FromFileRejectsMissingAndMalformed) {
+  EXPECT_THROW(FaultPlan::from_file("/no/such/fault_plan.ini"),
+               std::runtime_error);
+  const std::string path = testing::TempDir() + "/fault_plan_bad.ini";
+  {
+    std::ofstream out(path);
+    out << "channel.blackouts = 1-2\n";  // must be begin:end
+  }
+  EXPECT_THROW(FaultPlan::from_file(path), std::runtime_error);
+}
+
+TEST(FaultPlan, FromFileRejectsUnknownKeys) {
+  // A typo'd knob must fail loudly, not silently run the unfaulted
+  // baseline.
+  const std::string path = testing::TempDir() + "/fault_plan_typo.ini";
+  {
+    std::ofstream out(path);
+    out << "channel.corupt_prob = 0.4\n";  // sic: missing the second 'r'
+  }
+  EXPECT_THROW(FaultPlan::from_file(path), std::runtime_error);
+}
+
+/// Drives a channel for `steps` control steps and returns the delivered
+/// payload timestamps in delivery order.
+template <typename Ch>
+std::vector<double> drive(Ch& ch, util::Rng& rng, int steps = 200,
+                          double dt = 0.05) {
+  std::vector<double> stamps;
+  for (int i = 0; i <= steps; ++i) {
+    const double t = i * dt;
+    ch.offer(make_msg(t, t * 10.0), rng);
+    for (const auto& m : ch.collect(t)) stamps.push_back(m.stamp());
+  }
+  return stamps;
+}
+
+TEST(FaultyChannel, PassThroughIsBitIdenticalToPlainChannel) {
+  const auto cfg = comm::CommConfig::delayed(0.3, 0.25, 0.1);
+  comm::Channel plain(cfg);
+  FaultyChannel nofault(cfg);
+  FaultyChannel disabled_model(cfg, ChannelFaultModel{}, 99);
+  EXPECT_FALSE(nofault.faulty());
+  EXPECT_FALSE(disabled_model.faulty());
+
+  util::Rng r1(7), r2(7), r3(7);
+  const auto a = drive(plain, r1);
+  const auto b = drive(nofault, r2);
+  const auto c = drive(disabled_model, r3);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+  // The episode RNG advanced identically: the next draw agrees.
+  const double next = r1.uniform(0.0, 1.0);
+  EXPECT_EQ(next, r2.uniform(0.0, 1.0));
+  EXPECT_EQ(next, r3.uniform(0.0, 1.0));
+}
+
+TEST(FaultyChannel, ActiveFaultsNeverTouchEpisodeRng) {
+  const auto cfg = comm::CommConfig::delayed(0.3, 0.25, 0.1);
+  comm::Channel plain(cfg);
+  FaultyChannel faulty(cfg, FaultPlan::corruption().channel, 1234);
+  ASSERT_TRUE(faulty.faulty());
+
+  util::Rng r1(7), r2(7);
+  drive(plain, r1);
+  drive(faulty, r2);
+  // Fault draws come exclusively from the decorator's own RNG, so the
+  // episode RNG is exactly where the undecorated run left it (paired
+  // workloads).
+  EXPECT_EQ(r1.uniform(0.0, 1.0), r2.uniform(0.0, 1.0));
+  EXPECT_EQ(plain.sent_count(), faulty.sent_count());
+  EXPECT_EQ(plain.dropped_count(), faulty.dropped_count());
+}
+
+TEST(FaultyChannel, DeterministicGivenFaultSeed) {
+  const auto model = FaultPlan::reorder_duplicate().channel;
+  const auto cfg = comm::CommConfig::delayed(0.2, 0.25, 0.1);
+  auto run = [&](std::uint64_t fault_seed) {
+    FaultyChannel ch(cfg, model, fault_seed);
+    util::Rng rng(11);
+    return drive(ch, rng);
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST(FaultyChannel, BlackoutWindowDiscardsAdmittedMessages) {
+  ChannelFaultModel model;
+  model.blackouts = {{1.0, 2.0}};
+  FaultyChannel ch(comm::CommConfig::no_disturbance(0.1), model, 3);
+  util::Rng rng(1);
+  const auto stamps = drive(ch, rng, 60, 0.05);  // t in [0, 3]
+  for (const double s : stamps) {
+    EXPECT_FALSE(s >= 1.0 && s < 2.0) << "delivered from blackout: " << s;
+  }
+  EXPECT_EQ(ch.stats().blackout_dropped, 10u);  // 10 tx instants in [1, 2)
+}
+
+TEST(FaultyChannel, DuplicationDeliversTwice) {
+  ChannelFaultModel model;
+  model.duplicate_prob = 1.0;
+  model.duplicate_lag_max = 0.05;
+  FaultyChannel ch(comm::CommConfig::no_disturbance(0.1), model, 3);
+  util::Rng rng(1);
+  auto stamps = drive(ch, rng, 100, 0.05);
+  // The final duplicate's lag can outlive the drive loop: drain it.
+  for (const auto& m : ch.collect(1e9)) stamps.push_back(m.stamp());
+  EXPECT_EQ(stamps.size(), 2 * ch.sent_count());
+  EXPECT_EQ(ch.stats().duplicated, ch.sent_count());
+}
+
+TEST(FaultyChannel, CorruptionPerturbsWithinDeltas) {
+  ChannelFaultModel model;
+  model.corrupt_prob = 1.0;
+  model.corrupt_delta_p = 2.0;
+  model.corrupt_delta_v = 1.0;
+  model.corrupt_delta_a = 0.5;
+  FaultyChannel ch(comm::CommConfig::no_disturbance(0.1), model, 9);
+  util::Rng rng(1);
+  std::size_t checked = 0;
+  for (int i = 0; i <= 100; ++i) {
+    const double t = i * 0.05;
+    ch.offer(make_msg(t, 1.0, 5.0, 0.0), rng);
+    for (const auto& m : ch.collect(t)) {
+      EXPECT_NEAR(m.data.state.p, 1.0, 2.0);
+      EXPECT_NEAR(m.data.state.v, 5.0, 1.0);
+      EXPECT_NEAR(m.data.a, 0.0, 0.5);
+      // A perturbation of exactly zero has probability zero.
+      EXPECT_NE(m.data.state.p, 1.0);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+  EXPECT_EQ(ch.stats().corrupted, checked);
+}
+
+TEST(FaultyChannel, StaleSpoofBackdatesTimestampOnly) {
+  ChannelFaultModel model;
+  model.stale_spoof_prob = 1.0;
+  model.stale_spoof_max = 0.5;
+  FaultyChannel ch(comm::CommConfig::no_disturbance(0.1), model, 9);
+  util::Rng rng(1);
+  ch.offer(make_msg(0.0), rng);
+  // Spoofing never postpones delivery: the message still arrives now.
+  const auto got = ch.collect(0.0);
+  ASSERT_GE(got.size(), 1u);
+  EXPECT_LE(got[0].stamp(), 0.0);
+  EXPECT_GE(got[0].stamp(), -0.5);
+}
+
+TEST(FaultyChannel, JitterAndReorderDelayDelivery) {
+  ChannelFaultModel model;
+  model.delay_jitter_max = 0.3;
+  FaultyChannel ch(comm::CommConfig::no_disturbance(0.1), model, 5);
+  util::Rng rng(1);
+  ch.offer(make_msg(0.0), rng);
+  EXPECT_TRUE(ch.collect(0.0).empty());  // jitter > 0 almost surely
+  EXPECT_EQ(ch.collect(0.4).size(), 1u);
+  EXPECT_EQ(ch.stats().jittered, 1u);
+
+  ChannelFaultModel reorder;
+  reorder.reorder_prob = 1.0;
+  reorder.reorder_delay_min = 0.35;
+  reorder.reorder_delay_max = 0.45;
+  FaultyChannel ch2(comm::CommConfig::no_disturbance(0.1), reorder, 5);
+  util::Rng rng2(1);
+  ch2.offer(make_msg(0.0), rng2);
+  ch2.offer(make_msg(0.1), rng2);
+  ch2.offer(make_msg(0.2), rng2);
+  const auto got = ch2.collect(1.0);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(ch2.stats().reordered, 3u);
+}
+
+TEST(FaultySensor, PassThroughIsBitIdenticalToPlainSensor) {
+  const auto cfg = sensing::SensorConfig::uniform(1.0, 0.1);
+  sensing::Sensor plain(cfg);
+  FaultySensor nofault(cfg);
+  util::Rng r1(3), r2(3);
+  for (int i = 0; i <= 100; ++i) {
+    const double t = i * 0.05;
+    const vehicle::VehicleSnapshot truth{t, {t * 8.0, 8.0}, 0.5};
+    const auto a = plain.sense(truth, r1);
+    const auto b = nofault.sense(truth, r2);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (a) {
+      EXPECT_EQ(a->t, b->t);
+      EXPECT_EQ(a->p, b->p);
+      EXPECT_EQ(a->v, b->v);
+      EXPECT_EQ(a->a, b->a);
+    }
+  }
+  EXPECT_EQ(r1.uniform(0.0, 1.0), r2.uniform(0.0, 1.0));
+}
+
+TEST(FaultySensor, DropoutSuppressesReadingsButNotSchedule) {
+  SensorFaultModel model;
+  model.dropout_prob = 1.0;
+  const auto cfg = sensing::SensorConfig::uniform(1.0, 0.1);
+  FaultySensor sensor(cfg, model, 8);
+  sensing::Sensor plain(cfg);
+  util::Rng r1(3), r2(3);
+  for (int i = 0; i <= 100; ++i) {
+    const double t = i * 0.05;
+    const vehicle::VehicleSnapshot truth{t, {0.0, 8.0}, 0.0};
+    EXPECT_FALSE(sensor.sense(truth, r1).has_value());
+    plain.sense(truth, r2);
+  }
+  EXPECT_EQ(sensor.stats().dropped, 51u);  // one per sensing instant
+  // The inner schedule and noise draws ran unchanged.
+  EXPECT_EQ(r1.uniform(0.0, 1.0), r2.uniform(0.0, 1.0));
+}
+
+TEST(FaultySensor, StuckWindowRepeatsLastValuesWithAdvancingTime) {
+  SensorFaultModel model;
+  model.stuck = {{0.55, 1.05}};
+  FaultySensor sensor(sensing::SensorConfig::uniform(0.0, 0.1), model, 8);
+  util::Rng rng(3);
+  std::optional<sensing::SensorReading> before_window;
+  double last_t = -1.0;
+  for (int i = 0; i <= 20; ++i) {
+    const double t = i * 0.05;
+    const vehicle::VehicleSnapshot truth{t, {t * 10.0, 10.0}, 0.0};
+    const auto r = sensor.sense(truth, rng);
+    if (!r) continue;
+    EXPECT_GT(r->t, last_t);  // time stays monotone through the window
+    last_t = r->t;
+    if (t < 0.55) {
+      before_window = r;
+    } else if (t < 1.05) {
+      ASSERT_TRUE(before_window.has_value());
+      EXPECT_EQ(r->p, before_window->p);  // frozen payload
+      EXPECT_EQ(r->v, before_window->v);
+      EXPECT_EQ(r->t, t);  // fresh timestamp
+    }
+  }
+  EXPECT_EQ(sensor.stats().stuck, 5u);  // sensing instants 0.6 .. 1.0
+}
+
+TEST(FaultySensor, BiasDriftRampsWithSimulationTime) {
+  SensorFaultModel model;
+  model.bias_drift_rate = 0.5;
+  FaultySensor sensor(sensing::SensorConfig::uniform(0.0, 0.1), model, 8);
+  util::Rng rng(3);
+  for (int i = 0; i <= 40; ++i) {
+    const double t = i * 0.05;
+    const vehicle::VehicleSnapshot truth{t, {7.0, 10.0}, 0.0};
+    if (const auto r = sensor.sense(truth, rng)) {
+      EXPECT_NEAR(r->p, 7.0 + 0.5 * t, 1e-12);
+    }
+  }
+  EXPECT_EQ(sensor.stats().biased, 21u);
+}
+
+}  // namespace
+}  // namespace cvsafe::fault

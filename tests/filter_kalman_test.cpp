@@ -195,6 +195,59 @@ TEST(Kalman, MessageBeforeAnySensingInitializes) {
   EXPECT_NEAR(kf.state_at(0.0).x, 7.0, 1e-9);
 }
 
+// Fault channels can reorder and duplicate messages (fault/
+// faulty_channel.hpp). The rollback must anchor on the newest message
+// regardless of delivery order; late and repeated deliveries are no-ops.
+TEST(Kalman, OutOfOrderDeliveryConvergesToSameAnchor) {
+  KalmanFilter in_order(kConfig), reordered(kConfig);
+  // Identical sensing history on both filters.
+  for (int i = 0; i < 20; ++i) {
+    const sensing::SensorReading r{i * 0.1, i * 0.8, 8.0, 0.0};
+    in_order.update(r);
+    reordered.update(r);
+  }
+  // Two messages; delivery order inverted on the second filter.
+  in_order.correct_with_message(2.2, 17.6, 8.0, 0.0);
+  in_order.correct_with_message(2.6, 20.8, 8.0, 0.0);
+  reordered.correct_with_message(2.6, 20.8, 8.0, 0.0);
+  reordered.correct_with_message(2.2, 17.6, 8.0, 0.0);  // stale: ignored
+  // Identical sensing resumes after both deliveries.
+  for (int i = 0; i < 10; ++i) {
+    const sensing::SensorReading r{3.0 + i * 0.1, 24.0 + i * 0.8, 8.0, 0.0};
+    in_order.update(r);
+    reordered.update(r);
+  }
+  const double t = 4.0;
+  EXPECT_EQ(in_order.state_at(t).x, reordered.state_at(t).x);
+  EXPECT_EQ(in_order.state_at(t).y, reordered.state_at(t).y);
+  EXPECT_EQ(in_order.position_interval(t).lo,
+            reordered.position_interval(t).lo);
+  EXPECT_EQ(in_order.position_interval(t).hi,
+            reordered.position_interval(t).hi);
+}
+
+TEST(Kalman, DuplicateMessageDeliveryIsIdempotent) {
+  KalmanFilter once(kConfig), twice(kConfig);
+  for (int i = 0; i < 20; ++i) {
+    const sensing::SensorReading r{i * 0.1, i * 0.8, 8.0, 0.0};
+    once.update(r);
+    twice.update(r);
+  }
+  once.correct_with_message(1.5, 12.0, 8.0, 0.0);
+  twice.correct_with_message(1.5, 12.0, 8.0, 0.0);
+  twice.correct_with_message(1.5, 12.0, 8.0, 0.0);  // duplicate: ignored
+  for (int i = 0; i < 10; ++i) {
+    const sensing::SensorReading r{2.0 + i * 0.1, 16.0 + i * 0.8, 8.0, 0.0};
+    once.update(r);
+    twice.update(r);
+  }
+  const double t = 3.0;
+  EXPECT_EQ(once.state_at(t).x, twice.state_at(t).x);
+  EXPECT_EQ(once.state_at(t).y, twice.state_at(t).y);
+  EXPECT_EQ(once.position_interval(t).width(),
+            twice.position_interval(t).width());
+}
+
 TEST(Kalman, IntervalContainsPointEstimate) {
   KalmanFilter kf(kConfig);
   kf.update({0.0, 1.0, 2.0, 0.0});

@@ -1,0 +1,171 @@
+#include "cvsafe/filter/plausibility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "cvsafe/util/contracts.hpp"
+
+namespace cvsafe::filter {
+namespace {
+
+using util::ContractMode;
+using util::ContractViolation;
+using util::ScopedContractMode;
+
+const vehicle::VehicleLimits kLimits{2.0, 15.0, -3.0, 3.0};
+const double kNan = std::numeric_limits<double>::quiet_NaN();
+
+comm::Message make_msg(double t, double p, double v, double a = 0.0) {
+  return comm::Message{1, vehicle::VehicleSnapshot{t, {p, v}, a}};
+}
+
+TEST(GateConfig, PermissiveArmsNothing) {
+  const auto g = GateConfig::permissive();
+  EXPECT_FALSE(g.check_range);
+  EXPECT_EQ(g.max_age, 0.0);
+  EXPECT_EQ(g.bound_margin, 0.0);
+  EXPECT_EQ(g.nis_gate, 0.0);
+  EXPECT_EQ(g.trust_margin_p, 0.0);
+}
+
+TEST(GateConfig, HardenedArmsEveryScreen) {
+  const auto g = GateConfig::hardened();
+  EXPECT_TRUE(g.check_range);
+  EXPECT_GT(g.max_age, 0.0);
+  EXPECT_GT(g.bound_margin, 0.0);
+  EXPECT_GT(g.nis_gate, 0.0);
+  EXPECT_GT(g.trust_margin_p, 0.0);
+  EXPECT_GT(g.trust_margin_v, 0.0);
+}
+
+TEST(GateConfig, ValidateRejectsNanAndNegative) {
+  ScopedContractMode mode(ContractMode::kThrow);
+  GateConfig g;
+  g.max_age = kNan;
+  EXPECT_THROW(g.validate(), ContractViolation);
+  g = GateConfig{};
+  g.bound_margin = -1.0;
+  EXPECT_THROW(g.validate(), ContractViolation);
+  g = GateConfig{};
+  g.nis_gate = kNan;
+  EXPECT_THROW(PlausibilityGate{g}, ContractViolation);
+}
+
+TEST(PlausibilityGate, PermissiveAcceptsEveryFinitePayload) {
+  PlausibilityGate gate;
+  // Wildly implausible but finite: the permissive gate passes it.
+  const auto r =
+      gate.screen(make_msg(0.0, 1e6, -500.0, 100.0), kLimits, 10.0,
+                  std::nullopt, nullptr);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->p, 1e6);
+  EXPECT_EQ(gate.counters().accepted, 1u);
+  EXPECT_EQ(gate.counters().total_rejected(), 0u);
+}
+
+TEST(PlausibilityGate, RejectsNonFinitePayload) {
+  PlausibilityGate gate;
+  EXPECT_FALSE(gate.screen(make_msg(0.0, kNan, 5.0), kLimits, 0.0,
+                           std::nullopt, nullptr)
+                   .has_value());
+  EXPECT_FALSE(gate.screen(make_msg(kNan, 0.0, 5.0), kLimits, 0.0,
+                           std::nullopt, nullptr)
+                   .has_value());
+  EXPECT_EQ(gate.counters().non_finite, 2u);
+  EXPECT_EQ(gate.counters().accepted, 0u);
+}
+
+TEST(PlausibilityGate, RangeScreenUsesActuationEnvelope) {
+  PlausibilityGate gate(GateConfig::hardened());  // range_margin 0.5
+  // v_max 15 + margin 0.5: v = 15.4 passes, v = 15.6 fails.
+  EXPECT_TRUE(gate.screen(make_msg(0.0, 0.0, 15.4), kLimits, 0.0,
+                          std::nullopt, nullptr)
+                  .has_value());
+  EXPECT_FALSE(gate.screen(make_msg(0.0, 0.0, 15.6), kLimits, 0.0,
+                           std::nullopt, nullptr)
+                   .has_value());
+  // a_min -3 - margin: a = -3.6 fails.
+  EXPECT_FALSE(gate.screen(make_msg(0.0, 0.0, 5.0, -3.6), kLimits, 0.0,
+                           std::nullopt, nullptr)
+                   .has_value());
+  EXPECT_EQ(gate.counters().out_of_range, 2u);
+  EXPECT_EQ(gate.counters().accepted, 1u);
+}
+
+TEST(PlausibilityGate, StalenessScreenCatchesSpoofedTimestamps) {
+  PlausibilityGate gate(GateConfig::hardened());  // max_age 1.0
+  // Newest absorbed information is at t = 5; a payload claiming t = 3.5
+  // is older than the budget allows.
+  EXPECT_FALSE(gate.screen(make_msg(3.5, 0.0, 5.0), kLimits, 5.0,
+                           std::nullopt, nullptr)
+                   .has_value());
+  EXPECT_EQ(gate.counters().stale, 1u);
+  // Within the budget it passes.
+  EXPECT_TRUE(gate.screen(make_msg(4.5, 0.0, 5.0), kLimits, 5.0,
+                          std::nullopt, nullptr)
+                  .has_value());
+}
+
+TEST(PlausibilityGate, BoundScreenRejectsPayloadOutsideSoundBounds) {
+  PlausibilityGate gate(GateConfig::hardened());  // bound_margin 1.0
+  const auto fused = StateBounds::exact(0.0, 0.0, 5.0);
+  // Claimed position 50 m away from bounds that certify [0, 0]: even
+  // inflated by the margin there is no overlap.
+  EXPECT_FALSE(gate.screen(make_msg(0.0, 50.0, 5.0), kLimits, 0.0, fused,
+                           nullptr)
+                   .has_value());
+  EXPECT_EQ(gate.counters().implausible, 1u);
+  // An honest payload inside the bounds passes.
+  EXPECT_TRUE(gate.screen(make_msg(0.0, 0.5, 5.0), kLimits, 0.0, fused,
+                          nullptr)
+                  .has_value());
+}
+
+TEST(PlausibilityGate, InnovationScreenRejectsKalmanOutliers) {
+  PlausibilityGate gate(GateConfig::hardened());  // nis_gate 25
+  KalmanFilter kf(KalmanConfig{0.1, 1.0, 1.0, 1.0, 3.0, 64});
+  kf.update({0.0, 0.0, 5.0, 0.0});
+  kf.update({0.1, 0.5, 5.0, 0.0});
+  // Payload 40 m from the prediction: NIS blows past the gate.
+  EXPECT_FALSE(gate.screen(make_msg(0.2, 40.0, 5.0), kLimits, 0.1,
+                           std::nullopt, &kf)
+                   .has_value());
+  EXPECT_EQ(gate.counters().implausible, 1u);
+  // Consistent payload passes.
+  EXPECT_TRUE(gate.screen(make_msg(0.2, 1.0, 5.0), kLimits, 0.1,
+                          std::nullopt, &kf)
+                  .has_value());
+}
+
+TEST(PlausibilityGate, RecentlyRejectedHoldsThenClears) {
+  PlausibilityGate gate(GateConfig::hardened());  // suspect_hold 0.5
+  EXPECT_FALSE(gate.recently_rejected(0.0));
+  // Rejection while the newest trusted time is 2.0.
+  ASSERT_FALSE(gate.screen(make_msg(2.0, kNan, 5.0), kLimits, 2.0,
+                           std::nullopt, nullptr)
+                   .has_value());
+  EXPECT_TRUE(gate.recently_rejected(2.0));
+  EXPECT_TRUE(gate.recently_rejected(2.5));
+  EXPECT_FALSE(gate.recently_rejected(2.6));
+}
+
+TEST(PlausibilityGate, SuspectHoldAnchorsOnTrustedTimeNotPayload) {
+  PlausibilityGate gate(GateConfig::hardened());
+  // A spoofed payload claiming the far past must not start the suspect
+  // window in the past.
+  ASSERT_FALSE(gate.screen(make_msg(-100.0, kNan, 5.0), kLimits, 3.0,
+                           std::nullopt, nullptr)
+                   .has_value());
+  EXPECT_TRUE(gate.recently_rejected(3.2));
+}
+
+TEST(PlausibilityGate, ScreenFieldsIsStatelessNonFiniteScreen) {
+  EXPECT_TRUE(
+      PlausibilityGate::screen_fields(make_msg(0.0, 1.0, 2.0)).has_value());
+  EXPECT_FALSE(
+      PlausibilityGate::screen_fields(make_msg(0.0, 1.0, kNan)).has_value());
+}
+
+}  // namespace
+}  // namespace cvsafe::filter

@@ -1,10 +1,11 @@
 // cvsafe command-line interface.
 //
-//   cvsafe_cli run     [options]   one episode, optionally with a CSV trace
-//   cvsafe_cli batch   [options]   N seed-paired episodes with statistics
-//   cvsafe_cli sweep   [options]   disturbance sweep (--kind drop|sensor)
-//   cvsafe_cli train   [options]   train + save the NN planners
-//   cvsafe_cli certify [options]   offline safety certificates
+//   cvsafe_cli run      [options]  one episode, optionally with a CSV trace
+//   cvsafe_cli batch    [options]  N seed-paired episodes with statistics
+//   cvsafe_cli sweep    [options]  disturbance sweep (--kind drop|sensor)
+//   cvsafe_cli train    [options]  train + save the NN planners
+//   cvsafe_cli certify  [options]  offline safety certificates
+//   cvsafe_cli campaign [options]  fault-injection safety-invariant matrix
 //
 // A --config FILE (INI, see include/cvsafe/eval/config_io.hpp) customizes
 // geometry, actuation limits, channel and sensor before flag overrides.
@@ -19,11 +20,21 @@
 //   --delay D                message delay [s]           (default 0)
 //   --lost                   drop every message
 //   --delta X                sensor uncertainty          (default 1.0)
+//   --faults NAME|FILE       fault-injection plan: a FaultPlan preset
+//                            (none, delay-jitter, reorder-duplicate,
+//                            corruption, blackout, sensor-freeze) or an
+//                            INI plan file; arms the hardened
+//                            plausibility gate + degradation ladder
 //   --seed N                 first seed                  (default 1)
 //   --sims N                 batch size / training size scale
 //   --threads N              worker threads (0 = hardware)
 //   --trace FILE             (run) per-step CSV trace
-//   --out DIR                (train) output directory
+//   --out DIR|FILE           (train) output directory; (campaign) CSV path
+//
+// Campaign options:
+//   --preset ci|smoke        campaign matrix preset      (default ci)
+//   --sims N                 episodes per cell override
+//   --seed N                 campaign base seed override
 
 #include <algorithm>
 #include <cstdio>
@@ -34,9 +45,12 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+
 #include "cvsafe/eval/config_io.hpp"
 #include "cvsafe/eval/experiments.hpp"
 #include "cvsafe/nn/serialize.hpp"
+#include "cvsafe/sim/fault_campaign.hpp"
 #include "cvsafe/sim/intersection.hpp"
 #include "cvsafe/sim/lane_change.hpp"
 #include "cvsafe/sim/multi_vehicle.hpp"
@@ -88,9 +102,10 @@ Args parse_args(int argc, char** argv) {
 }
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: cvsafe_cli run|batch|sweep|train|certify [options]\n"
-               "see the header of tools/cvsafe_cli.cpp for options\n");
+  std::fprintf(
+      stderr,
+      "usage: cvsafe_cli run|batch|sweep|train|certify|campaign [options]\n"
+      "see the header of tools/cvsafe_cli.cpp for options\n");
   return 2;
 }
 
@@ -107,6 +122,17 @@ void apply_disturbance(sim::RunConfig& config, const Args& args) {
   if (args.values.count("delta")) {
     config.sensor =
         sensing::SensorConfig::uniform(args.number("delta", 1.0));
+  }
+  if (args.values.count("faults")) {
+    const std::string spec = args.value("faults", "none");
+    if (const auto preset = fault::FaultPlan::preset(spec)) {
+      config.faults = *preset;
+    } else {
+      config.faults = fault::FaultPlan::from_file(spec);
+    }
+    // A faulted run only makes sense with the robustness posture armed.
+    config.gate = filter::GateConfig::hardened();
+    config.ladder = core::LadderConfig{};
   }
 }
 
@@ -366,6 +392,70 @@ int cmd_sweep(const Args& args) {
   return 0;
 }
 
+int cmd_campaign(const Args& args) {
+  const std::string preset = args.value("preset", "ci");
+  sim::CampaignConfig config;
+  if (preset == "ci") {
+    config = sim::CampaignConfig::ci();
+  } else if (preset == "smoke") {
+    config = sim::CampaignConfig::smoke();
+  } else {
+    std::fprintf(stderr, "unknown --preset %s (ci|smoke)\n", preset.c_str());
+    return 2;
+  }
+  if (args.values.count("sims")) {
+    config.episodes_per_cell =
+        static_cast<std::size_t>(args.number("sims", 8));
+  }
+  if (args.values.count("seed")) {
+    config.base_seed = static_cast<std::uint64_t>(args.number("seed", 2026));
+  }
+  config.threads = static_cast<std::size_t>(args.number("threads", 0));
+
+  const sim::CampaignResult result = sim::run_fault_campaign(config);
+  const std::string csv = sim::campaign_csv(result);
+
+  if (args.values.count("out")) {
+    const std::string path = args.value("out", "campaign.csv");
+    std::ofstream out(path, std::ios::binary);
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out << csv;
+    std::printf("campaign   %s (%zu cells)\n", path.c_str(),
+                result.cells.size());
+  } else {
+    std::fputs(csv.c_str(), stdout);
+  }
+
+  util::Table table("fault campaign (" + preset + ", " +
+                    std::to_string(config.episodes_per_cell) +
+                    " episodes/cell)");
+  table.set_header({"fault", "scenario", "collisions", "emergency",
+                    "degraded steps", "rejected"});
+  for (const auto& cell : result.cells) {
+    const std::size_t degraded = cell.ladder_steps[1] +
+                                 cell.ladder_steps[2] +
+                                 cell.ladder_steps[3];
+    table.add_row({cell.fault, cell.scenario,
+                   std::to_string(cell.collisions),
+                   std::to_string(cell.emergency_steps),
+                   std::to_string(degraded),
+                   std::to_string(cell.messages_rejected)});
+  }
+  std::cout << table;
+
+  if (!result.invariant_ok()) {
+    std::fprintf(stderr,
+                 "SAFETY INVARIANT VIOLATED: %zu unsafe-set entries\n",
+                 result.violations());
+    return 1;
+  }
+  std::printf("invariant  eta(kappa_c) >= 0 held on every episode\n");
+  return 0;
+}
+
 int cmd_certify(const Args& args) {
   const eval::SimConfig config = build_config(args);
   const auto scenario = config.make_scenario();
@@ -395,6 +485,7 @@ int main(int argc, char** argv) {
     if (args.command == "train") return cmd_train(args);
     if (args.command == "sweep") return cmd_sweep(args);
     if (args.command == "certify") return cmd_certify(args);
+    if (args.command == "campaign") return cmd_campaign(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cvsafe_cli: %s\n", e.what());
     return 1;

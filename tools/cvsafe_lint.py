@@ -26,6 +26,13 @@ include/):
                      drawing AccelProfile workloads); scenario loops live
                      behind sim::Engine / ScenarioAdapter in src/sim and
                      include/cvsafe/sim
+  no-unchecked-message-fields
+                     filter code must not read V2V Message payload fields
+                     (.data.* / .stamp()) directly; every payload passes
+                     through the plausibility gate
+                     (filter/plausibility.hpp) before it is trusted, so
+                     non-finite, implausible or spoofed values cannot
+                     reach the estimators
 
 A finding on a line that carries the annotation
     cvsafe-lint: allow(<rule>)
@@ -93,6 +100,12 @@ RE_ADHOC_SIM = re.compile(
 # root). The eval layer is analysis/reporting only; closed loops belong
 # to src/sim + include/cvsafe/sim.
 ADHOC_SIM_BANNED_DIRS = ("src/eval", "include/cvsafe/eval")
+# Direct reads of a comm::Message payload (.data.<field>) or its stamp().
+# Inside the filter tree these bypass the plausibility gate; only the gate
+# implementation itself (filter/plausibility.*) touches raw payloads.
+RE_MSG_FIELD = re.compile(r"\.\s*data\s*\.|\.\s*stamp\s*\(")
+MSG_FIELD_BANNED_DIRS = ("src/filter", "include/cvsafe/filter")
+MSG_FIELD_EXEMPT_STEM = "plausibility"
 RE_PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\b")
 RE_ALLOW = re.compile(r"cvsafe-lint:\s*allow\(([a-z0-9_,\- ]+)\)")
 RE_CLASS_DECL = re.compile(r"\b(?:class|struct)\s+(\w+)[^;{]*")
@@ -172,10 +185,12 @@ def allowed_rules(raw_line: str) -> set[str]:
 
 class FileLinter:
     def __init__(self, path: pathlib.Path, in_include_tree: bool,
-                 adhoc_sim_banned: bool = False):
+                 adhoc_sim_banned: bool = False,
+                 msg_fields_banned: bool = False):
         self.path = path
         self.in_include_tree = in_include_tree
         self.adhoc_sim_banned = adhoc_sim_banned
+        self.msg_fields_banned = msg_fields_banned
         self.raw = path.read_text(encoding="utf-8").splitlines()
         self.code = strip_comments_and_strings(self.raw)
         self.findings: list[Finding] = []
@@ -229,6 +244,11 @@ class FileLinter:
                             "hand-rolled closed-loop simulation in the eval "
                             "layer; scenario loops go through sim::Engine "
                             "(src/sim, include/cvsafe/sim)")
+            if self.msg_fields_banned and RE_MSG_FIELD.search(code):
+                self.report(line_no, "no-unchecked-message-fields",
+                            "direct Message payload access in filter code; "
+                            "route payloads through the plausibility gate "
+                            "(filter/plausibility.hpp)")
             if is_header and self.in_include_tree:
                 if RE_IOSTREAM.search(code):
                     self.report(line_no, "no-iostream-header",
@@ -319,8 +339,13 @@ def lint_tree(root: pathlib.Path) -> list[Finding]:
             rel = path.relative_to(root).as_posix()
             banned = any(rel.startswith(d + "/")
                          for d in ADHOC_SIM_BANNED_DIRS)
+            msg_banned = (any(rel.startswith(d + "/")
+                              for d in MSG_FIELD_BANNED_DIRS)
+                          and not path.stem.startswith(
+                              MSG_FIELD_EXEMPT_STEM))
             linter = FileLinter(path, in_include_tree=(subdir == "include"),
-                                adhoc_sim_banned=banned)
+                                adhoc_sim_banned=banned,
+                                msg_fields_banned=msg_banned)
             findings.extend(linter.run())
     return findings
 
