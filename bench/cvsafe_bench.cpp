@@ -19,6 +19,7 @@
 #include <cstring>
 #include <functional>
 #include <new>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -34,6 +35,8 @@
 #include "cvsafe/filter/reachability.hpp"
 #include "cvsafe/nn/mlp.hpp"
 #include "cvsafe/nn/workspace.hpp"
+#include "cvsafe/obs/jsonl.hpp"
+#include "cvsafe/obs/recorder.hpp"
 #include "cvsafe/planners/expert.hpp"
 #include "cvsafe/planners/nn_planner.hpp"
 #include "cvsafe/planners/training.hpp"
@@ -479,6 +482,109 @@ std::vector<Bench> build_registry() {
             compound.note_signals(signals);
             g_sink = compound.plan(world);
             age = age < 1.2 ? age + 0.05 : 0.0;
+          }
+        });
+  }});
+
+  // One op = one compound-planner step with no observability attached:
+  // the untraced baseline the tracing-overhead gate compares against.
+  benches.push_back({"compound_step", [](const Options& o) {
+    const auto cfg = eval::SimConfig::paper_defaults();
+    const auto scn = cfg.make_scenario();
+    auto inner = std::make_shared<planners::ExpertPlanner>(
+        scn, planners::ExpertParams::conservative(), "expert");
+    auto model = std::make_shared<scenario::LeftTurnSafetyModel>(scn);
+    core::CompoundPlanner<scenario::LeftTurnWorld> compound(
+        std::move(inner), std::move(model));
+    compound.enable_degradation(core::LadderConfig{});
+    scenario::LeftTurnWorld world;
+    world.t = 1.0;
+    world.ego = vehicle::VehicleState{cfg.geometry.ego_start, 8.0};
+    world.tau1_monitor = util::Interval{5.0, 8.0};
+    world.tau1_nn = world.tau1_monitor;
+    double age = 0.0;
+    return run_bench("compound_step", o.min_time_s, [&](std::uint64_t n) {
+      for (std::uint64_t it = 0; it < n; ++it) {
+        core::DegradationSignals signals;
+        signals.have_message = true;
+        signals.message_age = age;
+        signals.filter_consistent = (it & 63u) != 0;
+        compound.note_signals(signals);
+        g_sink = compound.plan(world);
+        age = age < 1.2 ? age + 0.05 : 0.0;
+      }
+    });
+  }});
+
+  // Same fixture with a *disabled* recorder mounted: the null-sink fast
+  // path whose cost the CI gate bounds at <= 5% of compound_step.
+  benches.push_back({"compound_step_traced_off", [](const Options& o) {
+    const auto cfg = eval::SimConfig::paper_defaults();
+    const auto scn = cfg.make_scenario();
+    auto inner = std::make_shared<planners::ExpertPlanner>(
+        scn, planners::ExpertParams::conservative(), "expert");
+    auto model = std::make_shared<scenario::LeftTurnSafetyModel>(scn);
+    core::CompoundPlanner<scenario::LeftTurnWorld> compound(
+        std::move(inner), std::move(model));
+    compound.enable_degradation(core::LadderConfig{});
+    obs::Recorder recorder;  // default-disabled null sink
+    compound.set_recorder(&recorder);
+    scenario::LeftTurnWorld world;
+    world.t = 1.0;
+    world.ego = vehicle::VehicleState{cfg.geometry.ego_start, 8.0};
+    world.tau1_monitor = util::Interval{5.0, 8.0};
+    world.tau1_nn = world.tau1_monitor;
+    double age = 0.0;
+    return run_bench(
+        "compound_step_traced_off", o.min_time_s, [&](std::uint64_t n) {
+          for (std::uint64_t it = 0; it < n; ++it) {
+            core::DegradationSignals signals;
+            signals.have_message = true;
+            signals.message_age = age;
+            signals.filter_consistent = (it & 63u) != 0;
+            compound.note_signals(signals);
+            g_sink = compound.plan(world);
+            age = age < 1.2 ? age + 0.05 : 0.0;
+          }
+        });
+  }});
+
+  // One op = one event emission into a disabled recorder (the per-call
+  // floor of every instrumentation point when tracing is off).
+  benches.push_back({"recorder_event_off", [](const Options& o) {
+    obs::Recorder recorder;  // disabled: emits are runtime no-ops
+    return run_bench(
+        "recorder_event_off", o.min_time_s, [&](std::uint64_t n) {
+          for (std::uint64_t it = 0; it < n; ++it) {
+            recorder.begin_step(it, static_cast<double>(it) * 0.05);
+            recorder.step_summary(1.0, false, 0.5, 2);
+            if ((it & 1023u) == 0u) {
+              g_sink = static_cast<double>(recorder.events().size());
+            }
+          }
+        });
+  }});
+
+  // One op = one recorded event, with the JSONL serialization cost
+  // amortized over 1024-event flushes (the traced-episode write path).
+  benches.push_back({"recorder_event_jsonl", [](const Options& o) {
+    obs::Recorder recorder;
+    recorder.set_enabled(true);
+    obs::EpisodeLabel label;
+    label.seed = 1;
+    label.scenario = "bench";
+    return run_bench(
+        "recorder_event_jsonl", o.min_time_s, [&](std::uint64_t n) {
+          for (std::uint64_t it = 0; it < n; ++it) {
+            recorder.begin_step(it, static_cast<double>(it) * 0.05);
+            recorder.step_summary(1.0, (it & 63u) == 0u, 0.5, 2);
+            if (recorder.events().size() >= 1024) {
+              std::ostringstream os;
+              obs::write_events_jsonl(os, recorder.events(), label,
+                                      recorder.dropped());
+              g_sink = static_cast<double>(os.str().size());
+              recorder.clear();
+            }
           }
         });
   }});

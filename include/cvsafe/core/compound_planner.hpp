@@ -106,12 +106,23 @@ class CompoundPlanner final : public PlannerBase<World> {
     if (safety_model_->in_boundary_safe_set(check)) {
       ++stats_.emergency_steps;
       if (!last_was_emergency_) {
-        record_switch(step, true, safety_model_->boundary_reason(check));
+        std::string reason = safety_model_->boundary_reason(check);
+        if (obs::recording(recorder_)) {
+          recorder_->monitor(true, true, safety_model_->boundary_slack(check),
+                             reason);
+        }
+        record_switch(step, true, std::move(reason));
       }
       last_was_emergency_ = true;
       return safety_model_->emergency_accel(world);
     }
-    if (last_was_emergency_) record_switch(step, false, {});
+    if (last_was_emergency_) {
+      if (obs::recording(recorder_)) {
+        recorder_->monitor(false, false, safety_model_->boundary_slack(check),
+                           {});
+      }
+      record_switch(step, false, {});
+    }
     last_was_emergency_ = false;
     return std::nullopt;
   }
@@ -132,6 +143,15 @@ class CompoundPlanner final : public PlannerBase<World> {
   /// exactly as before (no ladder, implicit degradation only).
   void enable_degradation(const LadderConfig& config) {
     ladder_.emplace(config);
+    ladder_->set_recorder(recorder_);
+  }
+
+  /// Attach a trace sink: planner switches become monitor events (with
+  /// slack s(t) and X_b membership) and, when the ladder is armed, level
+  /// changes become ladder events. Pass nullptr to detach.
+  void set_recorder(obs::Recorder* recorder) {
+    recorder_ = recorder;
+    if (ladder_) ladder_->set_recorder(recorder);
   }
 
   /// Information-quality signals for the NEXT monitor_gate()/plan() call;
@@ -183,6 +203,7 @@ class CompoundPlanner final : public PlannerBase<World> {
   bool last_was_emergency_ = false;
   std::optional<DegradationLadder> ladder_;
   DegradationSignals signals_;
+  obs::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace cvsafe::core

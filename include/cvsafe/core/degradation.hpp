@@ -5,6 +5,8 @@
 #include <limits>
 #include <vector>
 
+#include "cvsafe/obs/recorder.hpp"
+
 /// \file degradation.hpp
 /// Graceful-degradation ladder for the compound planner.
 ///
@@ -111,6 +113,10 @@ class DegradationLadder {
 
   static constexpr std::size_t kMaxTransitions = 512;
 
+  /// Attach a trace sink; every level change is emitted as a ladder
+  /// event. Pass nullptr to detach.
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+
  private:
   /// The level the signals call for when budgets are scaled by \p scale.
   DegradationLevel target(const DegradationSignals& s, double scale) const;
@@ -120,6 +126,7 @@ class DegradationLadder {
   std::size_t clear_streak_ = 0;
   DegradationStats stats_;
   std::vector<LadderTransition> transitions_;
+  obs::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace cvsafe::core

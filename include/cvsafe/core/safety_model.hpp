@@ -58,6 +58,14 @@ class SafetyModelBase {
     (void)world;
     return "boundary";
   }
+
+  /// Boundary slack s(t) (Eq. 5 for the case study): the signed margin
+  /// the monitor's X_b test is computed from, for diagnostics and trace
+  /// events. Models without a scalar slack report 0.
+  virtual double boundary_slack(const World& world) const {
+    (void)world;
+    return 0.0;
+  }
 };
 
 }  // namespace cvsafe::core

@@ -6,6 +6,7 @@
 
 #include "cvsafe/comm/channel.hpp"
 #include "cvsafe/fault/fault_plan.hpp"
+#include "cvsafe/obs/recorder.hpp"
 #include "cvsafe/util/rng.hpp"
 
 /// \file faulty_channel.hpp
@@ -86,6 +87,11 @@ class FaultyChannel {
   const comm::Channel& inner() const { return inner_; }
   const ChannelFaultStats& stats() const { return stats_; }
 
+  /// Attach a trace sink; every injection stage that fires is emitted as
+  /// a fault event. Pass nullptr to detach. Tracing never touches the
+  /// no-fault fast path.
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+
  private:
   /// The decorated slow path (model_ engaged): admit, then reshape.
   void offer_faulty(const comm::Message& msg, util::Rng& rng);
@@ -94,6 +100,7 @@ class FaultyChannel {
   std::optional<ChannelFaultModel> model_;
   util::Rng fault_rng_{0};
   ChannelFaultStats stats_;
+  obs::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace cvsafe::fault

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "cvsafe/fault/fault_plan.hpp"
+#include "cvsafe/obs/recorder.hpp"
 #include "cvsafe/sensing/sensor.hpp"
 #include "cvsafe/util/rng.hpp"
 
@@ -53,12 +54,17 @@ class FaultySensor {
   const sensing::Sensor& inner() const { return inner_; }
   const SensorFaultStats& stats() const { return stats_; }
 
+  /// Attach a trace sink; every injection stage that fires is emitted as
+  /// a fault event. Pass nullptr to detach.
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+
  private:
   sensing::Sensor inner_;
   std::optional<SensorFaultModel> model_;
   util::Rng fault_rng_{0};
   SensorFaultStats stats_;
   std::optional<sensing::SensorReading> last_;
+  obs::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace cvsafe::fault

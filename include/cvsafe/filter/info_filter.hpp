@@ -84,6 +84,14 @@ class InformationFilter final : public Estimator {
   /// Read access to the plausibility gate (thresholds, suspect state).
   const PlausibilityGate& gate() const { return gate_; }
 
+  /// Attach a trace sink to both embedded stages: the plausibility gate
+  /// (rejection events) and the Kalman filter (rollback events). Pass
+  /// nullptr to detach.
+  void set_recorder(obs::Recorder* recorder) {
+    gate_.set_recorder(recorder);
+    kalman_.set_recorder(recorder);
+  }
+
   /// Filter health at time \p t: false when the Kalman NIS monitor has
   /// diverged or the gate rejected a message within its suspect-hold
   /// window. Drives the EMERGENCY-BIASED rung of the degradation ladder.

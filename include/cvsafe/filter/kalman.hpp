@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "cvsafe/filter/consistency.hpp"
+#include "cvsafe/obs/recorder.hpp"
 #include "cvsafe/sensing/sensor.hpp"
 #include "cvsafe/util/interval.hpp"
 #include "cvsafe/util/linalg.hpp"
@@ -98,6 +99,10 @@ class KalmanFilter {
   /// reacted to inconsistent innovations).
   double q_scale() const { return q_scale_; }
 
+  /// Attach a trace sink; every message rollback/replay is emitted with
+  /// its anchor time and replay extent. Pass nullptr to detach.
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+
  private:
   struct HistoryEntry {
     sensing::SensorReading reading;  // measurement absorbed at this period
@@ -127,6 +132,7 @@ class KalmanFilter {
   std::deque<HistoryEntry> history_;
   NisMonitor nis_;
   double q_scale_ = 1.0;
+  obs::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace cvsafe::filter

@@ -6,6 +6,7 @@
 #include "cvsafe/comm/message.hpp"
 #include "cvsafe/filter/kalman.hpp"
 #include "cvsafe/filter/reachability.hpp"
+#include "cvsafe/obs/recorder.hpp"
 #include "cvsafe/vehicle/dynamics.hpp"
 
 /// \file plausibility.hpp
@@ -127,10 +128,15 @@ class PlausibilityGate {
   const GateConfig& config() const { return config_; }
   const RejectionCounters& counters() const { return counters_; }
 
+  /// Attach a trace sink; every rejection is emitted as a gate event
+  /// carrying its reason code. Pass nullptr to detach.
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+
  private:
   GateConfig config_;
   RejectionCounters counters_;
   double last_rejection_time_ = -1.0;
+  obs::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace cvsafe::filter

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <variant>
+
+/// \file event.hpp
+/// Typed trace events emitted by the safety stack.
+///
+/// Each event captures one runtime decision that the framework's safety
+/// argument rests on: the monitor choosing kappa_e iff x(t) is in X_b
+/// (Eq. 3), the degradation ladder moving between levels, the
+/// plausibility gate rejecting a message, the Kalman filter rolling back
+/// for a delayed message, or a fault model perturbing a channel/sensor.
+/// Events are plain data; serialization lives in jsonl.hpp.
+
+namespace cvsafe::obs {
+
+/// Why the plausibility gate rejected a message. Mirrors the counter
+/// fields of filter::RejectionCounters one-to-one.
+enum class GateRejectReason : std::uint8_t {
+  kNonFinite = 0,
+  kOutOfRange,
+  kStale,
+  kImplausible,
+};
+
+const char* to_string(GateRejectReason reason);
+
+/// Which fault stage acted on a message or sensor reading.
+enum class FaultKind : std::uint8_t {
+  kBlackoutDropped = 0,  ///< channel: message dropped in a blackout window
+  kCorrupted,            ///< channel: payload perturbed
+  kStaleSpoofed,         ///< channel: timestamp rewound
+  kJittered,             ///< channel: extra delivery delay
+  kReordered,            ///< channel: delivery order swapped
+  kDuplicated,           ///< channel: message delivered twice
+  kSensorDropped,        ///< sensor: reading suppressed
+  kSensorStuck,          ///< sensor: reading frozen at a stale value
+  kSensorBiased,         ///< sensor: drift bias added
+};
+
+const char* to_string(FaultKind kind);
+
+/// Monitor decision at a planner switch (emitted on transitions only;
+/// the per-step state travels in StepEvent).
+struct MonitorEvent {
+  bool to_emergency = false;  ///< true: kappa_n -> kappa_e, false: back
+  bool in_boundary = false;   ///< X_b membership test result
+  double slack = 0.0;         ///< boundary slack s(t) of Eq. 5
+  std::string reason;         ///< which boundary test fired (entry only)
+};
+
+/// Degradation-ladder level change.
+struct LadderEvent {
+  std::string from;
+  std::string to;
+};
+
+/// Plausibility-gate rejection with its reason code.
+struct GateEvent {
+  std::uint32_t sender = 0;  ///< id of the transmitting vehicle
+  GateRejectReason reason = GateRejectReason::kNonFinite;
+  double msg_t = 0.0;  ///< sampling timestamp of the rejected payload
+};
+
+/// Kalman out-of-order correction: rollback anchor + replay extent.
+struct RollbackEvent {
+  double anchor_t = 0.0;      ///< timestamp of the late message
+  std::size_t replayed = 0;   ///< history entries re-applied after it
+};
+
+/// One fault-model action (channel or sensor stage).
+struct FaultEvent {
+  FaultKind kind = FaultKind::kBlackoutDropped;
+  double value = 0.0;  ///< stage-specific magnitude (delay, bias, ...)
+};
+
+/// Per-step summary written by the engine-mounted hook: the applied
+/// accel, whether the emergency planner drove it, the eta margin
+/// (boundary slack s(t)) and the active degradation level.
+struct StepEvent {
+  double accel = 0.0;
+  bool emergency = false;
+  double margin = 0.0;
+  int ladder_level = -1;  ///< -1 when no ladder is armed
+};
+
+/// Episode wrap-up emitted once after the closed loop finishes.
+struct EpisodeEvent {
+  bool collided = false;
+  bool reached = false;
+  double eta = 0.0;
+  std::size_t steps = 0;
+};
+
+using EventPayload = std::variant<MonitorEvent, LadderEvent, GateEvent,
+                                  RollbackEvent, FaultEvent, StepEvent,
+                                  EpisodeEvent>;
+
+/// A payload stamped with the controller step and simulation time at
+/// which it was emitted (set via Recorder::begin_step).
+struct Event {
+  std::size_t step = 0;
+  double t = 0.0;
+  EventPayload payload;
+};
+
+}  // namespace cvsafe::obs

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+/// \file metrics.hpp
+/// A small metrics registry: counters, gauges and fixed-bucket
+/// histograms keyed by name (labels are encoded Prometheus-style in the
+/// name itself, e.g. `cvsafe_ladder_steps_total{level="full"}`).
+///
+/// Registries are built per shard and merged deterministically: the
+/// backing store is a std::map, so iteration — and therefore
+/// prometheus_text()/csv() output — is name-ordered regardless of
+/// insertion order or thread count. Counters and histogram buckets add
+/// under merge; gauges take the last-written value.
+
+namespace cvsafe::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed upper-bound buckets (cumulative, Prometheus `le` semantics)
+/// plus a +Inf overflow bucket, with sum and count.
+class Histogram {
+ public:
+  Histogram() = default;
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts: counts()[i] is the number of
+  /// observations that landed in (bounds()[i-1], bounds()[i]];
+  /// counts().back() is the +Inf overflow bucket. The cumulative `le`
+  /// view is computed at export time (prometheus_text / csv).
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+
+  /// Bucket-wise add; bounds must match (contract).
+  void merge(const Histogram& other);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create accessors. Returned references stay valid for the
+  /// registry's lifetime (map nodes are stable).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// \p bounds is used on first creation only; a histogram fetched
+  /// again must carry the same bounds (contract under merge).
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Deterministic merge: counters/histograms add, gauges overwrite.
+  void merge(const MetricsRegistry& other);
+
+  /// Prometheus text exposition format, name-ordered.
+  std::string prometheus_text() const;
+
+  /// `kind,name,value` CSV (histograms expand to one row per bucket),
+  /// name-ordered.
+  std::string csv() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace cvsafe::obs

@@ -45,6 +45,9 @@ class LeftTurnSafetyModel final
   /// "slack band" / "committed" / "inside zone" — which X_b branch fired.
   std::string boundary_reason(const LeftTurnWorld& world) const override;
 
+  /// Slack s(t) of Eq. 5 evaluated on the ego state.
+  double boundary_slack(const LeftTurnWorld& world) const override;
+
   const LeftTurnScenario& scenario() const { return *scenario_; }
   const AggressiveBuffers& buffers() const { return buffers_; }
 

@@ -16,6 +16,7 @@
 #include "cvsafe/fault/faulty_sensor.hpp"
 #include "cvsafe/filter/estimate.hpp"
 #include "cvsafe/filter/info_filter.hpp"
+#include "cvsafe/obs/recorder.hpp"
 #include "cvsafe/sensing/sensor.hpp"
 #include "cvsafe/sim/run_config.hpp"
 #include "cvsafe/sim/run_result.hpp"
@@ -168,6 +169,13 @@ class Episode {
   /// Attaches scenario extras to the finished result (default: none).
   virtual void finalize(RunResult& result) const { (void)result; }
 
+  /// Wires an obs::Recorder through the episode's control stack so its
+  /// instrumentation points (monitor, ladder, gate, Kalman, fault
+  /// decorators) emit trace events. Default: no instrumentation (the
+  /// engine-mounted hook still records per-step events). Called by
+  /// sim::RecordingHook before the first step.
+  virtual void attach_recorder(obs::Recorder* recorder) { (void)recorder; }
+
   core::PlannerBase<World>& planner() { return *planner_; }
   const std::shared_ptr<core::PlannerBase<World>>& planner_ptr() const {
     return planner_;
@@ -215,6 +223,23 @@ template <typename World>
 class StepHook {
  public:
   virtual ~StepHook() = default;
+
+  /// Fires once from the EpisodeRunner constructor, before the first
+  /// step. The episode is mutable here so instrumenting hooks can wire
+  /// sinks through the freshly built control stack.
+  virtual void on_episode_start(Episode<World>& episode,
+                                std::uint64_t seed) {
+    (void)episode;
+    (void)seed;
+  }
+
+  /// Fires at the top of the observe phase, before traffic is pumped —
+  /// the earliest point at which (step, t) of the new step are known.
+  virtual void on_step_begin(std::size_t step, double t) {
+    (void)step;
+    (void)t;
+  }
+
   virtual void on_step(std::size_t step, double t, const World& world,
                        const vehicle::VehicleState& ego, double a0,
                        bool emergency, const Episode<World>& episode) = 0;
@@ -235,7 +260,9 @@ class EpisodeRunner {
         total_steps_(config_->total_steps()),
         episode_(adapter.make_episode(rng_, total_steps_, seed)),
         ego_dyn_(config_->ego_limits),
-        ego_(episode_->ego_init()) {}
+        ego_(episode_->ego_init()) {
+    if (hook_ != nullptr) hook_->on_episode_start(*episode_, seed);
+  }
 
   bool done() const { return finished_ || step_ >= total_steps_; }
 
@@ -244,6 +271,7 @@ class EpisodeRunner {
   const World& observe() {
     CVSAFE_EXPECTS(!done(), "observe() after the episode finished");
     t_ = static_cast<double>(step_) * config_->dt_c;
+    if (hook_ != nullptr) hook_->on_step_begin(step_, t_);
     world_ = World{};
     world_.t = t_;
     world_.ego = ego_;

@@ -77,8 +77,12 @@ struct CampaignResult {
 };
 
 /// Runs the campaign matrix. Within a cell episodes run in parallel
-/// (threads as configured); cells run sequentially.
-CampaignResult run_fault_campaign(const CampaignConfig& config);
+/// (threads as configured); cells run sequentially. When \p trace_os is
+/// non-null every episode runs with an obs::Recorder mounted and the
+/// combined trace is written as JSONL in (cell-major, seed-minor) order
+/// — byte-identical across runs and thread counts like the CSV.
+CampaignResult run_fault_campaign(const CampaignConfig& config,
+                                  std::ostream* trace_os = nullptr);
 
 /// Serializes the campaign as a CSV (header + one row per cell, doubles
 /// at %.17g) — byte-stable across runs, threads and platforms with the

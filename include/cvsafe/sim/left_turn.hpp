@@ -95,6 +95,10 @@ class LeftTurnEpisode final : public Episode<scenario::LeftTurnWorld> {
   /// RunResult extra.
   void finalize(RunResult& result) const override;
 
+  /// Wires the recorder through the ego stack and the oncoming vehicle's
+  /// fault decorators (channel + sensor).
+  void attach_recorder(obs::Recorder* recorder) override;
+
   LeftTurnStack& stack() { return *stack_; }
   const LeftTurnStack& stack() const { return *stack_; }
 

@@ -132,6 +132,11 @@ class LeftTurnStack {
     return compound_;
   }
 
+  /// Wires a trace sink through the stack: monitor + ladder (compound
+  /// stacks) and the plausibility gate / Kalman filter of every
+  /// information filter. Pass nullptr to detach.
+  void attach_recorder(obs::Recorder* recorder);
+
  private:
   /// Builds the estimators and wraps \p inner per the configuration.
   void setup(std::shared_ptr<core::PlannerBase<scenario::LeftTurnWorld>>

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cvsafe/obs/jsonl.hpp"
+#include "cvsafe/obs/recorder.hpp"
+#include "cvsafe/sim/engine.hpp"
+
+/// \file trace.hpp
+/// Mounts an obs::Recorder into the closed-loop engine.
+///
+/// RecordingHook is the StepHook that (a) wires the recorder through the
+/// episode's control stack at episode start, (b) stamps the recorder's
+/// (step, t) context at the top of every observe phase, and (c) emits
+/// one StepEvent per control step (accel, emergency flag, eta margin =
+/// boundary slack s(t), ladder level).
+///
+/// Determinism across thread counts follows the campaign-CSV discipline:
+/// each episode owns a private Recorder, events buffer in memory, and
+/// run_traced_episodes serializes the buffers in seed order on the
+/// calling thread after the parallel region — so the JSONL bytes are a
+/// pure function of (adapter, seeds), never of scheduling.
+
+namespace cvsafe::sim {
+
+/// StepHook mounting a recorder into the engine phases. Optionally
+/// chains an inner hook so figure traces and recording can coexist.
+template <typename World>
+class RecordingHook final : public StepHook<World> {
+ public:
+  explicit RecordingHook(obs::Recorder* recorder,
+                         StepHook<World>* chained = nullptr)
+      : recorder_(recorder), chained_(chained) {}
+
+  void on_episode_start(Episode<World>& episode,
+                        std::uint64_t seed) override {
+    episode.attach_recorder(recorder_);
+    if (chained_ != nullptr) chained_->on_episode_start(episode, seed);
+  }
+
+  void on_step_begin(std::size_t step, double t) override {
+    recorder_->begin_step(step, t);
+    if (chained_ != nullptr) chained_->on_step_begin(step, t);
+  }
+
+  void on_step(std::size_t step, double t, const World& world,
+               const vehicle::VehicleState& ego, double a0, bool emergency,
+               const Episode<World>& episode) override {
+    double margin = 0.0;
+    int level = -1;
+    if (const auto* compound = episode.compound()) {
+      margin = compound->safety_model().boundary_slack(world);
+      if (compound->ladder()) {
+        level = static_cast<int>(compound->ladder()->level());
+      }
+    }
+    recorder_->step_summary(a0, emergency, margin, level);
+    if (chained_ != nullptr) {
+      chained_->on_step(step, t, world, ego, a0, emergency, episode);
+    }
+  }
+
+  void on_finish(const Episode<World>& episode) override {
+    if (chained_ != nullptr) chained_->on_finish(episode);
+  }
+
+ private:
+  obs::Recorder* recorder_;
+  StepHook<World>* chained_;
+};
+
+/// run_episode with \p recorder mounted; appends the episode_end event
+/// after the loop seals the result.
+template <typename World>
+RunResult run_traced_episode(const ScenarioAdapter<World>& adapter,
+                             std::uint64_t seed, obs::Recorder& recorder,
+                             StepHook<World>* chained = nullptr) {
+  RecordingHook<World> hook(&recorder, chained);
+  RunResult result = run_episode(adapter, seed, &hook);
+  recorder.begin_step(result.steps,
+                      static_cast<double>(result.steps) * adapter.run().dt_c);
+  recorder.episode_end(result.collided, result.reached, result.eta,
+                       result.steps);
+  return result;
+}
+
+/// run_episodes with per-episode recorders, serialized to \p os as JSONL
+/// in seed order after the parallel region — byte-identical across runs
+/// and thread counts. \p scenario_label defaults to the adapter's name;
+/// \p fault_label annotates campaign cells (empty = omitted).
+template <typename World>
+std::vector<RunResult> run_traced_episodes(
+    const ScenarioAdapter<World>& adapter, std::size_t n,
+    std::uint64_t base_seed, std::size_t threads, SeedPolicy policy,
+    std::ostream& os, std::string scenario_label = {},
+    std::string fault_label = {}) {
+  CVSAFE_EXPECTS(n > 0, "batch must contain at least one episode");
+  std::vector<RunResult> results(n);
+  std::vector<obs::Recorder> recorders(n);
+  util::parallel_for(
+      n,
+      [&](std::size_t i) {
+        recorders[i].set_enabled(true);
+        results[i] = run_traced_episode(
+            adapter, episode_seed(base_seed, i, policy), recorders[i]);
+      },
+      threads);
+  if (scenario_label.empty()) scenario_label = std::string(adapter.name());
+  for (std::size_t i = 0; i < n; ++i) {
+    obs::EpisodeLabel label;
+    label.episode = i;
+    label.seed = episode_seed(base_seed, i, policy);
+    label.scenario = scenario_label;
+    label.fault = fault_label;
+    obs::write_events_jsonl(os, recorders[i].events(), label,
+                            recorders[i].dropped());
+  }
+  return results;
+}
+
+}  // namespace cvsafe::sim

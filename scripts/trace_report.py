@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Summarize a cvsafe structured JSONL event trace.
+
+Reads the trace written by `cvsafe_cli run --trace out.jsonl` or
+`cvsafe_cli campaign --trace out.jsonl` (one JSON object per line, schema
+in docs/OBSERVABILITY.md) and prints:
+
+  * per-episode monitor switch counts and emergency occupancy,
+  * the degradation-ladder occupancy timeline (steps spent per level and
+    the transition edge list),
+  * the plausibility-gate rejection breakdown by reason code,
+  * fault-injection action counts by kind, Kalman rollback stats,
+  * episode outcomes (collisions, reach rate, eta range).
+
+Exit status: 0 on a well-formed trace, 1 on malformed lines or when any
+`trace_dropped` marker is present (a truncated trace must never pass
+silently), 2 on usage errors.
+
+    python3 scripts/trace_report.py campaign_trace.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import json
+import sys
+
+
+def episode_key(rec: dict) -> tuple:
+    return (rec.get("fault", ""), rec.get("scenario", ""), rec["ep"],
+            rec["seed"])
+
+
+def fmt_key(key: tuple) -> str:
+    fault, scenario, ep, seed = key
+    parts = []
+    if fault:
+        parts.append(f"fault={fault}")
+    if scenario:
+        parts.append(f"scenario={scenario}")
+    parts.append(f"ep={ep}")
+    parts.append(f"seed={seed}")
+    return " ".join(parts)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="JSONL trace file")
+    ap.add_argument("--max-episodes", type=int, default=20,
+                    help="cap on per-episode lines printed (default 20)")
+    args = ap.parse_args()
+
+    episodes: dict[tuple, collections.Counter] = collections.OrderedDict()
+    ladder_steps: collections.Counter = collections.Counter()
+    ladder_edges: collections.Counter = collections.Counter()
+    rejections: collections.Counter = collections.Counter()
+    faults: collections.Counter = collections.Counter()
+    rollbacks = 0
+    replayed = 0
+    outcomes: list[dict] = []
+    dropped_markers: list[tuple] = []
+    malformed = 0
+
+    try:
+        stream = open(args.trace, encoding="utf-8")
+    except OSError as e:
+        print(f"trace_report: {e}", file=sys.stderr)
+        return 2
+
+    with stream:
+        for line_no, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+                kind = rec["type"]
+                key = episode_key(rec)
+            except (json.JSONDecodeError, KeyError) as e:
+                print(f"{args.trace}:{line_no}: malformed line ({e})",
+                      file=sys.stderr)
+                malformed += 1
+                continue
+            per_ep = episodes.setdefault(key, collections.Counter())
+            per_ep[kind] += 1
+            if kind == "step":
+                if rec.get("emergency"):
+                    per_ep["emergency_steps"] += 1
+                level = rec.get("ladder_level", -1)
+                if level >= 0:
+                    ladder_steps[level] += 1
+            elif kind == "monitor":
+                if rec.get("to_emergency"):
+                    per_ep["switches_to_emergency"] += 1
+            elif kind == "ladder":
+                ladder_edges[(rec["from"], rec["to"])] += 1
+            elif kind == "gate_reject":
+                rejections[rec["reason"]] += 1
+            elif kind == "fault":
+                faults[rec["kind"]] += 1
+            elif kind == "kalman_rollback":
+                rollbacks += 1
+                replayed += rec.get("replayed", 0)
+            elif kind == "episode_end":
+                outcomes.append(rec)
+            elif kind == "trace_dropped":
+                dropped_markers.append(key)
+
+    print(f"trace      {args.trace}: {len(episodes)} episode(s)")
+
+    print("\nepisodes   (steps | switches->emergency | emergency steps)")
+    for i, (key, per_ep) in enumerate(episodes.items()):
+        if i >= args.max_episodes:
+            print(f"  ... {len(episodes) - args.max_episodes} more")
+            break
+        print(f"  {fmt_key(key)}: {per_ep['step']} steps | "
+              f"{per_ep['switches_to_emergency']} switches | "
+              f"{per_ep['emergency_steps']} emergency")
+
+    if ladder_steps or ladder_edges:
+        print("\nladder     occupancy (steps per level id, 0 = full) "
+              "and transition edges")
+        for level in sorted(ladder_steps):
+            print(f"  level {level}: {ladder_steps[level]} steps")
+        for (src, dst), n in sorted(ladder_edges.items()):
+            print(f"  {src} -> {dst}: {n} transition(s)")
+
+    if rejections:
+        print("\nrejections (plausibility gate, by reason)")
+        for reason, n in sorted(rejections.items()):
+            print(f"  {reason}: {n}")
+
+    if faults:
+        print("\nfaults     (injected actions by kind)")
+        for kind, n in sorted(faults.items()):
+            print(f"  {kind}: {n}")
+
+    if rollbacks:
+        print(f"\nrollbacks  {rollbacks} Kalman re-anchor(s), "
+              f"{replayed} sensor update(s) replayed")
+
+    if outcomes:
+        collided = sum(1 for o in outcomes if o.get("collided"))
+        reached = sum(1 for o in outcomes if o.get("reached"))
+        etas = [o["eta"] for o in outcomes if o.get("eta") is not None]
+        print(f"\noutcomes   {len(outcomes)} finished: {collided} collided, "
+              f"{reached} reached")
+        if etas:
+            print(f"           eta in [{min(etas):.4f}, {max(etas):.4f}]")
+
+    ok = True
+    if dropped_markers:
+        for key in dropped_markers:
+            print(f"trace_report: events dropped in {fmt_key(key)} "
+                  "(recorder cap hit)", file=sys.stderr)
+        ok = False
+    if malformed:
+        print(f"trace_report: {malformed} malformed line(s)",
+              file=sys.stderr)
+        ok = False
+    if not episodes:
+        print("trace_report: empty trace", file=sys.stderr)
+        ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

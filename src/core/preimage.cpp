@@ -1,5 +1,6 @@
 #include "cvsafe/core/preimage.hpp"
 
+#include "cvsafe/obs/profile.hpp"
 #include "cvsafe/util/contracts.hpp"
 #include "cvsafe/util/thread_pool.hpp"
 
@@ -39,6 +40,7 @@ PreimageResult compute_boundary_grid(const PreimageGrid& grid,
                                      const StepFn& step,
                                      const UnsafeFn& unsafe,
                                      const std::vector<double>& controls) {
+  CVSAFE_PROFILE_SPAN("preimage.grid");
   CVSAFE_EXPECTS(!controls.empty(), "boundary grid needs control samples");
   CVSAFE_EXPECTS(grid.nx > 0 && grid.nv > 0, "preimage grid must be non-empty");
   CVSAFE_EXPECTS(step != nullptr && unsafe != nullptr,
@@ -58,6 +60,7 @@ PreimageResult compute_boundary_grid(const PreimageGrid& grid,
 PreimageResult compute_boundary_grid_parallel(
     const PreimageGrid& grid, const StepFn& step, const UnsafeFn& unsafe,
     const std::vector<double>& controls, std::size_t threads) {
+  CVSAFE_PROFILE_SPAN("preimage.grid_parallel");
   CVSAFE_EXPECTS(!controls.empty(), "boundary grid needs control samples");
   CVSAFE_EXPECTS(grid.nx > 0 && grid.nv > 0, "preimage grid must be non-empty");
   CVSAFE_EXPECTS(step != nullptr && unsafe != nullptr,

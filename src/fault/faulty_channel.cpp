@@ -4,41 +4,55 @@ namespace cvsafe::fault {
 
 void FaultyChannel::offer_faulty(const comm::Message& msg, util::Rng& rng) {
   if (!inner_.admit(msg, rng)) return;
+  const auto trace = [&](obs::FaultKind kind, double value) {
+    if (obs::recording(recorder_)) recorder_->fault(kind, value);
+  };
   const double base_delivery = msg.stamp() + inner_.config().delay;
   const ChannelFaultModel& m = *model_;
   for (const auto& w : m.blackouts) {
     if (w.contains(msg.stamp())) {
       ++stats_.blackout_dropped;
+      trace(obs::FaultKind::kBlackoutDropped, msg.stamp());
       return;
     }
   }
   comm::Message out = msg;
   if (m.corrupt_prob > 0.0 && fault_rng_.bernoulli(m.corrupt_prob)) {
-    out.data.state.p +=
+    const double dp =
         fault_rng_.uniform(-m.corrupt_delta_p, m.corrupt_delta_p);
+    out.data.state.p += dp;
     out.data.state.v +=
         fault_rng_.uniform(-m.corrupt_delta_v, m.corrupt_delta_v);
     out.data.a += fault_rng_.uniform(-m.corrupt_delta_a, m.corrupt_delta_a);
     ++stats_.corrupted;
+    trace(obs::FaultKind::kCorrupted, dp);
   }
   if (m.stale_spoof_prob > 0.0 && fault_rng_.bernoulli(m.stale_spoof_prob)) {
-    out.data.t -= fault_rng_.uniform(0.0, m.stale_spoof_max);
+    const double rewind = fault_rng_.uniform(0.0, m.stale_spoof_max);
+    out.data.t -= rewind;
     ++stats_.stale_spoofed;
+    trace(obs::FaultKind::kStaleSpoofed, rewind);
   }
   double delivery = base_delivery;
   if (m.delay_jitter_max > 0.0) {
-    delivery += fault_rng_.uniform(0.0, m.delay_jitter_max);
+    const double jitter = fault_rng_.uniform(0.0, m.delay_jitter_max);
+    delivery += jitter;
     ++stats_.jittered;
+    trace(obs::FaultKind::kJittered, jitter);
   }
   if (m.reorder_prob > 0.0 && fault_rng_.bernoulli(m.reorder_prob)) {
-    delivery += fault_rng_.uniform(m.reorder_delay_min, m.reorder_delay_max);
+    const double extra =
+        fault_rng_.uniform(m.reorder_delay_min, m.reorder_delay_max);
+    delivery += extra;
     ++stats_.reordered;
+    trace(obs::FaultKind::kReordered, extra);
   }
   inner_.enqueue(out, delivery);
   if (m.duplicate_prob > 0.0 && fault_rng_.bernoulli(m.duplicate_prob)) {
-    inner_.enqueue(out,
-                   delivery + fault_rng_.uniform(0.0, m.duplicate_lag_max));
+    const double lag = fault_rng_.uniform(0.0, m.duplicate_lag_max);
+    inner_.enqueue(out, delivery + lag);
     ++stats_.duplicated;
+    trace(obs::FaultKind::kDuplicated, lag);
   }
 }
 

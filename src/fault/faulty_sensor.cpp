@@ -7,13 +7,18 @@ std::optional<sensing::SensorReading> FaultySensor::sense(
   auto reading = inner_.sense(truth, rng);
   if (!reading || !model_) return reading;
   const SensorFaultModel& m = *model_;
+  const auto trace = [&](obs::FaultKind kind, double value) {
+    if (obs::recording(recorder_)) recorder_->fault(kind, value);
+  };
   if (m.dropout_prob > 0.0 && fault_rng_.bernoulli(m.dropout_prob)) {
     ++stats_.dropped;
+    trace(obs::FaultKind::kSensorDropped, reading->t);
     return std::nullopt;
   }
   for (const auto& w : m.stuck) {
     if (w.contains(reading->t) && last_) {
       ++stats_.stuck;
+      trace(obs::FaultKind::kSensorStuck, reading->t - last_->t);
       sensing::SensorReading frozen = *last_;
       frozen.t = reading->t;  // keep time monotone for the Kalman filter
       return frozen;
@@ -21,8 +26,10 @@ std::optional<sensing::SensorReading> FaultySensor::sense(
   }
   // cvsafe-lint: allow(float-compare) exact-zero means "drift disabled"
   if (m.bias_drift_rate != 0.0) {
-    reading->p += m.bias_drift_rate * reading->t;
+    const double bias = m.bias_drift_rate * reading->t;
+    reading->p += bias;
     ++stats_.biased;
+    trace(obs::FaultKind::kSensorBiased, bias);
   }
   last_ = *reading;
   return reading;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cvsafe/obs/profile.hpp"
 #include "cvsafe/util/contracts.hpp"
 
 namespace cvsafe::filter {
@@ -106,6 +107,7 @@ void InformationFilter::on_message(const comm::Message& msg) {
 }
 
 StateEstimate InformationFilter::estimate(double t) const {
+  CVSAFE_PROFILE_SPAN("filter.estimate");
   StateEstimate est;
   est.t = t;
 

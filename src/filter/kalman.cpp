@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cvsafe/obs/profile.hpp"
 #include "cvsafe/util/contracts.hpp"
 
 namespace cvsafe::filter {
@@ -51,6 +52,7 @@ void KalmanFilter::predict(Vec2& x, Mat2& p, double dt, double a,
 }
 
 void KalmanFilter::update(const sensing::SensorReading& reading) {
+  CVSAFE_PROFILE_SPAN("kalman.update");
   CVSAFE_EXPECTS(!initialized_ || reading.t >= t_,
                  "sensor readings must arrive in time order");
   if (!initialized_) {
@@ -125,6 +127,7 @@ void KalmanFilter::correct_with_message(double t_k, double p, double v,
     // Replay nothing; history before t_k is now superseded.
     history_.clear();
     nis_.reset();
+    if (obs::recording(recorder_)) recorder_->rollback(t_k, 0);
     return;
   }
   // Rollback: restart from the exact message state at t_k and replay every
@@ -133,6 +136,10 @@ void KalmanFilter::correct_with_message(double t_k, double p, double v,
                          [&](const HistoryEntry& e) {
                            return e.reading.t > t_k + 1e-9;
                          });
+  if (obs::recording(recorder_)) {
+    recorder_->rollback(
+        t_k, static_cast<std::size_t>(std::distance(it, history_.end())));
+  }
   Vec2 x{p, v};
   Mat2 cov = Mat2::diagonal(1e-9, 1e-9);
   double t_cur = t_k;

@@ -56,27 +56,34 @@ std::optional<ScreenedMessage> PlausibilityGate::screen(
     const comm::Message& msg, const vehicle::VehicleLimits& limits,
     double newest_time, const std::optional<StateBounds>& fused,
     const KalmanFilter* kalman) {
-  const auto reject = [&](std::size_t& counter) -> std::optional<ScreenedMessage> {
+  const auto reject = [&](std::size_t& counter, obs::GateRejectReason reason)
+      -> std::optional<ScreenedMessage> {
     ++counter;
     // Suspect-hold anchors on the newest trusted time, never the payload
     // timestamp (which the rejected message may have spoofed).
     last_rejection_time_ = std::max(last_rejection_time_, newest_time);
+    if (obs::recording(recorder_)) {
+      recorder_->gate_rejection(msg.sender, reason, msg.stamp());
+    }
     return std::nullopt;
   };
 
-  if (!finite_payload(msg)) return reject(counters_.non_finite);
+  if (!finite_payload(msg)) {
+    return reject(counters_.non_finite, obs::GateRejectReason::kNonFinite);
+  }
 
   if (config_.check_range) {
     const double m = config_.range_margin;
     if (msg.data.state.v < limits.v_min - m ||
         msg.data.state.v > limits.v_max + m ||
         msg.data.a < limits.a_min - m || msg.data.a > limits.a_max + m) {
-      return reject(counters_.out_of_range);
+      return reject(counters_.out_of_range,
+                    obs::GateRejectReason::kOutOfRange);
     }
   }
 
   if (config_.max_age > 0.0 && newest_time - msg.stamp() > config_.max_age) {
-    return reject(counters_.stale);
+    return reject(counters_.stale, obs::GateRejectReason::kStale);
   }
 
   if (config_.bound_margin > 0.0 && fused) {
@@ -90,7 +97,8 @@ std::optional<ScreenedMessage> PlausibilityGate::screen(
         join_t, limits);
     if (!have.p.inflated(config_.bound_margin).intersects(claim.p) ||
         !have.v.inflated(config_.bound_margin).intersects(claim.v)) {
-      return reject(counters_.implausible);
+      return reject(counters_.implausible,
+                    obs::GateRejectReason::kImplausible);
     }
   }
 
@@ -108,7 +116,10 @@ std::optional<ScreenedMessage> PlausibilityGate::screen(
       const double nis = (s.d * y.x * y.x - (s.b + s.c) * y.x * y.y +
                           s.a * y.y * y.y) /
                          det;
-      if (nis > config_.nis_gate) return reject(counters_.implausible);
+      if (nis > config_.nis_gate) {
+        return reject(counters_.implausible,
+                      obs::GateRejectReason::kImplausible);
+      }
     }
   }
 

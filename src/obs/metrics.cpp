@@ -1,0 +1,205 @@
+#include "cvsafe/obs/metrics.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "cvsafe/obs/jsonl.hpp"
+#include "cvsafe/util/contracts.hpp"
+
+namespace cvsafe::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  CVSAFE_EXPECTS(std::is_sorted(bounds_.begin(), bounds_.end()),
+                 "histogram bounds must be sorted ascending");
+  counts_.assign(bounds_.size() + 1, 0);  // trailing slot is +Inf
+}
+
+void Histogram::observe(double v) {
+  if (counts_.empty()) counts_.assign(bounds_.size() + 1, 0);
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  ++counts_[i];
+  ++count_;
+  sum_ += v;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (counts_.empty()) counts_.assign(bounds_.size() + 1, 0);
+  CVSAFE_EXPECTS(bounds_ == other.bounds_,
+                 "cannot merge histograms with different bucket bounds");
+  for (std::size_t i = 0; i < counts_.size() && i < other.counts_.size();
+       ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(std::move(bounds))).first;
+  }
+  return it->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counters_[name].inc(c.value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    gauges_[name].set(g.value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, h);
+    } else {
+      it->second.merge(h);
+    }
+  }
+}
+
+namespace {
+
+/// Splits `name{label="x"}` into the bare metric name and the label body
+/// (empty when the name carries no labels).
+std::pair<std::string, std::string> split_labels(const std::string& name) {
+  const auto brace = name.find('{');
+  if (brace == std::string::npos) return {name, {}};
+  std::string labels = name.substr(brace + 1);
+  if (!labels.empty() && labels.back() == '}') labels.pop_back();
+  return {name.substr(0, brace), labels};
+}
+
+void append_type_line(std::string& out, std::string& last_base,
+                      const std::string& base, const char* kind) {
+  if (base == last_base) return;  // labeled variants share one TYPE line
+  last_base = base;
+  out += "# TYPE ";
+  out += base;
+  out += ' ';
+  out += kind;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string MetricsRegistry::prometheus_text() const {
+  std::string out;
+  std::string last_base;
+  for (const auto& [name, c] : counters_) {
+    append_type_line(out, last_base, split_labels(name).first, "counter");
+    out += name;
+    out += ' ';
+    out += std::to_string(c.value());
+    out += '\n';
+  }
+  last_base.clear();
+  for (const auto& [name, g] : gauges_) {
+    append_type_line(out, last_base, split_labels(name).first, "gauge");
+    out += name;
+    out += ' ';
+    append_json_double(out, g.value());
+    out += '\n';
+  }
+  last_base.clear();
+  for (const auto& [name, h] : histograms_) {
+    const auto [base, labels] = split_labels(name);
+    append_type_line(out, last_base, base, "histogram");
+    const auto bucket_line = [&](const std::string& le, std::uint64_t n) {
+      out += base;
+      out += "_bucket{";
+      if (!labels.empty()) {
+        out += labels;
+        out += ',';
+      }
+      out += "le=\"";
+      out += le;
+      out += "\"} ";
+      out += std::to_string(n);
+      out += '\n';
+    };
+    std::uint64_t cumulative = 0;
+    const auto& counts = h.counts();
+    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+      cumulative += i < counts.size() ? counts[i] : 0;
+      std::string le;
+      append_json_double(le, h.bounds()[i]);
+      bucket_line(le, cumulative);
+    }
+    bucket_line("+Inf", h.count());
+    out += base;
+    out += "_sum";
+    if (!labels.empty()) {
+      out += '{';
+      out += labels;
+      out += '}';
+    }
+    out += ' ';
+    append_json_double(out, h.sum());
+    out += '\n';
+    out += base;
+    out += "_count";
+    if (!labels.empty()) {
+      out += '{';
+      out += labels;
+      out += '}';
+    }
+    out += ' ';
+    out += std::to_string(h.count());
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsRegistry::csv() const {
+  std::string out = "kind,name,value\n";
+  const auto row = [&](const char* kind, const std::string& name,
+                       const std::string& value) {
+    out += kind;
+    out += ',';
+    out += '"';
+    out += name;
+    out += '"';
+    out += ',';
+    out += value;
+    out += '\n';
+  };
+  for (const auto& [name, c] : counters_) {
+    row("counter", name, std::to_string(c.value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::string v;
+    append_json_double(v, g.value());
+    row("gauge", name, v);
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::uint64_t cumulative = 0;
+    const auto& counts = h.counts();
+    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+      cumulative += i < counts.size() ? counts[i] : 0;
+      std::string le;
+      append_json_double(le, h.bounds()[i]);
+      row("histogram_bucket", name + "[le=" + le + "]",
+          std::to_string(cumulative));
+    }
+    row("histogram_bucket", name + "[le=+Inf]", std::to_string(h.count()));
+    std::string sum;
+    append_json_double(sum, h.sum());
+    row("histogram_sum", name, sum);
+    row("histogram_count", name, std::to_string(h.count()));
+  }
+  return out;
+}
+
+}  // namespace cvsafe::obs

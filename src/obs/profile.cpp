@@ -1,0 +1,86 @@
+#include "cvsafe/obs/profile.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <string_view>
+#include <tuple>
+
+namespace cvsafe::obs {
+
+namespace {
+
+std::uint32_t this_thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+Profiler& Profiler::instance() {
+  static Profiler profiler;
+  return profiler;
+}
+
+void Profiler::record(const char* name, std::uint64_t start_ns,
+                      std::uint64_t dur_ns) {
+  const std::uint32_t tid = this_thread_id();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= kMaxSpans) {
+    ++dropped_;
+    return;
+  }
+  spans_.push_back(SpanRecord{name, start_ns, dur_ns, tid});
+}
+
+std::vector<SpanRecord> Profiler::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::size_t Profiler::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void Profiler::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  dropped_ = 0;
+}
+
+std::string Profiler::chrome_trace_json() const {
+  std::vector<SpanRecord> sorted = spans();
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return std::make_tuple(a.start_ns, a.tid,
+                                     std::string_view(a.name)) <
+                     std::make_tuple(b.start_ns, b.tid,
+                                     std::string_view(b.name));
+            });
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const SpanRecord& s : sorted) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":\"";
+    out += s.name;
+    out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(s.tid);
+    // Chrome trace timestamps are microseconds; keep sub-us precision
+    // by emitting fractional values.
+    char buf[64];
+    std::snprintf(buf, sizeof(buf),
+                  ",\"ts\":%llu.%03llu,\"dur\":%llu.%03llu}",
+                  static_cast<unsigned long long>(s.start_ns / 1000),
+                  static_cast<unsigned long long>(s.start_ns % 1000),
+                  static_cast<unsigned long long>(s.dur_ns / 1000),
+                  static_cast<unsigned long long>(s.dur_ns % 1000));
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace cvsafe::obs

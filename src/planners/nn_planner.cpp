@@ -4,6 +4,8 @@
 #include <array>
 #include <cassert>
 
+#include "cvsafe/obs/profile.hpp"
+
 namespace cvsafe::planners {
 
 std::vector<double> InputEncoding::encode(double t, double p0, double v0,
@@ -41,6 +43,7 @@ NnPlanner::NnPlanner(std::shared_ptr<const nn::Mlp> net,
 }
 
 double NnPlanner::plan(const scenario::LeftTurnWorld& world) {
+  CVSAFE_PROFILE_SPAN("nn.plan");
   std::array<double, InputEncoding::dim()> x;
   encoding_.encode_into(world.t, world.ego.p, world.ego.v, world.tau1_nn, x);
   return net_->predict_scalar(x, workspace_);
@@ -48,6 +51,7 @@ double NnPlanner::plan(const scenario::LeftTurnWorld& world) {
 
 void NnPlanner::plan_batch(std::span<const scenario::LeftTurnWorld> worlds,
                            std::span<double> out) {
+  CVSAFE_PROFILE_SPAN("nn.plan_batch");
   assert(worlds.size() == out.size());
   if (worlds.empty()) return;
   nn::Matrix& in = workspace_.input(worlds.size(), InputEncoding::dim());

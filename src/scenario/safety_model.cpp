@@ -51,4 +51,8 @@ std::string LeftTurnSafetyModel::boundary_reason(
   return "slack band";
 }
 
+double LeftTurnSafetyModel::boundary_slack(const LeftTurnWorld& world) const {
+  return scenario_->slack(world.ego.p, world.ego.v);
+}
+
 }  // namespace cvsafe::scenario

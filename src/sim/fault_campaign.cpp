@@ -10,6 +10,7 @@
 #include "cvsafe/sim/lane_change.hpp"
 #include "cvsafe/sim/left_turn.hpp"
 #include "cvsafe/sim/multi_vehicle.hpp"
+#include "cvsafe/sim/trace.hpp"
 #include "cvsafe/util/contracts.hpp"
 
 namespace cvsafe::sim {
@@ -60,10 +61,28 @@ void harden(RunConfig& config, const FaultCondition& cond) {
   config.ladder = core::LadderConfig{};
 }
 
+/// One cell's episode batch, traced (recorder mounted, JSONL appended to
+/// \p trace in seed order) or plain.
+template <typename World>
+std::vector<RunResult> run_cell_episodes(const ScenarioAdapter<World>& adapter,
+                                         std::size_t episodes,
+                                         std::uint64_t seed,
+                                         std::size_t threads,
+                                         std::ostream* trace,
+                                         const std::string& fault_label) {
+  if (trace == nullptr) {
+    return run_episodes(adapter, episodes, seed, threads,
+                        SeedPolicy::kDerived);
+  }
+  return run_traced_episodes(adapter, episodes, seed, threads,
+                             SeedPolicy::kDerived, *trace,
+                             std::string(adapter.name()), fault_label);
+}
+
 std::vector<RunResult> run_cell(const std::string& scenario,
                                 const FaultCondition& cond,
                                 std::size_t episodes, std::uint64_t seed,
-                                std::size_t threads) {
+                                std::size_t threads, std::ostream* trace) {
   if (scenario == "left-turn") {
     LeftTurnSimConfig config = LeftTurnSimConfig::paper_defaults();
     harden(config, cond);
@@ -76,22 +95,22 @@ std::vector<RunResult> run_cell(const std::string& scenario,
     bp.config.gate = config.gate;
     bp.config.ladder = config.ladder;
     LeftTurnAdapter adapter(config, bp);
-    return run_episodes(adapter, episodes, seed, threads,
-                        SeedPolicy::kDerived);
+    return run_cell_episodes(adapter, episodes, seed, threads, trace,
+                             cond.label);
   }
   if (scenario == "lane-change") {
     LaneChangeSimConfig config;
     harden(config, cond);
     LaneChangeAdapter adapter(config, LaneChangePlannerConfig{});
-    return run_episodes(adapter, episodes, seed, threads,
-                        SeedPolicy::kDerived);
+    return run_cell_episodes(adapter, episodes, seed, threads, trace,
+                             cond.label);
   }
   if (scenario == "intersection") {
     IntersectionSimConfig config;
     harden(config, cond);
     IntersectionAdapter adapter(config, /*use_compound=*/true);
-    return run_episodes(adapter, episodes, seed, threads,
-                        SeedPolicy::kDerived);
+    return run_cell_episodes(adapter, episodes, seed, threads, trace,
+                             cond.label);
   }
   CVSAFE_EXPECTS(scenario == "multi-vehicle",
                  "unknown campaign scenario");
@@ -100,8 +119,8 @@ std::vector<RunResult> run_cell(const std::string& scenario,
   MultiAgentSetup setup;
   setup.scenario = config.make_scenario();  // net == nullptr -> expert
   MultiVehicleAdapter adapter(config, MultiVehicleConfig{}, setup);
-  return run_episodes(adapter, episodes, seed, threads,
-                      SeedPolicy::kDerived);
+  return run_cell_episodes(adapter, episodes, seed, threads, trace,
+                           cond.label);
 }
 
 CampaignCell aggregate(std::string fault, std::string scenario,
@@ -186,7 +205,8 @@ std::size_t CampaignResult::violations() const {
   return total;
 }
 
-CampaignResult run_fault_campaign(const CampaignConfig& config) {
+CampaignResult run_fault_campaign(const CampaignConfig& config,
+                                  std::ostream* trace_os) {
   config.validate();
   CampaignResult result;
   result.cells.reserve(config.faults.size() * config.scenarios.size());
@@ -197,7 +217,7 @@ CampaignResult run_fault_campaign(const CampaignConfig& config) {
           util::derive_seed(util::derive_seed(config.base_seed, fi), si);
       const auto episodes =
           run_cell(config.scenarios[si], cond, config.episodes_per_cell,
-                   cell_seed, config.threads);
+                   cell_seed, config.threads, trace_os);
       result.cells.push_back(
           aggregate(cond.label, config.scenarios[si], episodes));
     }

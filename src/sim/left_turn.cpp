@@ -108,6 +108,12 @@ void LeftTurnEpisode::finalize(RunResult& result) const {
   result.messages_rejected += rejected;
 }
 
+void LeftTurnEpisode::attach_recorder(obs::Recorder* recorder) {
+  stack_->attach_recorder(recorder);
+  c1_.channel.set_recorder(recorder);
+  c1_.sensor.set_recorder(recorder);
+}
+
 std::unique_ptr<Episode<scenario::LeftTurnWorld>>
 LeftTurnAdapter::make_episode(util::Rng& rng, std::size_t total_steps,
                               std::uint64_t seed) const {

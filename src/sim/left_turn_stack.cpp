@@ -151,6 +151,13 @@ std::vector<core::SwitchEvent> LeftTurnStack::switch_events() const {
                               : std::vector<core::SwitchEvent>{};
 }
 
+void LeftTurnStack::attach_recorder(obs::Recorder* recorder) {
+  if (compound_ != nullptr) compound_->set_recorder(recorder);
+  for (filter::InformationFilter* f : {nn_filter_, monitor_filter_}) {
+    if (f != nullptr) f->set_recorder(recorder);
+  }
+}
+
 std::pair<std::size_t, std::size_t> LeftTurnStack::message_tally() const {
   std::size_t accepted = 0;
   std::size_t rejected = 0;

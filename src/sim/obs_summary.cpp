@@ -1,0 +1,110 @@
+#include "cvsafe/sim/obs_summary.hpp"
+
+#include <cstdio>
+
+namespace cvsafe::sim {
+
+namespace {
+
+const std::vector<double>& eta_buckets() {
+  static const std::vector<double> buckets{-1.0, -0.5, -0.1, 0.0,
+                                           0.1,  0.25, 0.5,  0.75, 1.0};
+  return buckets;
+}
+
+const std::vector<double>& reach_time_buckets() {
+  static const std::vector<double> buckets{5.0,  10.0, 15.0, 20.0,
+                                           25.0, 30.0, 40.0};
+  return buckets;
+}
+
+std::string level_label(std::size_t level) {
+  std::string name = "cvsafe_ladder_steps_total{level=\"";
+  name += core::to_string(static_cast<core::DegradationLevel>(level));
+  name += "\"}";
+  return name;
+}
+
+}  // namespace
+
+void collect_run_metrics(obs::MetricsRegistry& reg, const RunResult& result) {
+  reg.counter("cvsafe_episodes_total").inc();
+  if (result.collided) reg.counter("cvsafe_collisions_total").inc();
+  if (result.reached) reg.counter("cvsafe_reached_total").inc();
+  reg.counter("cvsafe_steps_total").inc(result.steps);
+  reg.counter("cvsafe_emergency_steps_total").inc(result.emergency_steps);
+  for (std::size_t level = 0; level < result.ladder_steps.size(); ++level) {
+    if (result.ladder_steps[level] > 0) {
+      reg.counter(level_label(level)).inc(result.ladder_steps[level]);
+    }
+  }
+  reg.counter("cvsafe_ladder_transitions_total")
+      .inc(result.ladder_transitions);
+  reg.counter("cvsafe_messages_accepted_total")
+      .inc(result.messages_accepted);
+  reg.counter("cvsafe_messages_rejected_total")
+      .inc(result.messages_rejected);
+  reg.histogram("cvsafe_eta", eta_buckets()).observe(result.eta);
+  if (result.reached) {
+    reg.histogram("cvsafe_reach_time_seconds", reach_time_buckets())
+        .observe(result.reach_time);
+  }
+}
+
+void collect_metrics(obs::MetricsRegistry& reg,
+                     std::span<const RunResult> results) {
+  for (const RunResult& r : results) collect_run_metrics(reg, r);
+}
+
+void collect_campaign_metrics(obs::MetricsRegistry& reg,
+                              const CampaignResult& campaign) {
+  reg.counter("cvsafe_campaign_cells_total")
+      .inc(campaign.cells.size());
+  reg.counter("cvsafe_campaign_violations_total").inc(campaign.violations());
+  for (const CampaignCell& cell : campaign.cells) {
+    const std::string labels =
+        "{fault=\"" + cell.fault + "\",scenario=\"" + cell.scenario + "\"}";
+    reg.counter("cvsafe_episodes_total" + labels).inc(cell.episodes);
+    reg.counter("cvsafe_collisions_total" + labels).inc(cell.collisions);
+    reg.counter("cvsafe_reached_total" + labels).inc(cell.reached);
+    reg.counter("cvsafe_steps_total" + labels).inc(cell.steps);
+    reg.counter("cvsafe_emergency_steps_total" + labels)
+        .inc(cell.emergency_steps);
+    reg.counter("cvsafe_ladder_transitions_total" + labels)
+        .inc(cell.ladder_transitions);
+    reg.counter("cvsafe_messages_accepted_total" + labels)
+        .inc(cell.messages_accepted);
+    reg.counter("cvsafe_messages_rejected_total" + labels)
+        .inc(cell.messages_rejected);
+    reg.gauge("cvsafe_min_eta" + labels).set(cell.min_eta);
+  }
+}
+
+std::string run_summary_text(const RunResult& result) {
+  std::string out;
+  std::size_t ladder_total = 0;
+  for (const std::size_t steps : result.ladder_steps) ladder_total += steps;
+  if (ladder_total > 0) {
+    out += "ladder     ";
+    for (std::size_t level = 0; level < result.ladder_steps.size();
+         ++level) {
+      if (level > 0) out += " | ";
+      out += core::to_string(static_cast<core::DegradationLevel>(level));
+      out += ' ';
+      out += std::to_string(result.ladder_steps[level]);
+    }
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), " (%zu transitions)\n",
+                  result.ladder_transitions);
+    out += buf;
+  }
+  if (result.messages_accepted > 0 || result.messages_rejected > 0) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "messages   %zu accepted, %zu rejected\n",
+                  result.messages_accepted, result.messages_rejected);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace cvsafe::sim

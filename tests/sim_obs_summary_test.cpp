@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cvsafe/obs/metrics.hpp"
+#include "cvsafe/sim/fault_campaign.hpp"
+#include "cvsafe/sim/obs_summary.hpp"
+#include "cvsafe/sim/run_result.hpp"
+
+/// \file sim_obs_summary_test.cpp
+/// The result -> metrics bridge and the CLI run-summary text: the
+/// degradation-occupancy and message-tally lines the `run` command
+/// prints, the per-episode metric fold, and the shard-merge determinism
+/// that makes `--metrics` output thread-count independent.
+
+namespace cvsafe {
+namespace {
+
+sim::RunResult synthetic_result() {
+  sim::RunResult r;
+  r.reached = true;
+  r.reach_time = 12.5;
+  r.eta = 0.4;
+  r.steps = 250;
+  r.emergency_steps = 30;
+  r.ladder_steps = {100, 80, 50, 20};
+  r.ladder_transitions = 6;
+  r.messages_accepted = 180;
+  r.messages_rejected = 15;
+  return r;
+}
+
+// --- run_summary_text: the exact lines the CLI prints -----------------
+
+TEST(RunSummaryText, LadderOccupancyAndMessageTallies) {
+  EXPECT_EQ(sim::run_summary_text(synthetic_result()),
+            "ladder     full 100 | reach-only 80 | sensor-only 50 | "
+            "emergency-biased 20 (6 transitions)\n"
+            "messages   180 accepted, 15 rejected\n");
+}
+
+TEST(RunSummaryText, EmptyWhenNoLadderAndNoTraffic) {
+  EXPECT_EQ(sim::run_summary_text(sim::RunResult{}), "");
+}
+
+TEST(RunSummaryText, MessagesOnlyWhenLadderDisarmed) {
+  sim::RunResult r;
+  r.messages_accepted = 42;
+  r.messages_rejected = 0;
+  EXPECT_EQ(sim::run_summary_text(r), "messages   42 accepted, 0 rejected\n");
+}
+
+TEST(RunSummaryText, RejectionsAloneStillSurface) {
+  sim::RunResult r;
+  r.messages_rejected = 3;
+  EXPECT_EQ(sim::run_summary_text(r), "messages   0 accepted, 3 rejected\n");
+}
+
+// --- collect_run_metrics ----------------------------------------------
+
+TEST(CollectRunMetrics, FoldsOneEpisode) {
+  obs::MetricsRegistry reg;
+  sim::collect_run_metrics(reg, synthetic_result());
+  EXPECT_EQ(reg.counters().at("cvsafe_episodes_total").value(), 1u);
+  EXPECT_EQ(reg.counters().at("cvsafe_reached_total").value(), 1u);
+  EXPECT_EQ(reg.counters().count("cvsafe_collisions_total"), 0u);
+  EXPECT_EQ(reg.counters().at("cvsafe_steps_total").value(), 250u);
+  EXPECT_EQ(reg.counters().at("cvsafe_emergency_steps_total").value(), 30u);
+  EXPECT_EQ(reg.counters()
+                .at("cvsafe_ladder_steps_total{level=\"full\"}")
+                .value(),
+            100u);
+  EXPECT_EQ(reg.counters()
+                .at("cvsafe_ladder_steps_total{level=\"emergency-biased\"}")
+                .value(),
+            20u);
+  EXPECT_EQ(reg.counters().at("cvsafe_ladder_transitions_total").value(),
+            6u);
+  EXPECT_EQ(reg.counters().at("cvsafe_messages_accepted_total").value(),
+            180u);
+  EXPECT_EQ(reg.counters().at("cvsafe_messages_rejected_total").value(),
+            15u);
+  EXPECT_EQ(reg.histograms().at("cvsafe_eta").count(), 1u);
+  EXPECT_EQ(reg.histograms().at("cvsafe_reach_time_seconds").count(), 1u);
+  EXPECT_DOUBLE_EQ(reg.histograms().at("cvsafe_reach_time_seconds").sum(),
+                   12.5);
+}
+
+TEST(CollectRunMetrics, ReachTimeOnlyObservedWhenReached) {
+  obs::MetricsRegistry reg;
+  sim::RunResult r;
+  r.collided = true;
+  r.eta = -0.2;
+  r.steps = 10;
+  sim::collect_run_metrics(reg, r);
+  EXPECT_EQ(reg.counters().at("cvsafe_collisions_total").value(), 1u);
+  EXPECT_EQ(reg.histograms().count("cvsafe_reach_time_seconds"), 0u);
+  EXPECT_EQ(reg.histograms().at("cvsafe_eta").count(), 1u);
+}
+
+// --- shard merge determinism ------------------------------------------
+
+TEST(CollectRunMetrics, ShardedFoldMatchesSequentialFold) {
+  std::vector<sim::RunResult> results;
+  for (int i = 0; i < 6; ++i) {
+    sim::RunResult r = synthetic_result();
+    // Dyadic etas: the histogram-sum comparison must not hinge on FP
+    // addition order between the sequential and sharded folds.
+    r.eta = 0.25 * i - 0.5;
+    r.reached = i % 2 == 0;
+    r.steps = 100 + static_cast<std::size_t>(i);
+    results.push_back(r);
+  }
+
+  obs::MetricsRegistry sequential;
+  sim::collect_metrics(sequential, results);
+
+  // Two shards folded independently then merged, as a threaded run does.
+  obs::MetricsRegistry shard_a;
+  obs::MetricsRegistry shard_b;
+  sim::collect_metrics(shard_a, std::span(results).subspan(0, 3));
+  sim::collect_metrics(shard_b, std::span(results).subspan(3));
+  shard_a.merge(shard_b);
+
+  EXPECT_EQ(sequential.prometheus_text(), shard_a.prometheus_text());
+  EXPECT_EQ(sequential.csv(), shard_a.csv());
+}
+
+// --- campaign fold ----------------------------------------------------
+
+TEST(CollectCampaignMetrics, LabelsCellsByFaultAndScenario) {
+  sim::CampaignResult campaign;
+  sim::CampaignCell cell;
+  cell.fault = "blackout";
+  cell.scenario = "left-turn";
+  cell.episodes = 8;
+  cell.collisions = 0;
+  cell.reached = 7;
+  cell.steps = 2000;
+  cell.messages_rejected = 12;
+  cell.min_eta = 0.05;
+  campaign.cells.push_back(cell);
+  cell.fault = "corruption";
+  cell.collisions = 1;
+  campaign.cells.push_back(cell);
+
+  obs::MetricsRegistry reg;
+  sim::collect_campaign_metrics(reg, campaign);
+  EXPECT_EQ(reg.counters().at("cvsafe_campaign_cells_total").value(), 2u);
+  EXPECT_EQ(reg.counters().at("cvsafe_campaign_violations_total").value(),
+            1u);
+  const std::string labels =
+      "{fault=\"blackout\",scenario=\"left-turn\"}";
+  EXPECT_EQ(reg.counters().at("cvsafe_episodes_total" + labels).value(), 8u);
+  EXPECT_EQ(
+      reg.counters().at("cvsafe_messages_rejected_total" + labels).value(),
+      12u);
+  EXPECT_DOUBLE_EQ(reg.gauges().at("cvsafe_min_eta" + labels).value(), 0.05);
+  const std::string text = reg.prometheus_text();
+  // Labeled variants of one metric share a single TYPE line.
+  EXPECT_EQ(text.find("# TYPE cvsafe_episodes_total counter"),
+            text.rfind("# TYPE cvsafe_episodes_total counter"));
+}
+
+}  // namespace
+}  // namespace cvsafe

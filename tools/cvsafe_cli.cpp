@@ -28,7 +28,15 @@
 //   --seed N                 first seed                  (default 1)
 //   --sims N                 batch size / training size scale
 //   --threads N              worker threads (0 = hardware)
-//   --trace FILE             (run) per-step CSV trace
+//   --trace FILE             (run) per-step trace: structured JSONL event
+//                            trace when FILE ends in .jsonl, legacy CSV
+//                            otherwise; (campaign) structured JSONL trace
+//                            of every episode, cell-major seed-minor
+//   --metrics FILE           (run/campaign) metrics registry dump:
+//                            CSV when FILE ends in .csv, Prometheus text
+//                            otherwise
+//   --profile FILE           (run) Chrome trace-event JSON of the hot-path
+//                            profiling spans (open in Perfetto)
 //   --out DIR|FILE           (train) output directory; (campaign) CSV path
 //
 // Campaign options:
@@ -50,10 +58,15 @@
 #include "cvsafe/eval/config_io.hpp"
 #include "cvsafe/eval/experiments.hpp"
 #include "cvsafe/nn/serialize.hpp"
+#include "cvsafe/obs/metrics.hpp"
+#include "cvsafe/obs/profile.hpp"
 #include "cvsafe/sim/fault_campaign.hpp"
 #include "cvsafe/sim/intersection.hpp"
 #include "cvsafe/sim/lane_change.hpp"
+#include "cvsafe/sim/left_turn.hpp"
 #include "cvsafe/sim/multi_vehicle.hpp"
+#include "cvsafe/sim/obs_summary.hpp"
+#include "cvsafe/sim/trace.hpp"
 #include "cvsafe/util/csv.hpp"
 #include "cvsafe/util/table.hpp"
 #include "cvsafe/verify/certify.hpp"
@@ -99,6 +112,31 @@ Args parse_args(int argc, char** argv) {
     }
   }
   return args;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << text;
+  return true;
+}
+
+/// Dumps the registry as Prometheus text (or CSV for .csv paths) and
+/// prints the summary line. Shared by `run` and `campaign`.
+bool dump_metrics(const obs::MetricsRegistry& reg, const std::string& path) {
+  const std::string text =
+      ends_with(path, ".csv") ? reg.csv() : reg.prometheus_text();
+  if (!write_text_file(path, text)) return false;
+  std::printf("metrics    %s\n", path.c_str());
+  return true;
 }
 
 int usage() {
@@ -169,6 +207,7 @@ void print_result(const std::string& planner, const std::string& channel,
   if (r.reached) std::printf("t_r        %.3f s\n", r.reach_time);
   std::printf("eta        %.4f\n", r.eta);
   std::printf("emergency  %zu / %zu steps\n", r.emergency_steps, r.steps);
+  std::fputs(sim::run_summary_text(r).c_str(), stdout);
 }
 
 int print_stats(const std::string& title, const sim::BatchStats& stats) {
@@ -268,14 +307,36 @@ int cmd_run(const Args& args) {
     return run_other_scenario(scenario, args, /*batch=*/false);
   }
   const eval::SimConfig config = build_config(args);
-  const auto bp =
+  auto bp =
       eval::make_nn_blueprint(config, parse_style(args), parse_variant(args));
+  // The robustness posture of --faults (hardened gate, armed ladder)
+  // lives on the RunConfig; mirror it into the agent, as the campaign
+  // does. Defaults are identical, so this is a no-op without --faults.
+  bp.config.gate = config.gate;
+  bp.config.ladder = config.ladder;
   const auto seed = static_cast<std::uint64_t>(args.number("seed", 1));
 
-  eval::SimTrace trace;
   const bool want_trace = args.values.count("trace") > 0;
-  const eval::SimResult r = eval::run_left_turn_simulation(
-      config, bp, seed, want_trace ? &trace : nullptr);
+  const std::string trace_path = args.value("trace", "trace.csv");
+  const bool structured = want_trace && ends_with(trace_path, ".jsonl");
+  const bool want_profile = args.values.count("profile") > 0;
+  if (want_profile) {
+    obs::Profiler::instance().clear();
+    obs::Profiler::instance().set_enabled(true);
+  }
+
+  eval::SimTrace trace;
+  obs::Recorder recorder;
+  eval::SimResult r;
+  if (structured) {
+    recorder.set_enabled(true);
+    sim::LeftTurnAdapter adapter(config, bp);
+    r = sim::run_traced_episode(adapter, seed, recorder);
+  } else {
+    r = eval::run_left_turn_simulation(config, bp, seed,
+                                       want_trace ? &trace : nullptr);
+  }
+  if (want_profile) obs::Profiler::instance().set_enabled(false);
 
   std::printf("planner    %s\n", bp.name.c_str());
   std::printf("channel    %s, sensor delta %.2f\n",
@@ -286,12 +347,25 @@ int cmd_run(const Args& args) {
   if (r.reached) std::printf("t_r        %.3f s\n", r.reach_time);
   std::printf("eta        %.4f\n", r.eta);
   std::printf("emergency  %zu / %zu steps\n", r.emergency_steps, r.steps);
+  std::fputs(sim::run_summary_text(r).c_str(), stdout);
 
-  if (want_trace) {
-    const std::string path = args.value("trace", "trace.csv");
-    util::CsvWriter csv(path);
+  if (structured) {
+    std::ofstream out(trace_path, std::ios::binary);
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    obs::EpisodeLabel label;
+    label.seed = seed;
+    label.scenario = "left-turn";
+    obs::write_events_jsonl(out, recorder.events(), label,
+                            recorder.dropped());
+    std::printf("trace      %s (%zu events)\n", trace_path.c_str(),
+                recorder.events().size());
+  } else if (want_trace) {
+    util::CsvWriter csv(trace_path);
     if (!csv.ok()) {
-      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
       return 1;
     }
     csv.header({"t", "ego_p", "ego_v", "a_cmd", "c1_u", "c1_v", "emergency",
@@ -302,7 +376,22 @@ int cmd_run(const Args& args) {
                trace.c1[i].state.v, trace.emergency_flags[i] ? 1.0 : 0.0,
                trace.tau1_lo[i], trace.tau1_hi[i]});
     }
-    std::printf("trace      %s\n", path.c_str());
+    std::printf("trace      %s\n", trace_path.c_str());
+  }
+
+  if (args.values.count("metrics")) {
+    obs::MetricsRegistry reg;
+    sim::collect_run_metrics(reg, r);
+    if (!dump_metrics(reg, args.value("metrics", "run.prom"))) return 1;
+  }
+  if (want_profile) {
+    const std::string path = args.value("profile", "profile.json");
+    if (!write_text_file(path,
+                         obs::Profiler::instance().chrome_trace_json())) {
+      return 1;
+    }
+    std::printf("profile    %s (%zu spans)\n", path.c_str(),
+                obs::Profiler::instance().spans().size());
   }
   return r.collided ? 1 : 0;
 }
@@ -313,8 +402,10 @@ int cmd_batch(const Args& args) {
     return run_other_scenario(scenario, args, /*batch=*/true);
   }
   const eval::SimConfig config = build_config(args);
-  const auto bp =
+  auto bp =
       eval::make_nn_blueprint(config, parse_style(args), parse_variant(args));
+  bp.config.gate = config.gate;
+  bp.config.ladder = config.ladder;
   const auto n = static_cast<std::size_t>(args.number("sims", 500));
   const auto seed = static_cast<std::uint64_t>(args.number("seed", 1));
   const auto threads = static_cast<std::size_t>(args.number("threads", 0));
@@ -412,8 +503,31 @@ int cmd_campaign(const Args& args) {
   }
   config.threads = static_cast<std::size_t>(args.number("threads", 0));
 
-  const sim::CampaignResult result = sim::run_fault_campaign(config);
+  std::ofstream trace_out;
+  const bool want_trace = args.values.count("trace") > 0;
+  const std::string trace_path = args.value("trace", "campaign.jsonl");
+  if (want_trace) {
+    trace_out.open(trace_path, std::ios::binary);
+    if (!trace_out.good()) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+  }
+
+  const sim::CampaignResult result =
+      sim::run_fault_campaign(config, want_trace ? &trace_out : nullptr);
   const std::string csv = sim::campaign_csv(result);
+  if (want_trace) {
+    trace_out.close();
+    std::printf("trace      %s\n", trace_path.c_str());
+  }
+  if (args.values.count("metrics")) {
+    obs::MetricsRegistry reg;
+    sim::collect_campaign_metrics(reg, result);
+    if (!dump_metrics(reg, args.value("metrics", "campaign.prom"))) {
+      return 1;
+    }
+  }
 
   if (args.values.count("out")) {
     const std::string path = args.value("out", "campaign.csv");

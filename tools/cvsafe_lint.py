@@ -33,6 +33,15 @@ include/):
                      (filter/plausibility.hpp) before it is trusted, so
                      non-finite, implausible or spoofed values cannot
                      reach the estimators
+  no-raw-stream-logging
+                     library code under src/ must not write to
+                     std::cout/std::cerr (or the stdio print family)
+                     directly; diagnostics go through the obs recorder /
+                     metrics registry so output stays deterministic and
+                     machine-readable. Streaming into a caller-supplied
+                     std::ostream& is fine — the rule bans the process-
+                     global streams only. Annotate the rare legitimate
+                     site (e.g. the contract-failure abort path)
 
 A finding on a line that carries the annotation
     cvsafe-lint: allow(<rule>)
@@ -106,6 +115,16 @@ ADHOC_SIM_BANNED_DIRS = ("src/eval", "include/cvsafe/eval")
 RE_MSG_FIELD = re.compile(r"\.\s*data\s*\.|\.\s*stamp\s*\(")
 MSG_FIELD_BANNED_DIRS = ("src/filter", "include/cvsafe/filter")
 MSG_FIELD_EXEMPT_STEM = "plausibility"
+# Writes to the process-global streams. Qualified std::cout/cerr/clog and
+# std::printf-family calls, plus unqualified stdio calls; the lookbehind
+# keeps snprintf/vsnprintf (formatting into buffers, not streams) and
+# member calls like .inputs( out of scope.
+RE_RAW_STREAM = re.compile(
+    r"\bstd\s*::\s*(?:cout|cerr|clog|printf|fprintf|vfprintf|fputs|fputc"
+    r"|puts|putchar|perror)\b"
+    r"|(?<![\w:.])(?:printf|fprintf|vfprintf|fputs|fputc|puts|putchar"
+    r"|perror)\s*\("
+)
 RE_PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\b")
 RE_ALLOW = re.compile(r"cvsafe-lint:\s*allow\(([a-z0-9_,\- ]+)\)")
 RE_CLASS_DECL = re.compile(r"\b(?:class|struct)\s+(\w+)[^;{]*")
@@ -186,11 +205,13 @@ def allowed_rules(raw_line: str) -> set[str]:
 class FileLinter:
     def __init__(self, path: pathlib.Path, in_include_tree: bool,
                  adhoc_sim_banned: bool = False,
-                 msg_fields_banned: bool = False):
+                 msg_fields_banned: bool = False,
+                 raw_streams_banned: bool = False):
         self.path = path
         self.in_include_tree = in_include_tree
         self.adhoc_sim_banned = adhoc_sim_banned
         self.msg_fields_banned = msg_fields_banned
+        self.raw_streams_banned = raw_streams_banned
         self.raw = path.read_text(encoding="utf-8").splitlines()
         self.code = strip_comments_and_strings(self.raw)
         self.findings: list[Finding] = []
@@ -249,6 +270,11 @@ class FileLinter:
                             "direct Message payload access in filter code; "
                             "route payloads through the plausibility gate "
                             "(filter/plausibility.hpp)")
+            if self.raw_streams_banned and RE_RAW_STREAM.search(code):
+                self.report(line_no, "no-raw-stream-logging",
+                            "library code must not write to the global "
+                            "streams; emit through obs::Recorder / "
+                            "MetricsRegistry or take a std::ostream&")
             if is_header and self.in_include_tree:
                 if RE_IOSTREAM.search(code):
                     self.report(line_no, "no-iostream-header",
@@ -345,7 +371,8 @@ def lint_tree(root: pathlib.Path) -> list[Finding]:
                               MSG_FIELD_EXEMPT_STEM))
             linter = FileLinter(path, in_include_tree=(subdir == "include"),
                                 adhoc_sim_banned=banned,
-                                msg_fields_banned=msg_banned)
+                                msg_fields_banned=msg_banned,
+                                raw_streams_banned=(subdir == "src"))
             findings.extend(linter.run())
     return findings
 
