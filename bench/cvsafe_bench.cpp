@@ -11,6 +11,7 @@
 // just asserted.
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -33,6 +34,7 @@
 #include "cvsafe/fault/faulty_channel.hpp"
 #include "cvsafe/filter/kalman.hpp"
 #include "cvsafe/filter/reachability.hpp"
+#include "cvsafe/nn/interval_mlp.hpp"
 #include "cvsafe/nn/mlp.hpp"
 #include "cvsafe/nn/workspace.hpp"
 #include "cvsafe/obs/jsonl.hpp"
@@ -41,6 +43,7 @@
 #include "cvsafe/planners/nn_planner.hpp"
 #include "cvsafe/planners/training.hpp"
 #include "cvsafe/scenario/safety_model.hpp"
+#include "cvsafe/verify/sound.hpp"
 #include "support/legacy_reference.hpp"
 
 namespace {
@@ -627,6 +630,42 @@ std::vector<Bench> build_registry() {
                          }
                          g_sink = eta_sum / 8.0;
                          seed += 8;
+                       }
+                     });
+  }});
+
+  // One op = one outward-rounded interval forward pass over a unit box
+  // through the planner-sized net, reusing the IntervalWorkspace — the
+  // inner loop of the sound NN-bounds prover. Gated zero-alloc in CI:
+  // an allocation regression here multiplies across every B&B leaf.
+  benches.push_back({"nn_interval_forward", [](const Options& o) {
+    const nn::Mlp net = make_test_net();
+    std::array<util::Interval, 4> box{
+        util::Interval{-0.6, -0.4}, util::Interval{0.5, 0.7},
+        util::Interval{0.2, 0.4}, util::Interval{0.6, 0.8}};
+    nn::IntervalWorkspace iws;
+    return run_bench("nn_interval_forward", o.min_time_s,
+                     [&](std::uint64_t n) {
+                       for (std::uint64_t it = 0; it < n; ++it) {
+                         g_sink = nn::interval_predict_scalar(net, box, iws).lo;
+                       }
+                     });
+  }});
+
+  // One op = one full Eq. 4 branch-and-bound certification of the paper
+  // scenario (single-threaded so ns/op tracks prover arithmetic, not the
+  // pool). Tracks the end-to-end cost of the safety half of `certify`.
+  benches.push_back({"bnb_certify_smoke", [](const Options& o) {
+    const scenario::LeftTurnScenario scn(
+        scenario::LeftTurnGeometry{}, {0.0, 15.0, -6.0, 3.0},
+        {2.0, 15.0, -3.0, 3.0}, 0.05);
+    verify::SoundBnbOptions options;
+    options.threads = 1;
+    return run_bench("bnb_certify_smoke", o.min_time_s,
+                     [&](std::uint64_t n) {
+                       for (std::uint64_t it = 0; it < n; ++it) {
+                         const auto res = verify::certify_eq4_sound(scn, options);
+                         g_sink = static_cast<double>(res.leaves.size());
                        }
                      });
   }});

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "cvsafe/core/planner.hpp"
+#include "cvsafe/util/contracts.hpp"
+#include "cvsafe/util/interval.hpp"
+
+/// \file certified_bounds.hpp
+/// Runtime enforcement of statically certified planner output bounds.
+///
+/// The sound verifier (verify/sound.hpp, Theorem B) proves an interval
+/// hull that encloses every raw output the trained network can produce
+/// over its certified input domain. This decorator consumes that hull at
+/// runtime: any command outside it is — by the certificate — evidence
+/// that the deployed network, its weights, or its input pipeline differ
+/// from what was certified (bit rot, a stale model cache, an unverified
+/// retrain). The command is clamped to the certified range and the
+/// violation is counted, turning "the proof no longer matches the
+/// binary" into defined, observable behavior instead of an unbounded
+/// actuation request.
+///
+/// Composed inside the compound planner's kappa_n slot, the decorator is
+/// transparent when the certificate holds: certified networks never
+/// trigger it, so goldens are unchanged.
+
+namespace cvsafe::core {
+
+/// Wraps a planner and clamps its output to a certified interval.
+template <typename World>
+class CertifiedBoundsPlanner final : public PlannerBase<World> {
+ public:
+  /// \p bounds must be the non-empty certified hull (NnBoundsResult::hull
+  /// of a proved certificate).
+  CertifiedBoundsPlanner(std::shared_ptr<PlannerBase<World>> inner,
+                         util::Interval bounds)
+      : inner_(std::move(inner)), bounds_(bounds) {
+    CVSAFE_EXPECTS(inner_ != nullptr, "certified bounds need an inner planner");
+    CVSAFE_EXPECTS(!bounds_.empty(),
+                   "certified bounds must be a non-empty interval");
+    name_ = std::string("certified(") + std::string(inner_->name()) + ")";
+  }
+
+  double plan(const World& world) override {
+    const double a = inner_->plan(world);
+    if (bounds_.contains(a)) return a;
+    ++violations_;
+    return bounds_.clamp(a);
+  }
+
+  std::string_view name() const override { return name_; }
+
+  /// The certified output range being enforced.
+  const util::Interval& bounds() const { return bounds_; }
+
+  /// Number of commands that fell outside the certified hull — nonzero
+  /// means the deployed network is not the certified one.
+  std::size_t violations() const { return violations_; }
+
+ private:
+  std::shared_ptr<PlannerBase<World>> inner_;
+  util::Interval bounds_;
+  std::string name_;
+  std::size_t violations_ = 0;
+};
+
+}  // namespace cvsafe::core

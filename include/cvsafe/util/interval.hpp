@@ -17,9 +17,23 @@
 namespace cvsafe::util {
 
 /// A closed interval [lo, hi]. An interval with lo > hi is *empty*.
+///
+/// Invariant: endpoints are never NaN. A NaN endpoint would read as
+/// *non-empty* (NaN comparisons are false, so `lo > hi` fails) while
+/// containing nothing, silently voiding every downstream safety check —
+/// the constructor rejects it by contract. Infinite endpoints are fine.
 struct Interval {
   double lo = 0.0;
   double hi = 0.0;
+
+  Interval() = default;
+
+  /// Constructs [lo, hi] (empty when lo > hi). NaN endpoints violate the
+  /// contract; every factory and operation below funnels through here.
+  Interval(double lo_in, double hi_in) : lo(lo_in), hi(hi_in) {
+    CVSAFE_EXPECTS(!std::isnan(lo) && !std::isnan(hi),
+                   "interval endpoints must not be NaN");
+  }
 
   /// The canonical empty interval.
   static Interval empty_interval() {
@@ -29,7 +43,8 @@ struct Interval {
   /// Interval containing a single point.
   static Interval point(double x) { return Interval{x, x}; }
 
-  /// Interval [center - radius, center + radius]. Requires radius >= 0.
+  /// Interval [center - radius, center + radius]. Requires radius >= 0
+  /// (so the result is never empty: a zero radius yields a point).
   static Interval centered(double center, double radius) {
     CVSAFE_EXPECTS(radius >= 0.0, "centered interval needs radius >= 0");
     return Interval{center - radius, center + radius};
@@ -41,7 +56,11 @@ struct Interval {
   /// True iff the interval contains no points (lo > hi).
   bool empty() const { return lo > hi; }
 
-  /// Width hi - lo; 0 for empty intervals.
+  /// Width hi - lo. For empty intervals the width is defined as 0 — NOT
+  /// the (negative) endpoint difference — so accumulating widths over a
+  /// partition that contains empty cells stays monotone. Pinned by
+  /// util_interval_test.cpp; the sound verifier's bisection termination
+  /// test relies on it.
   double width() const { return empty() ? 0.0 : hi - lo; }
 
   /// Midpoint (lo + hi) / 2. Requires non-empty.

@@ -1,0 +1,187 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cvsafe/nn/mlp.hpp"
+#include "cvsafe/planners/nn_planner.hpp"
+#include "cvsafe/scenario/left_turn.hpp"
+#include "cvsafe/util/interval.hpp"
+
+/// \file sound.hpp
+/// Sound (proof-producing) certification of the left-turn safety theorem
+/// and of the trained NN planner — the static-analysis counterpart of the
+/// sampling-based checks in certify.hpp.
+///
+/// Two theorems are established by branch-and-bound over boxes, with every
+/// numeric bound computed in outward-rounded interval arithmetic
+/// (util/rounded_interval.hpp), so floating point can widen but never
+/// falsify a certified inequality:
+///
+/// THEOREM A (Eq. 4, slack band, window-free form). Parameterize the
+/// pre-zone band by (v0, s) with s = slack of Eq. 5 — so every analyzed
+/// state satisfies s >= 0 *by construction* and p0 = p_f - d_b(v0) - s.
+/// For every (v0, s) in [0, v_max] x [0, s_max] the ideal emergency
+/// command a* = max(a_min, -v0^2 / (2 gap)) keeps the one-step successor's
+/// slack non-negative. Since membership in X_u (Eq. 6) requires *negative*
+/// slack, the successor is outside X_u for EVERY oncoming window tau_1 —
+/// which is why the certified statement needs no window dimensions: it is
+/// strictly stronger than Eq. 4 restricted to the band.
+///
+/// Per-leaf discharge rules:
+///  * kMargin — the numeric rule. The no-stop successor's slack is
+///    evaluated with directed rounding over the leaf box and its lower
+///    bound is >= 0. This is a machine-checked strict inequality; the
+///    independent checker recomputes it from the leaf box alone.
+///  * kLemma — the boundary rule. On the manifold s = 0 Eq. 4 is *tight*
+///    (the successor's slack is exactly 0 in real arithmetic), so no
+///    outward-rounded evaluation can certify a strict margin there; leaves
+///    whose widths reach min_width fall back to the exact-braking
+///    invariance lemma: along a constant-a trajectory the quantity
+///    gap(t) - v(t)^2/(2|a|) is conserved, and |a*| >= v0^2/(2 gap) by
+///    construction, so slack stays >= 0 (docs/CERTIFICATION.md carries the
+///    two-line proof). Stopping successors (the vehicle halts within the
+///    step) are covered by the same lemma on every leaf: they halt at or
+///    before the front line.
+///
+/// THEOREM B (certified kappa_n output bounds, ShieldNN-style). Over an
+/// encoded input domain covering the aggressive-window planner view
+/// (positions up to the back line, all speeds, all admissible relative
+/// windows — a box superset of X_u,aggr's image under the input
+/// encoding), the interval MLP pass (nn/interval_mlp.hpp) bounds the
+/// network output on every leaf; bisection continues until the leaf
+/// enclosure fits the assertion range and the target width. The union of
+/// leaf enclosures is a certified global hull for the raw (pre-clamp)
+/// planner command; core/certified_bounds.hpp consumes it at runtime.
+///
+/// Determinism. The search runs breadth-first: each level's boxes are
+/// expanded in parallel into index-addressed slots, so the leaf list —
+/// and therefore the certificate artifact — is byte-identical across
+/// runs and thread counts. All certified arithmetic lives in translation
+/// units compiled with -ffp-contract=off and avoids libm transcendentals
+/// (the tanh enclosure is built on fast_tanh), so the artifact is also
+/// stable across toolchains.
+
+namespace cvsafe::obs {
+class MetricsRegistry;
+}  // namespace cvsafe::obs
+
+namespace cvsafe::verify {
+
+/// Branch-and-bound tuning. Defaults prove the paper configuration in
+/// well under a second for Eq. 4 and a few seconds for the NN bounds.
+struct SoundBnbOptions {
+  std::size_t max_depth = 22;       ///< hard bisection depth cap
+  double min_width = 0x1p-8;        ///< Eq. 4: scaled width floor before the
+                                    ///< boundary lemma may discharge a leaf
+  double nn_target_width = 28.0;    ///< Theorem B: stop refining a leaf once
+                                    ///< its output enclosure is this tight
+  double nn_min_box_width = 0x1p-3; ///< Theorem B: scaled box width floor
+  util::Interval nn_assert{-32.0, 32.0};  ///< asserted raw-output range
+  std::size_t threads = 0;        ///< worker threads (0 = hardware)
+  obs::MetricsRegistry* metrics = nullptr;  ///< optional prover counters
+};
+
+/// How one Eq. 4 leaf was discharged.
+enum class Eq4Rule : std::uint8_t {
+  kMargin = 0,  ///< directed-rounding numeric margin (strict)
+  kLemma = 1,   ///< exact-braking invariance lemma (boundary / stopping)
+};
+
+/// One leaf of the Theorem A proof tree.
+struct Eq4LeafProof {
+  std::string path;        ///< bisection path from the root ('0'/'1')
+  util::Interval v;        ///< ego speed box [m/s]
+  util::Interval s;        ///< slack box [m]
+  Eq4Rule rule = Eq4Rule::kMargin;
+  double slack_next_lb = 0.0;  ///< certified lower bound (kMargin only)
+};
+
+/// Theorem A outcome.
+struct Eq4SoundResult {
+  bool proved = false;
+  util::Interval v_domain;  ///< certified speed range
+  util::Interval s_domain;  ///< certified slack range
+  std::vector<Eq4LeafProof> leaves;
+  std::size_t margin_leaves = 0;  ///< leaves discharged numerically
+  std::size_t lemma_leaves = 0;   ///< boundary leaves
+  std::size_t max_depth_reached = 0;
+};
+
+/// One leaf of the Theorem B proof tree.
+struct NnLeafProof {
+  std::string path;
+  std::array<util::Interval, 4> box;  ///< encoded-input sub-box
+  util::Interval out;                 ///< certified output enclosure
+};
+
+/// Theorem B outcome.
+struct NnBoundsResult {
+  bool proved = false;                     ///< every leaf inside the assert
+  util::Interval assert_range;
+  util::Interval hull;                     ///< union of leaf enclosures
+  std::array<util::Interval, 4> domain;    ///< encoded root box
+  std::vector<NnLeafProof> leaves;
+  std::size_t max_depth_reached = 0;
+};
+
+/// Raw-coordinate input domain for Theorem B; encoded through the
+/// planner's InputEncoding (directed rounding) into the root box.
+struct NnInputDomain {
+  util::Interval p0;     ///< ego position [m]
+  util::Interval v0;     ///< ego speed [m/s]
+  util::Interval w_rel;  ///< relative window endpoints [s] (both share it)
+
+  /// The planner view the monitor certifies: positions from the start
+  /// line to the back line, the full actuation speed range, and every
+  /// admissible clamped relative window — a box superset of the encoded
+  /// image of X_u,aggr.
+  static NnInputDomain planner_view(const scenario::LeftTurnScenario& scn,
+                                    const planners::InputEncoding& enc);
+};
+
+/// Proves Theorem A for \p scenario (requires ego v_min == 0, the paper's
+/// left-turn actuation floor — the band parameterization leans on it).
+Eq4SoundResult certify_eq4_sound(const scenario::LeftTurnScenario& scenario,
+                                 const SoundBnbOptions& options = {});
+
+/// Proves Theorem B for \p net over \p domain.
+NnBoundsResult certify_nn_bounds_sound(const nn::Mlp& net,
+                                       const planners::InputEncoding& encoding,
+                                       const NnInputDomain& domain,
+                                       const SoundBnbOptions& options = {});
+
+/// The full machine-checkable artifact.
+struct SoundCertificate {
+  Eq4SoundResult eq4;
+  NnBoundsResult nn;
+  std::string net_hash;     ///< FNV-1a of the serialized network
+  std::string config_hash;  ///< FNV-1a of the scenario/options fields
+
+  bool proved() const { return eq4.proved && nn.proved; }
+};
+
+/// Runs both theorems and assembles the certificate.
+SoundCertificate certify_sound(const scenario::LeftTurnScenario& scenario,
+                               const nn::Mlp& net,
+                               const planners::InputEncoding& encoding,
+                               const SoundBnbOptions& options = {});
+
+/// Deterministic JSON rendering (hexfloat doubles, fixed key order, no
+/// locale dependence); scripts/check_certificate.py consumes this. The
+/// network weights are embedded (hexfloat) so the checker can re-prove
+/// Theorem B without access to the model cache.
+std::string certificate_json(const SoundCertificate& cert,
+                             const scenario::LeftTurnScenario& scenario,
+                             const nn::Mlp& net,
+                             const planners::InputEncoding& encoding,
+                             const SoundBnbOptions& options);
+
+/// FNV-1a 64-bit over a byte string, rendered as 16 hex digits (the
+/// certificate's self-hash and the network fingerprint use it).
+std::string fnv1a_hex(const std::string& bytes);
+
+}  // namespace cvsafe::verify

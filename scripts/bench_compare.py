@@ -18,6 +18,15 @@ baseline's hardware:
         --require-speedup boundary_grid_serial:boundary_grid_incremental:3 \
         --require-zero-alloc mlp_forward_workspace
 
+--require-max-ratio is the inverse gate: it bounds how much slower NUM may
+be than DEN (fail if ns/op(NUM) / ns/op(DEN) > LIMIT). Used to pin the
+sound interval forward pass to a sane multiple of the concrete forward
+pass — an accidental per-call allocation or complexity blowup in the
+interval kernels trips it long before wall-clock times look suspicious:
+
+    bench_compare.py BENCH_micro.json \
+        --require-max-ratio nn_interval_forward:mlp_forward_workspace:30
+
 Exit status is non-zero if any gate or regression check fails.
 """
 
@@ -59,6 +68,14 @@ def main() -> int:
         default=[],
         metavar="OLD:NEW:FACTOR",
         help="fail unless ns/op(OLD) / ns/op(NEW) >= FACTOR",
+    )
+    ap.add_argument(
+        "--require-max-ratio",
+        action="append",
+        default=[],
+        metavar="NUM:DEN:LIMIT",
+        help="fail if ns/op(NUM) / ns/op(DEN) > LIMIT (both from the new "
+        "file; bounds an acceptable overhead multiple)",
     )
     ap.add_argument(
         "--require-zero-alloc",
@@ -104,6 +121,22 @@ def main() -> int:
         print(
             f"speedup {old_name} -> {new_name}: {ratio:.2f}x "
             f"(required {factor:.2f}x) {'ok' if ok else 'FAIL'}"
+        )
+        failed |= not ok
+
+    for spec in args.require_max_ratio:
+        try:
+            num_name, den_name, limit_s = spec.split(":")
+            limit = float(limit_s)
+        except ValueError:
+            sys.exit(f"bad --require-max-ratio spec {spec!r}, want NUM:DEN:LIMIT")
+        num = lookup(new, num_name, new_path)["ns_per_op"]
+        den = lookup(new, den_name, new_path)["ns_per_op"]
+        ratio = num / den if den > 0 else float("inf")
+        ok = ratio <= limit
+        print(
+            f"max-ratio {num_name} / {den_name}: {ratio:.2f}x "
+            f"(limit {limit:.2f}x) {'ok' if ok else 'FAIL'}"
         )
         failed |= not ok
 

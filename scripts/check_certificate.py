@@ -1,0 +1,593 @@
+#!/usr/bin/env python3
+"""Independent re-checker for cvsafe sound certificates.
+
+Revalidates a certificate produced by `cvsafe_cli certify --cert FILE`
+using nothing but the Python standard library — a second, independent
+implementation of every numeric rule the prover used, so a bug (or a
+forgery) in the C++ prover cannot silently survive:
+
+  1. self-hash      — FNV-1a over the artifact body matches.
+  2. domains        — the proof-tree root boxes are re-derived from the
+                      scenario/encoding sections (bit-exact).
+  3. tiling         — every leaf path is re-walked from the root with the
+                      prover's deterministic split rule; the reconstructed
+                      box must equal the recorded one bit for bit, the
+                      path set must be prefix-free and measure-complete
+                      (sum of 2^-len == 1), so the leaves exactly
+                      partition the domain.
+  4. Eq. 4 margin   — each numeric leaf's successor-slack lower bound is
+                      recomputed with directed rounding (math.nextafter
+                      mirrors the C++ ops exactly: both are IEEE-754
+                      doubles) and must match the claim bit for bit and
+                      be >= 0.
+  5. Eq. 4 lemma    — each lemma leaf must satisfy a discharge
+                      precondition: all states stop within the step, or
+                      the box has reached the width floor / depth cap
+                      (the invariance lemma of docs/CERTIFICATION.md
+                      covers it analytically).
+  6. NN bounds      — an independent interval forward pass through the
+                      embedded network (math.tanh with the checker's own,
+                      larger, error margin) re-proves every leaf
+                      enclosure inside the assert range; the claimed leaf
+                      enclosures must agree with the checker's to within
+                      a tolerance that the implementation differences
+                      cannot exceed, and a concrete midpoint evaluation
+                      must land inside each claimed enclosure.
+  7. hull           — the certified hull is exactly the union of the
+                      claimed leaf enclosures, and counters match.
+
+Exit status 0 iff every check passes. Any mismatch — including a single
+falsified leaf bound — is reported and fails the run.
+
+Usage:  python3 scripts/check_certificate.py CERT.json [-v]
+"""
+
+import argparse
+import json
+import math
+import sys
+from fractions import Fraction
+
+INF = math.inf
+
+# The checker's own tanh enclosure margin. Larger than the prover's
+# 2^-48: it must absorb |math.tanh - tanh| (~1 ulp), |fast_tanh - tanh|
+# (<= 4 ulp, validated in-tree), and the prover's margin itself, so the
+# checker's enclosure is a superset of the prover's up to the agreement
+# tolerance below.
+TANH_MARGIN = 2.0 ** -45
+
+# Endpoint agreement tolerance between the prover's leaf enclosures and
+# the checker's. The only divergence source is the tanh margin gap
+# (~2^-45 per neuron) amplified by the layer weights; 1e-9 is orders of
+# magnitude above the worst case and orders below any real falsification.
+AGREE_TOL = 1e-9
+
+FORMAT = "cvsafe-sound-certificate v1"
+
+
+# --------------------------------------------------------------------------
+# Directed interval arithmetic mirroring include/cvsafe/util/rounded_interval.hpp
+# bit for bit. Intervals are (lo, hi) tuples; None is the empty interval.
+# --------------------------------------------------------------------------
+
+def prv(x):
+    return x if x == -INF else math.nextafter(x, -INF)
+
+
+def nxt(x):
+    return x if x == INF else math.nextafter(x, INF)
+
+
+def i_add(a, b):
+    if a is None or b is None:
+        return None
+    return (prv(a[0] + b[0]), nxt(a[1] + b[1]))
+
+
+def i_sub(a, b):
+    if a is None or b is None:
+        return None
+    return (prv(a[0] - b[1]), nxt(a[1] - b[0]))
+
+
+def i_mul(a, b):
+    if a is None or b is None:
+        return None
+    c = (a[0] * b[0], a[0] * b[1], a[1] * b[0], a[1] * b[1])
+    return (prv(min(c)), nxt(max(c)))
+
+
+def i_scale(a, s):
+    if a is None:
+        return None
+    if s >= 0.0:
+        return (prv(a[0] * s), nxt(a[1] * s))
+    return (prv(a[1] * s), nxt(a[0] * s))
+
+
+def i_div_scalar(a, s):
+    if a is None:
+        return None
+    if s > 0.0:
+        return (prv(a[0] / s), nxt(a[1] / s))
+    return (prv(a[1] / s), nxt(a[0] / s))
+
+
+def i_sqr(a):
+    if a is None:
+        return None
+    m1, m2 = a[0] * a[0], a[1] * a[1]
+    if a[0] >= 0.0:
+        return (prv(m1), nxt(m2))
+    if a[1] <= 0.0:
+        return (prv(m2), nxt(m1))
+    return (0.0, nxt(max(m1, m2)))
+
+
+def i_intersect(a, b):
+    if a is None or b is None:
+        return None
+    lo, hi = max(a[0], b[0]), min(a[1], b[1])
+    return None if lo > hi else (lo, hi)
+
+
+def i_width(a):
+    return 0.0 if a is None else a[1] - a[0]
+
+
+# --------------------------------------------------------------------------
+# Certificate parsing.
+# --------------------------------------------------------------------------
+
+def hx(s):
+    """Parses the certificate's lossless hexfloat string rendering."""
+    if s == "inf":
+        return INF
+    if s == "-inf":
+        return -INF
+    return float.fromhex(s)
+
+
+def hx_iv(pair):
+    return (hx(pair[0]), hx(pair[1]))
+
+
+def fnv1a_hex(data):
+    h = 0xCBF29CE484222325
+    for byte in data:
+        h ^= byte
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return format(h, "016x")
+
+
+class CheckFailure(Exception):
+    pass
+
+
+class Checker:
+    def __init__(self, verbose=False):
+        self.verbose = verbose
+        self.failures = []
+
+    def fail(self, what):
+        self.failures.append(what)
+
+    def note(self, what):
+        if self.verbose:
+            print("  " + what)
+
+    # -- shared tree helpers ------------------------------------------------
+
+    @staticmethod
+    def widest_scaled_axis(box, domain_width):
+        """Mirror of the prover's deterministic split-axis rule."""
+        axis, best = 0, -1.0
+        for i, iv in enumerate(box):
+            w = i_width(iv) / domain_width[i] if domain_width[i] > 0.0 else 0.0
+            if w > best:
+                best, axis = w, i
+        return axis
+
+    def walk_path(self, root, domain_width, path):
+        """Re-derives a leaf box from the root by replaying the split rule."""
+        box = list(root)
+        for bit in path:
+            axis = self.widest_scaled_axis(box, domain_width)
+            lo, hi = box[axis]
+            mid = 0.5 * (lo + hi)
+            box[axis] = (lo, mid) if bit == "0" else (mid, hi)
+        return box
+
+    def check_tiling(self, label, leaves, root, domain_width, box_of):
+        paths = [leaf["path"] for leaf in leaves]
+        ordered = sorted(paths)
+        for a, b in zip(ordered, ordered[1:]):
+            if b.startswith(a):
+                self.fail(f"{label}: path {b!r} overlaps leaf {a!r}")
+        measure = sum(Fraction(1, 2 ** len(p)) for p in paths)
+        if measure != 1:
+            self.fail(f"{label}: leaf paths cover measure {measure}, not 1")
+        for leaf in leaves:
+            derived = self.walk_path(root, domain_width, leaf["path"])
+            recorded = box_of(leaf)
+            if derived != recorded:
+                self.fail(
+                    f"{label}: leaf {leaf['path']!r} box does not match the "
+                    f"deterministic split replay: {recorded} != {derived}")
+        self.note(f"{label}: {len(leaves)} leaves tile the domain")
+
+    # -- Eq. 4 --------------------------------------------------------------
+
+    def eval_eq4_box(self, c, v, s):
+        """Bit-exact mirror of the prover's eval_eq4_box."""
+        a_min, two_am, dt = c
+
+        # q upper bound at (v.hi, s.lo).
+        if v[1] == 0.0:
+            q_up = 0.0
+        else:
+            u_up = nxt(v[1] * v[1])
+            u_dn = prv(v[1] * v[1])
+            db_dn = prv(u_dn / two_am)
+            den_dn = 2.0 * prv(db_dn + s[0])
+            q_up = -a_min if den_dn <= 0.0 else min(-a_min, nxt(u_up / den_dn))
+        # q lower bound at (v.lo, s.hi).
+        if v[0] == 0.0:
+            q_dn = 0.0
+        else:
+            u_dn = prv(v[0] * v[0])
+            u_up = nxt(v[0] * v[0])
+            db_up = nxt(u_up / two_am)
+            den_up = 2.0 * nxt(db_up + s[1])
+            q_dn = 0.0 if den_up <= 0.0 else max(0.0, prv(u_dn / den_up))
+
+        a = (max(a_min, -q_up), -q_dn)
+        dt_i = (dt, dt)
+        vn = i_add(v, i_mul(a, dt_i))
+        vn_pos = i_intersect(vn, (0.0, INF))
+        if vn_pos is None:
+            return {"all_stopping": True, "margin_ok": False, "lb": 0.0}
+
+        bd = i_div_scalar(i_sqr(v), two_am)
+        gap = i_add(bd, s)
+        half_dt2 = i_scale(i_mul(dt_i, dt_i), 0.5)
+        disp = i_add(i_mul(v, dt_i), i_mul(a, half_dt2))
+        bd_next = i_div_scalar(i_sqr(vn_pos), two_am)
+        slack_next = i_sub(i_sub(gap, disp), bd_next)
+        return {
+            "all_stopping": False,
+            "margin_ok": slack_next[0] >= 0.0,
+            "lb": slack_next[0],
+        }
+
+    def check_eq4(self, cert):
+        scn = cert["scenario"]
+        opts = cert["options"]
+        eq4 = cert["eq4"]
+        a_min = hx(scn["a_min"])
+        consts = (a_min, -2.0 * a_min, hx(scn["dt_c"]))
+        v_max = hx(scn["v_max"])
+        s_max = hx(scn["ego_front"]) - hx(scn["ego_start"])
+        min_width = hx(opts["min_width"])
+        max_depth = opts["max_depth"]
+
+        if not eq4["proved"]:
+            self.fail("eq4: certificate does not claim a proof")
+        if hx_iv(eq4["v_domain"]) != (0.0, v_max):
+            self.fail("eq4: v_domain does not match the scenario")
+        if hx_iv(eq4["s_domain"]) != (0.0, s_max):
+            self.fail("eq4: s_domain does not match the scenario")
+
+        leaves = [
+            {
+                "path": leaf["path"],
+                "v": hx_iv(leaf["v"]),
+                "s": hx_iv(leaf["s"]),
+                "rule": leaf["rule"],
+                "lb": hx(leaf["slack_next_lb"]),
+            }
+            for leaf in eq4["leaves"]
+        ]
+        root = [(0.0, v_max), (0.0, s_max)]
+        domain_width = [v_max, s_max]
+        self.check_tiling("eq4", leaves, root, domain_width,
+                          lambda leaf: [leaf["v"], leaf["s"]])
+
+        margin = lemma = 0
+        for leaf in leaves:
+            ev = self.eval_eq4_box(consts, leaf["v"], leaf["s"])
+            if leaf["rule"] == "margin":
+                margin += 1
+                if ev["all_stopping"] or not ev["margin_ok"]:
+                    self.fail(f"eq4: margin leaf {leaf['path']!r} does not "
+                              f"re-verify (recomputed lb {ev['lb']!r})")
+                elif ev["lb"] != leaf["lb"]:
+                    self.fail(f"eq4: margin leaf {leaf['path']!r} claims lb "
+                              f"{leaf['lb']!r} but recomputation gives "
+                              f"{ev['lb']!r}")
+                elif leaf["lb"] < 0.0:
+                    self.fail(f"eq4: margin leaf {leaf['path']!r} has a "
+                              f"negative bound")
+            elif leaf["rule"] == "lemma":
+                lemma += 1
+                box = [leaf["v"], leaf["s"]]
+                axis = self.widest_scaled_axis(box, domain_width)
+                scaled = (i_width(box[axis]) / domain_width[axis]
+                          if domain_width[axis] > 0.0 else 0.0)
+                if not (ev["all_stopping"] or scaled <= min_width
+                        or len(leaf["path"]) >= max_depth):
+                    self.fail(f"eq4: lemma leaf {leaf['path']!r} satisfies no "
+                              f"discharge precondition (scaled width "
+                              f"{scaled!r})")
+            else:
+                self.fail(f"eq4: unknown rule {leaf['rule']!r}")
+        if margin != eq4["margin_leaves"] or lemma != eq4["lemma_leaves"]:
+            self.fail("eq4: leaf-rule counters do not match the leaf list")
+        self.note(f"eq4: {margin} margin bounds recomputed bit-exact, "
+                  f"{lemma} lemma preconditions verified")
+
+    # -- Theorem B (NN output bounds) ---------------------------------------
+
+    @staticmethod
+    def parse_network(cert):
+        layers = []
+        for layer in cert["network"]:
+            out, inp = layer["out"], layer["in"]
+            flat = [hx(wv) for wv in layer["weights"]]
+            if len(flat) != out * inp or len(layer["bias"]) != out:
+                raise CheckFailure("network: layer shape mismatch")
+            layers.append({
+                "act": layer["activation"],
+                "w": [flat[r * inp:(r + 1) * inp] for r in range(out)],
+                "b": [hx(bv) for bv in layer["bias"]],
+            })
+        return layers
+
+    def interval_forward(self, layers, box):
+        """The checker's own sound enclosure (independent of the prover)."""
+        cur = list(box)
+        for layer in layers:
+            nxt_vals = []
+            for row, bias in zip(layer["w"], layer["b"]):
+                acc = (0.0, 0.0)
+                for k, wv in enumerate(row):
+                    acc = i_add(acc, i_scale(cur[k], wv))
+                z = i_add(acc, (bias, bias))
+                if layer["act"] == "identity":
+                    nxt_vals.append(z)
+                elif layer["act"] == "relu":
+                    nxt_vals.append((max(0.0, z[0]), max(0.0, z[1])))
+                elif layer["act"] == "tanh":
+                    t_lo, t_hi = math.tanh(z[0]), math.tanh(z[1])
+                    lo, hi = min(t_lo, t_hi), max(t_lo, t_hi)
+                    nxt_vals.append((max(-1.0, prv(lo - TANH_MARGIN)),
+                                     min(1.0, nxt(hi + TANH_MARGIN))))
+                else:
+                    raise CheckFailure(
+                        f"network: no sound enclosure for activation "
+                        f"{layer['act']!r}")
+            cur = nxt_vals
+        return cur
+
+    @staticmethod
+    def concrete_forward(layers, x):
+        cur = list(x)
+        for layer in layers:
+            nxt_vals = []
+            for row, bias in zip(layer["w"], layer["b"]):
+                acc = 0.0
+                for k, wv in enumerate(row):
+                    acc += cur[k] * wv
+                z = acc + bias
+                if layer["act"] == "identity":
+                    nxt_vals.append(z)
+                elif layer["act"] == "relu":
+                    nxt_vals.append(max(0.0, z))
+                else:
+                    nxt_vals.append(math.tanh(z))
+            cur = nxt_vals
+        return cur
+
+    def check_nn(self, cert):
+        scn, enc = cert["scenario"], cert["encoding"]
+        nnb = cert["nn_bounds"]
+        layers = self.parse_network(cert)
+
+        if not nnb["proved"]:
+            self.fail("nn_bounds: certificate does not claim a proof")
+
+        # Re-derive the encoded root domain from the raw planner view.
+        raw = [
+            (hx(scn["ego_start"]), hx(scn["ego_back"])),
+            (0.0, hx(scn["v_max"])),
+            (hx(enc["w_min"]), hx(enc["w_max"])),
+            (hx(enc["w_min"]), hx(enc["w_max"])),
+        ]
+        scales = [hx(enc["p_scale"]), hx(enc["v_scale"]),
+                  hx(enc["w_scale"]), hx(enc["w_scale"])]
+        root = [i_div_scalar(riv, sc) for riv, sc in zip(raw, scales)]
+        claimed_root = [hx_iv(pair) for pair in nnb["domain"]]
+        if root != claimed_root:
+            self.fail("nn_bounds: domain does not match the directed "
+                      "encoding of the planner view")
+        domain_width = [i_width(iv) for iv in root]
+
+        assert_range = hx_iv(nnb["assert"])
+        leaves = [
+            {
+                "path": leaf["path"],
+                "box": [hx_iv(pair) for pair in leaf["box"]],
+                "out": hx_iv(leaf["out"]),
+            }
+            for leaf in nnb["leaves"]
+        ]
+        self.check_tiling("nn_bounds", leaves, root, domain_width,
+                          lambda leaf: leaf["box"])
+
+        hull_lo, hull_hi = INF, -INF
+        for leaf in leaves:
+            enclosure = self.interval_forward(layers, leaf["box"])[0]
+            out = leaf["out"]
+            # Independent proof: the checker's own enclosure fits the
+            # assert range regardless of what the prover claimed.
+            if not (assert_range[0] <= enclosure[0]
+                    and enclosure[1] <= assert_range[1]):
+                self.fail(f"nn_bounds: leaf {leaf['path']!r} enclosure "
+                          f"{enclosure} escapes the assert range")
+            # The claim must agree with the independent recomputation.
+            if (abs(out[0] - enclosure[0]) > AGREE_TOL
+                    or abs(out[1] - enclosure[1]) > AGREE_TOL):
+                self.fail(f"nn_bounds: leaf {leaf['path']!r} claims {out} "
+                          f"but the checker derives {enclosure}")
+            # And a concrete evaluation must land inside the claim.
+            mid = [0.5 * (iv[0] + iv[1]) for iv in leaf["box"]]
+            val = self.concrete_forward(layers, mid)[0]
+            if not (out[0] - AGREE_TOL <= val <= out[1] + AGREE_TOL):
+                self.fail(f"nn_bounds: leaf {leaf['path']!r} claim {out} "
+                          f"excludes the concrete midpoint value {val!r}")
+            hull_lo, hull_hi = min(hull_lo, out[0]), max(hull_hi, out[1])
+
+        if hx_iv(nnb["hull"]) != (hull_lo, hull_hi):
+            self.fail("nn_bounds: hull is not the union of the leaf "
+                      "enclosures")
+        self.note(f"nn_bounds: {len(leaves)} leaf enclosures re-proved in "
+                  f"[{hull_lo:.6g}, {hull_hi:.6g}]")
+
+    # -- artifact-level checks ----------------------------------------------
+
+    def check_hash(self, text):
+        marker = '  "hash": "'
+        idx = text.rfind(marker)
+        if idx < 0:
+            self.fail("hash: certificate has no self-hash")
+            return
+        claimed = text[idx + len(marker):idx + len(marker) + 16]
+        actual = fnv1a_hex(text[:idx].encode())
+        if claimed != actual:
+            self.fail(f"hash: claims {claimed} but body hashes to {actual}")
+        else:
+            self.note(f"hash: {actual} verified")
+
+    def run(self, text):
+        cert = json.loads(text)
+        if cert.get("format") != FORMAT:
+            self.fail(f"format: expected {FORMAT!r}, got "
+                      f"{cert.get('format')!r}")
+            return
+        self.check_hash(text)
+        self.check_eq4(cert)
+        self.check_nn(cert)
+
+
+def self_test():
+    """Exercises the checker's own arithmetic kernels against published
+    vectors and sampled containment properties. The checker is the last
+    line of defence, so its primitives get their own corpus: a bug here
+    would make it accept garbage (or reject every valid certificate)."""
+    failures = []
+
+    def check(name, ok):
+        if ok:
+            print(f"  ok   {name}")
+        else:
+            failures.append(name)
+            print(f"  FAIL {name}", file=sys.stderr)
+
+    check("fnv1a empty", fnv1a_hex(b"") == "cbf29ce484222325")
+    check("fnv1a 'a'", fnv1a_hex(b"a") == "af63dc4c8601ec8c")
+    check("fnv1a 'foobar'", fnv1a_hex(b"foobar") == "85944171f73967e8")
+
+    check("prv brackets strictly",
+          all(prv(x) < x < nxt(x)
+              for x in (0.0, 1.0, -1.0, 0.1, 1e300, -1e300, 1e-300)))
+    check("infinities are fixed points",
+          prv(-INF) == -INF and nxt(INF) == INF
+          and prv(INF) < INF and nxt(-INF) > -INF)
+
+    check("hexfloat roundtrip",
+          all(hx(float.hex(x)) == x
+              for x in (0.0, -0.0, 1.0, 0.1, -2.0 ** -45, 1e300))
+          and hx("inf") == INF and hx("-inf") == -INF)
+
+    # Containment fuzz with a deterministic LCG (no random module: the
+    # corpus must be identical on every run and platform).
+    state = 0x243F6A8885A308D3
+
+    def rnd(lo, hi):
+        nonlocal state
+        state = (state * 6364136223846793005 + 1442695040888963407) % 2**64
+        return lo + (hi - lo) * (state / 2.0**64)
+
+    contained = True
+    for _ in range(2000):
+        a = sorted((rnd(-10, 10), rnd(-10, 10)))
+        b = sorted((rnd(-10, 10), rnd(-10, 10)))
+        s = rnd(-4, 4) or 1.0
+        x = rnd(a[0], a[1])
+        y = rnd(b[0], b[1])
+        ia, ib = (a[0], a[1]), (b[0], b[1])
+        pairs = (
+            (i_add(ia, ib), x + y),
+            (i_sub(ia, ib), x - y),
+            (i_mul(ia, ib), x * y),
+            (i_scale(ia, s), x * s),
+            (i_div_scalar(ia, s), x / s),
+            (i_sqr(ia), x * x),
+        )
+        for iv, val in pairs:
+            if not iv[0] <= val <= iv[1]:
+                contained = False
+    check("directed ops contain concrete evaluations", contained)
+
+    check("sqr straddling zero floors at 0",
+          i_sqr((-2.0, 3.0))[0] == 0.0 and i_sqr((-2.0, 3.0))[1] >= 9.0)
+    check("intersect of disjoint is empty",
+          i_intersect((0.0, 1.0), (2.0, 3.0)) is None)
+    check("empty is absorbing",
+          i_add(None, (0.0, 1.0)) is None and i_width(None) == 0.0)
+
+    if failures:
+        print(f"check_certificate --self-test: {len(failures)} case(s) "
+              "failed", file=sys.stderr)
+        return 1
+    print("check_certificate --self-test: all kernel checks pass")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Independently revalidate a cvsafe sound certificate.")
+    parser.add_argument("certificate", nargs="?", help="certificate JSON path")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="print per-section progress")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the checker's kernel corpus and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if args.certificate is None:
+        parser.error("certificate path required (or use --self-test)")
+
+    with open(args.certificate, "r", encoding="utf-8") as handle:
+        text = handle.read()
+
+    checker = Checker(verbose=args.verbose)
+    try:
+        checker.run(text)
+    except (CheckFailure, KeyError, ValueError, TypeError) as err:
+        checker.fail(f"malformed certificate: {err}")
+
+    if checker.failures:
+        for failure in checker.failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        print(f"certificate REJECTED ({len(checker.failures)} failures)",
+              file=sys.stderr)
+        return 1
+    print("certificate OK: every proof obligation re-verified independently")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

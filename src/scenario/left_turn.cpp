@@ -231,9 +231,11 @@ double LeftTurnScenario::emergency_accel(double t, double p0, double v0,
     // Section IV: least braking that stops before the front line.
     const double gap = geometry_.ego_front - p0;
     if (gap <= 1e-9) {
-      // Numerically at the line: hold (v is ~0 here whenever kappa_e has
-      // been engaged in time).
-      return v0 <= kSpeedEps ? 0.0 : ego_.a_min;
+      // Numerically at the line: hold only when fully stopped. Any
+      // residual speed — even sub-epsilon — must brake, or the vehicle
+      // coasts across the line (the sound certifier's invariance lemma
+      // needs |a| >= v^2 / (2 gap) whenever v > 0).
+      return v0 > 0.0 ? ego_.a_min : 0.0;
     }
     return std::max(ego_.a_min, -(v0 * v0) / (2.0 * gap));
   }

@@ -1,0 +1,218 @@
+#include "cvsafe/nn/interval_mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "cvsafe/nn/fast_math.hpp"
+#include "cvsafe/nn/mlp.hpp"
+#include "cvsafe/util/rng.hpp"
+#include "cvsafe/util/rounded_interval.hpp"
+
+namespace cvsafe::nn {
+namespace {
+
+using util::Interval;
+
+Mlp make_net(const std::vector<std::size_t>& sizes, Activation hidden,
+             std::uint64_t seed) {
+  MlpSpec spec{sizes, hidden, Activation::kIdentity};
+  util::Rng rng(seed);
+  return Mlp(spec, rng);
+}
+
+/// Core soundness property: the interval pass over a box encloses the
+/// binary's own concrete predict_scalar at every sampled point of the box.
+/// Run per hidden-activation type; 10k samples each.
+void check_enclosure(Activation hidden, std::uint64_t seed) {
+  Mlp net = make_net({4, 16, 16, 1}, hidden, seed);
+  util::Rng rng(seed + 1);
+  Workspace ws;
+  IntervalWorkspace iws;
+
+  for (int box_trial = 0; box_trial < 100; ++box_trial) {
+    std::array<Interval, 4> box;
+    std::array<double, 4> lo{}, wid{};
+    for (std::size_t i = 0; i < 4; ++i) {
+      lo[i] = rng.uniform(-2.0, 2.0);
+      wid[i] = rng.uniform(0.0, 1.0);
+      box[i] = Interval{lo[i], lo[i] + wid[i]};
+    }
+    const Interval bound = interval_predict_scalar(net, box, iws);
+    ASSERT_FALSE(bound.empty());
+
+    std::array<double, 4> x{};
+    for (int sample = 0; sample < 100; ++sample) {
+      for (std::size_t i = 0; i < 4; ++i) {
+        x[i] = rng.uniform(lo[i], lo[i] + wid[i]);
+      }
+      const double y = net.predict_scalar(x, ws);
+      EXPECT_TRUE(bound.contains(y))
+          << "concrete " << y << " escapes [" << bound.lo << ", "
+          << bound.hi << "]";
+    }
+  }
+}
+
+TEST(IntervalMlp, EnclosesConcreteEvaluationsTanh) {
+  check_enclosure(Activation::kTanh, 20230417);
+}
+
+TEST(IntervalMlp, EnclosesConcreteEvaluationsRelu) {
+  check_enclosure(Activation::kRelu, 20230418);
+}
+
+TEST(IntervalMlp, EnclosesConcreteEvaluationsIdentity) {
+  check_enclosure(Activation::kIdentity, 20230419);
+}
+
+/// Degenerate (point) boxes: the enclosure must still contain the
+/// concrete value and be tanh-margin tight, not collapse to a lie.
+TEST(IntervalMlp, PointBoxEnclosesPointEvaluation) {
+  Mlp net = make_net({4, 24, 24, 1}, Activation::kTanh, 7);
+  util::Rng rng(8);
+  Workspace ws;
+  IntervalWorkspace iws;
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::array<double, 4> x{};
+    std::array<Interval, 4> box;
+    for (std::size_t i = 0; i < 4; ++i) {
+      x[i] = rng.uniform(-2.0, 2.0);
+      box[i] = Interval::point(x[i]);
+    }
+    const Interval bound = interval_predict_scalar(net, box, iws);
+    const double y = net.predict_scalar(x, ws);
+    EXPECT_TRUE(bound.contains(y));
+    EXPECT_LT(bound.width(), 1e-9);  // point boxes stay ulp-scale tight
+  }
+}
+
+/// The tanh enclosure must cover the exact tanh AND the binary's
+/// fast_tanh at ulp granularity: dense sweep over endpoints and interior
+/// points, including the saturation region and subnormal-adjacent inputs.
+TEST(FastTanhEnclosure, CoversExactAndFastTanhDense) {
+  util::Rng rng(20230417);
+  for (int trial = 0; trial < 10000; ++trial) {
+    const double a = rng.uniform(-20.0, 20.0);
+    const double b = a + rng.uniform(0.0, 2.0);
+    const Interval enc = fast_tanh_enclosure(Interval{a, b});
+    ASSERT_FALSE(enc.empty());
+    EXPECT_GE(enc.lo, -1.0);
+    EXPECT_LE(enc.hi, 1.0);
+    for (const double x :
+         {a, b, a + 0.25 * (b - a), a + 0.5 * (b - a), a + 0.75 * (b - a)}) {
+      EXPECT_TRUE(enc.contains(std::tanh(x)))
+          << "exact tanh(" << x << ") escapes";
+      EXPECT_TRUE(enc.contains(fast_tanh(x)))
+          << "fast_tanh(" << x << ") escapes";
+    }
+  }
+}
+
+/// Ulp-level margin audit at the endpoints: the enclosure's padding
+/// around the endpoint values must be at least the documented margin and
+/// at most ~2 margins plus the directed-rounding step.
+TEST(FastTanhEnclosure, MarginIsTightAtPoints) {
+  namespace rd = util::rounded;
+  util::Rng rng(99);
+  for (int trial = 0; trial < 10000; ++trial) {
+    const double x = rng.uniform(-3.0, 3.0);
+    const Interval enc = fast_tanh_enclosure(Interval::point(x));
+    const double t = fast_tanh(x);
+    // Sound on both sides of the computed value...
+    EXPECT_LE(enc.lo, t);
+    EXPECT_GE(enc.hi, t);
+    // ...wide enough to absorb the validated fast_tanh error...
+    if (enc.lo > -1.0) {
+      EXPECT_LE(enc.lo, t - kTanhEnclosureMargin);
+    }
+    if (enc.hi < 1.0) {
+      EXPECT_GE(enc.hi, t + kTanhEnclosureMargin);
+    }
+    // ...and no wider than the margin plus one directed step per side.
+    EXPECT_GE(enc.lo, rd::prev(t - kTanhEnclosureMargin) - 1e-300);
+    EXPECT_LE(enc.hi, rd::next(t + kTanhEnclosureMargin) + 1e-300);
+    // The exact value is covered with room to spare (|error| <= margin/2).
+    EXPECT_TRUE(enc.contains(std::tanh(x)));
+  }
+}
+
+TEST(FastTanhEnclosure, SaturatesInsideUnitInterval) {
+  const Interval deep_pos = fast_tanh_enclosure(Interval{30.0, 40.0});
+  EXPECT_LE(deep_pos.hi, 1.0);
+  EXPECT_GT(deep_pos.lo, 0.999999);
+  const Interval deep_neg = fast_tanh_enclosure(Interval{-40.0, -30.0});
+  EXPECT_GE(deep_neg.lo, -1.0);
+  EXPECT_LT(deep_neg.hi, -0.999999);
+}
+
+TEST(ActivationEnclosure, IdentityAndReluAreExact) {
+  const Interval z{-2.0, 3.0};
+  EXPECT_EQ(activation_enclosure(Activation::kIdentity, z), z);
+  const Interval r = activation_enclosure(Activation::kRelu, z);
+  EXPECT_EQ(r.lo, 0.0);
+  EXPECT_EQ(r.hi, 3.0);
+  const Interval all_neg = activation_enclosure(Activation::kRelu,
+                                                Interval{-5.0, -1.0});
+  EXPECT_EQ(all_neg.lo, 0.0);
+  EXPECT_EQ(all_neg.hi, 0.0);
+}
+
+TEST(ActivationEnclosure, SigmoidIsRejectedByContract) {
+  util::ScopedContractMode mode(util::ContractMode::kThrow);
+  EXPECT_THROW(activation_enclosure(Activation::kSigmoid, Interval{0.0, 1.0}),
+               util::ContractViolation);
+}
+
+/// Interval affine vs the concrete layer kernel on random layers: the
+/// per-output enclosures must contain the concrete outputs (shared
+/// k-ascending accumulation order makes this exact, not probabilistic).
+TEST(IntervalAffine, EnclosesConcreteLayerOutputs) {
+  Mlp net = make_net({6, 12, 1}, Activation::kTanh, 42);
+  const DenseLayer& layer = net.layer(0);
+  util::Rng rng(43);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::array<Interval, 6> in;
+    std::array<double, 6> lo{}, wid{};
+    for (std::size_t i = 0; i < 6; ++i) {
+      lo[i] = rng.uniform(-3.0, 3.0);
+      wid[i] = rng.uniform(0.0, 2.0);
+      in[i] = Interval{lo[i], lo[i] + wid[i]};
+    }
+    std::vector<Interval> out(layer.out_dim());
+    interval_affine(layer, in, out);
+
+    for (int sample = 0; sample < 100; ++sample) {
+      std::vector<double> x(6);
+      for (std::size_t i = 0; i < 6; ++i) {
+        x[i] = rng.uniform(lo[i], lo[i] + wid[i]);
+      }
+      // Concrete reference: same accumulation order as the kernels.
+      for (std::size_t j = 0; j < layer.out_dim(); ++j) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k < layer.in_dim(); ++k) {
+          acc += x[k] * layer.weights()(j, k);
+        }
+        const double z = acc + layer.bias()(0, j);
+        const double y = fast_tanh(z);
+        EXPECT_TRUE(out[j].contains(y));
+      }
+    }
+  }
+}
+
+TEST(IntervalWorkspaceShape, ReusesBuffersAcrossCalls) {
+  Mlp net = make_net({4, 24, 24, 1}, Activation::kTanh, 5);
+  IntervalWorkspace iws;
+  iws.reserve(24);
+  std::array<Interval, 4> box;
+  for (auto& iv : box) iv = Interval{-1.0, 1.0};
+  const Interval first = interval_predict_scalar(net, box, iws);
+  const Interval second = interval_predict_scalar(net, box, iws);
+  EXPECT_EQ(first, second);  // deterministic and state-free across reuse
+}
+
+}  // namespace
+}  // namespace cvsafe::nn

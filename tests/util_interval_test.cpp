@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
+#include "cvsafe/util/contracts.hpp"
 #include "cvsafe/util/rng.hpp"
 
 namespace cvsafe::util {
@@ -119,6 +122,47 @@ TEST(IntervalProperty, HullContainsOperands) {
     EXPECT_TRUE(h.contains(a));
     EXPECT_TRUE(h.contains(b));
   }
+}
+
+// A NaN endpoint would read as *non-empty* (lo > hi compares false) while
+// containing nothing, silently voiding every downstream safety check. The
+// constructor must reject it.
+TEST(IntervalContract, NanEndpointsAreRejected) {
+  ScopedContractMode mode(ContractMode::kThrow);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW((Interval{nan, 1.0}), ContractViolation);
+  EXPECT_THROW((Interval{1.0, nan}), ContractViolation);
+  EXPECT_THROW((Interval{nan, nan}), ContractViolation);
+  EXPECT_THROW(Interval::point(nan), ContractViolation);
+}
+
+TEST(IntervalContract, InfiniteEndpointsAreFine) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const Interval whole{-inf, inf};
+  EXPECT_FALSE(whole.empty());
+  EXPECT_TRUE(whole.contains(0.0));
+  EXPECT_FALSE((Interval{0.0, inf}).empty());
+}
+
+// Pins the documented empty-interval width convention: 0, NOT the
+// (negative) endpoint difference. The sound verifier's bisection
+// termination accumulates widths over partitions and relies on this.
+TEST(IntervalContract, EmptyWidthIsZero) {
+  EXPECT_EQ(Interval::empty_interval().width(), 0.0);
+  EXPECT_EQ((Interval{3.0, 1.0}).width(), 0.0);
+  EXPECT_EQ((Interval{5.0, 5.0}).width(), 0.0);  // point, not empty
+}
+
+// Pins the documented centered() behavior: zero radius yields a point
+// (never empty), negative radius violates the contract.
+TEST(IntervalContract, CenteredNeverProducesEmpty) {
+  const Interval p = Interval::centered(2.0, 0.0);
+  EXPECT_FALSE(p.empty());
+  EXPECT_EQ(p.lo, 2.0);
+  EXPECT_EQ(p.hi, 2.0);
+
+  ScopedContractMode mode(ContractMode::kThrow);
+  EXPECT_THROW(Interval::centered(2.0, -1.0), ContractViolation);
 }
 
 }  // namespace

@@ -1,0 +1,221 @@
+#include "cvsafe/verify/sound.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <memory>
+
+#include "cvsafe/core/certified_bounds.hpp"
+#include "cvsafe/nn/interval_mlp.hpp"
+#include "cvsafe/obs/metrics.hpp"
+#include "cvsafe/util/rng.hpp"
+
+namespace cvsafe::verify {
+namespace {
+
+using util::Interval;
+
+const vehicle::VehicleLimits kEgo{0.0, 15.0, -6.0, 3.0};
+const vehicle::VehicleLimits kC1{2.0, 15.0, -3.0, 3.0};
+
+scenario::LeftTurnScenario make_scenario() {
+  return scenario::LeftTurnScenario(scenario::LeftTurnGeometry{}, kEgo, kC1,
+                                    0.05);
+}
+
+nn::Mlp make_net(std::uint64_t seed) {
+  nn::MlpSpec spec{{planners::InputEncoding::dim(), 8, 8, 1},
+                   nn::Activation::kTanh, nn::Activation::kIdentity};
+  util::Rng rng(seed);
+  return nn::Mlp(spec, rng);
+}
+
+TEST(Eq4Sound, ProvesPaperScenario) {
+  const auto scenario = make_scenario();
+  const Eq4SoundResult result = certify_eq4_sound(scenario);
+  EXPECT_TRUE(result.proved);
+  EXPECT_GT(result.margin_leaves, 0u);
+  EXPECT_EQ(result.margin_leaves + result.lemma_leaves,
+            result.leaves.size());
+  EXPECT_EQ(result.v_domain, (Interval{0.0, 15.0}));
+  EXPECT_EQ(result.s_domain, (Interval{0.0, 35.0}));  // ego_front-ego_start
+
+  // Every margin leaf carries a certified non-negative bound; interior
+  // leaves (away from the tight s = 0 manifold) dominate the tree.
+  for (const auto& leaf : result.leaves) {
+    if (leaf.rule == Eq4Rule::kMargin) {
+      EXPECT_GE(leaf.slack_next_lb, 0.0);
+    }
+  }
+  EXPECT_GT(result.margin_leaves, result.lemma_leaves);
+}
+
+TEST(Eq4Sound, LemmaLeavesHugTheBoundaryOrStop) {
+  const auto scenario = make_scenario();
+  SoundBnbOptions options;
+  const Eq4SoundResult result = certify_eq4_sound(scenario, options);
+  const double s_width = result.s_domain.width();
+  for (const auto& leaf : result.leaves) {
+    if (leaf.rule != Eq4Rule::kLemma) continue;
+    // A lemma leaf either touches the tight boundary region (small s,
+    // down at the width floor) or consists of states that stop within
+    // the step (successor speed interval entirely below zero).
+    const bool at_floor =
+        leaf.s.width() / s_width <= options.min_width * 1.0001 ||
+        leaf.v.width() / result.v_domain.width() <=
+            options.min_width * 1.0001;
+    const double a_worst = scenario.ego_limits().a_min;
+    const bool may_stop =
+        leaf.v.lo + a_worst * scenario.control_period() <= 0.0;
+    EXPECT_TRUE(at_floor || may_stop)
+        << "lemma leaf v=[" << leaf.v.lo << "," << leaf.v.hi << "] s=["
+        << leaf.s.lo << "," << leaf.s.hi << "]";
+  }
+}
+
+TEST(Eq4Sound, RequiresZeroSpeedFloor) {
+  util::ScopedContractMode mode(util::ContractMode::kThrow);
+  const vehicle::VehicleLimits moving_floor{1.0, 15.0, -6.0, 3.0};
+  const scenario::LeftTurnScenario scenario(scenario::LeftTurnGeometry{},
+                                            moving_floor, kC1, 0.05);
+  EXPECT_THROW(certify_eq4_sound(scenario), util::ContractViolation);
+}
+
+TEST(NnBoundsSound, ProvesSmallNetwork) {
+  const auto scenario = make_scenario();
+  const nn::Mlp net = make_net(11);
+  const planners::InputEncoding encoding;
+  const auto domain = NnInputDomain::planner_view(scenario, encoding);
+  const NnBoundsResult result =
+      certify_nn_bounds_sound(net, encoding, domain, {});
+  EXPECT_TRUE(result.proved);
+  EXPECT_FALSE(result.hull.empty());
+  EXPECT_TRUE(result.assert_range.contains(result.hull));
+  EXPECT_GT(result.leaves.size(), 0u);
+
+  // The hull is exactly the union of the leaf enclosures.
+  Interval rebuilt = Interval::empty_interval();
+  for (const auto& leaf : result.leaves) rebuilt = rebuilt.hull(leaf.out);
+  EXPECT_EQ(rebuilt, result.hull);
+}
+
+TEST(NnBoundsSound, HullEnclosesConcreteEvaluations) {
+  const auto scenario = make_scenario();
+  const nn::Mlp net = make_net(12);
+  const planners::InputEncoding encoding;
+  const auto domain = NnInputDomain::planner_view(scenario, encoding);
+  const NnBoundsResult result =
+      certify_nn_bounds_sound(net, encoding, domain, {});
+  ASSERT_TRUE(result.proved);
+
+  nn::Workspace ws;
+  util::Rng rng(13);
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::array<double, 4> x{};
+    for (std::size_t i = 0; i < 4; ++i) {
+      x[i] = rng.uniform(result.domain[i].lo, result.domain[i].hi);
+    }
+    EXPECT_TRUE(result.hull.contains(net.predict_scalar(x, ws)));
+  }
+}
+
+TEST(NnBoundsSound, TightAssertFailsHonestly) {
+  // Vacuity guard: an assert range the network genuinely exceeds must
+  // come back unproved, not silently certified.
+  const auto scenario = make_scenario();
+  const nn::Mlp net = make_net(11);
+  const planners::InputEncoding encoding;
+  const auto domain = NnInputDomain::planner_view(scenario, encoding);
+  SoundBnbOptions options;
+  options.nn_assert = Interval{-1e-6, 1e-6};
+  options.max_depth = 6;
+  const NnBoundsResult result =
+      certify_nn_bounds_sound(net, encoding, domain, options);
+  EXPECT_FALSE(result.proved);
+}
+
+TEST(SoundCertificate, DeterministicAcrossThreadCounts) {
+  const auto scenario = make_scenario();
+  const nn::Mlp net = make_net(11);
+  const planners::InputEncoding encoding;
+
+  SoundBnbOptions one;
+  one.threads = 1;
+  SoundBnbOptions many;
+  many.threads = 4;
+  const SoundCertificate a = certify_sound(scenario, net, encoding, one);
+  const SoundCertificate b = certify_sound(scenario, net, encoding, many);
+  EXPECT_EQ(certificate_json(a, scenario, net, encoding, one),
+            certificate_json(b, scenario, net, encoding, many));
+}
+
+TEST(SoundCertificate, JsonSelfHashMatches) {
+  const auto scenario = make_scenario();
+  const nn::Mlp net = make_net(11);
+  const planners::InputEncoding encoding;
+  const SoundBnbOptions options;
+  const SoundCertificate cert =
+      certify_sound(scenario, net, encoding, options);
+  const std::string json =
+      certificate_json(cert, scenario, net, encoding, options);
+
+  const std::string marker = "  \"hash\": \"";
+  const auto idx = json.rfind(marker);
+  ASSERT_NE(idx, std::string::npos);
+  const std::string claimed = json.substr(idx + marker.size(), 16);
+  EXPECT_EQ(claimed, fnv1a_hex(json.substr(0, idx)));
+}
+
+TEST(SoundCertificate, MetricsAreRecorded) {
+  const auto scenario = make_scenario();
+  const nn::Mlp net = make_net(11);
+  const planners::InputEncoding encoding;
+  obs::MetricsRegistry metrics;
+  SoundBnbOptions options;
+  options.metrics = &metrics;
+  const SoundCertificate cert =
+      certify_sound(scenario, net, encoding, options);
+  EXPECT_EQ(
+      metrics.counter("cvsafe_sound_nn_leaves_total").value(),
+      cert.nn.leaves.size());
+  EXPECT_EQ(
+      metrics
+          .counter("cvsafe_sound_eq4_leaves_total{rule=\"margin\"}")
+          .value(),
+      cert.eq4.margin_leaves);
+}
+
+TEST(Fnv1a, MatchesReferenceVectors) {
+  // Canonical FNV-1a 64-bit test vectors; the Python checker implements
+  // the same function and both must agree with the published values.
+  EXPECT_EQ(fnv1a_hex(""), "cbf29ce484222325");
+  EXPECT_EQ(fnv1a_hex("a"), "af63dc4c8601ec8c");
+  EXPECT_EQ(fnv1a_hex("foobar"), "85944171f73967e8");
+}
+
+TEST(CertifiedBoundsPlanner, ClampsOnlyOutsideTheHull) {
+  struct World {};
+  class Fixed final : public core::PlannerBase<World> {
+   public:
+    double next = 0.0;
+    double plan(const World&) override { return next; }
+    std::string_view name() const override { return "fixed"; }
+  };
+  auto inner = std::make_shared<Fixed>();
+  core::CertifiedBoundsPlanner<World> planner(inner, Interval{-6.0, 3.0});
+  EXPECT_EQ(planner.name(), "certified(fixed)");
+
+  inner->next = 1.5;
+  EXPECT_EQ(planner.plan({}), 1.5);
+  EXPECT_EQ(planner.violations(), 0u);
+
+  inner->next = 9.0;  // outside the certified hull: clamp + count
+  EXPECT_EQ(planner.plan({}), 3.0);
+  inner->next = -12.0;
+  EXPECT_EQ(planner.plan({}), -6.0);
+  EXPECT_EQ(planner.violations(), 2u);
+}
+
+}  // namespace
+}  // namespace cvsafe::verify

@@ -32,9 +32,12 @@
 //                            trace when FILE ends in .jsonl, legacy CSV
 //                            otherwise; (campaign) structured JSONL trace
 //                            of every episode, cell-major seed-minor
-//   --metrics FILE           (run/campaign) metrics registry dump:
+//   --metrics FILE           (run/campaign/certify) metrics registry dump:
 //                            CSV when FILE ends in .csv, Prometheus text
 //                            otherwise
+//   --cert FILE              (certify) write the sound branch-and-bound
+//                            proof as a machine-checkable JSON certificate
+//                            (revalidate with scripts/check_certificate.py)
 //   --profile FILE           (run) Chrome trace-event JSON of the hot-path
 //                            profiling spans (open in Perfetto)
 //   --out DIR|FILE           (train) output directory; (campaign) CSV path
@@ -69,7 +72,9 @@
 #include "cvsafe/sim/trace.hpp"
 #include "cvsafe/util/csv.hpp"
 #include "cvsafe/util/table.hpp"
+#include "cvsafe/planners/training.hpp"
 #include "cvsafe/verify/certify.hpp"
+#include "cvsafe/verify/sound.hpp"
 
 namespace {
 
@@ -586,6 +591,43 @@ int cmd_certify(const Args& args) {
   report(verify::certify_window_soundness(*scenario, 200, rng));
   report(verify::certify_filter_monotonicity(
       *scenario, config.sensor, config.comm, 150, rng));
+
+  // Sound (proof-producing) pass: interval branch-and-bound over the
+  // slack band and the trained planner network, with a machine-checkable
+  // artifact (--cert FILE; revalidate with scripts/check_certificate.py).
+  obs::MetricsRegistry metrics;
+  verify::SoundBnbOptions sound_options;
+  sound_options.threads = static_cast<std::size_t>(args.number("threads", 0));
+  sound_options.metrics = &metrics;
+  const auto style = args.value("style", "cons") == "aggr"
+                         ? planners::PlannerStyle::kAggressive
+                         : planners::PlannerStyle::kConservative;
+  const auto net = planners::cached_planner_network(*scenario, style);
+  const planners::InputEncoding encoding;
+  const verify::SoundCertificate sound =
+      verify::certify_sound(*scenario, *net, encoding, sound_options);
+  std::printf(
+      "Eq. 4 sound (band, directed rounding): %zu margin + %zu lemma "
+      "leaves%52s\n",
+      sound.eq4.margin_leaves, sound.eq4.lemma_leaves,
+      sound.eq4.proved ? "CERTIFIED" : "FAILED");
+  std::printf(
+      "kappa_n output bounds (interval B&B): hull [%.6g, %.6g] over "
+      "%zu leaves%17s\n",
+      sound.nn.hull.lo, sound.nn.hull.hi, sound.nn.leaves.size(),
+      sound.nn.proved ? "CERTIFIED" : "FAILED");
+  if (!sound.proved()) ++failures;
+
+  const std::string cert_path = args.value("cert", "");
+  if (!cert_path.empty()) {
+    const std::string json = verify::certificate_json(
+        sound, *scenario, *net, encoding, sound_options);
+    if (!write_text_file(cert_path, json)) return 1;
+    std::printf("certificate %s (net %s, config %s)\n", cert_path.c_str(),
+                sound.net_hash.c_str(), sound.config_hash.c_str());
+  }
+  const std::string metrics_path = args.value("metrics", "");
+  if (!metrics_path.empty() && !dump_metrics(metrics, metrics_path)) return 1;
   return failures == 0 ? 0 : 1;
 }
 

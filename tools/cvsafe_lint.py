@@ -42,6 +42,22 @@ include/):
                      std::ostream& is fine — the rule bans the process-
                      global streams only. Annotate the rare legitimate
                      site (e.g. the contract-failure abort path)
+  no-raw-endpoint-arithmetic
+                     inside the sound-certifier sources (the file set in
+                     SOUND_VERIFIER_FILES) direct +,-,*,/ touching an
+                     Interval endpoint (.lo/.hi) is banned: a raw op
+                     silently reintroduces round-to-nearest into a chain
+                     that must round outward, voiding the certificate's
+                     soundness argument. Compute through util::rounded.
+                     Annotate sites whose result does not feed a bound
+                     (e.g. the bisection split point — any split is sound)
+  no-unrounded-bound-in-verify
+                     same file set: the round-to-nearest Interval
+                     conveniences (.mid()/.shifted()/.inflated()/
+                     Interval::centered()) and raw std::nextafter /
+                     std::fma are banned; the directed equivalents live
+                     in util::rounded (prev/next/widen_ulps/...), which
+                     centralise the infinity fixed-point handling
 
 A finding on a line that carries the annotation
     cvsafe-lint: allow(<rule>)
@@ -125,6 +141,37 @@ RE_RAW_STREAM = re.compile(
     r"|(?<![\w:.])(?:printf|fprintf|vfprintf|fputs|fputc|puts|putchar"
     r"|perror)\s*\("
 )
+# The sound-certification sources: every floating-point endpoint that
+# feeds a certified bound must be produced by util::rounded directed ops.
+# The interval implementation headers themselves (util/interval.hpp,
+# util/rounded_interval.hpp) are deliberately NOT in this set — they are
+# where endpoint arithmetic is supposed to live.
+SOUND_VERIFIER_FILES = (
+    "include/cvsafe/nn/interval_mlp.hpp",
+    "include/cvsafe/verify/sound.hpp",
+    "src/nn/interval_mlp.cpp",
+    "src/verify/sound.cpp",
+)
+# An Interval endpoint read (.lo/.hi) directly adjacent to an arithmetic
+# operator, on either side. Negation is exact in IEEE-754 but is still
+# flagged (annotate it) so the rule stays simple and reviewable.
+# The right-hand alternation deliberately excludes parentheses so that a
+# function *reading* an endpoint after an operator (`"," + hexd(iv.lo)`)
+# does not fire; arithmetic whose operand is a parenthesised expression
+# still trips on the operator inside the parens.
+RE_RAW_ENDPOINT = re.compile(
+    r"\.\s*(?:lo|hi)\b\s*[-+*/]"
+    r"|[-+*/]\s*[\w.\[\]]*\.\s*(?:lo|hi)\b"
+)
+# Round-to-nearest conveniences and raw directed-step primitives that the
+# sound sources must not call; the rounded equivalents handle infinities
+# and empties centrally.
+RE_UNROUNDED_BOUND = re.compile(
+    r"\bstd\s*::\s*nextafter\b"
+    r"|\bstd\s*::\s*fma\b"
+    r"|\.\s*(?:mid|shifted|inflated)\s*\("
+    r"|\bInterval\s*::\s*centered\s*\("
+)
 RE_PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\b")
 RE_ALLOW = re.compile(r"cvsafe-lint:\s*allow\(([a-z0-9_,\- ]+)\)")
 RE_CLASS_DECL = re.compile(r"\b(?:class|struct)\s+(\w+)[^;{]*")
@@ -206,12 +253,14 @@ class FileLinter:
     def __init__(self, path: pathlib.Path, in_include_tree: bool,
                  adhoc_sim_banned: bool = False,
                  msg_fields_banned: bool = False,
-                 raw_streams_banned: bool = False):
+                 raw_streams_banned: bool = False,
+                 sound_rules: bool = False):
         self.path = path
         self.in_include_tree = in_include_tree
         self.adhoc_sim_banned = adhoc_sim_banned
         self.msg_fields_banned = msg_fields_banned
         self.raw_streams_banned = raw_streams_banned
+        self.sound_rules = sound_rules
         self.raw = path.read_text(encoding="utf-8").splitlines()
         self.code = strip_comments_and_strings(self.raw)
         self.findings: list[Finding] = []
@@ -270,6 +319,16 @@ class FileLinter:
                             "direct Message payload access in filter code; "
                             "route payloads through the plausibility gate "
                             "(filter/plausibility.hpp)")
+            if self.sound_rules and RE_RAW_ENDPOINT.search(code):
+                self.report(line_no, "no-raw-endpoint-arithmetic",
+                            "raw arithmetic on an Interval endpoint in a "
+                            "sound-certifier source; compute through "
+                            "util::rounded so the bound rounds outward")
+            if self.sound_rules and RE_UNROUNDED_BOUND.search(code):
+                self.report(line_no, "no-unrounded-bound-in-verify",
+                            "round-to-nearest interval helper in a sound-"
+                            "certifier source; use the util::rounded "
+                            "directed equivalent")
             if self.raw_streams_banned and RE_RAW_STREAM.search(code):
                 self.report(line_no, "no-raw-stream-logging",
                             "library code must not write to the global "
@@ -372,16 +431,111 @@ def lint_tree(root: pathlib.Path) -> list[Finding]:
             linter = FileLinter(path, in_include_tree=(subdir == "include"),
                                 adhoc_sim_banned=banned,
                                 msg_fields_banned=msg_banned,
-                                raw_streams_banned=(subdir == "src"))
+                                raw_streams_banned=(subdir == "src"),
+                                sound_rules=(rel in SOUND_VERIFIER_FILES))
             findings.extend(linter.run())
     return findings
+
+
+# --- self-test ------------------------------------------------------------
+# Each case is (name, filename, linter kwargs, source, expected rule set).
+# The linter lints its own rule corpus: a rule that silently stops firing
+# (regex rot, scoping mistake) fails the suite, not just the codebase.
+SELF_TEST_CASES: list[tuple[str, str, dict, str, set[str]]] = [
+    ("sound-clean-directed-ops", "sound.cpp", {"sound_rules": True},
+     "#include \"cvsafe/util/rounded_interval.hpp\"\n"
+     "namespace rd = cvsafe::util::rounded;\n"
+     "double f(const Interval& a, const Interval& b) {\n"
+     "  const Interval s = rd::add(a, b);\n"
+     "  return rd::div_up(1.0, 3.0) + s.width();\n"
+     "}\n",
+     set()),
+    ("raw-endpoint-sub", "sound.cpp", {"sound_rules": True},
+     "double w(const Interval& box) { return box.hi - box.lo; }\n",
+     {"no-raw-endpoint-arithmetic"}),
+    ("raw-endpoint-rhs-of-op", "sound.cpp", {"sound_rules": True},
+     "double m(const Interval& a) { return 0.5 * (a.lo + a.hi); }\n",
+     {"no-raw-endpoint-arithmetic"}),
+    ("raw-endpoint-allowed-split", "sound.cpp", {"sound_rules": True},
+     "double m(const Interval& a) {\n"
+     "  // Split point only. cvsafe-lint: allow(no-raw-endpoint-arithmetic)\n"
+     "  return 0.5 * (a.lo + a.hi);\n"
+     "}\n",
+     set()),
+    ("raw-endpoint-out-of-scope", "planner.cpp", {"sound_rules": False},
+     "double gap(const Interval& p) { return front - p.hi; }\n",
+     set()),
+    ("endpoint-read-without-op-is-fine", "sound.cpp", {"sound_rules": True},
+     "double g(const Interval& z) { return fast_tanh(z.lo); }\n"
+     "bool h(const Interval& z) { return z.hi <= threshold; }\n",
+     set()),
+    ("endpoint-function-arg-after-op-is-fine", "sound.cpp",
+     {"sound_rules": True},
+     "std::string j(const Interval& iv) {\n"
+     "  return prefix + hexd(iv.lo) + hexd(iv.hi);\n"
+     "}\n",
+     set()),
+    ("unrounded-mid", "sound.cpp", {"sound_rules": True},
+     "double c(const Interval& span) { return span.mid(); }\n",
+     {"no-unrounded-bound-in-verify"}),
+    ("unrounded-nextafter", "sound.cpp", {"sound_rules": True},
+     "#include <cmath>\n"
+     "double u(double x) { return std::nextafter(x, 1e300); }\n",
+     {"no-unrounded-bound-in-verify"}),
+    ("unrounded-centered", "sound.cpp", {"sound_rules": True},
+     "Interval pad(double c, double r) {\n"
+     "  return Interval::centered(c, r);\n"
+     "}\n",
+     {"no-unrounded-bound-in-verify"}),
+    ("unrounded-comment-does-not-fire", "sound.cpp", {"sound_rules": True},
+     "// one nextafter step outward; see Interval::centered for contrast\n"
+     "double v() { return 0.0; }\n",
+     set()),
+    ("std-rand-still-fires", "noise.cpp", {},
+     "int r() { return std::rand(); }\n",
+     {"no-std-rand"}),
+    ("pragma-once-still-fires", "header.hpp", {},
+     "struct S {};\n",
+     {"pragma-once"}),
+]
+
+
+def self_test() -> int:
+    import tempfile
+
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="cvsafe_lint_selftest") as tmp:
+        base = pathlib.Path(tmp)
+        for name, filename, kwargs, source, expected in SELF_TEST_CASES:
+            path = base / name / filename
+            path.parent.mkdir()
+            path.write_text(source, encoding="utf-8")
+            got = {f.rule for f in FileLinter(path, in_include_tree=False,
+                                              **kwargs).run()}
+            if got == expected:
+                print(f"  ok   {name}")
+            else:
+                failures += 1
+                print(f"  FAIL {name}: expected {sorted(expected) or '[]'}, "
+                      f"got {sorted(got) or '[]'}", file=sys.stderr)
+    if failures:
+        print(f"cvsafe_lint --self-test: {failures} case(s) failed",
+              file=sys.stderr)
+        return 1
+    print(f"cvsafe_lint --self-test: all {len(SELF_TEST_CASES)} cases pass")
+    return 0
 
 
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--root", default=".",
                         help="repository root (contains include/ and src/)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the linter's embedded rule corpus and exit")
     args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
 
     root = pathlib.Path(args.root).resolve()
     if not (root / "include").is_dir() or not (root / "src").is_dir():
