@@ -42,7 +42,10 @@
 #include "cvsafe/planners/expert.hpp"
 #include "cvsafe/planners/nn_planner.hpp"
 #include "cvsafe/planners/training.hpp"
+#include "cvsafe/scenario/left_turn.hpp"
 #include "cvsafe/scenario/safety_model.hpp"
+#include "cvsafe/sim/fleet.hpp"
+#include "cvsafe/sim/left_turn.hpp"
 #include "cvsafe/verify/sound.hpp"
 #include "support/legacy_reference.hpp"
 
@@ -239,6 +242,39 @@ std::vector<Bench> build_registry() {
                      [&](std::uint64_t n) {
                        for (std::uint64_t it = 0; it < n; ++it) {
                          nn::matmul_transposed_into(a, b, out);
+                         g_sink = out(0, 0);
+                       }
+                     });
+  }});
+
+  // Inference-shaped matmul pair: activation rows x hidden width against
+  // a hidden-by-hidden weight matrix — the exact shape every layer of a
+  // pooled plan_batch tile multiplies. The CI gate requires the
+  // transposed kernel (the layout Mlp::forward_into feeds) to stay at
+  // parity with the dense one at this shape.
+  benches.push_back({"matmul_dense_infer24", [](const Options& o) {
+    util::Rng rng(1);
+    const nn::Matrix a = random_matrix(64, 24, rng);
+    const nn::Matrix b = random_matrix(24, 24, rng);
+    nn::Matrix out;
+    return run_bench("matmul_dense_infer24", o.min_time_s,
+                     [&](std::uint64_t n) {
+                       for (std::uint64_t it = 0; it < n; ++it) {
+                         nn::matmul_into(a, b, out);
+                         g_sink = out(0, 0);
+                       }
+                     });
+  }});
+
+  benches.push_back({"matmul_transposed_infer24", [](const Options& o) {
+    util::Rng rng(1);
+    const nn::Matrix a = random_matrix(64, 24, rng);
+    const nn::Matrix bt = random_matrix(24, 24, rng);
+    nn::Matrix out;
+    return run_bench("matmul_transposed_infer24", o.min_time_s,
+                     [&](std::uint64_t n) {
+                       for (std::uint64_t it = 0; it < n; ++it) {
+                         nn::matmul_transposed_into(a, bt, out);
                          g_sink = out(0, 0);
                        }
                      });
@@ -630,6 +666,107 @@ std::vector<Bench> build_registry() {
                          }
                          g_sink = eta_sum / 8.0;
                          seed += 8;
+                       }
+                     });
+  }});
+
+  // The fleet engine on the identical workload at three pool capacities,
+  // at hardware concurrency (threads = 0) — the campaign deployment mode,
+  // where work-stealing admission is the point. One op = 8 episodes
+  // (comparable to run_batch_episodes8, which is pinned at 1 thread); the
+  // whole batch runs as ONE fleet call so pool residency is real — under
+  // the growth loop n reaches thousands of episodes and the 8k pool keeps
+  // them all resident, which is exactly the mega-batched planning regime.
+  // CI gates (same binary, same host, so machine-independent):
+  //   parallel-speedup run_batch_episodes8 -> fleet_pool8k_episodes8 >= 1
+  //     (pooled path >= per-episode path per hardware thread; skipped on
+  //     1-thread runners, where it degenerates to serial-vs-serial), and
+  //   max-ratio fleet_pool64_episodes8 / run_batch_episodes8
+  //     (bounds single-thread pooling overhead; bites on 1-thread
+  //     runners where the parallel gate skips).
+  for (const std::size_t pool_cap : {std::size_t{64}, std::size_t{1024},
+                                     std::size_t{8192}}) {
+    const std::string name =
+        pool_cap == 64     ? "fleet_pool64_episodes8"
+        : pool_cap == 1024 ? "fleet_pool1k_episodes8"
+                           : "fleet_pool8k_episodes8";
+    benches.push_back({name, [name, pool_cap](const Options& o) {
+      const auto cfg = eval::SimConfig::paper_defaults();
+      const auto bp = eval::make_nn_blueprint(
+          cfg, planners::PlannerStyle::kConservative,
+          eval::PlannerVariant::kUltimate);
+      std::uint64_t seed = 1;
+      return run_bench(name, o.min_time_s, [&](std::uint64_t n) {
+        const auto stats =
+            eval::run_batch_fleet(cfg, bp, 8 * n, seed, 0, pool_cap);
+        g_sink = stats.mean_eta;
+        seed += 8 * n;
+      });
+    }});
+  }
+
+  // One op = one steady-state fleet shard-step over 64 resident lanes:
+  // observe + monitor gate + one plan_batch spanning the pool + the SoA
+  // dynamics sweep + (empty) retire scan. The horizon and target are
+  // pushed out so no lane finishes during measurement — what remains is
+  // the per-step cost the fleet engine pays forever, and it is gated
+  // zero-alloc in CI (an allocation here multiplies by pool x steps).
+  benches.push_back({"fleet_steady_step", [](const Options& o) {
+    auto cfg = eval::SimConfig::paper_defaults();
+    // 80k steps of runway: enough for the growth loop + 3 reps at any
+    // sane --min-time; lanes never retire (target unreachable at 15 m/s
+    // x 4000 s) so the only allocations possible are warm-up growth.
+    cfg.horizon = 4000.0;
+    cfg.geometry.ego_target = 1.0e6;
+    const auto bp = eval::make_nn_blueprint(
+        cfg, planners::PlannerStyle::kConservative,
+        eval::PlannerVariant::kUltimate);
+    const sim::LeftTurnAdapter adapter(cfg, bp);
+    std::atomic<std::size_t> next{0};
+    std::vector<sim::FleetRecord> records(4096);
+    sim::EpisodePool<scenario::LeftTurnWorld> pool(
+        adapter, 64, 1, sim::SeedPolicy::kPaired, next, records.size());
+    planners::NnPlanner planner(bp.net, planners::InputEncoding{}, "nn");
+    std::vector<scenario::LeftTurnWorld> worlds;
+    std::vector<std::size_t> pending;
+    std::vector<double> plans;
+    const auto shard_step = [&] {
+      worlds.clear();
+      pending.clear();
+      for (std::size_t lane = 0; lane < pool.active(); ++lane) {
+        auto& runner = pool.runner(lane);
+        runner.observe();
+        if (const auto emergency = runner.monitor_gate()) {
+          pool.set_accel(lane, *emergency);
+        } else {
+          pending.push_back(lane);
+          worlds.push_back(runner.nn_world());
+        }
+      }
+      if (!pending.empty()) {
+        plans.resize(worlds.size());
+        planner.plan_batch(worlds, plans);
+        for (std::size_t j = 0; j < pending.size(); ++j) {
+          pool.set_accel(pending[j], plans[j]);
+        }
+      }
+      for (std::size_t lane = 0; lane < pool.active(); ++lane) {
+        pool.runner(lane).advance_begin(pool.accel(lane));
+        pool.stage_lane(lane);
+      }
+      pool.step_dynamics();
+      pool.retire_and_refill(records);
+      g_sink = pool.accel(0);
+    };
+    // Pre-warm past every one-time capacity growth (vector capacities,
+    // in-flight message queues, workspace tiles): measured, the last
+    // warm-up allocation happens before step ~70; 512 steps of margin
+    // keep the zero-alloc gate deterministic at any --min-time.
+    for (int i = 0; i < 512; ++i) shard_step();
+    return run_bench("fleet_steady_step", o.min_time_s,
+                     [&](std::uint64_t n) {
+                       for (std::uint64_t it = 0; it < n; ++it) {
+                         shard_step();
                        }
                      });
   }});

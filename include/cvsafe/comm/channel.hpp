@@ -103,6 +103,11 @@ class Channel {
   /// (FIFO) order.
   std::vector<Message> collect(double t);
 
+  /// collect() into a caller-owned buffer (cleared first; same order).
+  /// The per-step engine loop reuses one buffer per actor, so steady-state
+  /// message delivery performs no heap allocation.
+  void collect_into(double t, std::vector<Message>& out);
+
   /// Number of messages currently in flight.
   std::size_t in_flight() const { return pending_.size(); }
 

@@ -27,6 +27,23 @@ inline BatchStats run_batch(const SimConfig& config,
   return sim::run_left_turn_batch(config, blueprint, n, base_seed, threads);
 }
 
+/// run_batch on the fleet engine (sim/fleet.hpp): SoA episode pool,
+/// work-stealing admission, mega-batched NN planning. Byte-identical
+/// stats (including eta order) to run_batch for any thread count / pool
+/// capacity; preferred for campaign-scale cells where episode-length
+/// imbalance would otherwise idle lockstep shards.
+inline BatchStats run_batch_fleet(const SimConfig& config,
+                                  const AgentBlueprint& blueprint,
+                                  std::size_t n, std::uint64_t base_seed = 1,
+                                  std::size_t threads = 0,
+                                  std::size_t pool_capacity = 8192) {
+  sim::FleetConfig fleet;
+  fleet.threads = threads;
+  fleet.pool_capacity = pool_capacity;
+  return sim::run_left_turn_fleet(config, blueprint, n, base_seed, fleet)
+      .stats;
+}
+
 /// Winning percentage of Tables I and II: the fraction of paired episodes
 /// in which planner A achieves a higher eta than planner B. \p tolerance
 /// treats differences up to it as wins for A, except that an exact tie is

@@ -76,6 +76,12 @@ class FaultyChannel {
   /// Same contract as Channel::collect.
   std::vector<comm::Message> collect(double t) { return inner_.collect(t); }
 
+  /// Same contract as Channel::collect_into (allocation-free once the
+  /// caller's buffer capacity has warmed up).
+  void collect_into(double t, std::vector<comm::Message>& out) {
+    inner_.collect_into(t, out);
+  }
+
   const comm::CommConfig& config() const { return inner_.config(); }
   std::size_t in_flight() const { return inner_.in_flight(); }
   std::size_t sent_count() const { return inner_.sent_count(); }

@@ -1,7 +1,7 @@
 #pragma once
 
-#include <deque>
 #include <optional>
+#include <vector>
 
 #include "cvsafe/filter/consistency.hpp"
 #include "cvsafe/obs/recorder.hpp"
@@ -113,6 +113,16 @@ class KalmanFilter {
   /// Performs the measurement-update + predict cycle in place.
   void apply_update(const sensing::SensorReading& reading);
 
+  /// Appends to the rollback ring, overwriting the oldest entry once the
+  /// preallocated capacity is full (same retention as push_back + trim on
+  /// the historical deque, but allocation-free in steady state).
+  void history_push(const HistoryEntry& entry);
+
+  /// Entry at logical position \p i (0 = oldest retained period).
+  const HistoryEntry& history_at(std::size_t i) const {
+    return history_[(history_head_ + i) % history_.size()];
+  }
+
   /// Predicts (x, P) forward by dt with control acceleration a.
   static void predict(util::Vec2& x, util::Mat2& p, double dt, double a,
                       const util::Mat2& q);
@@ -129,7 +139,13 @@ class KalmanFilter {
   util::Vec2 x_{};        ///< filtered estimate at t_
   util::Mat2 p_{};        ///< covariance at t_
   double applied_msg_time_ = -1.0;
-  std::deque<HistoryEntry> history_;
+  /// Rollback history as a preallocated ring buffer: capacity is fixed at
+  /// construction (max(history_depth, 1)), so the per-update push never
+  /// allocates — a requirement for the zero-alloc steady-state episode
+  /// step in the fleet engine.
+  std::vector<HistoryEntry> history_;
+  std::size_t history_head_ = 0;  ///< index of the oldest retained entry
+  std::size_t history_size_ = 0;  ///< number of valid entries
   NisMonitor nis_;
   double q_scale_ = 1.0;
   obs::Recorder* recorder_ = nullptr;

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <span>
+
 #include "cvsafe/util/interval.hpp"
 #include "cvsafe/vehicle/dynamics.hpp"
 
@@ -36,5 +38,16 @@ struct StateBounds {
 /// Propagating to t <= bounds.t returns the input unchanged.
 StateBounds propagate(const StateBounds& bounds, double t,
                       const vehicle::VehicleLimits& limits);
+
+/// SoA entry point for the fleet engine: propagates a contiguous array of
+/// bounds (one per pooled episode) to their per-lane target times under a
+/// shared limit set. Element i is bit-identical to
+/// propagate(bounds[i], t[i], limits); batching exists so the pool can
+/// advance every resident episode's reachable set in one cache-friendly
+/// sweep instead of per-episode virtual dispatch.
+void propagate_batch(std::span<const StateBounds> bounds,
+                     std::span<const double> t,
+                     const vehicle::VehicleLimits& limits,
+                     std::span<StateBounds> out);
 
 }  // namespace cvsafe::filter

@@ -60,6 +60,11 @@ struct TrafficActor {
   fault::FaultySensor sensor;
   /// Estimators fed by pump(), updated in vector order per delivery.
   std::vector<std::unique_ptr<filter::Estimator>> estimators;
+
+  /// Delivery scratch reused by broadcast_and_observe: after the first
+  /// few deliveries warm its capacity, draining the channel allocates
+  /// nothing (part of the zero-alloc steady-state episode step).
+  std::vector<comm::Message> inbox;
 };
 
 /// Builds the (possibly fault-decorated) channel of actor \p actor_id for
@@ -126,7 +131,8 @@ vehicle::VehicleSnapshot broadcast_and_observe(TrafficActor& actor, double t,
   const double accel = actor.profile.at(step);
   const vehicle::VehicleSnapshot snapshot{t, actor.state, accel};
   actor.channel.offer(comm::Message{actor.id, snapshot}, rng);
-  for (const auto& msg : actor.channel.collect(t)) on_message(msg);
+  actor.channel.collect_into(t, actor.inbox);
+  for (const auto& msg : actor.inbox) on_message(msg);
   if (const auto reading = actor.sensor.sense(snapshot, rng)) {
     on_sensor(*reading);
   }
@@ -301,6 +307,16 @@ class EpisodeRunner {
 
   /// Phase 3: bookkeeping, dynamics and outcome for the chosen command.
   void advance(double a0) {
+    advance_begin(a0);
+    advance_commit(ego_dyn_.step(ego_, a0, config_->dt_c));
+  }
+
+  /// Phase 3a (pooled path): the pre-dynamics half of advance() — step
+  /// accounting and the hook firing on the pre-step states. The caller
+  /// then steps the ego externally (vehicle::DoubleIntegrator::step_batch
+  /// over the pool's SoA lanes, bit-identical per lane to step()) and
+  /// completes the step with advance_commit().
+  void advance_begin(double a0) {
     ++result_.steps;
     auto* compound = episode_->compound();
     const bool emergency =
@@ -309,7 +325,12 @@ class EpisodeRunner {
     if (hook_ != nullptr) {
       hook_->on_step(step_, t_, world_, ego_, a0, emergency, *episode_);
     }
-    ego_ = ego_dyn_.step(ego_, a0, config_->dt_c);
+  }
+
+  /// Phase 3b (pooled path): adopts the externally stepped ego state,
+  /// advances traffic and classifies the post-step configuration.
+  void advance_commit(const vehicle::VehicleState& stepped_ego) {
+    ego_ = stepped_ego;
     episode_->advance_traffic(step_, config_->dt_c);
     const StepStatus status = episode_->check(ego_);
     if (status.collided) {
@@ -322,6 +343,12 @@ class EpisodeRunner {
     }
     ++step_;
   }
+
+  /// Current ego state (pool mirrors it into the SoA lanes).
+  const vehicle::VehicleState& ego() const { return ego_; }
+
+  /// The engine-facing loop parameters of this episode's scenario.
+  const RunConfig& config() const { return *config_; }
 
   /// Seals the episode: eta evaluation, scenario extras, finish hook.
   RunResult finish() {

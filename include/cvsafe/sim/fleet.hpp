@@ -1,0 +1,354 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cvsafe/obs/metrics.hpp"
+#include "cvsafe/sim/engine.hpp"
+#include "cvsafe/sim/run_result.hpp"
+#include "cvsafe/sim/seeding.hpp"
+#include "cvsafe/util/contracts.hpp"
+#include "cvsafe/vehicle/dynamics.hpp"
+
+/// \file fleet.hpp
+/// The fleet-scale campaign engine: a structure-of-arrays episode pool
+/// driving thousands of resident episodes step-synchronously per worker,
+/// with work-stealing admission and a mega-batched NN planning seam.
+///
+/// Where run_episodes dispatches one episode per task and the PR-3
+/// lockstep runner advances one statically partitioned shard per worker,
+/// the fleet engine keeps a bounded pool of *resident* episodes per
+/// worker and refills finished lanes from a shared atomic episode
+/// counter. Three consequences:
+///
+///  * planning batches stay wide for the whole campaign (a retiring
+///    episode is replaced immediately instead of the shard draining);
+///  * imbalanced episode lengths steal work instead of idling a worker
+///    (the atomic counter is the work-stealing deque, one episode at a
+///    time);
+///  * per-episode outputs are folded into compact FleetRecords — no
+///    RunResult extras, no trajectory retention — so memory stays
+///    O(pool + episodes * sizeof(FleetRecord)).
+///
+/// Determinism contract: the episode index -> seed map (seeding.hpp) is
+/// untouched — lanes are *slots*, the RNG stream belongs to the episode
+/// index claimed into the slot, so admission order cannot reorder any
+/// draw. Each episode's closed loop is bit-identical to run_episode /
+/// run_lockstep_shard (plan_batch is row-independent and bit-identical
+/// to plan(); step_batch is lane-wise bit-identical to step()). Records
+/// land at records[episode index], and every fold (BatchStats, metrics)
+/// runs serially in index order after the pool drains — so CSVs, eta
+/// sequences and metrics are byte-identical for 1, 4 or 7 threads, and
+/// byte-identical to the per-episode and lockstep paths.
+
+namespace cvsafe::sim {
+
+/// Compact per-episode outcome retained by the fleet engine: every field
+/// the batch aggregates and metrics folds consume, none of the typed
+/// extras. Trivially copyable; the records array is the engine's only
+/// O(episodes) state.
+struct FleetRecord {
+  double eta = 0.0;
+  double reach_time = 0.0;
+  std::size_t steps = 0;
+  std::size_t emergency_steps = 0;
+  std::array<std::size_t, core::kNumDegradationLevels> ladder_steps{};
+  std::size_t ladder_transitions = 0;
+  std::size_t messages_accepted = 0;
+  std::size_t messages_rejected = 0;
+  bool collided = false;
+  bool reached = false;
+};
+
+/// Fleet execution parameters.
+struct FleetConfig {
+  /// Maximum resident episodes across all workers. Bounds peak memory
+  /// (every resident episode owns its estimator/planner stack); the
+  /// per-worker lane count is pool_capacity / workers, floored at 1.
+  std::size_t pool_capacity = 8192;
+  std::size_t threads = 0;  ///< worker count, 0 = hardware concurrency
+  SeedPolicy policy = SeedPolicy::kPaired;
+};
+
+/// Result of a fleet run: the standard batch aggregate plus the
+/// deterministic metrics fold over every episode.
+struct FleetResult {
+  BatchStats stats;
+  obs::MetricsRegistry metrics;
+};
+
+/// Converts a compact record back to the equivalent RunResult (extras
+/// slot empty). Field-for-field; exists so fleet output can flow through
+/// every existing RunResult consumer (campaign aggregation, metrics).
+RunResult record_to_result(const FleetRecord& record);
+
+/// FleetRecord from a finished episode's RunResult (drops the extras).
+FleetRecord record_from_result(const RunResult& result);
+
+/// Index-ordered fold of records into BatchStats — the same accumulation,
+/// in the same order, as BatchStats::from_results over seed-ordered
+/// results (pinned by tests/sim_fleet_test).
+BatchStats stats_from_records(std::span<const FleetRecord> records);
+
+/// Index-ordered fold of records into the metrics registry, identical to
+/// collect_metrics over the seed-ordered RunResults.
+void collect_record_metrics(obs::MetricsRegistry& registry,
+                            std::span<const FleetRecord> records);
+
+/// Batched planning seam: evaluates the embedded planner on every pending
+/// world of a worker's pool in one call (out[i] = plan of worlds[i]).
+/// Must be bit-identical per row to Episode::planner().plan() on the same
+/// world — NnPlanner::plan_batch satisfies this.
+template <typename World>
+using FleetBatchPlanner =
+    std::function<void(std::span<const World>, std::span<double>)>;
+
+/// Factory producing one FleetBatchPlanner per worker (planners own
+/// per-worker workspaces and must not be shared across threads). An empty
+/// factory selects the generic path: full per-episode planner dispatch,
+/// exactly as run_episode.
+template <typename World>
+using FleetPlannerFactory = std::function<FleetBatchPlanner<World>()>;
+
+/// One worker's resident half of the fleet: SoA lanes for the engine-owned
+/// ego state plus the per-lane runners. Lanes [0, active) are contiguous;
+/// retiring compacts by swapping the last active lane down, admission
+/// claims the next episode index from the shared counter into the freed
+/// slot. The SoA arrays are the authoritative ego storage across the
+/// dynamics step: step_batch sweeps them in one contiguous loop and the
+/// runners adopt the stepped lanes via advance_commit.
+template <typename World>
+class EpisodePool {
+ public:
+  EpisodePool(const ScenarioAdapter<World>& adapter, std::size_t lanes,
+              std::uint64_t base_seed, SeedPolicy policy,
+              std::atomic<std::size_t>& next_episode, std::size_t n)
+      : adapter_(&adapter),
+        base_seed_(base_seed),
+        policy_(policy),
+        next_(&next_episode),
+        n_(n) {
+    runners_.resize(lanes);
+    index_.resize(lanes, 0);
+    ego_p_.resize(lanes, 0.0);
+    ego_v_.resize(lanes, 0.0);
+    accel_.resize(lanes, 0.0);
+    for (std::size_t lane = 0; lane < lanes && admit(lane); ++lane) {
+      ++active_;
+    }
+  }
+
+  std::size_t active() const { return active_; }
+  std::size_t lane_count() const { return runners_.size(); }
+  EpisodeRunner<World>& runner(std::size_t lane) { return *runners_[lane]; }
+  std::size_t episode_index(std::size_t lane) const { return index_[lane]; }
+  double accel(std::size_t lane) const { return accel_[lane]; }
+  void set_accel(std::size_t lane, double a) { accel_[lane] = a; }
+
+  /// Steps every active lane's ego through the shared saturating
+  /// dynamics in one SoA sweep, then commits the stepped states (traffic
+  /// advance + outcome classification) lane by lane. Call after every
+  /// lane's acceleration has been planned and advance_begin() has run.
+  void step_dynamics() {
+    if (active_ == 0) return;
+    const RunConfig& config = runners_[0]->config();
+    const vehicle::DoubleIntegrator dyn(config.ego_limits);
+    dyn.step_batch(ego_p_, ego_v_, accel_, config.dt_c, active_);
+    for (std::size_t lane = 0; lane < active_; ++lane) {
+      runners_[lane]->advance_commit(
+          vehicle::VehicleState{ego_p_[lane], ego_v_[lane]});
+    }
+  }
+
+  /// Mirrors the runner's pre-step ego into the SoA lanes (advance_begin
+  /// must run first so hooks observe the pre-step state).
+  void stage_lane(std::size_t lane) {
+    const vehicle::VehicleState& ego = runners_[lane]->ego();
+    ego_p_[lane] = ego.p;
+    ego_v_[lane] = ego.v;
+  }
+
+  /// Retires every finished lane into \p records (at its episode index)
+  /// and refills the slot from the shared counter; compacts the active
+  /// prefix when the counter is exhausted. Returns the number retired.
+  std::size_t retire_and_refill(std::span<FleetRecord> records) {
+    std::size_t retired = 0;
+    std::size_t lane = 0;
+    while (lane < active_) {
+      if (!runners_[lane]->done()) {
+        ++lane;
+        continue;
+      }
+      records[index_[lane]] = record_from_result(runners_[lane]->finish());
+      ++retired;
+      if (admit(lane)) {
+        ++lane;
+        continue;
+      }
+      // No more episodes: compact by moving the last active lane down.
+      --active_;
+      if (lane != active_) {
+        runners_[lane].swap(runners_[active_]);
+        index_[lane] = index_[active_];
+        ego_p_[lane] = ego_p_[active_];
+        ego_v_[lane] = ego_v_[active_];
+        accel_[lane] = accel_[active_];
+      }
+      runners_[active_].reset();
+    }
+    return retired;
+  }
+
+ private:
+  /// Claims the next unclaimed episode index into \p lane. The episode's
+  /// RNG stream is derived from its *index*, so which worker/lane claims
+  /// it cannot shift any draw.
+  bool admit(std::size_t lane) {
+    const std::size_t i = next_->fetch_add(1, std::memory_order_relaxed);
+    if (i >= n_) return false;
+    runners_[lane].emplace(*adapter_, episode_seed(base_seed_, i, policy_));
+    index_[lane] = i;
+    stage_lane(lane);
+    return true;
+  }
+
+  const ScenarioAdapter<World>* adapter_;
+  std::uint64_t base_seed_;
+  SeedPolicy policy_;
+  std::atomic<std::size_t>* next_;
+  std::size_t n_;
+  std::size_t active_ = 0;
+
+  std::vector<std::optional<EpisodeRunner<World>>> runners_;
+  std::vector<std::size_t> index_;  ///< global episode index per lane
+  // SoA lanes (FleetState): authoritative ego state + planned command.
+  std::vector<double> ego_p_;
+  std::vector<double> ego_v_;
+  std::vector<double> accel_;
+};
+
+namespace detail {
+
+/// One worker: drives its pool to exhaustion. Sequencing per shard-step
+/// mirrors run_lockstep_shard — observe every lane, split monitor-gated
+/// lanes from planner lanes, one batch_plan call over the pending worlds,
+/// then the split advance (bookkeeping, SoA dynamics sweep, commit) and
+/// retire/refill.
+template <typename World>
+void run_fleet_worker(const ScenarioAdapter<World>& adapter,
+                      std::size_t lanes, std::uint64_t base_seed,
+                      SeedPolicy policy,
+                      std::atomic<std::size_t>& next_episode, std::size_t n,
+                      const FleetBatchPlanner<World>& batch_plan,
+                      std::span<FleetRecord> records) {
+  EpisodePool<World> pool(adapter, lanes, base_seed, policy, next_episode,
+                          n);
+  // Reused across shard-steps; capacities warm up within a few steps, so
+  // the steady-state episode step allocates nothing.
+  std::vector<World> worlds;
+  std::vector<std::size_t> pending;
+  std::vector<double> plans;
+
+  while (pool.active() > 0) {
+    worlds.clear();
+    pending.clear();
+    for (std::size_t lane = 0; lane < pool.active(); ++lane) {
+      EpisodeRunner<World>& runner = pool.runner(lane);
+      runner.observe();
+      if (batch_plan) {
+        // Lockstep split: the monitor decides first; only lanes the
+        // monitor hands to the embedded planner join the batch.
+        if (const auto emergency = runner.monitor_gate()) {
+          pool.set_accel(lane, *emergency);
+        } else {
+          pending.push_back(lane);
+          worlds.push_back(runner.nn_world());
+        }
+      } else {
+        // Generic path: full per-episode dispatch (exactly run_episode).
+        pool.set_accel(lane, runner.plan());
+      }
+    }
+    if (!pending.empty()) {
+      plans.resize(worlds.size());
+      batch_plan(worlds, plans);
+      for (std::size_t j = 0; j < pending.size(); ++j) {
+        pool.set_accel(pending[j], plans[j]);
+      }
+    }
+    for (std::size_t lane = 0; lane < pool.active(); ++lane) {
+      pool.runner(lane).advance_begin(pool.accel(lane));
+      pool.stage_lane(lane);
+    }
+    pool.step_dynamics();
+    pool.retire_and_refill(records);
+  }
+}
+
+}  // namespace detail
+
+/// Runs \p n episodes through the fleet engine and returns the compact
+/// records in episode-index (seed) order. \p planner_factory, when
+/// non-empty, enables mega-batched planning (one batch call per worker
+/// shard-step); otherwise every episode dispatches its own planner.
+template <typename World>
+std::vector<FleetRecord> run_fleet_records(
+    const ScenarioAdapter<World>& adapter, std::size_t n,
+    std::uint64_t base_seed, const FleetConfig& config = {},
+    const FleetPlannerFactory<World>& planner_factory = {}) {
+  CVSAFE_EXPECTS(n > 0, "fleet must contain at least one episode");
+  CVSAFE_EXPECTS(config.pool_capacity > 0,
+                 "fleet pool capacity must be positive");
+  std::vector<FleetRecord> records(n);
+  std::size_t workers =
+      config.threads != 0
+          ? config.threads
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers = std::min(workers, n);
+  const std::size_t resident = std::min(config.pool_capacity, n);
+  const std::size_t lanes = std::max<std::size_t>(1, resident / workers);
+  std::atomic<std::size_t> next_episode{0};
+  std::span<FleetRecord> out(records);
+  const auto worker_body = [&] {
+    const FleetBatchPlanner<World> batch_plan =
+        planner_factory ? planner_factory() : FleetBatchPlanner<World>{};
+    detail::run_fleet_worker(adapter, lanes, base_seed, config.policy,
+                             next_episode, n, batch_plan, out);
+  };
+  if (workers <= 1) {
+    worker_body();
+  } else {
+    // Dedicated threads, not util::parallel_for: its small-n serial
+    // fallback would let worker 0 drain the shared counter before worker
+    // 1 starts, serializing 2- and 3-worker fleets.
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      threads.emplace_back(worker_body);
+    }
+    for (auto& t : threads) t.join();
+  }
+  return records;
+}
+
+/// run_fleet_records + the deterministic index-ordered folds.
+template <typename World>
+FleetResult run_fleet(const ScenarioAdapter<World>& adapter, std::size_t n,
+                      std::uint64_t base_seed, const FleetConfig& config = {},
+                      const FleetPlannerFactory<World>& planner_factory = {}) {
+  const std::vector<FleetRecord> records =
+      run_fleet_records(adapter, n, base_seed, config, planner_factory);
+  FleetResult result;
+  result.stats = stats_from_records(records);
+  collect_record_metrics(result.metrics, records);
+  return result;
+}
+
+}  // namespace cvsafe::sim

@@ -7,6 +7,7 @@
 
 #include "cvsafe/scenario/left_turn.hpp"
 #include "cvsafe/sim/engine.hpp"
+#include "cvsafe/sim/fleet.hpp"
 #include "cvsafe/sim/left_turn_stack.hpp"
 #include "cvsafe/vehicle/accel_profile.hpp"
 #include "cvsafe/vehicle/trajectory.hpp"
@@ -169,5 +170,25 @@ BatchStats run_left_turn_batch(const LeftTurnSimConfig& config,
                                std::size_t threads = 0,
                                BatchMode mode = BatchMode::kAuto,
                                SeedPolicy policy = SeedPolicy::kPaired);
+
+/// Runs \p n left-turn episodes through the fleet engine (fleet.hpp):
+/// bounded SoA episode pool per worker, work-stealing admission from a
+/// shared counter, and — for single-network NN blueprints — one
+/// mega-batched NnPlanner::plan_batch call per worker shard-step spanning
+/// every resident episode. Stats and metrics are byte-identical to
+/// run_left_turn_batch over the same seeds for any thread count or pool
+/// capacity (pinned by tests/sim_fleet_test).
+FleetResult run_left_turn_fleet(const LeftTurnSimConfig& config,
+                                const AgentBlueprint& blueprint,
+                                std::size_t n, std::uint64_t base_seed = 1,
+                                const FleetConfig& fleet = {});
+
+/// The fleet-engine records (seed-ordered, pre-fold) of the same run —
+/// the campaign layer folds these itself to keep per-cell CSVs
+/// byte-identical.
+std::vector<FleetRecord> run_left_turn_fleet_records(
+    const LeftTurnSimConfig& config, const AgentBlueprint& blueprint,
+    std::size_t n, std::uint64_t base_seed = 1,
+    const FleetConfig& fleet = {});
 
 }  // namespace cvsafe::sim

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <cstddef>
+#include <span>
+
 #include "cvsafe/vehicle/state.hpp"
 
 /// \file dynamics.hpp
@@ -53,6 +56,15 @@ class DoubleIntegrator {
   /// the saturating variant away from the limits.
   VehicleState step_unsaturated(const VehicleState& s, double a_cmd,
                                 double dt) const;
+
+  /// SoA entry point for the fleet engine: steps \p count vehicles whose
+  /// states live in contiguous position/velocity lanes, in place. Lane i
+  /// is bit-identical to step({p[i], v[i]}, a_cmd[i], dt) — one contract
+  /// check ahead of the loop instead of per element, and a contiguous
+  /// branch-light body the compiler can keep in registers.
+  void step_batch(std::span<double> p, std::span<double> v,
+                  std::span<const double> a_cmd, double dt,
+                  std::size_t count) const;
 
  private:
   VehicleLimits limits_;

@@ -27,6 +27,14 @@ interval kernels trips it long before wall-clock times look suspicious:
     bench_compare.py BENCH_micro.json \
         --require-max-ratio nn_interval_forward:mlp_forward_workspace:30
 
+--require-parallel-speedup is --require-speedup that consults the
+recording host's `config.hardware_threads` (written by cvsafe_bench) and
+skips itself — with a note, never a failure — on single-thread runners,
+where a parallel implementation cannot be expected to beat the serial one:
+
+    bench_compare.py BENCH_micro.json \
+        --require-parallel-speedup boundary_grid_serial:boundary_grid_parallel:1.1
+
 Exit status is non-zero if any gate or regression check fails.
 """
 
@@ -37,12 +45,12 @@ import json
 import sys
 
 
-def load(path: str) -> dict[str, dict]:
+def load(path: str) -> tuple[dict[str, dict], dict]:
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
     if doc.get("schema") != "cvsafe-bench-v1":
         sys.exit(f"{path}: unsupported schema {doc.get('schema')!r}")
-    return {b["name"]: b for b in doc["benchmarks"]}
+    return {b["name"]: b for b in doc["benchmarks"]}, doc.get("config", {})
 
 
 def lookup(table: dict[str, dict], name: str, path: str) -> dict:
@@ -84,10 +92,23 @@ def main() -> int:
         metavar="NAME",
         help="fail unless NAME has allocs_per_op == 0 in the new file",
     )
+    ap.add_argument(
+        "--require-parallel-speedup",
+        action="append",
+        default=[],
+        metavar="OLD:NEW:FACTOR",
+        help="like --require-speedup, but a parallel-vs-serial gate: "
+        "skipped (with a note, never a failure) when the recording host "
+        "had fewer than 2 hardware threads, where a parallel "
+        "implementation cannot be expected to win",
+    )
     args = ap.parse_args()
 
-    old = load(args.baseline)
-    new = load(args.new) if args.new else old
+    old, old_config = load(args.baseline)
+    if args.new:
+        new, new_config = load(args.new)
+    else:
+        new, new_config = old, old_config
     new_path = args.new if args.new else args.baseline
     failed = False
 
@@ -137,6 +158,34 @@ def main() -> int:
         print(
             f"max-ratio {num_name} / {den_name}: {ratio:.2f}x "
             f"(limit {limit:.2f}x) {'ok' if ok else 'FAIL'}"
+        )
+        failed |= not ok
+
+    hardware_threads = new_config.get("hardware_threads", 0)
+    for spec in args.require_parallel_speedup:
+        try:
+            old_name, new_name, factor_s = spec.split(":")
+            factor = float(factor_s)
+        except ValueError:
+            sys.exit(
+                f"bad --require-parallel-speedup spec {spec!r}, "
+                "want OLD:NEW:FACTOR"
+            )
+        if hardware_threads < 2:
+            print(
+                f"parallel-speedup {old_name} -> {new_name}: skipped "
+                f"(recording host reported {hardware_threads} hardware "
+                "thread(s); parallel cannot be expected to beat serial)"
+            )
+            continue
+        o = lookup(old, old_name, args.baseline)["ns_per_op"]
+        n = lookup(new, new_name, new_path)["ns_per_op"]
+        ratio = o / n if n > 0 else float("inf")
+        ok = ratio >= factor
+        print(
+            f"parallel-speedup {old_name} -> {new_name}: {ratio:.2f}x "
+            f"(required {factor:.2f}x on {hardware_threads} hardware "
+            f"threads) {'ok' if ok else 'FAIL'}"
         )
         failed |= not ok
 

@@ -116,12 +116,17 @@ void Channel::enqueue(const Message& msg, double delivery_time) {
 
 std::vector<Message> Channel::collect(double t) {
   std::vector<Message> out;
+  collect_into(t, out);
+  return out;
+}
+
+void Channel::collect_into(double t, std::vector<Message>& out) {
+  out.clear();
   while (!pending_.empty() &&
          pending_.top().delivery_time <= t + kTimeEps) {
     out.push_back(pending_.top().msg);
     pending_.pop();
   }
-  return out;
 }
 
 }  // namespace cvsafe::comm

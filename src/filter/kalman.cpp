@@ -41,6 +41,21 @@ KalmanFilter::KalmanFilter(KalmanConfig config)
                  "sensor error bounds must be non-negative");
   CVSAFE_EXPECTS(config.sigma_bound > 0.0,
                  "confidence interval needs sigma_bound > 0");
+  // One up-front allocation; update() then runs alloc-free forever. The
+  // capacity floor of 1 keeps the initializing reading retained even with
+  // history_depth == 0 (matching the historical deque, which only trimmed
+  // on post-initialization pushes).
+  history_.resize(std::max<std::size_t>(config_.history_depth, 1));
+}
+
+void KalmanFilter::history_push(const HistoryEntry& entry) {
+  if (history_size_ == history_.size()) {
+    history_[history_head_] = entry;
+    history_head_ = (history_head_ + 1) % history_.size();
+  } else {
+    history_[(history_head_ + history_size_) % history_.size()] = entry;
+    ++history_size_;
+  }
 }
 
 void KalmanFilter::predict(Vec2& x, Mat2& p, double dt, double a,
@@ -62,7 +77,7 @@ void KalmanFilter::update(const sensing::SensorReading& reading) {
     t_ = reading.t;
     last_a_ = reading.a;
     initialized_ = true;
-    history_.push_back(HistoryEntry{reading, x_, p_});
+    history_push(HistoryEntry{reading, x_, p_});
     return;
   }
   // Predict from the previous measurement time to this one.
@@ -71,8 +86,8 @@ void KalmanFilter::update(const sensing::SensorReading& reading) {
     predict(x_, p_, dt, last_a_,
             process_noise(dt, config_.delta_a) * q_scale_);
   }
-  history_.push_back(HistoryEntry{reading, x_, p_});
-  while (history_.size() > config_.history_depth) history_.pop_front();
+  history_push(HistoryEntry{reading, x_, p_});
+  if (config_.history_depth == 0) history_size_ = 0;
   apply_update(reading);
   t_ = reading.t;
   last_a_ = reading.a;
@@ -125,27 +140,28 @@ void KalmanFilter::correct_with_message(double t_k, double p, double v,
     t_ = t_k;
     last_a_ = a;
     // Replay nothing; history before t_k is now superseded.
-    history_.clear();
+    history_head_ = 0;
+    history_size_ = 0;
     nis_.reset();
     if (obs::recording(recorder_)) recorder_->rollback(t_k, 0);
     return;
   }
   // Rollback: restart from the exact message state at t_k and replay every
   // stored sensor update that happened after t_k.
-  auto it = std::find_if(history_.begin(), history_.end(),
-                         [&](const HistoryEntry& e) {
-                           return e.reading.t > t_k + 1e-9;
-                         });
+  std::size_t first = 0;
+  while (first < history_size_ &&
+         history_at(first).reading.t <= t_k + 1e-9) {
+    ++first;
+  }
   if (obs::recording(recorder_)) {
-    recorder_->rollback(
-        t_k, static_cast<std::size_t>(std::distance(it, history_.end())));
+    recorder_->rollback(t_k, history_size_ - first);
   }
   Vec2 x{p, v};
   Mat2 cov = Mat2::diagonal(1e-9, 1e-9);
   double t_cur = t_k;
   double a_cur = a;
-  for (; it != history_.end(); ++it) {
-    const auto& entry = *it;
+  for (std::size_t i = first; i < history_size_; ++i) {
+    const auto& entry = history_at(i);
     const double dt = entry.reading.t - t_cur;
     if (dt > 0.0) {
       predict(x, cov, dt, a_cur, process_noise(dt, config_.delta_a));

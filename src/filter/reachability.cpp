@@ -56,4 +56,15 @@ StateBounds propagate(const StateBounds& bounds, double t,
   return out;
 }
 
+void propagate_batch(std::span<const StateBounds> bounds,
+                     std::span<const double> t,
+                     const vehicle::VehicleLimits& limits,
+                     std::span<StateBounds> out) {
+  CVSAFE_EXPECTS(bounds.size() == t.size() && bounds.size() == out.size(),
+                 "propagate_batch lanes must have matching extents");
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    out[i] = propagate(bounds[i], t[i], limits);
+  }
+}
+
 }  // namespace cvsafe::filter

@@ -53,17 +53,28 @@ void NnPlanner::plan_batch(std::span<const scenario::LeftTurnWorld> worlds,
                            std::span<double> out) {
   CVSAFE_PROFILE_SPAN("nn.plan_batch");
   assert(worlds.size() == out.size());
-  if (worlds.empty()) return;
-  nn::Matrix& in = workspace_.input(worlds.size(), InputEncoding::dim());
-  for (std::size_t i = 0; i < worlds.size(); ++i) {
-    const auto& w = worlds[i];
-    encoding_.encode_into(
-        w.t, w.ego.p, w.ego.v, w.tau1_nn,
-        std::span<double>(in.data()).subspan(i * InputEncoding::dim(),
-                                             InputEncoding::dim()));
+  // Tiled evaluation: the workspace (input staging + two activation
+  // buffers) grows monotonically with the largest batch seen, so an
+  // unbounded batch from a fleet-sized pool would pin
+  // O(pool * max_layer_width) doubles per planner. Capping tiles at
+  // kTileRows bounds the workspace while keeping each matmul wide enough
+  // to amortize the weight traffic. Per-row arithmetic is independent of
+  // the tile split, so results stay bit-identical to one whole-batch
+  // call (and to plan() per row).
+  constexpr std::size_t kTileRows = 512;
+  for (std::size_t base = 0; base < worlds.size(); base += kTileRows) {
+    const std::size_t rows = std::min(kTileRows, worlds.size() - base);
+    nn::Matrix& in = workspace_.input(rows, InputEncoding::dim());
+    for (std::size_t i = 0; i < rows; ++i) {
+      const auto& w = worlds[base + i];
+      encoding_.encode_into(
+          w.t, w.ego.p, w.ego.v, w.tau1_nn,
+          std::span<double>(in.data()).subspan(i * InputEncoding::dim(),
+                                               InputEncoding::dim()));
+    }
+    const nn::Matrix& y = net_->forward_into(in, workspace_);
+    for (std::size_t i = 0; i < rows; ++i) out[base + i] = y(i, 0);
   }
-  const nn::Matrix& y = net_->forward_into(in, workspace_);
-  for (std::size_t i = 0; i < worlds.size(); ++i) out[i] = y(i, 0);
 }
 
 }  // namespace cvsafe::planners

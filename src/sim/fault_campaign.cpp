@@ -71,8 +71,21 @@ std::vector<RunResult> run_cell_episodes(const ScenarioAdapter<World>& adapter,
                                          std::ostream* trace,
                                          const std::string& fault_label) {
   if (trace == nullptr) {
-    return run_episodes(adapter, episodes, seed, threads,
-                        SeedPolicy::kDerived);
+    // Untraced cells run on the fleet engine: pooled episodes with
+    // work-stealing refill instead of one task per episode. Records are
+    // seed-ordered and per-episode bit-identical to run_episodes, so the
+    // cell aggregation (and the golden campaign CSV) is byte-identical.
+    FleetConfig fleet;
+    fleet.threads = threads;
+    fleet.policy = SeedPolicy::kDerived;
+    const std::vector<FleetRecord> records =
+        run_fleet_records(adapter, episodes, seed, fleet);
+    std::vector<RunResult> results;
+    results.reserve(records.size());
+    for (const FleetRecord& r : records) {
+      results.push_back(record_to_result(r));
+    }
+    return results;
   }
   return run_traced_episodes(adapter, episodes, seed, threads,
                              SeedPolicy::kDerived, *trace,

@@ -1,0 +1,75 @@
+#include "cvsafe/sim/fleet.hpp"
+
+#include "cvsafe/sim/obs_summary.hpp"
+
+namespace cvsafe::sim {
+
+RunResult record_to_result(const FleetRecord& record) {
+  RunResult result;
+  result.collided = record.collided;
+  result.reached = record.reached;
+  result.reach_time = record.reach_time;
+  result.eta = record.eta;
+  result.steps = record.steps;
+  result.emergency_steps = record.emergency_steps;
+  result.ladder_steps = record.ladder_steps;
+  result.ladder_transitions = record.ladder_transitions;
+  result.messages_accepted = record.messages_accepted;
+  result.messages_rejected = record.messages_rejected;
+  return result;
+}
+
+FleetRecord record_from_result(const RunResult& result) {
+  FleetRecord record;
+  record.eta = result.eta;
+  record.reach_time = result.reach_time;
+  record.steps = result.steps;
+  record.emergency_steps = result.emergency_steps;
+  record.ladder_steps = result.ladder_steps;
+  record.ladder_transitions = result.ladder_transitions;
+  record.messages_accepted = result.messages_accepted;
+  record.messages_rejected = result.messages_rejected;
+  record.collided = result.collided;
+  record.reached = result.reached;
+  return record;
+}
+
+BatchStats stats_from_records(std::span<const FleetRecord> records) {
+  // Mirrors BatchStats::from_results accumulation term for term (same
+  // order, same arithmetic) so the fleet aggregate is bit-identical to
+  // from_results over the seed-ordered RunResults.
+  BatchStats stats;
+  stats.n = records.size();
+  stats.etas.reserve(records.size());
+  double reach_time_sum = 0.0;
+  double eta_sum = 0.0;
+  for (const FleetRecord& r : records) {
+    stats.etas.push_back(r.eta);
+    eta_sum += r.eta;
+    if (!r.collided) ++stats.safe_count;
+    if (r.reached) {
+      ++stats.reached_count;
+      reach_time_sum += r.reach_time;
+    }
+    stats.total_steps += r.steps;
+    stats.emergency_steps += r.emergency_steps;
+  }
+  if (stats.n > 0) {
+    stats.mean_eta = eta_sum / static_cast<double>(stats.n);
+  }
+  stats.mean_reach_time =
+      stats.reached_count > 0
+          ? reach_time_sum / static_cast<double>(stats.reached_count)
+          : 0.0;
+  return stats;
+}
+
+void collect_record_metrics(obs::MetricsRegistry& registry,
+                            std::span<const FleetRecord> records) {
+  for (const FleetRecord& r : records) {
+    const RunResult result = record_to_result(r);
+    collect_run_metrics(registry, result);
+  }
+}
+
+}  // namespace cvsafe::sim

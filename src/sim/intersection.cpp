@@ -148,7 +148,8 @@ class IntersectionEpisode final : public Episode<IntersectionWorld> {
                                     std::move(profile),
                                     actor_channel(config, id, seed),
                                     actor_sensor(config, id, seed),
-                                    std::move(estimators)});
+                                    std::move(estimators),
+                                    {}});
       p -= rng.uniform(config.headway_min, config.headway_max);
     }
     return stream;

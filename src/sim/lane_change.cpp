@@ -102,7 +102,8 @@ class LaneChangeEpisode final : public Episode<LaneChangeWorld> {
                         std::move(profile),
                         actor_channel(config, 1, seed),
                         actor_sensor(config, 1, seed),
-                        std::move(estimators)};
+                        std::move(estimators),
+                        {}};
   }
 
   std::shared_ptr<const scenario::LaneChangeScenario> scn_;

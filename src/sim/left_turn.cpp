@@ -55,6 +55,7 @@ TrafficActor make_oncoming(const LeftTurnSimConfig& config, util::Rng& rng,
                       std::move(profile),
                       actor_channel(config, 1, seed),
                       actor_sensor(config, 1, seed),
+                      {},
                       {}};
 }
 
@@ -266,6 +267,48 @@ BatchStats run_left_turn_batch(const LeftTurnSimConfig& config,
         threads);
   }
   return BatchStats::from_results(results);
+}
+
+namespace {
+
+/// Per-worker batch-planning seam for the fleet engine: each worker owns
+/// one NnPlanner (its workspace is not thread-safe); kappa_n is stateless
+/// given the world, so sharing one planner across a worker's episodes is
+/// exact — the same factoring run_lockstep_shard uses.
+FleetPlannerFactory<scenario::LeftTurnWorld> fleet_planner_factory(
+    const AgentBlueprint& blueprint) {
+  const bool lockstep_eligible = !blueprint.config.use_expert_planner &&
+                                 blueprint.ensemble.empty() &&
+                                 blueprint.net != nullptr;
+  if (!lockstep_eligible) return {};
+  std::shared_ptr<const nn::Mlp> net = blueprint.net;
+  return [net]() -> FleetBatchPlanner<scenario::LeftTurnWorld> {
+    auto planner = std::make_shared<planners::NnPlanner>(
+        net, planners::InputEncoding{}, "nn");
+    return [planner](std::span<const scenario::LeftTurnWorld> worlds,
+                     std::span<double> out) {
+      planner->plan_batch(worlds, out);
+    };
+  };
+}
+
+}  // namespace
+
+FleetResult run_left_turn_fleet(const LeftTurnSimConfig& config,
+                                const AgentBlueprint& blueprint,
+                                std::size_t n, std::uint64_t base_seed,
+                                const FleetConfig& fleet) {
+  LeftTurnAdapter adapter(config, blueprint);
+  return run_fleet(adapter, n, base_seed, fleet,
+                   fleet_planner_factory(blueprint));
+}
+
+std::vector<FleetRecord> run_left_turn_fleet_records(
+    const LeftTurnSimConfig& config, const AgentBlueprint& blueprint,
+    std::size_t n, std::uint64_t base_seed, const FleetConfig& fleet) {
+  LeftTurnAdapter adapter(config, blueprint);
+  return run_fleet_records(adapter, n, base_seed, fleet,
+                           fleet_planner_factory(blueprint));
 }
 
 }  // namespace cvsafe::sim

@@ -67,7 +67,8 @@ class MultiVehicleEpisode final : public Episode<LeftTurnMultiWorld> {
                                    std::move(profile),
                                    actor_channel(config, id, seed),
                                    actor_sensor(config, id, seed),
-                                   std::move(estimators)});
+                                   std::move(estimators),
+                                   {}});
       u -= multi.platoon_spacing +
            rng.uniform(-multi.spacing_jitter, multi.spacing_jitter);
     }

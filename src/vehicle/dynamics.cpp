@@ -32,6 +32,22 @@ VehicleState DoubleIntegrator::step(const VehicleState& s, double a_cmd,
   return out;
 }
 
+void DoubleIntegrator::step_batch(std::span<double> p, std::span<double> v,
+                                  std::span<const double> a_cmd, double dt,
+                                  std::size_t count) const {
+  CVSAFE_EXPECTS(dt > 0.0, "integration step needs dt > 0");
+  CVSAFE_EXPECTS(limits_.valid(), "vehicle limits must be well-formed");
+  CVSAFE_EXPECTS(count <= p.size() && count <= v.size() &&
+                     count <= a_cmd.size(),
+                 "step_batch lanes must cover count");
+  for (std::size_t i = 0; i < count; ++i) {
+    const double a = limits_.clamp_accel(a_cmd[i]);
+    const double cap = a >= 0.0 ? limits_.v_max : limits_.v_min;
+    p[i] += util::displacement_with_speed_cap(v[i], a, dt, cap);
+    v[i] = limits_.clamp_speed(util::speed_after(v[i], a, dt, cap));
+  }
+}
+
 VehicleState DoubleIntegrator::step_unsaturated(const VehicleState& s,
                                                 double a_cmd,
                                                 double dt) const {

@@ -28,6 +28,12 @@
 //   --seed N                 first seed                  (default 1)
 //   --sims N                 batch size / training size scale
 //   --threads N              worker threads (0 = hardware)
+//   --engine fleet|lockstep|episode
+//                            (batch, left-turn) batch machinery: pooled
+//                            fleet engine (default), PR-3 lockstep shards,
+//                            or one planner dispatch per episode — all
+//                            byte-identical in output
+//   --pool N                 (batch) fleet pool capacity  (default 8192)
 //   --trace FILE             (run) per-step trace: structured JSONL event
 //                            trace when FILE ends in .jsonl, legacy CSV
 //                            otherwise; (campaign) structured JSONL trace
@@ -414,9 +420,22 @@ int cmd_batch(const Args& args) {
   const auto n = static_cast<std::size_t>(args.number("sims", 500));
   const auto seed = static_cast<std::uint64_t>(args.number("seed", 1));
   const auto threads = static_cast<std::size_t>(args.number("threads", 0));
+  const std::string engine = args.value("engine", "fleet");
+  const auto pool = static_cast<std::size_t>(args.number("pool", 8192));
 
-  const eval::BatchStats stats = eval::run_batch(config, bp, n, seed,
-                                                 threads);
+  eval::BatchStats stats;
+  if (engine == "fleet") {
+    stats = eval::run_batch_fleet(config, bp, n, seed, threads, pool);
+  } else if (engine == "lockstep") {
+    stats = eval::run_batch(config, bp, n, seed, threads);
+  } else if (engine == "episode") {
+    stats = sim::run_left_turn_batch(config, bp, n, seed, threads,
+                                     sim::BatchMode::kPerEpisode);
+  } else {
+    std::fprintf(stderr, "unknown --engine %s (fleet|lockstep|episode)\n",
+                 engine.c_str());
+    return 1;
+  }
   return print_stats("batch: " + bp.name + " under " + config.comm.label(),
                      stats);
 }
