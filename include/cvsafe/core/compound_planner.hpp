@@ -76,6 +76,15 @@ class CompoundPlanner final : public PlannerBase<World> {
             (options.aggressive_unsafe_set ? ", aggressive)" : ")");
   }
 
+  // A pool-bound planner owns a FleetLadder slot; copying would
+  // double-release it (planners are shared_ptr-held, never copied).
+  CompoundPlanner(const CompoundPlanner&) = delete;
+  CompoundPlanner& operator=(const CompoundPlanner&) = delete;
+
+  ~CompoundPlanner() override {
+    if (fleet_ladder_ != nullptr) fleet_ladder_->release(ladder_slot_);
+  }
+
   /// One control step of the runtime monitor (Section III-C):
   /// kappa_e iff x(t) in X_b, otherwise kappa_n — with the aggressive
   /// unsafe set substituted when enabled.
@@ -98,6 +107,11 @@ class CompoundPlanner final : public PlannerBase<World> {
     bool biased = false;
     if (ladder_) {
       biased = ladder_->update(step, signals_) ==
+               DegradationLevel::kEmergencyBiased;
+    } else if (fleet_ladder_ != nullptr) {
+      // Pooled hysteresis state: same decision procedure, state resident
+      // in the fleet pool's SoA arrays (see core::FleetLadder).
+      biased = fleet_ladder_->update(ladder_slot_, signals_) ==
                DegradationLevel::kEmergencyBiased;
     }
     std::optional<World> biased_world;
@@ -133,7 +147,9 @@ class CompoundPlanner final : public PlannerBase<World> {
   /// and below) disables the aggressive shrink, so the embedded planner
   /// falls back to the conservative Eq. 7 windows.
   World planner_view(const World& world) const {
-    if (ladder_ && ladder_->level() != DegradationLevel::kFull) return world;
+    if (has_ladder() && ladder_level() != DegradationLevel::kFull) {
+      return world;
+    }
     return options_.aggressive_unsafe_set
                ? safety_model_->shrink_for_planner(world)
                : world;
@@ -142,8 +158,41 @@ class CompoundPlanner final : public PlannerBase<World> {
   /// Arms the degradation ladder; without this call the planner behaves
   /// exactly as before (no ladder, implicit degradation only).
   void enable_degradation(const LadderConfig& config) {
+    CVSAFE_EXPECTS(fleet_ladder_ == nullptr,
+                   "ladder is already pool-resident");
     ladder_.emplace(config);
     ladder_->set_recorder(recorder_);
+  }
+
+  /// Arms the degradation ladder with pool-resident state: hysteresis and
+  /// tallies live in a slot of \p fleet (released on destruction) so the
+  /// fleet engine's gate/ladder sweep walks contiguous arrays. Decision
+  /// procedure and stats are identical to enable_degradation; the pooled
+  /// ladder keeps no transition log and is untraced.
+  void enable_degradation_pooled(const LadderConfig& config,
+                                 FleetLadder& fleet) {
+    CVSAFE_EXPECTS(!ladder_.has_value() && fleet_ladder_ == nullptr,
+                   "ladder is already armed");
+    fleet_ladder_ = &fleet;
+    ladder_slot_ = fleet.acquire(config);
+  }
+
+  /// Moves a freshly armed scalar ladder into pool-resident state (the
+  /// fleet bind at episode admission). Must run before the first control
+  /// step — the pooled slot starts at kFull with empty tallies, so a
+  /// ladder that has already absorbed signals would lose state.
+  void rebind_ladder_pooled(FleetLadder& fleet) {
+    CVSAFE_EXPECTS(ladder_.has_value() && fleet_ladder_ == nullptr,
+                   "pooled rebind needs an armed scalar ladder");
+    const DegradationStats tally = ladder_->stats();
+    std::size_t touched = tally.transitions;
+    for (const std::size_t steps : tally.steps_at) touched += steps;
+    CVSAFE_EXPECTS(touched == 0,
+                   "ladder rebind must happen before the first step");
+    const LadderConfig config = ladder_->config();
+    ladder_.reset();
+    fleet_ladder_ = &fleet;
+    ladder_slot_ = fleet.acquire(config);
   }
 
   /// Attach a trace sink: planner switches become monitor events (with
@@ -160,8 +209,27 @@ class CompoundPlanner final : public PlannerBase<World> {
     signals_ = signals;
   }
 
-  /// The ladder, when armed (level occupancy, transition log).
+  /// The scalar ladder, when armed in-place (level occupancy, transition
+  /// log). Pool-armed planners report through has_ladder()/ladder_level()
+  /// /ladder_stats() instead — those work in both modes.
   const std::optional<DegradationLadder>& ladder() const { return ladder_; }
+
+  /// True when a ladder is armed, scalar or pool-resident.
+  bool has_ladder() const {
+    return ladder_.has_value() || fleet_ladder_ != nullptr;
+  }
+
+  /// Current rung (requires has_ladder()).
+  DegradationLevel ladder_level() const {
+    CVSAFE_EXPECTS(has_ladder(), "no degradation ladder armed");
+    return ladder_ ? ladder_->level() : fleet_ladder_->level(ladder_slot_);
+  }
+
+  /// Occupancy/transition tally (requires has_ladder()).
+  DegradationStats ladder_stats() const {
+    CVSAFE_EXPECTS(has_ladder(), "no degradation ladder armed");
+    return ladder_ ? ladder_->stats() : fleet_ladder_->stats(ladder_slot_);
+  }
 
   std::string_view name() const override { return name_; }
 
@@ -202,6 +270,10 @@ class CompoundPlanner final : public PlannerBase<World> {
   std::vector<SwitchEvent> switch_events_;
   bool last_was_emergency_ = false;
   std::optional<DegradationLadder> ladder_;
+  /// Pool-resident ladder state (enable_degradation_pooled); mutually
+  /// exclusive with ladder_.
+  FleetLadder* fleet_ladder_ = nullptr;
+  std::size_t ladder_slot_ = 0;
   DegradationSignals signals_;
   obs::Recorder* recorder_ = nullptr;
 };

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "cvsafe/filter/consistency.hpp"
+#include "cvsafe/filter/kalman_core.hpp"
 #include "cvsafe/obs/recorder.hpp"
 #include "cvsafe/sensing/sensor.hpp"
 #include "cvsafe/util/interval.hpp"
@@ -87,6 +88,14 @@ class KalmanFilter {
   /// Velocity interval at time t.
   util::Interval velocity_interval(double t) const;
 
+  /// Layout-independent snapshot of the anchored state (see
+  /// kalman_core.hpp); what the plausibility gate's innovation screen
+  /// consumes.
+  kalman_core::KalmanView view() const {
+    return kalman_core::KalmanView{initialized_, t_, last_a_,
+                                   config_.delta_a, x_, p_};
+  }
+
   /// Time of the last absorbed measurement.
   double last_update_time() const { return t_; }
 
@@ -123,14 +132,7 @@ class KalmanFilter {
     return history_[(history_head_ + i) % history_.size()];
   }
 
-  /// Predicts (x, P) forward by dt with control acceleration a.
-  static void predict(util::Vec2& x, util::Mat2& p, double dt, double a,
-                      const util::Mat2& q);
-
   KalmanConfig config_;
-  util::Mat2 f_;
-  util::Vec2 g_;
-  util::Mat2 q_;
   util::Mat2 r_;
 
   bool initialized_ = false;

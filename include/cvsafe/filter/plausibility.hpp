@@ -4,7 +4,7 @@
 #include <optional>
 
 #include "cvsafe/comm/message.hpp"
-#include "cvsafe/filter/kalman.hpp"
+#include "cvsafe/filter/kalman_core.hpp"
 #include "cvsafe/filter/reachability.hpp"
 #include "cvsafe/obs/recorder.hpp"
 #include "cvsafe/vehicle/dynamics.hpp"
@@ -107,13 +107,16 @@ class PlausibilityGate {
   /// Runs every armed screen, in order: non-finite, actuation range,
   /// staleness (vs \p newest_time, the newest information the estimator
   /// has absorbed), set membership (vs \p fused propagated to the payload
-  /// time), innovation (vs \p kalman, may be null). Returns the payload
-  /// on acceptance, nullopt on rejection; counters updated either way.
+  /// time), innovation (vs \p kalman, may be null). The Kalman state is
+  /// passed as a layout-independent KalmanView so scalar filters and
+  /// pool-resident FleetEstimator lanes screen through the identical
+  /// code path. Returns the payload on acceptance, nullopt on rejection;
+  /// counters updated either way.
   std::optional<ScreenedMessage> screen(const comm::Message& msg,
                                         const vehicle::VehicleLimits& limits,
                                         double newest_time,
                                         const std::optional<StateBounds>& fused,
-                                        const KalmanFilter* kalman);
+                                        const kalman_core::KalmanView* kalman);
 
   /// Stateless non-finite screen for estimators without bound/innovation
   /// state (e.g. the naive extrapolator).

@@ -18,6 +18,7 @@
 #include "cvsafe/filter/info_filter.hpp"
 #include "cvsafe/obs/recorder.hpp"
 #include "cvsafe/sensing/sensor.hpp"
+#include "cvsafe/sim/fleet_context.hpp"
 #include "cvsafe/sim/run_config.hpp"
 #include "cvsafe/sim/run_result.hpp"
 #include "cvsafe/sim/seeding.hpp"
@@ -166,6 +167,68 @@ class Episode {
   virtual void observe(World& world, double t, std::size_t step,
                        util::Rng& rng) = 0;
 
+  // --- Fleet batched-sweep seam ---------------------------------------
+  // The fleet engine decomposes observe() into fleet-wide sweeps so the
+  // heavy arithmetic (Kalman update/predict, reachability propagation)
+  // runs batched over every resident lane. The decomposition preserves
+  // each lane's op and RNG order exactly — pump (channel offer + drain),
+  // deliver (screened message absorption), sense (sensor sample), stage
+  // (sweep staging), build (world assembly) happen in the same per-lane
+  // sequence observe() runs them in; only *cross-lane* interleaving
+  // changes, and lanes share no state beyond the pool-resident SoA slots
+  // each owns exclusively. Scenarios opt in by overriding bind_fleet to
+  // return true (and their adapter's fleet_sweeps()); the defaults keep
+  // scenarios on the reference per-lane loop.
+
+  /// Binds the episode's pool-resident state (Kalman lanes, ladder slot)
+  /// into \p ctx; returns true when the episode supports the sweep
+  /// decomposition. Called once at fleet admission, before any step.
+  virtual bool bind_fleet(FleetStackContext& ctx) {
+    (void)ctx;
+    return false;
+  }
+
+  /// Sweep 1 of observe(): broadcasts the traffic snapshot(s) on the
+  /// channel (episode-RNG draws) and drains due messages into the slab's
+  /// open lane.
+  virtual void sweep_pump(double t, std::size_t step, util::Rng& rng,
+                          comm::MessageSlab& slab) {
+    (void)t, (void)step, (void)rng, (void)slab;
+    CVSAFE_EXPECTS(false, "episode does not implement fleet sweeps");
+  }
+
+  /// Sweep 2: absorbs slab entries [first, last) — this episode's
+  /// delivered messages, in delivery order — into the estimator stack.
+  virtual void sweep_deliver(const comm::MessageSlab& slab,
+                             std::size_t first, std::size_t last) {
+    (void)slab, (void)first, (void)last;
+    CVSAFE_EXPECTS(false, "episode does not implement fleet sweeps");
+  }
+
+  /// Sweep 3: samples the sensor(s) (episode-RNG draws) and feeds the
+  /// readings to the estimator stack (pooled Kalman lanes stage them for
+  /// FleetEstimator::update_batch).
+  virtual void sweep_sense(double t, std::size_t step, util::Rng& rng) {
+    (void)t, (void)step, (void)rng;
+    CVSAFE_EXPECTS(false, "episode does not implement fleet sweeps");
+  }
+
+  /// Sweep 4 staging: queues the reachability propagation(s) to query
+  /// time \p t into \p reach and the Kalman extrapolations into the
+  /// bound fleet estimator. Runs after update_batch absorbed this step's
+  /// readings.
+  virtual void sweep_stage(double t, filter::ReachSweep& reach) {
+    (void)t, (void)reach;
+    CVSAFE_EXPECTS(false, "episode does not implement fleet sweeps");
+  }
+
+  /// Sweep 5: fills the scenario fields of \p world (t/ego already set),
+  /// reading the caches the batched sweeps produced.
+  virtual void sweep_build(World& world) {
+    (void)world;
+    CVSAFE_EXPECTS(false, "episode does not implement fleet sweeps");
+  }
+
   /// Steps all traffic with the scenario dynamics.
   virtual void advance_traffic(std::size_t step, double dt) = 0;
 
@@ -220,6 +283,13 @@ class ScenarioAdapter {
   virtual std::unique_ptr<Episode<World>> make_episode(
       util::Rng& rng, std::size_t total_steps,
       std::uint64_t seed) const = 0;
+
+  /// True when every episode this adapter creates implements the fleet
+  /// sweep decomposition (Episode::bind_fleet and the sweep_* overrides).
+  /// The fleet engine only engages its batched shard-step for adapters
+  /// that promise this; the default keeps scenarios on the reference
+  /// per-lane loop.
+  virtual bool fleet_sweeps() const { return false; }
 };
 
 /// Optional per-step observer (figure traces, debugging). on_step fires
@@ -275,13 +345,45 @@ class EpisodeRunner {
   /// Phase 1: traffic broadcast, channel delivery, estimator update;
   /// builds the planner's world view for the current step.
   const World& observe() {
+    observe_begin();
+    episode_->observe(world_, t_, step_, rng_);
+    return world_;
+  }
+
+  /// Phase 1 bookkeeping only (fleet sweep path): step timing, the
+  /// step-begin hook and the world skeleton (t/ego), without the
+  /// episode's observe work — the pool drives that through the sweeps.
+  /// observe() == observe_begin() + Episode::observe.
+  void observe_begin() {
     CVSAFE_EXPECTS(!done(), "observe() after the episode finished");
     t_ = static_cast<double>(step_) * config_->dt_c;
     if (hook_ != nullptr) hook_->on_step_begin(step_, t_);
     world_ = World{};
     world_.t = t_;
     world_.ego = ego_;
-    episode_->observe(world_, t_, step_, rng_);
+  }
+
+  /// Fleet bind at admission (pool-resident estimator/ladder slots).
+  bool bind_fleet(FleetStackContext& ctx) {
+    return episode_->bind_fleet(ctx);
+  }
+
+  // Fleet sweep wrappers: forward the current (t, step) and the episode
+  // RNG so the per-lane draw order matches observe() exactly. Valid only
+  // between observe_begin() and advance_begin().
+  void sweep_pump(comm::MessageSlab& slab) {
+    episode_->sweep_pump(t_, step_, rng_, slab);
+  }
+  void sweep_deliver(const comm::MessageSlab& slab, std::size_t first,
+                     std::size_t last) {
+    episode_->sweep_deliver(slab, first, last);
+  }
+  void sweep_sense() { episode_->sweep_sense(t_, step_, rng_); }
+  void sweep_stage(filter::ReachSweep& reach) {
+    episode_->sweep_stage(t_, reach);
+  }
+  const World& sweep_build() {
+    episode_->sweep_build(world_);
     return world_;
   }
 
@@ -359,9 +461,10 @@ class EpisodeRunner {
     outcome.reach_time = result_.reach_time;
     result_.eta = core::eta(outcome);
     if (auto* compound = episode_->compound();
-        compound != nullptr && compound->ladder()) {
-      result_.ladder_steps = compound->ladder()->stats().steps_at;
-      result_.ladder_transitions = compound->ladder()->stats().transitions;
+        compound != nullptr && compound->has_ladder()) {
+      const core::DegradationStats ladder_stats = compound->ladder_stats();
+      result_.ladder_steps = ladder_stats.steps_at;
+      result_.ladder_transitions = ladder_stats.transitions;
     }
     episode_->finalize(result_);
     return std::move(result_);

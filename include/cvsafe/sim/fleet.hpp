@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstdint>
@@ -75,7 +76,36 @@ struct FleetConfig {
   std::size_t pool_capacity = 8192;
   std::size_t threads = 0;  ///< worker count, 0 = hardware concurrency
   SeedPolicy policy = SeedPolicy::kPaired;
+
+  /// Run the shard-step as fleet-wide batched sweeps (pump -> estimate
+  /// -> reach -> gate/ladder -> plan -> advance) over pool-resident SoA
+  /// stacks — engaged only for adapters promising the sweep
+  /// decomposition (ScenarioAdapter::fleet_sweeps). False selects the
+  /// reference per-lane loop; both paths are byte-identical (pinned by
+  /// tests/sim_fleet_sweeps_test).
+  bool batched_sweeps = true;
 };
+
+/// Lane-cohort tile of the batched shard-step: the five sweeps run over
+/// cohorts of this many lanes so one cohort's episode objects stay
+/// cache-resident from pump through build. Tiling only changes cross-lane
+/// interleaving (lanes are independent), never any per-lane computation;
+/// 64 lanes keeps a cohort's per-episode state comfortably inside L2 while
+/// the SoA kernels still amortize their sweep setup.
+inline constexpr std::size_t kSweepBlock = 64;
+
+/// Consecutive steps a cohort runs before the worker moves to the next
+/// one (temporal blocking). At 8k resident lanes the pool's working set
+/// is far beyond L2, so stepping the whole pool in lockstep reloads
+/// every lane's episode state from L3 once per step; running one
+/// L2-sized cohort for kCohortSteps steps amortizes that reload across
+/// the block. Episodes are mutually independent and their records are
+/// keyed by episode index, so cohort-major step order changes no output
+/// byte (pinned by tests/sim_fleet_sweeps_test). The trade-off is
+/// retire/refill latency — a lane that finishes mid-block idles (one
+/// done() check per step) until the cohort boundary — which caps the
+/// useful block length.
+inline constexpr std::size_t kCohortSteps = 32;
 
 /// Result of a fleet run: the standard batch aggregate plus the
 /// deterministic metrics fold over every episode.
@@ -127,14 +157,20 @@ using FleetPlannerFactory = std::function<FleetBatchPlanner<World>()>;
 template <typename World>
 class EpisodePool {
  public:
+  /// \p ctx, when non-null, switches admission to pool-resident stacks:
+  /// every admitted episode must bind into it (the adapter promised
+  /// fleet_sweeps()). The context must outlive the pool — retiring
+  /// episodes release their slots into the context's free lists.
   EpisodePool(const ScenarioAdapter<World>& adapter, std::size_t lanes,
               std::uint64_t base_seed, SeedPolicy policy,
-              std::atomic<std::size_t>& next_episode, std::size_t n)
+              std::atomic<std::size_t>& next_episode, std::size_t n,
+              FleetStackContext* ctx = nullptr)
       : adapter_(&adapter),
         base_seed_(base_seed),
         policy_(policy),
         next_(&next_episode),
-        n_(n) {
+        n_(n),
+        ctx_(ctx) {
     runners_.resize(lanes);
     index_.resize(lanes, 0);
     ego_p_.resize(lanes, 0.0);
@@ -162,6 +198,28 @@ class EpisodePool {
     const vehicle::DoubleIntegrator dyn(config.ego_limits);
     dyn.step_batch(ego_p_, ego_v_, accel_, config.dt_c, active_);
     for (std::size_t lane = 0; lane < active_; ++lane) {
+      runners_[lane]->advance_commit(
+          vehicle::VehicleState{ego_p_[lane], ego_v_[lane]});
+    }
+  }
+
+  /// Subrange form of step_dynamics for the cohort-blocked batched path:
+  /// sweeps lanes [base, end) and commits only lanes still running. A
+  /// finished lane keeps riding in the SoA arrays until the
+  /// cohort-boundary retire scan; its mirror is dead state (records come
+  /// from the runner's result, and stage_lane refreshes live lanes every
+  /// step), so sweeping it is harmless and keeps the kernel contiguous.
+  void step_dynamics_range(std::size_t base, std::size_t end) {
+    if (base >= end) return;
+    const RunConfig& config = runners_[base]->config();
+    const vehicle::DoubleIntegrator dyn(config.ego_limits);
+    const std::size_t count = end - base;
+    dyn.step_batch(std::span(ego_p_).subspan(base, count),
+                   std::span(ego_v_).subspan(base, count),
+                   std::span(accel_).subspan(base, count), config.dt_c,
+                   count);
+    for (std::size_t lane = base; lane < end; ++lane) {
+      if (runners_[lane]->done()) continue;
       runners_[lane]->advance_commit(
           vehicle::VehicleState{ego_p_[lane], ego_v_[lane]});
     }
@@ -214,6 +272,11 @@ class EpisodePool {
     const std::size_t i = next_->fetch_add(1, std::memory_order_relaxed);
     if (i >= n_) return false;
     runners_[lane].emplace(*adapter_, episode_seed(base_seed_, i, policy_));
+    if (ctx_ != nullptr) {
+      const bool bound = runners_[lane]->bind_fleet(*ctx_);
+      CVSAFE_EXPECTS(bound, "adapter promised fleet sweeps (fleet_sweeps"
+                            "() true) but the episode did not bind");
+    }
     index_[lane] = i;
     stage_lane(lane);
     return true;
@@ -224,6 +287,7 @@ class EpisodePool {
   SeedPolicy policy_;
   std::atomic<std::size_t>* next_;
   std::size_t n_;
+  FleetStackContext* ctx_;  ///< non-owning; null = scalar stacks
   std::size_t active_ = 0;
 
   std::vector<std::optional<EpisodeRunner<World>>> runners_;
@@ -241,15 +305,47 @@ namespace detail {
 /// lanes from planner lanes, one batch_plan call over the pending worlds,
 /// then the split advance (bookkeeping, SoA dynamics sweep, commit) and
 /// retire/refill.
+///
+/// With \p batched_sweeps (adapter must promise fleet_sweeps()) the
+/// observe phase runs as sweeps over pool-resident SoA stacks instead of
+/// one full observe() per lane:
+///
+///   pump      every lane's channel offer + slab drain (RNG draws in
+///             lane order, exactly as the per-lane loop);
+///   deliver   every lane's screened message absorption from the slab;
+///   sense     every lane's sensor sample (second per-lane RNG draw),
+///             staging Kalman readings;
+///   estimate  FleetEstimator::update_batch — the Kalman measurement
+///             sweep over every staged lane;
+///   reach     sweep staging, then FleetEstimator::predict_batch and
+///             ReachSweep::run — the batched extrapolations feeding the
+///             build/gate/ladder pass through their caches.
+///
+/// The sweeps are cohort-blocked (kSweepBlock lanes x kCohortSteps
+/// steps, plan and advance included) so a cohort's episode state is
+/// loaded into L2 once per block instead of once per step — the
+/// cache-residency fix that keeps an 8k-resident pool at parity with a
+/// 64-lane one per episode.
+///
+/// Every lane's op and RNG order within a step is untouched (messages
+/// before sensor, offer draw before sense draw); only cross-lane
+/// interleaving changes, and lanes are independent. Hence the sweeps are
+/// byte-identical to the reference loop below — pinned per sweep by
+/// tests/sim_fleet_sweeps_test.
 template <typename World>
 void run_fleet_worker(const ScenarioAdapter<World>& adapter,
                       std::size_t lanes, std::uint64_t base_seed,
                       SeedPolicy policy,
                       std::atomic<std::size_t>& next_episode, std::size_t n,
                       const FleetBatchPlanner<World>& batch_plan,
+                      bool batched_sweeps,
                       std::span<FleetRecord> records) {
+  // The context must outlive the pool: retiring runners release their
+  // estimator/ladder slots into it.
+  std::optional<FleetStackContext> ctx;
+  if (batched_sweeps) ctx.emplace();
   EpisodePool<World> pool(adapter, lanes, base_seed, policy, next_episode,
-                          n);
+                          n, ctx ? &*ctx : nullptr);
   // Reused across shard-steps; capacities warm up within a few steps, so
   // the steady-state episode step allocates nothing.
   std::vector<World> worlds;
@@ -257,38 +353,121 @@ void run_fleet_worker(const ScenarioAdapter<World>& adapter,
   std::vector<double> plans;
 
   while (pool.active() > 0) {
-    worlds.clear();
-    pending.clear();
-    for (std::size_t lane = 0; lane < pool.active(); ++lane) {
-      EpisodeRunner<World>& runner = pool.runner(lane);
-      runner.observe();
-      if (batch_plan) {
-        // Lockstep split: the monitor decides first; only lanes the
-        // monitor hands to the embedded planner join the batch.
-        if (const auto emergency = runner.monitor_gate()) {
-          pool.set_accel(lane, *emergency);
-        } else {
-          pending.push_back(lane);
-          worlds.push_back(runner.nn_world());
+    const std::size_t active = pool.active();
+    if (ctx) {
+      // Cohort-blocked shard-steps: each kSweepBlock-lane cohort runs
+      // kCohortSteps consecutive steps — sweeps, plan, advance — while
+      // its episode objects sit in L2, then the worker moves on (an
+      // untiled lockstep sweep reloads the whole cold pool from L3 once
+      // per step at 8k resident lanes). Lanes are independent and
+      // records are keyed by episode index, so cohort-major order
+      // changes no output byte (pinned by tests/sim_fleet_sweeps_test).
+      // A lane that finishes mid-block idles behind a done() check until
+      // the retire scan at the cohort boundary.
+      for (std::size_t base = 0; base < active; base += kSweepBlock) {
+        const std::size_t end = std::min(active, base + kSweepBlock);
+        for (std::size_t k = 0; k < kCohortSteps; ++k) {
+          worlds.clear();
+          pending.clear();
+          ctx->slab.clear();
+          bool any_live = false;
+          for (std::size_t lane = base; lane < end; ++lane) {
+            // Slab lanes are positional: open one per cohort lane (empty
+            // for done lanes) so slab lane i maps to pool lane base + i
+            // below.
+            ctx->slab.begin_lane();
+            EpisodeRunner<World>& runner = pool.runner(lane);
+            if (runner.done()) continue;
+            any_live = true;
+            runner.observe_begin();
+            runner.sweep_pump(ctx->slab);
+          }
+          if (!any_live) break;
+          for (std::size_t lane = base; lane < end; ++lane) {
+            if (pool.runner(lane).done()) continue;
+            const auto [first, last] = ctx->slab.lane_range(lane - base);
+            pool.runner(lane).sweep_deliver(ctx->slab, first, last);
+          }
+          for (std::size_t lane = base; lane < end; ++lane) {
+            if (pool.runner(lane).done()) continue;
+            pool.runner(lane).sweep_sense();
+          }
+          ctx->estimator.update_batch();
+          ctx->reach.clear();
+          for (std::size_t lane = base; lane < end; ++lane) {
+            if (pool.runner(lane).done()) continue;
+            pool.runner(lane).sweep_stage(ctx->reach);
+          }
+          ctx->estimator.predict_batch();
+          ctx->reach.run();
+          for (std::size_t lane = base; lane < end; ++lane) {
+            EpisodeRunner<World>& runner = pool.runner(lane);
+            if (runner.done()) continue;
+            runner.sweep_build();
+            if (batch_plan) {
+              if (const auto emergency = runner.monitor_gate()) {
+                pool.set_accel(lane, *emergency);
+              } else {
+                pending.push_back(lane);
+                worlds.push_back(runner.nn_world());
+              }
+            } else {
+              pool.set_accel(lane, runner.plan());
+            }
+          }
+          if (!pending.empty()) {
+            plans.resize(worlds.size());
+            batch_plan(worlds, plans);
+            for (std::size_t j = 0; j < pending.size(); ++j) {
+              pool.set_accel(pending[j], plans[j]);
+            }
+          }
+          for (std::size_t lane = base; lane < end; ++lane) {
+            if (pool.runner(lane).done()) continue;
+            pool.runner(lane).advance_begin(pool.accel(lane));
+            pool.stage_lane(lane);
+          }
+          pool.step_dynamics_range(base, end);
         }
-      } else {
-        // Generic path: full per-episode dispatch (exactly run_episode).
-        pool.set_accel(lane, runner.plan());
       }
-    }
-    if (!pending.empty()) {
-      plans.resize(worlds.size());
-      batch_plan(worlds, plans);
-      for (std::size_t j = 0; j < pending.size(); ++j) {
-        pool.set_accel(pending[j], plans[j]);
+      pool.retire_and_refill(records);
+    } else {
+      // Reference shard-step: one full per-lane observe at a time, the
+      // whole pool in lockstep, retire after every step.
+      worlds.clear();
+      pending.clear();
+      for (std::size_t lane = 0; lane < active; ++lane) {
+        EpisodeRunner<World>& runner = pool.runner(lane);
+        runner.observe();
+        if (batch_plan) {
+          // Lockstep split: the monitor decides first; only lanes the
+          // monitor hands to the embedded planner join the batch.
+          if (const auto emergency = runner.monitor_gate()) {
+            pool.set_accel(lane, *emergency);
+          } else {
+            pending.push_back(lane);
+            worlds.push_back(runner.nn_world());
+          }
+        } else {
+          // Generic path: full per-episode dispatch (exactly
+          // run_episode).
+          pool.set_accel(lane, runner.plan());
+        }
       }
+      if (!pending.empty()) {
+        plans.resize(worlds.size());
+        batch_plan(worlds, plans);
+        for (std::size_t j = 0; j < pending.size(); ++j) {
+          pool.set_accel(pending[j], plans[j]);
+        }
+      }
+      for (std::size_t lane = 0; lane < pool.active(); ++lane) {
+        pool.runner(lane).advance_begin(pool.accel(lane));
+        pool.stage_lane(lane);
+      }
+      pool.step_dynamics();
+      pool.retire_and_refill(records);
     }
-    for (std::size_t lane = 0; lane < pool.active(); ++lane) {
-      pool.runner(lane).advance_begin(pool.accel(lane));
-      pool.stage_lane(lane);
-    }
-    pool.step_dynamics();
-    pool.retire_and_refill(records);
   }
 }
 
@@ -316,11 +495,15 @@ std::vector<FleetRecord> run_fleet_records(
   const std::size_t lanes = std::max<std::size_t>(1, resident / workers);
   std::atomic<std::size_t> next_episode{0};
   std::span<FleetRecord> out(records);
+  // Batched sweeps need the adapter's promise that every episode
+  // implements the sweep decomposition.
+  const bool batched_sweeps = config.batched_sweeps && adapter.fleet_sweeps();
   const auto worker_body = [&] {
     const FleetBatchPlanner<World> batch_plan =
         planner_factory ? planner_factory() : FleetBatchPlanner<World>{};
     detail::run_fleet_worker(adapter, lanes, base_seed, config.policy,
-                             next_episode, n, batch_plan, out);
+                             next_episode, n, batch_plan, batched_sweeps,
+                             out);
   };
   if (workers <= 1) {
     worker_body();

@@ -1,0 +1,40 @@
+#pragma once
+
+#include "cvsafe/comm/channel.hpp"
+#include "cvsafe/core/degradation.hpp"
+#include "cvsafe/filter/fleet_estimator.hpp"
+#include "cvsafe/filter/info_filter.hpp"
+
+/// \file fleet_context.hpp
+/// The pool-resident half of a fleet worker's safety stacks.
+///
+/// One FleetStackContext lives per worker shard (never shared across
+/// threads). At admission each resident episode binds its estimator and
+/// ladder state into the context's SoA stores (Episode::bind_fleet);
+/// the worker's shard-step then drives the batched sweeps — message
+/// slab pump, Kalman update_batch/predict_batch, ReachSweep — over all
+/// resident lanes at once instead of walking one ~5 KB object pile per
+/// episode. Slot lifetime follows the episode: the filter / planner
+/// destructors release their lanes when the episode retires, and lane
+/// compaction in the EpisodePool moves only runner handles, never the
+/// pool-resident state.
+///
+/// The context MUST outlive the EpisodePool bound to it (declare it
+/// first); releasing a slot touches the context's free lists.
+
+namespace cvsafe::sim {
+
+/// SoA stores + sweep staging shared by one worker's resident episodes.
+struct FleetStackContext {
+  /// Pooled Kalman lanes (filter::InformationFilter::bind_fleet).
+  filter::FleetEstimator estimator;
+  /// Pooled degradation-ladder hysteresis state
+  /// (core::CompoundPlanner::rebind_ladder_pooled).
+  core::FleetLadder ladder;
+  /// Per-shard-step message landing zone of the batch pump sweep.
+  comm::MessageSlab slab;
+  /// Per-shard-step staging of the batched reachability propagation.
+  filter::ReachSweep reach;
+};
+
+}  // namespace cvsafe::sim

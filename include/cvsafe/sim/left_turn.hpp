@@ -89,6 +89,20 @@ class LeftTurnEpisode final : public Episode<scenario::LeftTurnWorld> {
 
   void observe(scenario::LeftTurnWorld& world, double t, std::size_t step,
                util::Rng& rng) override;
+
+  /// Fleet sweep decomposition of observe(): the per-lane op and RNG
+  /// order (offer -> drain -> deliver -> sense -> build) is identical;
+  /// the heavy arithmetic runs in the pool's batched sweeps between
+  /// sweep_stage and sweep_build.
+  bool bind_fleet(FleetStackContext& ctx) override;
+  void sweep_pump(double t, std::size_t step, util::Rng& rng,
+                  comm::MessageSlab& slab) override;
+  void sweep_deliver(const comm::MessageSlab& slab, std::size_t first,
+                     std::size_t last) override;
+  void sweep_sense(double t, std::size_t step, util::Rng& rng) override;
+  void sweep_stage(double t, filter::ReachSweep& reach) override;
+  void sweep_build(scenario::LeftTurnWorld& world) override;
+
   void advance_traffic(std::size_t step, double dt) override;
   StepStatus check(const vehicle::VehicleState& ego) const override;
 
@@ -128,6 +142,10 @@ class LeftTurnAdapter final : public ScenarioAdapter<scenario::LeftTurnWorld> {
   std::unique_ptr<Episode<scenario::LeftTurnWorld>> make_episode(
       util::Rng& rng, std::size_t total_steps,
       std::uint64_t seed) const override;
+
+  /// Every LeftTurnEpisode implements the sweep decomposition (for any
+  /// agent configuration), so the fleet engine may batch the shard-step.
+  bool fleet_sweeps() const override { return true; }
 
   const LeftTurnSimConfig& config() const { return config_; }
   const AgentBlueprint& blueprint() const { return blueprint_; }

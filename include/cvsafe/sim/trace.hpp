@@ -54,8 +54,8 @@ class RecordingHook final : public StepHook<World> {
     int level = -1;
     if (const auto* compound = episode.compound()) {
       margin = compound->safety_model().boundary_slack(world);
-      if (compound->ladder()) {
-        level = static_cast<int>(compound->ladder()->level());
+      if (compound->has_ladder()) {
+        level = static_cast<int>(compound->ladder_level());
       }
     }
     recorder_->step_summary(a0, emergency, margin, level);

@@ -2,6 +2,8 @@
 
 #include <optional>
 
+#include "cvsafe/util/contracts.hpp"
+
 /// \file kinematics.hpp
 /// Closed-form kinematic helpers shared by the reachability analysis
 /// (Eq. 2 of the paper) and the passing-time-window estimation
@@ -22,6 +24,12 @@ std::optional<QuadraticRoots> solve_quadratic(double a, double b, double c);
 /// deceleration \p a_min (a_min < 0):  d_b = -v^2 / (2 a_min).
 double braking_distance(double v, double a_min);
 
+/// True when the speed cap is already binding, i.e. accelerating toward the
+/// cap has no effect because the current speed is at or past it.
+inline bool cap_binding(double v, double a, double v_limit) {
+  return (a > 0.0 && v >= v_limit) || (a < 0.0 && v <= v_limit);
+}
+
 /// Position advance after time \p dt starting at speed \p v with constant
 /// acceleration \p a, where the speed saturates at \p v_limit
 /// (the velocity-capped branch structure of Eq. 2):
@@ -31,8 +39,22 @@ double braking_distance(double v, double a_min);
 ///
 /// Works for both upper caps (a > 0, v_limit >= v) and lower caps
 /// (a < 0, v_limit <= v). When a == 0 the result is v dt.
-double displacement_with_speed_cap(double v, double a, double dt,
-                                   double v_limit);
+///
+/// Defined inline: the fleet engine's SoA reachability sweep runs this in
+/// its innermost loop over every pooled episode.
+inline double displacement_with_speed_cap(double v, double a, double dt,
+                                          double v_limit) {
+  CVSAFE_EXPECTS(dt >= 0.0, "displacement needs dt >= 0");
+  // cvsafe-lint: allow(float-compare) exact zero-acceleration fast path
+  if (a == 0.0 || cap_binding(v, a, v_limit)) {
+    // Saturated (or no acceleration): pure cruise at the current speed.
+    return v * dt;
+  }
+  const double t_hit = (v_limit - v) / a;  // > 0 since the cap is not binding
+  if (t_hit >= dt) return v * dt + 0.5 * a * dt * dt;
+  const double d_accel = v * t_hit + 0.5 * a * t_hit * t_hit;
+  return d_accel + v_limit * (dt - t_hit);
+}
 
 /// Minimum time for a vehicle at speed \p v to travel distance \p d >= 0
 /// while applying constant acceleration \p a until the speed cap
@@ -50,6 +72,12 @@ double time_to_travel(double d, double v, double a, double v_limit);
 /// Speed after \p dt starting at \p v with constant acceleration \p a,
 /// saturating at \p v_limit (same branch logic as
 /// displacement_with_speed_cap).
-double speed_after(double v, double a, double dt, double v_limit);
+inline double speed_after(double v, double a, double dt, double v_limit) {
+  CVSAFE_EXPECTS(dt >= 0.0, "speed projection needs dt >= 0");
+  // cvsafe-lint: allow(float-compare) exact zero-acceleration fast path
+  if (a == 0.0 || cap_binding(v, a, v_limit)) return v;
+  const double t_hit = (v_limit - v) / a;
+  return (t_hit >= dt) ? v + a * dt : v_limit;
+}
 
 }  // namespace cvsafe::util

@@ -31,14 +31,7 @@ void LadderConfig::validate() const {
 
 DegradationLevel DegradationLadder::target(const DegradationSignals& s,
                                            double scale) const {
-  if (!s.filter_consistent) return DegradationLevel::kEmergencyBiased;
-  if (!s.have_message || s.message_age > config_.lost_budget * scale) {
-    return DegradationLevel::kSensorOnly;
-  }
-  if (s.message_age > config_.stale_budget * scale) {
-    return DegradationLevel::kReachOnly;
-  }
-  return DegradationLevel::kFull;
+  return ladder_target(config_, s, scale);
 }
 
 DegradationLevel DegradationLadder::update(std::size_t step,

@@ -12,27 +12,10 @@ using util::Interval;
 using util::Mat2;
 using util::Vec2;
 
-namespace {
-
-Mat2 transition(double dt) { return Mat2{1.0, dt, 0.0, 1.0}; }
-
-Vec2 control(double dt) { return Vec2{0.5 * dt * dt, dt}; }
-
-Mat2 process_noise(double dt, double delta_a) {
-  const double var_a = delta_a * delta_a / 3.0;
-  const double dt2 = dt * dt;
-  const double dt3 = dt2 * dt;
-  const double dt4 = dt3 * dt;
-  return Mat2{0.25 * dt4, 0.5 * dt3, 0.5 * dt3, dt2} * var_a;
-}
-
-}  // namespace
+using kalman_core::process_noise;
 
 KalmanFilter::KalmanFilter(KalmanConfig config)
     : config_(config),
-      f_(transition(config.dt)),
-      g_(control(config.dt)),
-      q_(process_noise(config.dt, config.delta_a)),
       r_(Mat2::diagonal(config.delta_p * config.delta_p / 3.0,
                         config.delta_v * config.delta_v / 3.0)) {
   CVSAFE_EXPECTS(config.dt > 0.0, "Kalman filter needs dt > 0");
@@ -58,14 +41,6 @@ void KalmanFilter::history_push(const HistoryEntry& entry) {
   }
 }
 
-void KalmanFilter::predict(Vec2& x, Mat2& p, double dt, double a,
-                           const Mat2& q) {
-  const Mat2 f = transition(dt);
-  const Vec2 g = control(dt);
-  x = f * x + g * a;
-  p = f * p * f.transpose() + q;
-}
-
 void KalmanFilter::update(const sensing::SensorReading& reading) {
   CVSAFE_PROFILE_SPAN("kalman.update");
   CVSAFE_EXPECTS(!initialized_ || reading.t >= t_,
@@ -83,8 +58,8 @@ void KalmanFilter::update(const sensing::SensorReading& reading) {
   // Predict from the previous measurement time to this one.
   const double dt = reading.t - t_;
   if (dt > 0.0) {
-    predict(x_, p_, dt, last_a_,
-            process_noise(dt, config_.delta_a) * q_scale_);
+    kalman_core::predict(x_, p_, dt, last_a_,
+                         process_noise(dt, config_.delta_a) * q_scale_);
   }
   history_push(HistoryEntry{reading, x_, p_});
   if (config_.history_depth == 0) history_size_ = 0;
@@ -94,8 +69,6 @@ void KalmanFilter::update(const sensing::SensorReading& reading) {
 }
 
 void KalmanFilter::apply_update(const sensing::SensorReading& reading) {
-  // Kalman gain K = P (P + R)^-1 (measurement matrix H = I).
-  const Mat2 k = p_ * (p_ + r_).inverse();
   const Vec2 z{reading.p, reading.v};
   nis_.update(z - x_, p_ + r_);
   if (config_.adaptive) {
@@ -108,10 +81,7 @@ void KalmanFilter::apply_update(const sensing::SensorReading& reading) {
       q_scale_ = 1.0 + (q_scale_ - 1.0) * config_.q_scale_decay;
     }
   }
-  x_ = x_ + k * (z - x_);
-  // Joseph form keeps P symmetric positive semidefinite.
-  const Mat2 ik = Mat2::identity() - k;
-  p_ = ik * p_ * ik.transpose() + k * r_ * k.transpose();
+  kalman_core::joseph_update(x_, p_, z, r_);
   CVSAFE_ENSURES(p_.a >= 0.0 && p_.d >= 0.0,
                  "covariance diagonal must stay non-negative");
 }
@@ -164,14 +134,12 @@ void KalmanFilter::correct_with_message(double t_k, double p, double v,
     const auto& entry = history_at(i);
     const double dt = entry.reading.t - t_cur;
     if (dt > 0.0) {
-      predict(x, cov, dt, a_cur, process_noise(dt, config_.delta_a));
+      kalman_core::predict(x, cov, dt, a_cur,
+                           process_noise(dt, config_.delta_a));
     }
     // Re-run the measurement update with the stored reading.
-    const Mat2 k = cov * (cov + r_).inverse();
-    const Vec2 z{entry.reading.p, entry.reading.v};
-    x = x + k * (z - x);
-    const Mat2 ik = Mat2::identity() - k;
-    cov = ik * cov * ik.transpose() + k * r_ * k.transpose();
+    kalman_core::joseph_update(x, cov, Vec2{entry.reading.p, entry.reading.v},
+                               r_);
     t_cur = entry.reading.t;
     a_cur = entry.reading.a;
   }
@@ -186,17 +154,12 @@ void KalmanFilter::correct_with_message(double t_k, double p, double v,
 
 Vec2 KalmanFilter::state_at(double t) const {
   CVSAFE_EXPECTS(initialized_, "state_at before the first measurement");
-  const double dt = t - t_;
-  if (dt <= 0.0) return x_;
-  return transition(dt) * x_ + control(dt) * last_a_;
+  return kalman_core::state_at(view(), t);
 }
 
 Mat2 KalmanFilter::covariance_at(double t) const {
   CVSAFE_EXPECTS(initialized_, "covariance_at before the first measurement");
-  const double dt = t - t_;
-  if (dt <= 0.0) return p_;
-  const Mat2 f = transition(dt);
-  return f * p_ * f.transpose() + process_noise(dt, config_.delta_a);
+  return kalman_core::covariance_at(view(), t);
 }
 
 Interval KalmanFilter::position_interval(double t) const {

@@ -55,7 +55,7 @@ void GateConfig::validate() const {
 std::optional<ScreenedMessage> PlausibilityGate::screen(
     const comm::Message& msg, const vehicle::VehicleLimits& limits,
     double newest_time, const std::optional<StateBounds>& fused,
-    const KalmanFilter* kalman) {
+    const kalman_core::KalmanView* kalman) {
   const auto reject = [&](std::size_t& counter, obs::GateRejectReason reason)
       -> std::optional<ScreenedMessage> {
     ++counter;
@@ -102,10 +102,10 @@ std::optional<ScreenedMessage> PlausibilityGate::screen(
     }
   }
 
-  if (config_.nis_gate > 0.0 && kalman != nullptr && kalman->initialized() &&
-      msg.stamp() >= kalman->last_update_time()) {
-    const util::Vec2 x = kalman->state_at(msg.stamp());
-    util::Mat2 s = kalman->covariance_at(msg.stamp());
+  if (config_.nis_gate > 0.0 && kalman != nullptr && kalman->initialized &&
+      msg.stamp() >= kalman->t) {
+    const util::Vec2 x = kalman_core::state_at(*kalman, msg.stamp());
+    util::Mat2 s = kalman_core::covariance_at(*kalman, msg.stamp());
     // Variance floor: keeps a sharply converged filter from rejecting
     // honest payloads over sub-noise-level differences.
     s.a += 1e-2;

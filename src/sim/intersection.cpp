@@ -91,7 +91,7 @@ class IntersectionEpisode final : public Episode<IntersectionWorld> {
                util::Rng& rng) override {
     update_stream(lane_a_, t, step, rng, world.tau_a);
     update_stream(lane_b_, t, step, rng, world.tau_b);
-    if (compound_ != nullptr && compound_->ladder()) {
+    if (compound_ != nullptr && compound_->has_ladder()) {
       SignalAccumulator acc;
       for (const auto* f : filters_) acc.add(degradation_signals(*f, t));
       compound_->note_signals(acc.worst);

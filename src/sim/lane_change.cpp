@@ -57,7 +57,7 @@ class LaneChangeEpisode final : public Episode<LaneChangeWorld> {
     pump(c1_, t, step, rng);
     world.c1_monitor = c1_.estimators.front()->estimate(t);
     world.c1_nn = world.c1_monitor;
-    if (compound_ != nullptr && compound_->ladder()) {
+    if (compound_ != nullptr && compound_->has_ladder()) {
       compound_->note_signals(degradation_signals(*c1_filter_, t));
     }
   }

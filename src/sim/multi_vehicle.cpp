@@ -111,7 +111,7 @@ class MultiVehicleEpisode final : public Episode<LeftTurnMultiWorld> {
     }
     world.tau_monitor = math_->conservative_windows(world.oncoming_monitor);
     world.tau_nn = math_->conservative_windows(world.oncoming_nn);
-    if (compound_ != nullptr && compound_->ladder()) {
+    if (compound_ != nullptr && compound_->has_ladder()) {
       SignalAccumulator acc;
       for (const auto* f : monitor_filters_) {
         acc.add(degradation_signals(*f, t));

@@ -8,12 +8,6 @@
 namespace cvsafe::util {
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
-
-/// True when the speed cap is already binding, i.e. accelerating toward the
-/// cap has no effect because the current speed is at or past it.
-bool cap_binding(double v, double a, double v_limit) {
-  return (a > 0.0 && v >= v_limit) || (a < 0.0 && v <= v_limit);
-}
 }  // namespace
 
 std::optional<QuadraticRoots> solve_quadratic(double a, double b, double c) {
@@ -37,28 +31,6 @@ double braking_distance(double v, double a_min) {
   CVSAFE_EXPECTS(a_min < 0.0,
                  "braking_distance requires a deceleration limit");
   return -(v * v) / (2.0 * a_min);
-}
-
-double displacement_with_speed_cap(double v, double a, double dt,
-                                   double v_limit) {
-  CVSAFE_EXPECTS(dt >= 0.0, "displacement needs dt >= 0");
-  // cvsafe-lint: allow(float-compare) exact zero-acceleration fast path
-  if (a == 0.0 || cap_binding(v, a, v_limit)) {
-    // Saturated (or no acceleration): pure cruise at the current speed.
-    return v * dt;
-  }
-  const double t_hit = (v_limit - v) / a;  // > 0 since the cap is not binding
-  if (t_hit >= dt) return v * dt + 0.5 * a * dt * dt;
-  const double d_accel = v * t_hit + 0.5 * a * t_hit * t_hit;
-  return d_accel + v_limit * (dt - t_hit);
-}
-
-double speed_after(double v, double a, double dt, double v_limit) {
-  CVSAFE_EXPECTS(dt >= 0.0, "speed projection needs dt >= 0");
-  // cvsafe-lint: allow(float-compare) exact zero-acceleration fast path
-  if (a == 0.0 || cap_binding(v, a, v_limit)) return v;
-  const double t_hit = (v_limit - v) / a;
-  return (t_hit >= dt) ? v + a * dt : v_limit;
 }
 
 double time_to_travel(double d, double v, double a, double v_limit) {

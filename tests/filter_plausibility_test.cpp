@@ -4,6 +4,7 @@
 
 #include <limits>
 
+#include "cvsafe/filter/kalman.hpp"
 #include "cvsafe/util/contracts.hpp"
 
 namespace cvsafe::filter {
@@ -127,14 +128,15 @@ TEST(PlausibilityGate, InnovationScreenRejectsKalmanOutliers) {
   KalmanFilter kf(KalmanConfig{0.1, 1.0, 1.0, 1.0, 3.0, 64});
   kf.update({0.0, 0.0, 5.0, 0.0});
   kf.update({0.1, 0.5, 5.0, 0.0});
+  const auto kview = kf.view();
   // Payload 40 m from the prediction: NIS blows past the gate.
   EXPECT_FALSE(gate.screen(make_msg(0.2, 40.0, 5.0), kLimits, 0.1,
-                           std::nullopt, &kf)
+                           std::nullopt, &kview)
                    .has_value());
   EXPECT_EQ(gate.counters().implausible, 1u);
   // Consistent payload passes.
   EXPECT_TRUE(gate.screen(make_msg(0.2, 1.0, 5.0), kLimits, 0.1,
-                          std::nullopt, &kf)
+                          std::nullopt, &kview)
                   .has_value());
 }
 

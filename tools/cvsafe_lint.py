@@ -58,6 +58,19 @@ include/):
                      std::fma are banned; the directed equivalents live
                      in util::rounded (prev/next/widen_ulps/...), which
                      centralise the infinity fixed-point handling
+  no-scalar-stack-in-fleet
+                     inside the fleet engine sources (the file set in
+                     FLEET_ENGINE_FILES) the scalar safety-stack types
+                     and entry points (KalmanFilter, DegradationLadder,
+                     per-lane propagate() calls) are banned: the batched
+                     shard-step must go through the pool-resident SoA
+                     sweeps (FleetEstimator::update_batch/predict_batch,
+                     ReachSweep::run, FleetLadder) or it silently
+                     reintroduces the per-lane cache-residency regression
+                     the SoA refactor removed. The reference per-lane
+                     loop reaches the scalar stack only through the
+                     episode's virtual interface, which this rule does
+                     not flag; annotate any legitimate direct use
 
 A finding on a line that carries the annotation
     cvsafe-lint: allow(<rule>)
@@ -172,6 +185,23 @@ RE_UNROUNDED_BOUND = re.compile(
     r"|\.\s*(?:mid|shifted|inflated)\s*\("
     r"|\bInterval\s*::\s*centered\s*\("
 )
+# The fleet engine sources: the shard-step must reach estimator/ladder/
+# reachability state through the pool-resident SoA sweeps, never through
+# the scalar per-lane stack (which reintroduces one cold ~5 KB object per
+# lane per step — the pool8k cache-residency regression).
+FLEET_ENGINE_FILES = (
+    "include/cvsafe/sim/fleet.hpp",
+    "src/sim/fleet.cpp",
+)
+# Scalar safety-stack types / entry points banned inside the fleet
+# engine: the scalar filter and ladder classes, and per-lane propagate()
+# calls (propagate_batch / ReachSweep::run are the sweep entry points and
+# do not match).
+RE_SCALAR_STACK = re.compile(
+    r"\bKalmanFilter\b"
+    r"|\bDegradationLadder\b"
+    r"|\bpropagate\s*\("
+)
 RE_PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\b")
 RE_ALLOW = re.compile(r"cvsafe-lint:\s*allow\(([a-z0-9_,\- ]+)\)")
 RE_CLASS_DECL = re.compile(r"\b(?:class|struct)\s+(\w+)[^;{]*")
@@ -254,13 +284,15 @@ class FileLinter:
                  adhoc_sim_banned: bool = False,
                  msg_fields_banned: bool = False,
                  raw_streams_banned: bool = False,
-                 sound_rules: bool = False):
+                 sound_rules: bool = False,
+                 fleet_rules: bool = False):
         self.path = path
         self.in_include_tree = in_include_tree
         self.adhoc_sim_banned = adhoc_sim_banned
         self.msg_fields_banned = msg_fields_banned
         self.raw_streams_banned = raw_streams_banned
         self.sound_rules = sound_rules
+        self.fleet_rules = fleet_rules
         self.raw = path.read_text(encoding="utf-8").splitlines()
         self.code = strip_comments_and_strings(self.raw)
         self.findings: list[Finding] = []
@@ -329,6 +361,12 @@ class FileLinter:
                             "round-to-nearest interval helper in a sound-"
                             "certifier source; use the util::rounded "
                             "directed equivalent")
+            if self.fleet_rules and RE_SCALAR_STACK.search(code):
+                self.report(line_no, "no-scalar-stack-in-fleet",
+                            "scalar safety-stack use in the fleet engine; "
+                            "the shard-step goes through the pool-resident "
+                            "SoA sweeps (FleetEstimator, ReachSweep, "
+                            "FleetLadder)")
             if self.raw_streams_banned and RE_RAW_STREAM.search(code):
                 self.report(line_no, "no-raw-stream-logging",
                             "library code must not write to the global "
@@ -432,7 +470,8 @@ def lint_tree(root: pathlib.Path) -> list[Finding]:
                                 adhoc_sim_banned=banned,
                                 msg_fields_banned=msg_banned,
                                 raw_streams_banned=(subdir == "src"),
-                                sound_rules=(rel in SOUND_VERIFIER_FILES))
+                                sound_rules=(rel in SOUND_VERIFIER_FILES),
+                                fleet_rules=(rel in FLEET_ENGINE_FILES))
             findings.extend(linter.run())
     return findings
 
@@ -490,6 +529,40 @@ SELF_TEST_CASES: list[tuple[str, str, dict, str, set[str]]] = [
     ("unrounded-comment-does-not-fire", "sound.cpp", {"sound_rules": True},
      "// one nextafter step outward; see Interval::centered for contrast\n"
      "double v() { return 0.0; }\n",
+     set()),
+    ("fleet-clean-soa-sweeps", "fleet.hpp", {"fleet_rules": True},
+     "#pragma once\n"
+     "void step(FleetStackContext& ctx) {\n"
+     "  ctx.estimator.update_batch();\n"
+     "  ctx.estimator.predict_batch();\n"
+     "  ctx.reach.run();  // ReachSweep: SoA propagate_batch inside\n"
+     "}\n",
+     set()),
+    ("fleet-scalar-kalman", "fleet.hpp", {"fleet_rules": True},
+     "#pragma once\n"
+     "void step(filter::KalmanFilter& kf, const Reading& r) {\n"
+     "  kf.update(r);\n"
+     "}\n",
+     {"no-scalar-stack-in-fleet"}),
+    ("fleet-scalar-propagate", "fleet.cpp", {"fleet_rules": True},
+     "void sweep(const filter::StateBounds& b, double t) {\n"
+     "  g = filter::propagate(b, t, limits_);\n"
+     "}\n",
+     {"no-scalar-stack-in-fleet"}),
+    ("fleet-batch-propagate-is-fine", "fleet.cpp", {"fleet_rules": True},
+     "void sweep(const filter::ReachLanes& in) {\n"
+     "  filter::propagate_batch(in, limits_, t_, pl_, ph_, vl_, vh_);\n"
+     "}\n",
+     set()),
+    ("fleet-scalar-ladder-allowed-reference", "fleet.hpp",
+     {"fleet_rules": True},
+     "#pragma once\n"
+     "// Reference path. cvsafe-lint: allow(no-scalar-stack-in-fleet)\n"
+     "core::DegradationLadder ladder{config};\n",
+     set()),
+    ("fleet-rule-out-of-scope", "engine.hpp", {"fleet_rules": False},
+     "#pragma once\n"
+     "filter::KalmanFilter kf{config};\n",
      set()),
     ("std-rand-still-fires", "noise.cpp", {},
      "int r() { return std::rand(); }\n",
