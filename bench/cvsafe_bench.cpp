@@ -27,6 +27,8 @@
 #include <thread>
 #include <vector>
 
+#include "cvsafe/adv/optimizer.hpp"
+#include "cvsafe/adv/param_space.hpp"
 #include "cvsafe/comm/channel.hpp"
 #include "cvsafe/core/compound_planner.hpp"
 #include "cvsafe/core/preimage.hpp"
@@ -924,6 +926,40 @@ std::vector<Bench> build_registry() {
                        for (std::uint64_t it = 0; it < n; ++it) {
                          shard_step();
                        }
+                     });
+  }});
+
+  // One op = one CMA-ES ask + synthetic-score + tell round at the
+  // adversarial ParamSpace dimensionality (Cholesky factorization,
+  // lambda x dim sampling, selection, paths and rank-mu covariance
+  // update). Gated zero-alloc in CI: every buffer is sized in the
+  // optimizer's constructor, so a regression here would tax every
+  // candidate batch of every attack.
+  benches.push_back({"adv_search_step", [](const Options& o) {
+    adv::CmaEs opt(adv::ParamSpace::kDim, /*seed=*/7);
+    const std::size_t dim = opt.dim();
+    const std::size_t pop = opt.population();
+    std::vector<double> xs(pop * dim);
+    std::vector<double> scores(pop);
+    std::size_t iteration = 0;
+    const auto step = [&] {
+      opt.ask(iteration, xs);
+      for (std::size_t c = 0; c < pop; ++c) {
+        double s = 0.0;
+        for (std::size_t d = 0; d < dim; ++d) {
+          const double v = xs[c * dim + d] - 0.3;
+          s += v * v;
+        }
+        scores[c] = s;
+      }
+      opt.tell(iteration, xs, scores);
+      ++iteration;
+      g_sink = opt.best_score();
+    };
+    for (int i = 0; i < 8; ++i) step();  // past any one-time warm-up
+    return run_bench("adv_search_step", o.min_time_s,
+                     [&](std::uint64_t n) {
+                       for (std::uint64_t it = 0; it < n; ++it) step();
                      });
   }});
 

@@ -1,0 +1,147 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cvsafe/util/rng.hpp"
+
+/// \file optimizer.hpp
+/// Deterministic black-box minimizers for the adversarial fault search.
+///
+/// Both optimizers speak one ask/tell interface: ask(iteration) emits a
+/// population of candidate vectors in the unit box [0,1]^dim, tell()
+/// returns their scores (lower = a worse safety margin found = a better
+/// attack). Determinism contract: the candidate batch of iteration k is
+/// a pure function of (search seed, k) and the scores previously told —
+/// every stochastic draw comes from a util::Rng reseeded with
+/// util::derive_seed(seed, k) at the top of ask(), so there is no hidden
+/// stream state and a search replays bit-exactly from its seed.
+///
+/// Steady-state zero allocation: every buffer (population storage,
+/// covariance, Cholesky factor, evolution paths) is sized in the
+/// constructor; ask()/tell() allocate nothing afterwards (gated by the
+/// adv_search_step bench).
+
+namespace cvsafe::adv {
+
+/// Ask/tell minimizer over the unit box.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  virtual std::size_t dim() const = 0;
+
+  /// Candidates emitted per iteration.
+  virtual std::size_t population() const = 0;
+
+  /// Writes population() x dim() candidates (row-major) into \p out,
+  /// each component clamped to [0,1]. \p out must hold exactly
+  /// population()*dim() values. Iterations must be asked in order
+  /// (0, 1, 2, ...), each followed by its tell().
+  virtual void ask(std::size_t iteration, std::span<double> out) = 0;
+
+  /// Consumes the scores of iteration \p iteration's candidates.
+  /// \p params must be the exact values ask() produced (the optimizer
+  /// recovers its sampling state from them), \p scores one value per
+  /// candidate; lower is better.
+  virtual void tell(std::size_t iteration, std::span<const double> params,
+                    std::span<const double> scores) = 0;
+
+  /// Best parameter vector told so far (incumbent); undefined before the
+  /// first tell().
+  virtual std::span<const double> best() const = 0;
+
+  /// Score of best(); +infinity before the first tell().
+  virtual double best_score() const = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// Deterministic pattern search: probes incumbent +- step along one
+/// coordinate per iteration (population 2), adopts strict improvements,
+/// and halves the step after every full coordinate sweep without one.
+/// Uses no random draws at all — the start point is the box center — so
+/// it is trivially bit-reproducible.
+class CoordinateDescent final : public Optimizer {
+ public:
+  explicit CoordinateDescent(std::size_t dim, double initial_step = 0.25);
+
+  std::size_t dim() const override { return dim_; }
+  std::size_t population() const override { return 2; }
+  void ask(std::size_t iteration, std::span<double> out) override;
+  void tell(std::size_t iteration, std::span<const double> params,
+            std::span<const double> scores) override;
+  std::span<const double> best() const override { return incumbent_; }
+  double best_score() const override { return incumbent_score_; }
+  std::string_view name() const override { return "coord"; }
+
+ private:
+  std::size_t dim_;
+  double step_;
+  double incumbent_score_;
+  bool improved_in_sweep_ = false;
+  std::vector<double> incumbent_;
+};
+
+/// Small rank-mu CMA-ES (covariance matrix adaptation) with cumulative
+/// step-size control. Samples through the Cholesky factor of C; the
+/// selection paths use the standard-normal pre-images recovered by a
+/// triangular solve, so no eigendecomposition is needed at this
+/// dimensionality. Every draw derives from (seed, iteration).
+class CmaEs final : public Optimizer {
+ public:
+  CmaEs(std::size_t dim, std::uint64_t seed, std::size_t lambda = 8,
+        double sigma0 = 0.25);
+
+  std::size_t dim() const override { return dim_; }
+  std::size_t population() const override { return lambda_; }
+  void ask(std::size_t iteration, std::span<double> out) override;
+  void tell(std::size_t iteration, std::span<const double> params,
+            std::span<const double> scores) override;
+  std::span<const double> best() const override { return best_; }
+  double best_score() const override { return best_score_; }
+  std::string_view name() const override { return "cma"; }
+
+  double sigma() const { return sigma_; }
+
+ private:
+  void factorize();  ///< Cholesky of cov_ into chol_ (jittered pivots)
+
+  std::size_t dim_;
+  std::size_t lambda_;
+  std::size_t mu_;
+  std::uint64_t seed_;
+  std::size_t next_iteration_ = 0;  ///< ask/tell ordering guard
+
+  // Strategy constants (fixed at construction from dim/lambda).
+  double mu_eff_;
+  double c_sigma_, d_sigma_;
+  double c_c_, c_1_, c_mu_;
+  double chi_n_;  ///< E||N(0, I)||
+
+  double sigma_;
+  double best_score_;
+  util::Rng rng_;
+
+  std::vector<double> weights_;  ///< mu recombination weights
+  std::vector<double> mean_;
+  std::vector<double> cov_;    ///< C, row-major dim x dim
+  std::vector<double> chol_;   ///< lower Cholesky factor of C
+  std::vector<double> p_sigma_, p_c_;
+  std::vector<double> zs_;     ///< lambda x dim pre-images of last ask
+  std::vector<double> ys_, zw_, yw_;  ///< tell scratch
+  std::vector<std::size_t> order_;    ///< selection order scratch
+  std::vector<double> best_;
+};
+
+/// Factory by name ("coord" | "cma"); contract-fails on unknown names.
+std::unique_ptr<Optimizer> make_optimizer(const std::string& name,
+                                          std::size_t dim,
+                                          std::uint64_t seed);
+
+}  // namespace cvsafe::adv

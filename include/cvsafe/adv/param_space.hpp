@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "cvsafe/fault/fault_plan.hpp"
+#include "cvsafe/sim/fault_campaign.hpp"
+
+/// \file param_space.hpp
+/// The adversarial search space: a bounded real vector in [0,1]^kDim that
+/// decodes onto a validated fault::FaultPlan, plus the stealth screen
+/// that keeps candidates inside the plausibility-gate-admissible
+/// envelope.
+///
+/// The box bounds are chosen so every decoded plan passes
+/// FaultPlan::validate() by construction (probabilities <= 1, ordered
+/// reorder-delay range, finite windows) and so the strongest corner of
+/// the box stays in the same regime the campaign presets probe — the
+/// optimizer's job is to find the worst admissible compound of jitter,
+/// reordering, duplication, corruption, stale spoofing, blackouts and
+/// sensor faults, not to saturate the gate. Candidates that are too loud
+/// anyway (observed hardened-gate rejection rate above the stealth
+/// threshold) are discarded by admits(): a detected attack is a handled
+/// attack, so only quiet plans count as findings.
+
+namespace cvsafe::adv {
+
+/// Bounded decode of optimizer candidates into fault plans.
+class ParamSpace {
+ public:
+  /// Number of search dimensions (one per fault knob).
+  static constexpr std::size_t kDim = 20;
+
+  /// One dimension's decode range: x in [0,1] maps affinely onto
+  /// [lo, hi].
+  struct Bound {
+    const char* name;  ///< knob name (SearchTrace CSV column)
+    double lo;
+    double hi;
+  };
+
+  /// The kDim decode ranges, in dimension order.
+  static std::span<const Bound, kDim> bounds();
+
+  /// \p stealth_threshold: maximum hardened-gate rejection rate a
+  /// candidate may provoke and still count as admissible. Must lie in
+  /// [0, 1].
+  explicit ParamSpace(double stealth_threshold = 0.25);
+
+  double stealth_threshold() const { return stealth_threshold_; }
+
+  /// Maps a candidate vector (exactly kDim values; each component is
+  /// clamped to [0,1] first) onto a validated FaultPlan named "adv".
+  /// Dimensions cover the channel model (delay jitter, reorder,
+  /// duplicate, corruption deltas, stale spoofing, two blackout
+  /// windows) and the sensor model (dropout, bias drift, one stuck
+  /// window). The plan seed is left at the FaultPlan default so fault
+  /// draws differ between candidates only through the parameters.
+  fault::FaultPlan decode(std::span<const double> x) const;
+
+  /// Stealth screen: true when the evaluated cell's hardened-gate
+  /// rejection rate stays within the threshold. Loud candidates fail
+  /// here and are scored with a penalty instead of their safety margin.
+  bool admits(const sim::CampaignCell& cell) const {
+    return cell.rejection_rate() <= stealth_threshold_;
+  }
+
+ private:
+  double stealth_threshold_;
+};
+
+}  // namespace cvsafe::adv

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cvsafe/adv/param_space.hpp"
+#include "cvsafe/comm/channel.hpp"
+#include "cvsafe/fault/fault_plan.hpp"
+#include "cvsafe/sim/fault_campaign.hpp"
+
+/// \file search.hpp
+/// The adversarial worst-case search driver: a seeded black-box
+/// optimizer proposes fault plans inside the ParamSpace envelope, each
+/// candidate is evaluated as a hardened fleet-engine batch
+/// (sim::run_campaign_cell — mega-batched planning, byte-identical
+/// across thread counts), and the per-candidate aggregates fold into a
+/// deterministic SearchTrace. The search MINIMIZES the safety margin
+/// eta: the framework's guarantee is strongest exactly where the
+/// attacker says it is weakest, so CI asserts eta(kappa_c) >= 0 (zero
+/// collisions) on every discovered worst case.
+///
+/// Determinism: optimizer draws derive from (search_seed, iteration);
+/// every candidate is evaluated on the same eval_seed base with
+/// SeedPolicy::kDerived episodes (paired workloads across candidates).
+/// The SearchTrace CSV is byte-identical across runs and thread counts.
+
+namespace cvsafe::adv {
+
+/// Shape and seeds of one adversarial search.
+struct SearchConfig {
+  std::string scenario = "left-turn";  ///< CampaignConfig scenario name
+  std::string optimizer = "cma";       ///< "cma" | "coord"
+  std::size_t iterations = 8;          ///< optimizer ask/tell rounds
+  std::size_t episodes_per_eval = 4;   ///< episodes per candidate batch
+  std::uint64_t search_seed = 7;       ///< optimizer draw stream
+  std::uint64_t eval_seed = 2026;      ///< episode seed base (paired)
+  std::size_t threads = 0;             ///< 0 = hardware concurrency
+  double stealth_threshold = 0.25;     ///< ParamSpace screen
+  std::size_t top_k = 3;               ///< offenders to report
+  /// Baseline comm disturbance the synthesized faults ride on (the
+  /// campaign's paper channel: drop 0.2, dt_d 0.25 s).
+  comm::CommConfig comm = comm::CommConfig::delayed(0.2, 0.25);
+
+  /// Contract check: known scenario/optimizer names, iterations,
+  /// episodes and top_k >= 1, threshold in [0,1].
+  void validate() const;
+
+  /// The fixed CI budget (the `attack --budget ci` job): CMA-ES on
+  /// left-turn, 8 iterations x population 8 x 4 episodes.
+  static SearchConfig ci();
+
+  /// A tiny budget for fast unit tests.
+  static SearchConfig smoke();
+};
+
+/// One evaluated candidate: where it came from in the schedule, the
+/// decoded plan, and the hardened-batch aggregates it provoked.
+struct CandidateRecord {
+  std::size_t iteration = 0;
+  std::size_t index = 0;         ///< position within the iteration
+  std::vector<double> params;    ///< unit-box vector (post-clamp)
+  fault::FaultPlan plan;         ///< ParamSpace::decode(params)
+  sim::CampaignCell cell;        ///< fleet-batch aggregates
+  bool admissible = false;       ///< passed the stealth screen
+  double score = 0.0;            ///< min_eta, or penalty when screened
+
+  double min_eta() const { return cell.min_eta; }
+};
+
+/// Every candidate in schedule order (iteration-major). This is the
+/// deterministic artifact the golden CSV pins.
+struct SearchTrace {
+  std::vector<CandidateRecord> candidates;
+};
+
+/// The finished search.
+struct SearchResult {
+  SearchConfig config;
+  SearchTrace trace;
+  /// Indices into trace.candidates of the top_k admissible candidates,
+  /// worst first (ascending min_eta, ties by schedule order).
+  std::vector<std::size_t> offenders;
+
+  /// The worst admissible candidate found, or nullptr when the screen
+  /// discarded everything.
+  const CandidateRecord* worst() const;
+
+  /// The paper's guarantee under attack: no evaluated candidate —
+  /// admissible or not — drove an episode into the unsafe set.
+  bool invariant_ok() const;
+  std::size_t violations() const;  ///< total unsafe-set entries
+};
+
+/// Runs the search. Candidates within an iteration are evaluated
+/// sequentially; each evaluation parallelizes across its episode batch
+/// on the fleet engine.
+SearchResult run_search(const SearchConfig& config);
+
+/// Serializes the SearchTrace as a CSV (header + one row per candidate
+/// in schedule order, doubles at %.17g, one column per ParamSpace
+/// dimension) — byte-stable across runs and thread counts.
+void write_search_csv(std::ostream& os, const SearchResult& result);
+
+/// write_search_csv into a string.
+std::string search_csv(const SearchResult& result);
+
+/// Re-runs offender \p rank (0 = worst) with an obs::Recorder mounted,
+/// appending JSONL to \p os in seed order under the fault label
+/// "adv-<rank>". Requires rank < result.offenders.size().
+void trace_offender(const SearchResult& result, std::size_t rank,
+                    std::ostream& os);
+
+}  // namespace cvsafe::adv

@@ -127,6 +127,18 @@ struct FaultPlan {
   /// Throws std::runtime_error on I/O or parse failure; the result is
   /// validated.
   static FaultPlan from_file(const std::string& path);
+
+  /// Serializes the plan in the exact INI schema from_file parses —
+  /// every known key emitted in a fixed order, doubles at %.17g, windows
+  /// as begin:end pairs — so from_file(to_file(p)) reproduces the plan
+  /// bit-exactly (pinned by fault_injection_test). The adversarial
+  /// search layer saves discovered worst-case plans with this so they
+  /// replay through `run --faults FILE`.
+  std::string to_ini() const;
+
+  /// Writes to_ini() to \p path. Throws std::runtime_error on I/O
+  /// failure; the plan is validated first.
+  void to_file(const std::string& path) const;
 };
 
 }  // namespace cvsafe::fault

@@ -4,9 +4,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "cvsafe/comm/channel.hpp"
 #include "cvsafe/core/degradation.hpp"
 #include "cvsafe/fault/fault_plan.hpp"
 #include "cvsafe/sim/run_result.hpp"
@@ -42,7 +44,54 @@ struct CampaignCell {
 
   /// The paper's guarantee, per cell: no episode entered X_u.
   bool invariant_ok() const { return collisions == 0; }
+
+  /// Hardened-gate rejection rate over the cell's message traffic
+  /// (0 when the cell saw no messages). The adversarial search layer's
+  /// stealth screen consumes this.
+  double rejection_rate() const {
+    const std::size_t total = messages_accepted + messages_rejected;
+    return total == 0 ? 0.0
+                      : static_cast<double>(messages_rejected) /
+                            static_cast<double>(total);
+  }
 };
+
+/// One resolved point on a campaign's fault axis: the decorator plan plus
+/// the comm-layer disturbance it rides on. The campaign builds these from
+/// preset names; the adversarial search layer (cvsafe::adv) synthesizes
+/// them from optimizer candidates.
+struct FaultCondition {
+  std::string label;
+  fault::FaultPlan plan;
+  comm::CommConfig comm;
+
+  /// Resolves a campaign fault-axis name: a FaultPlan preset name (over
+  /// the paper's "messages delayed" channel, drop 0.2 / dt_d 0.25 s) or
+  /// "burst" (plain Gilbert-Elliott channel, no decorator faults).
+  /// Contract-fails on unknown names.
+  static FaultCondition preset(const std::string& name);
+};
+
+/// Runs one hardened episode batch (plausibility gate hardened(),
+/// degradation ladder armed) of \p scenario under \p cond. Untraced cells
+/// run on the fleet engine (mega-batched planning, byte-identical across
+/// thread counts); when \p trace is non-null every episode runs with an
+/// obs::Recorder mounted and JSONL is appended in seed order. Results are
+/// seed-ordered. Scenario names as CampaignConfig: "left-turn",
+/// "lane-change", "intersection", "multi-vehicle".
+std::vector<RunResult> run_campaign_cell(const std::string& scenario,
+                                         const FaultCondition& cond,
+                                         std::size_t episodes,
+                                         std::uint64_t seed,
+                                         std::size_t threads,
+                                         std::ostream* trace = nullptr);
+
+/// Folds a seed-ordered result vector into one cell aggregate. min_eta /
+/// mean_eta initialize from the first episode (never from the struct's
+/// 0.0 defaults, which would mask an all-positive minimum); requires a
+/// non-empty batch.
+CampaignCell aggregate_cell(std::string fault, std::string scenario,
+                            std::span<const RunResult> results);
 
 /// Campaign shape: which fault conditions against which scenarios.
 ///

@@ -1,0 +1,257 @@
+#include "cvsafe/adv/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cvsafe/util/contracts.hpp"
+
+namespace cvsafe::adv {
+namespace {
+
+double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+/// Stable insertion sort of indices by ascending score — deterministic
+/// and allocation-free, unlike std::stable_sort's temporary buffer.
+void sort_by_score(std::span<std::size_t> order,
+                   std::span<const double> scores) {
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const std::size_t key = order[i];
+    std::size_t j = i;
+    while (j > 0 && scores[order[j - 1]] > scores[key]) {
+      order[j] = order[j - 1];
+      --j;
+    }
+    order[j] = key;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CoordinateDescent
+
+CoordinateDescent::CoordinateDescent(std::size_t dim, double initial_step)
+    : dim_(dim),
+      step_(initial_step),
+      incumbent_score_(std::numeric_limits<double>::infinity()),
+      incumbent_(dim, 0.5) {
+  CVSAFE_EXPECTS(dim >= 1, "optimizer dimension must be positive");
+  CVSAFE_EXPECTS(initial_step > 0.0 && initial_step <= 0.5,
+                 "coordinate-descent step must lie in (0, 0.5]");
+}
+
+void CoordinateDescent::ask(std::size_t iteration, std::span<double> out) {
+  CVSAFE_EXPECTS(out.size() == 2 * dim_,
+                 "ask output must hold population x dim values");
+  const std::size_t coord = iteration % dim_;
+  for (std::size_t d = 0; d < dim_; ++d) {
+    out[d] = incumbent_[d];
+    out[dim_ + d] = incumbent_[d];
+  }
+  out[coord] = clamp01(incumbent_[coord] + step_);
+  out[dim_ + coord] = clamp01(incumbent_[coord] - step_);
+}
+
+void CoordinateDescent::tell(std::size_t iteration,
+                             std::span<const double> params,
+                             std::span<const double> scores) {
+  CVSAFE_EXPECTS(params.size() == 2 * dim_ && scores.size() == 2,
+                 "tell arity must match the asked population");
+  const std::size_t pick = scores[1] < scores[0] ? 1 : 0;
+  if (scores[pick] < incumbent_score_) {
+    incumbent_score_ = scores[pick];
+    const auto row = params.subspan(pick * dim_, dim_);
+    std::copy(row.begin(), row.end(), incumbent_.begin());
+    improved_in_sweep_ = true;
+  }
+  // End of a full coordinate sweep without improvement: refine the
+  // pattern.
+  if ((iteration + 1) % dim_ == 0) {
+    if (!improved_in_sweep_) step_ = std::max(step_ * 0.5, 1.0 / 1024.0);
+    improved_in_sweep_ = false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CmaEs
+
+CmaEs::CmaEs(std::size_t dim, std::uint64_t seed, std::size_t lambda,
+             double sigma0)
+    : dim_(dim),
+      lambda_(lambda),
+      mu_(lambda / 2),
+      seed_(seed),
+      sigma_(sigma0),
+      best_score_(std::numeric_limits<double>::infinity()),
+      rng_(seed),
+      weights_(lambda / 2),
+      mean_(dim, 0.5),
+      cov_(dim * dim, 0.0),
+      chol_(dim * dim, 0.0),
+      p_sigma_(dim, 0.0),
+      p_c_(dim, 0.0),
+      zs_(lambda * dim, 0.0),
+      ys_((lambda / 2) * dim, 0.0),
+      zw_(dim, 0.0),
+      yw_(dim, 0.0),
+      order_(lambda),
+      best_(dim, 0.5) {
+  CVSAFE_EXPECTS(dim >= 1, "optimizer dimension must be positive");
+  CVSAFE_EXPECTS(lambda >= 4 && lambda % 2 == 0,
+                 "CMA-ES population must be even and >= 4");
+  CVSAFE_EXPECTS(sigma0 > 0.0 && sigma0 <= 0.5,
+                 "CMA-ES initial step must lie in (0, 0.5]");
+  // Log-rank recombination weights over the better half.
+  double w_sum = 0.0;
+  for (std::size_t k = 0; k < mu_; ++k) {
+    weights_[k] = std::log(static_cast<double>(mu_) + 0.5) -
+                  std::log(static_cast<double>(k) + 1.0);
+    w_sum += weights_[k];
+  }
+  double w_sq = 0.0;
+  for (double& w : weights_) {
+    w /= w_sum;
+    w_sq += w * w;
+  }
+  mu_eff_ = 1.0 / w_sq;
+  const auto n = static_cast<double>(dim_);
+  c_sigma_ = (mu_eff_ + 2.0) / (n + mu_eff_ + 5.0);
+  d_sigma_ = 1.0 +
+             2.0 * std::max(0.0, std::sqrt((mu_eff_ - 1.0) / (n + 1.0)) -
+                                     1.0) +
+             c_sigma_;
+  c_c_ = (4.0 + mu_eff_ / n) / (n + 4.0 + 2.0 * mu_eff_ / n);
+  c_1_ = 2.0 / ((n + 1.3) * (n + 1.3) + mu_eff_);
+  c_mu_ = std::min(1.0 - c_1_, 2.0 * (mu_eff_ - 2.0 + 1.0 / mu_eff_) /
+                                   ((n + 2.0) * (n + 2.0) + mu_eff_));
+  chi_n_ = std::sqrt(n) * (1.0 - 1.0 / (4.0 * n) + 1.0 / (21.0 * n * n));
+  for (std::size_t d = 0; d < dim_; ++d) cov_[d * dim_ + d] = 1.0;
+}
+
+void CmaEs::factorize() {
+  // Lower Cholesky of cov_ with clamped pivots: adaptation can drive a
+  // diagonal entry numerically non-positive at tiny sigma; clamping
+  // keeps the factor real and the run deterministic.
+  for (std::size_t r = 0; r < dim_; ++r) {
+    for (std::size_t c = 0; c <= r; ++c) {
+      double sum = cov_[r * dim_ + c];
+      for (std::size_t k = 0; k < c; ++k) {
+        sum -= chol_[r * dim_ + k] * chol_[c * dim_ + k];
+      }
+      if (r == c) {
+        chol_[r * dim_ + r] = std::sqrt(std::max(sum, 1e-12));
+      } else {
+        chol_[r * dim_ + c] = sum / chol_[c * dim_ + c];
+      }
+    }
+    for (std::size_t c = r + 1; c < dim_; ++c) chol_[r * dim_ + c] = 0.0;
+  }
+}
+
+void CmaEs::ask(std::size_t iteration, std::span<double> out) {
+  CVSAFE_EXPECTS(iteration == next_iteration_,
+                 "iterations must be asked in order");
+  CVSAFE_EXPECTS(out.size() == lambda_ * dim_,
+                 "ask output must hold population x dim values");
+  ++next_iteration_;
+  // Every draw of iteration k comes from derive_seed(seed, k): the batch
+  // is a pure function of (seed, k) and the adapted state.
+  rng_.reseed(util::derive_seed(seed_, iteration));
+  factorize();
+  for (std::size_t k = 0; k < lambda_; ++k) {
+    double* z = &zs_[k * dim_];
+    for (std::size_t d = 0; d < dim_; ++d) z[d] = rng_.normal();
+    double* x = &out[k * dim_];
+    for (std::size_t r = 0; r < dim_; ++r) {
+      double y = 0.0;
+      for (std::size_t c = 0; c <= r; ++c) y += chol_[r * dim_ + c] * z[c];
+      x[r] = clamp01(mean_[r] + sigma_ * y);
+    }
+  }
+}
+
+void CmaEs::tell(std::size_t iteration, std::span<const double> params,
+                 std::span<const double> scores) {
+  CVSAFE_EXPECTS(iteration + 1 == next_iteration_,
+                 "tell must follow its own ask");
+  CVSAFE_EXPECTS(params.size() == lambda_ * dim_ &&
+                     scores.size() == lambda_,
+                 "tell arity must match the asked population");
+  sort_by_score(order_, scores);
+  if (scores[order_[0]] < best_score_) {
+    best_score_ = scores[order_[0]];
+    const auto row = params.subspan(order_[0] * dim_, dim_);
+    std::copy(row.begin(), row.end(), best_.begin());
+  }
+  // Recover displacements of the selected half from the EVALUATED
+  // points (clamping happened after sampling, so y is re-derived from
+  // params rather than taken from the raw draws) and their standard
+  // pre-images via forward substitution against the factor used to
+  // sample them.
+  std::fill(yw_.begin(), yw_.end(), 0.0);
+  std::fill(zw_.begin(), zw_.end(), 0.0);
+  for (std::size_t k = 0; k < mu_; ++k) {
+    const std::size_t i = order_[k];
+    const double w = weights_[k];
+    double* y = &ys_[k * dim_];
+    double* z = &zs_[i * dim_];  // overwrite the draw as scratch
+    for (std::size_t d = 0; d < dim_; ++d) {
+      y[d] = (params[i * dim_ + d] - mean_[d]) / sigma_;
+      yw_[d] += w * y[d];
+    }
+    for (std::size_t r = 0; r < dim_; ++r) {
+      double sum = y[r];
+      for (std::size_t c = 0; c < r; ++c) sum -= chol_[r * dim_ + c] * z[c];
+      z[r] = sum / chol_[r * dim_ + r];
+      zw_[r] += w * z[r];
+    }
+  }
+  for (std::size_t d = 0; d < dim_; ++d) {
+    mean_[d] = clamp01(mean_[d] + sigma_ * yw_[d]);
+  }
+  // Cumulative step-size control on the pre-image path.
+  const double cs = c_sigma_;
+  double ps_sq = 0.0;
+  for (std::size_t d = 0; d < dim_; ++d) {
+    p_sigma_[d] = (1.0 - cs) * p_sigma_[d] +
+                  std::sqrt(cs * (2.0 - cs) * mu_eff_) * zw_[d];
+    ps_sq += p_sigma_[d] * p_sigma_[d];
+  }
+  const double ps_norm = std::sqrt(ps_sq);
+  const double gen = static_cast<double>(iteration) + 1.0;
+  const double denom = std::sqrt(1.0 - std::pow(1.0 - cs, 2.0 * gen));
+  const bool h_sigma =
+      ps_norm / denom <
+      (1.4 + 2.0 / (static_cast<double>(dim_) + 1.0)) * chi_n_;
+  sigma_ *= std::exp((cs / d_sigma_) * (ps_norm / chi_n_ - 1.0));
+  sigma_ = std::clamp(sigma_, 1e-6, 0.5);
+  // Rank-one path and covariance update.
+  const double hs = h_sigma ? 1.0 : 0.0;
+  for (std::size_t d = 0; d < dim_; ++d) {
+    p_c_[d] = (1.0 - c_c_) * p_c_[d] +
+              hs * std::sqrt(c_c_ * (2.0 - c_c_) * mu_eff_) * yw_[d];
+  }
+  const double c1a = c_1_ * (1.0 - (1.0 - hs) * c_c_ * (2.0 - c_c_));
+  const double decay = 1.0 - c1a - c_mu_;
+  for (std::size_t r = 0; r < dim_; ++r) {
+    for (std::size_t c = 0; c < dim_; ++c) {
+      double v = decay * cov_[r * dim_ + c] + c_1_ * p_c_[r] * p_c_[c];
+      for (std::size_t k = 0; k < mu_; ++k) {
+        v += c_mu_ * weights_[k] * ys_[k * dim_ + r] * ys_[k * dim_ + c];
+      }
+      cov_[r * dim_ + c] = v;
+    }
+  }
+}
+
+std::unique_ptr<Optimizer> make_optimizer(const std::string& name,
+                                          std::size_t dim,
+                                          std::uint64_t seed) {
+  if (name == "coord") return std::make_unique<CoordinateDescent>(dim);
+  CVSAFE_EXPECTS(name == "cma", "unknown optimizer name");
+  return std::make_unique<CmaEs>(dim, seed);
+}
+
+}  // namespace cvsafe::adv

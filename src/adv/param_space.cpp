@@ -1,0 +1,86 @@
+#include "cvsafe/adv/param_space.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "cvsafe/util/contracts.hpp"
+
+namespace cvsafe::adv {
+namespace {
+
+/// Decode ranges. Probabilities stay well under the preset regime's
+/// ceiling, magnitudes under the hardened gate's trust margins
+/// (trust_margin_p 2.5 m, trust_margin_v 2.0 m/s), and windows inside
+/// the episode horizon — the loud corner of the box is about as noisy
+/// as the "corruption" preset, so the stealth screen separates rather
+/// than saturates.
+constexpr std::array<ParamSpace::Bound, ParamSpace::kDim> kBounds = {{
+    {"delay_jitter_max", 0.0, 0.4},     // extra per-message delay [s]
+    {"reorder_prob", 0.0, 0.4},
+    {"reorder_delay_min", 0.05, 0.2},   // [s]
+    {"reorder_delay_span", 0.05, 0.3},  // max = min + span [s]
+    {"duplicate_prob", 0.0, 0.4},
+    {"duplicate_lag_max", 0.0, 0.2},    // [s]
+    {"corrupt_prob", 0.0, 0.25},
+    {"corrupt_delta_p", 0.0, 2.5},      // [m]
+    {"corrupt_delta_v", 0.0, 2.0},      // [m/s]
+    {"corrupt_delta_a", 0.0, 1.5},      // [m/s^2]
+    {"stale_spoof_prob", 0.0, 0.2},
+    {"stale_spoof_max", 0.0, 0.8},      // [s], hardened max_age = 1.0
+    {"blackout1_begin", 0.0, 16.0},     // [s]
+    {"blackout1_len", 0.0, 4.0},        // [s]
+    {"blackout2_begin", 0.0, 16.0},     // [s]
+    {"blackout2_len", 0.0, 4.0},        // [s]
+    {"sensor_dropout_prob", 0.0, 0.3},
+    {"bias_drift_rate", -0.05, 0.05},   // [m/s]
+    {"stuck_begin", 0.0, 16.0},         // [s]
+    {"stuck_len", 0.0, 3.0},            // [s]
+}};
+
+double lerp(const ParamSpace::Bound& b, double x) {
+  return b.lo + (b.hi - b.lo) * std::clamp(x, 0.0, 1.0);
+}
+
+}  // namespace
+
+std::span<const ParamSpace::Bound, ParamSpace::kDim> ParamSpace::bounds() {
+  return kBounds;
+}
+
+ParamSpace::ParamSpace(double stealth_threshold)
+    : stealth_threshold_(stealth_threshold) {
+  CVSAFE_EXPECTS(stealth_threshold >= 0.0 && stealth_threshold <= 1.0,
+                 "stealth threshold must lie in [0,1]");
+}
+
+fault::FaultPlan ParamSpace::decode(std::span<const double> x) const {
+  CVSAFE_EXPECTS(x.size() == kDim,
+                 "candidate vector must have ParamSpace::kDim values");
+  std::array<double, kDim> v;
+  for (std::size_t d = 0; d < kDim; ++d) v[d] = lerp(kBounds[d], x[d]);
+
+  fault::FaultPlan p;
+  p.name = "adv";
+  auto& ch = p.channel;
+  ch.delay_jitter_max = v[0];
+  ch.reorder_prob = v[1];
+  ch.reorder_delay_min = v[2];
+  ch.reorder_delay_max = v[2] + v[3];  // span keeps the range ordered
+  ch.duplicate_prob = v[4];
+  ch.duplicate_lag_max = v[5];
+  ch.corrupt_prob = v[6];
+  ch.corrupt_delta_p = v[7];
+  ch.corrupt_delta_v = v[8];
+  ch.corrupt_delta_a = v[9];
+  ch.stale_spoof_prob = v[10];
+  ch.stale_spoof_max = v[11];
+  ch.blackouts = {{v[12], v[12] + v[13]}, {v[14], v[14] + v[15]}};
+  auto& se = p.sensor;
+  se.dropout_prob = v[16];
+  se.bias_drift_rate = v[17];
+  se.stuck = {{v[18], v[18] + v[19]}};
+  p.validate();
+  return p;
+}
+
+}  // namespace cvsafe::adv

@@ -1,5 +1,7 @@
 #include "cvsafe/fault/fault_plan.hpp"
 
+#include <cstdio>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -27,6 +29,25 @@ void validate_windows(const std::vector<FaultWindow>& windows) {
     CVSAFE_EXPECTS(w.begin >= 0.0 && w.end >= w.begin && w.end < 1e9,
                    "fault window must satisfy 0 <= begin <= end, finite");
   }
+}
+
+/// %.17g — enough digits that std::stod recovers the double bit-exactly.
+std::string fmt_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+/// Serializes windows as the "b0:e0,b1:e1,..." form parse_windows reads.
+std::string format_windows(const std::vector<FaultWindow>& windows) {
+  std::string out;
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    if (i > 0) out += ',';
+    out += fmt_double(windows[i].begin);
+    out += ':';
+    out += fmt_double(windows[i].end);
+  }
+  return out;
 }
 
 /// Parses "b0:e0,b1:e1,..." into windows.
@@ -204,6 +225,50 @@ FaultPlan FaultPlan::from_file(const std::string& path) {
   if (const auto w = cfg.get("sensor.stuck")) se.stuck = parse_windows(*w);
   p.validate();
   return p;
+}
+
+std::string FaultPlan::to_ini() const {
+  validate();
+  std::string out;
+  out += "# cvsafe fault plan (FaultPlan::to_ini); replay with --faults FILE\n";
+  out += "name = " + name + "\n";
+  out += "seed = " + std::to_string(seed) + "\n";
+  out += "\n[channel]\n";
+  out += "delay_jitter_max = " + fmt_double(channel.delay_jitter_max) + "\n";
+  out += "reorder_prob = " + fmt_double(channel.reorder_prob) + "\n";
+  out += "reorder_delay_min = " + fmt_double(channel.reorder_delay_min) + "\n";
+  out += "reorder_delay_max = " + fmt_double(channel.reorder_delay_max) + "\n";
+  out += "duplicate_prob = " + fmt_double(channel.duplicate_prob) + "\n";
+  out += "duplicate_lag_max = " + fmt_double(channel.duplicate_lag_max) + "\n";
+  out += "corrupt_prob = " + fmt_double(channel.corrupt_prob) + "\n";
+  out += "corrupt_delta_p = " + fmt_double(channel.corrupt_delta_p) + "\n";
+  out += "corrupt_delta_v = " + fmt_double(channel.corrupt_delta_v) + "\n";
+  out += "corrupt_delta_a = " + fmt_double(channel.corrupt_delta_a) + "\n";
+  out += "stale_spoof_prob = " + fmt_double(channel.stale_spoof_prob) + "\n";
+  out += "stale_spoof_max = " + fmt_double(channel.stale_spoof_max) + "\n";
+  if (!channel.blackouts.empty()) {
+    out += "blackouts = " + format_windows(channel.blackouts) + "\n";
+  }
+  out += "\n[sensor]\n";
+  out += "dropout_prob = " + fmt_double(sensor.dropout_prob) + "\n";
+  out += "bias_drift_rate = " + fmt_double(sensor.bias_drift_rate) + "\n";
+  if (!sensor.stuck.empty()) {
+    out += "stuck = " + format_windows(sensor.stuck) + "\n";
+  }
+  return out;
+}
+
+void FaultPlan::to_file(const std::string& path) const {
+  const std::string text = to_ini();
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) {
+    throw std::runtime_error("cannot write fault plan to " + path);
+  }
+  out << text;
+  out.flush();
+  if (!out.good()) {
+    throw std::runtime_error("short write saving fault plan to " + path);
+  }
 }
 
 }  // namespace cvsafe::fault

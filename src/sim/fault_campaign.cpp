@@ -17,34 +17,6 @@ namespace cvsafe::sim {
 
 namespace {
 
-/// One resolved point on the campaign's fault axis: the decorator plan
-/// plus the comm-layer disturbance it rides on.
-struct FaultCondition {
-  std::string label;
-  fault::FaultPlan plan;
-  comm::CommConfig comm;
-};
-
-FaultCondition resolve_fault(const std::string& name) {
-  if (name == "burst") {
-    FaultCondition cond;
-    cond.label = "burst";
-    cond.plan = fault::FaultPlan::none();
-    cond.plan.name = "burst";
-    cond.comm = comm::CommConfig::bursty(/*bad_fraction=*/0.3,
-                                         /*mean_burst_len=*/5.0,
-                                         /*delay=*/0.1);
-    return cond;
-  }
-  const auto plan = fault::FaultPlan::preset(name);
-  CVSAFE_EXPECTS(plan.has_value(), "unknown campaign fault condition");
-  FaultCondition cond;
-  cond.label = name;
-  cond.plan = *plan;
-  cond.comm = comm::CommConfig::delayed(/*drop_prob=*/0.2, /*delay=*/0.25);
-  return cond;
-}
-
 // ([[maybe_unused]]: contract-free builds compile validate() out.)
 [[maybe_unused]] bool known_scenario(const std::string& name) {
   return name == "left-turn" || name == "lane-change" ||
@@ -92,10 +64,34 @@ std::vector<RunResult> run_cell_episodes(const ScenarioAdapter<World>& adapter,
                              std::string(adapter.name()), fault_label);
 }
 
-std::vector<RunResult> run_cell(const std::string& scenario,
-                                const FaultCondition& cond,
-                                std::size_t episodes, std::uint64_t seed,
-                                std::size_t threads, std::ostream* trace) {
+}  // namespace
+
+FaultCondition FaultCondition::preset(const std::string& name) {
+  if (name == "burst") {
+    FaultCondition cond;
+    cond.label = "burst";
+    cond.plan = fault::FaultPlan::none();
+    cond.plan.name = "burst";
+    cond.comm = comm::CommConfig::bursty(/*bad_fraction=*/0.3,
+                                         /*mean_burst_len=*/5.0,
+                                         /*delay=*/0.1);
+    return cond;
+  }
+  const auto plan = fault::FaultPlan::preset(name);
+  CVSAFE_EXPECTS(plan.has_value(), "unknown campaign fault condition");
+  FaultCondition cond;
+  cond.label = name;
+  cond.plan = *plan;
+  cond.comm = comm::CommConfig::delayed(/*drop_prob=*/0.2, /*delay=*/0.25);
+  return cond;
+}
+
+std::vector<RunResult> run_campaign_cell(const std::string& scenario,
+                                         const FaultCondition& cond,
+                                         std::size_t episodes,
+                                         std::uint64_t seed,
+                                         std::size_t threads,
+                                         std::ostream* trace) {
   if (scenario == "left-turn") {
     LeftTurnSimConfig config = LeftTurnSimConfig::paper_defaults();
     harden(config, cond);
@@ -136,14 +132,20 @@ std::vector<RunResult> run_cell(const std::string& scenario,
                            cond.label);
 }
 
-CampaignCell aggregate(std::string fault, std::string scenario,
-                       const std::vector<RunResult>& results) {
+CampaignCell aggregate_cell(std::string fault, std::string scenario,
+                            std::span<const RunResult> results) {
+  // min_eta/mean_eta must come from the batch, never the struct's 0.0
+  // defaults: folding min against a default 0.0 would mask an
+  // all-positive minimum, and an empty batch would report a fabricated
+  // mean of 0.0 as if it were measured.
+  CVSAFE_EXPECTS(!results.empty(),
+                 "cell aggregation needs at least one episode");
   CampaignCell cell;
   cell.fault = std::move(fault);
   cell.scenario = std::move(scenario);
   cell.episodes = results.size();
+  cell.min_eta = results.front().eta;
   double eta_sum = 0.0;
-  bool first = true;
   for (const RunResult& r : results) {
     if (r.collided) ++cell.collisions;
     if (r.reached) ++cell.reached;
@@ -156,14 +158,13 @@ CampaignCell aggregate(std::string fault, std::string scenario,
     cell.messages_accepted += r.messages_accepted;
     cell.messages_rejected += r.messages_rejected;
     eta_sum += r.eta;
-    cell.min_eta = first ? r.eta : std::min(cell.min_eta, r.eta);
-    first = false;
+    cell.min_eta = std::min(cell.min_eta, r.eta);
   }
-  if (!results.empty()) {
-    cell.mean_eta = eta_sum / static_cast<double>(results.size());
-  }
+  cell.mean_eta = eta_sum / static_cast<double>(results.size());
   return cell;
 }
+
+namespace {
 
 void emit_double(std::ostream& os, double value) {
   char buf[64];
@@ -224,15 +225,15 @@ CampaignResult run_fault_campaign(const CampaignConfig& config,
   CampaignResult result;
   result.cells.reserve(config.faults.size() * config.scenarios.size());
   for (std::size_t fi = 0; fi < config.faults.size(); ++fi) {
-    const FaultCondition cond = resolve_fault(config.faults[fi]);
+    const FaultCondition cond = FaultCondition::preset(config.faults[fi]);
     for (std::size_t si = 0; si < config.scenarios.size(); ++si) {
       const std::uint64_t cell_seed =
           util::derive_seed(util::derive_seed(config.base_seed, fi), si);
-      const auto episodes =
-          run_cell(config.scenarios[si], cond, config.episodes_per_cell,
-                   cell_seed, config.threads, trace_os);
+      const auto episodes = run_campaign_cell(
+          config.scenarios[si], cond, config.episodes_per_cell, cell_seed,
+          config.threads, trace_os);
       result.cells.push_back(
-          aggregate(cond.label, config.scenarios[si], episodes));
+          aggregate_cell(cond.label, config.scenarios[si], episodes));
     }
   }
   return result;

@@ -1,0 +1,160 @@
+// The adversarial search optimizers: both must minimize simple smooth
+// objectives inside the unit box and replay bit-exactly from their
+// (seed, iteration) schedule — the property the golden attack CSV and
+// the CI determinism job lean on.
+
+#include "cvsafe/adv/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cvsafe/util/contracts.hpp"
+
+namespace cvsafe::adv {
+namespace {
+
+using util::ContractMode;
+using util::ContractViolation;
+using util::ScopedContractMode;
+
+/// Shifted sphere: minimum 0 at x = center.
+double sphere(std::span<const double> x, double center) {
+  double s = 0.0;
+  for (const double v : x) s += (v - center) * (v - center);
+  return s;
+}
+
+/// Runs `iterations` ask/eval/tell rounds and returns the best score.
+double drive(Optimizer& opt, std::size_t iterations, double center) {
+  const std::size_t dim = opt.dim();
+  const std::size_t pop = opt.population();
+  std::vector<double> xs(pop * dim);
+  std::vector<double> scores(pop);
+  for (std::size_t it = 0; it < iterations; ++it) {
+    opt.ask(it, xs);
+    for (std::size_t c = 0; c < pop; ++c) {
+      scores[c] = sphere({&xs[c * dim], dim}, center);
+    }
+    opt.tell(it, xs, scores);
+  }
+  return opt.best_score();
+}
+
+TEST(CoordinateDescent, MinimizesASphereFromTheBoxCenter) {
+  CoordinateDescent opt(6);
+  const double best = drive(opt, 120, 0.3);
+  EXPECT_LT(best, 1e-3);
+  for (const double v : opt.best()) EXPECT_NEAR(v, 0.3, 0.05);
+}
+
+TEST(CoordinateDescent, EmitsCandidatesInsideTheUnitBox) {
+  CoordinateDescent opt(4, 0.5);
+  std::vector<double> xs(2 * 4);
+  opt.ask(0, xs);
+  for (const double v : xs) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(CoordinateDescent, IsBitReproducible) {
+  CoordinateDescent a(5);
+  CoordinateDescent b(5);
+  std::vector<double> xa(2 * 5), xb(2 * 5), scores(2);
+  for (std::size_t it = 0; it < 25; ++it) {
+    a.ask(it, xa);
+    b.ask(it, xb);
+    ASSERT_EQ(xa, xb) << "iteration " << it;
+    for (std::size_t c = 0; c < 2; ++c) {
+      scores[c] = sphere({&xa[c * 5], 5}, 0.7);
+    }
+    a.tell(it, xa, scores);
+    b.tell(it, xb, scores);
+  }
+  EXPECT_EQ(a.best_score(), b.best_score());
+}
+
+TEST(CmaEs, MinimizesASphere) {
+  CmaEs opt(5, /*seed=*/42, /*lambda=*/8);
+  const double best = drive(opt, 60, 0.7);
+  EXPECT_LT(best, 1e-2);
+  for (const double v : opt.best()) EXPECT_NEAR(v, 0.7, 0.1);
+}
+
+TEST(CmaEs, EmitsCandidatesInsideTheUnitBox) {
+  CmaEs opt(8, 1, 8, /*sigma0=*/0.5);
+  std::vector<double> xs(8 * 8);
+  opt.ask(0, xs);
+  for (const double v : xs) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(CmaEs, IsBitReproducibleFromSeedAndSchedule) {
+  CmaEs a(6, 99);
+  CmaEs b(6, 99);
+  const std::size_t pop = a.population();
+  std::vector<double> xa(pop * 6), xb(pop * 6), scores(pop);
+  for (std::size_t it = 0; it < 20; ++it) {
+    a.ask(it, xa);
+    b.ask(it, xb);
+    ASSERT_EQ(xa, xb) << "iteration " << it;
+    for (std::size_t c = 0; c < pop; ++c) {
+      scores[c] = sphere({&xa[c * 6], 6}, 0.2);
+    }
+    a.tell(it, xa, scores);
+    b.tell(it, xb, scores);
+  }
+  EXPECT_EQ(a.best_score(), b.best_score());
+  EXPECT_EQ(a.sigma(), b.sigma());
+}
+
+TEST(CmaEs, DifferentSeedsProduceDifferentDraws) {
+  CmaEs a(6, 1);
+  CmaEs b(6, 2);
+  std::vector<double> xa(a.population() * 6), xb(b.population() * 6);
+  a.ask(0, xa);
+  b.ask(0, xb);
+  EXPECT_NE(xa, xb);
+}
+
+TEST(CmaEs, AdaptsSigmaAwayFromItsInitialValue) {
+  CmaEs opt(4, 3);
+  drive(opt, 40, 0.5);
+  EXPECT_NE(opt.sigma(), 0.25);  // CSA moved the step size
+  EXPECT_GT(opt.sigma(), 0.0);
+}
+
+TEST(CmaEs, EnforcesAskTellOrdering) {
+  ScopedContractMode mode(ContractMode::kThrow);
+  CmaEs opt(3, 1);
+  std::vector<double> xs(opt.population() * 3), scores(opt.population());
+  EXPECT_THROW(opt.ask(1, xs), ContractViolation);  // must start at 0
+  opt.ask(0, xs);
+  EXPECT_THROW(opt.tell(1, xs, scores), ContractViolation);
+  opt.tell(0, xs, scores);
+  EXPECT_THROW(opt.ask(0, xs), ContractViolation);  // no re-ask
+}
+
+TEST(CmaEs, RejectsBadShapes) {
+  ScopedContractMode mode(ContractMode::kThrow);
+  EXPECT_THROW(CmaEs(0, 1), ContractViolation);
+  EXPECT_THROW(CmaEs(3, 1, /*lambda=*/3), ContractViolation);  // odd
+  EXPECT_THROW(CmaEs(3, 1, 8, /*sigma0=*/0.0), ContractViolation);
+  CmaEs opt(3, 1);
+  std::vector<double> wrong(5);
+  EXPECT_THROW(opt.ask(0, wrong), ContractViolation);
+}
+
+TEST(MakeOptimizer, ResolvesNamesAndRejectsUnknown) {
+  ScopedContractMode mode(ContractMode::kThrow);
+  EXPECT_EQ(make_optimizer("coord", 4, 1)->name(), "coord");
+  EXPECT_EQ(make_optimizer("cma", 4, 1)->name(), "cma");
+  EXPECT_THROW(make_optimizer("anneal", 4, 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace cvsafe::adv

@@ -1,0 +1,120 @@
+// The adversarial parameter space: every point of the unit box must
+// decode onto a validated FaultPlan, and the stealth screen must pass
+// the shipped presets while discarding deliberately loud plans — the
+// envelope that makes a low-margin finding meaningful.
+
+#include "cvsafe/adv/param_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cvsafe/sim/fault_campaign.hpp"
+#include "cvsafe/util/contracts.hpp"
+#include "cvsafe/util/rng.hpp"
+
+namespace cvsafe::adv {
+namespace {
+
+using util::ContractMode;
+using util::ContractViolation;
+using util::ScopedContractMode;
+
+TEST(ParamSpace, BoundsCoverEveryDimensionWithNamedRanges) {
+  const auto bounds = ParamSpace::bounds();
+  ASSERT_EQ(bounds.size(), ParamSpace::kDim);
+  for (const auto& b : bounds) {
+    EXPECT_NE(b.name, nullptr);
+    EXPECT_LT(b.lo, b.hi) << b.name;
+  }
+}
+
+TEST(ParamSpace, DecodeProducesValidatedPlansAcrossTheBox) {
+  ScopedContractMode mode(ContractMode::kThrow);
+  const ParamSpace space;
+  util::Rng rng(7);
+  std::vector<double> x(ParamSpace::kDim);
+  for (int trial = 0; trial < 200; ++trial) {
+    for (double& v : x) v = rng.uniform01();
+    const fault::FaultPlan plan = space.decode(x);  // validates inside
+    EXPECT_EQ(plan.name, "adv");
+    EXPECT_GE(plan.channel.reorder_delay_max, plan.channel.reorder_delay_min);
+  }
+  // The corners too.
+  std::fill(x.begin(), x.end(), 0.0);
+  space.decode(x);
+  std::fill(x.begin(), x.end(), 1.0);
+  space.decode(x);
+}
+
+TEST(ParamSpace, DecodeClampsOutOfBoxComponents) {
+  const ParamSpace space;
+  std::vector<double> below(ParamSpace::kDim, -5.0);
+  std::vector<double> zero(ParamSpace::kDim, 0.0);
+  std::vector<double> above(ParamSpace::kDim, 5.0);
+  std::vector<double> one(ParamSpace::kDim, 1.0);
+  EXPECT_EQ(space.decode(below).to_ini(), space.decode(zero).to_ini());
+  EXPECT_EQ(space.decode(above).to_ini(), space.decode(one).to_ini());
+}
+
+TEST(ParamSpace, DecodeRejectsWrongArity) {
+  ScopedContractMode mode(ContractMode::kThrow);
+  const ParamSpace space;
+  const std::vector<double> wrong(ParamSpace::kDim - 1, 0.5);
+  EXPECT_THROW(space.decode(wrong), ContractViolation);
+  EXPECT_THROW(ParamSpace(1.5), ContractViolation);
+}
+
+TEST(ParamSpace, AdmitsQuietCellsAndScreensLoudOnes) {
+  const ParamSpace space(0.25);
+  sim::CampaignCell quiet;
+  quiet.messages_accepted = 90;
+  quiet.messages_rejected = 10;
+  EXPECT_TRUE(space.admits(quiet));
+  sim::CampaignCell loud;
+  loud.messages_accepted = 60;
+  loud.messages_rejected = 40;
+  EXPECT_FALSE(space.admits(loud));
+  sim::CampaignCell silent;  // no traffic at all counts as stealthy
+  EXPECT_TRUE(space.admits(silent));
+}
+
+// The shipped campaign presets must sit inside the stealth envelope
+// under the search's evaluation protocol: a screen that rejected the
+// baseline workloads would make every search result vacuous.
+TEST(ParamSpace, ShippedPresetsStayUnderTheStealthThreshold) {
+  const ParamSpace space;
+  for (const char* name :
+       {"delay-jitter", "reorder-duplicate", "corruption", "blackout",
+        "burst"}) {
+    const auto cond = sim::FaultCondition::preset(name);
+    const auto episodes =
+        sim::run_campaign_cell("left-turn", cond, 2, 2026, 1);
+    const auto cell = sim::aggregate_cell(name, "left-turn", episodes);
+    EXPECT_TRUE(space.admits(cell))
+        << name << " rejected at rate " << cell.rejection_rate();
+  }
+}
+
+// A deliberately loud plan — corruption well past the hardened gate's
+// trust margins — must trip the screen: detected attacks are handled
+// attacks and never count as findings.
+TEST(ParamSpace, DeliberatelyLoudPlanIsScreenedOut) {
+  fault::FaultPlan loud;
+  loud.name = "loud";
+  loud.channel.corrupt_prob = 0.9;
+  loud.channel.corrupt_delta_p = 8.0;
+  loud.channel.corrupt_delta_v = 6.0;
+  loud.channel.stale_spoof_prob = 0.5;
+  loud.channel.stale_spoof_max = 2.0;
+  const sim::FaultCondition cond{"loud", loud,
+                                 comm::CommConfig::delayed(0.2, 0.25)};
+  const auto episodes = sim::run_campaign_cell("left-turn", cond, 2, 2026, 1);
+  const auto cell = sim::aggregate_cell("loud", "left-turn", episodes);
+  const ParamSpace space;
+  EXPECT_FALSE(space.admits(cell));
+  EXPECT_GT(cell.rejection_rate(), 0.5);
+}
+
+}  // namespace
+}  // namespace cvsafe::adv

@@ -1,0 +1,170 @@
+// The adversarial worst-case search end to end: deterministic across
+// runs and thread counts, strictly better (lower min_eta) than the best
+// preset under the same paired evaluation protocol, safe (zero
+// collisions) on every candidate, and byte-identical to the committed
+// golden at the CI budget.
+//
+// Regenerate the golden (only when a behavior change is intended) with:
+//   CVSAFE_UPDATE_GOLDEN=1 ./adv_search_test
+
+#include "cvsafe/adv/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "cvsafe/util/contracts.hpp"
+
+namespace cvsafe::adv {
+namespace {
+
+using util::ContractMode;
+using util::ContractViolation;
+using util::ScopedContractMode;
+
+TEST(SearchConfig, ValidateRejectsBadShapes) {
+  ScopedContractMode mode(ContractMode::kThrow);
+  SearchConfig c = SearchConfig::smoke();
+  c.scenario = "no-such-scenario";
+  EXPECT_THROW(c.validate(), ContractViolation);
+  c = SearchConfig::smoke();
+  c.optimizer = "anneal";
+  EXPECT_THROW(c.validate(), ContractViolation);
+  c = SearchConfig::smoke();
+  c.iterations = 0;
+  EXPECT_THROW(c.validate(), ContractViolation);
+  c = SearchConfig::smoke();
+  c.episodes_per_eval = 0;
+  EXPECT_THROW(c.validate(), ContractViolation);
+  c = SearchConfig::smoke();
+  c.stealth_threshold = 1.5;
+  EXPECT_THROW(c.validate(), ContractViolation);
+}
+
+TEST(AdvSearch, SmokeRunsAndHoldsTheInvariant) {
+  auto config = SearchConfig::smoke();
+  config.threads = 1;
+  const SearchResult result = run_search(config);
+  EXPECT_EQ(result.trace.candidates.size(), config.iterations * 2);
+  EXPECT_TRUE(result.invariant_ok());
+  EXPECT_EQ(result.violations(), 0u);
+  for (const CandidateRecord& rec : result.trace.candidates) {
+    EXPECT_EQ(rec.cell.episodes, config.episodes_per_eval);
+    EXPECT_EQ(rec.params.size(), ParamSpace::kDim);
+    if (rec.admissible) {
+      EXPECT_EQ(rec.score, rec.cell.min_eta);
+    } else {
+      EXPECT_GE(rec.score, 1e3);  // stealth penalty region
+    }
+  }
+  ASSERT_NE(result.worst(), nullptr);
+  EXPECT_TRUE(result.worst()->admissible);
+  EXPECT_LE(result.offenders.size(), config.top_k);
+}
+
+TEST(AdvSearch, OffendersAreRankedWorstFirst) {
+  auto config = SearchConfig::smoke();
+  config.iterations = 4;
+  config.top_k = 8;
+  config.threads = 1;
+  const SearchResult result = run_search(config);
+  ASSERT_GE(result.offenders.size(), 2u);
+  for (std::size_t r = 1; r < result.offenders.size(); ++r) {
+    EXPECT_LE(result.trace.candidates[result.offenders[r - 1]].cell.min_eta,
+              result.trace.candidates[result.offenders[r]].cell.min_eta);
+  }
+}
+
+TEST(AdvSearch, TraceCsvIsByteIdenticalAcrossRunsAndThreads) {
+  auto config = SearchConfig::smoke();
+  config.threads = 1;
+  const std::string csv = search_csv(run_search(config));
+  EXPECT_EQ(csv, search_csv(run_search(config)));
+  config.threads = 2;
+  EXPECT_EQ(csv, search_csv(run_search(config)));
+}
+
+TEST(AdvSearch, OffenderTraceIsDeterministic) {
+  auto config = SearchConfig::smoke();
+  config.threads = 1;
+  const SearchResult result = run_search(config);
+  ASSERT_FALSE(result.offenders.empty());
+  std::ostringstream a, b;
+  trace_offender(result, 0, a);
+  trace_offender(result, 0, b);
+  EXPECT_FALSE(a.str().empty());
+  EXPECT_EQ(a.str(), b.str());
+  ScopedContractMode mode(ContractMode::kThrow);
+  std::ostringstream c;
+  EXPECT_THROW(trace_offender(result, result.offenders.size(), c),
+               ContractViolation);
+}
+
+TEST(AdvSearch, CsvHasOneRowPerCandidatePlusHeader) {
+  auto config = SearchConfig::smoke();
+  config.threads = 1;
+  const SearchResult result = run_search(config);
+  std::istringstream csv(search_csv(result));
+  std::string line;
+  ASSERT_TRUE(std::getline(csv, line));
+  EXPECT_EQ(line.substr(0, 19), "iteration,candidate");
+  std::size_t rows = 0;
+  while (std::getline(csv, line)) ++rows;
+  EXPECT_EQ(rows, result.trace.candidates.size());
+}
+
+// The CI budget against the committed golden — the exact byte stream the
+// .github adversarial job reproduces and compares — plus the acceptance
+// bar: the search must strictly beat every preset's min_eta under the
+// SAME paired evaluation protocol (same eval seed base, same episode
+// count), and no discovered worst case may enter the unsafe set.
+TEST(AdvSearch, CiBudgetBeatsPresetsAndMatchesCommittedGolden) {
+  const SearchConfig config = SearchConfig::ci();
+  const SearchResult result = run_search(config);
+  EXPECT_TRUE(result.invariant_ok());
+  ASSERT_NE(result.worst(), nullptr);
+
+  // Paired preset baseline: best (lowest) min_eta any preset condition
+  // reaches on the search's own evaluation protocol.
+  double best_preset = std::numeric_limits<double>::infinity();
+  for (const char* name :
+       {"delay-jitter", "reorder-duplicate", "corruption", "blackout",
+        "burst"}) {
+    const auto cond = sim::FaultCondition::preset(name);
+    const auto episodes = sim::run_campaign_cell(
+        config.scenario, cond, config.episodes_per_eval, config.eval_seed,
+        config.threads);
+    const auto cell = sim::aggregate_cell(name, config.scenario, episodes);
+    best_preset = std::min(best_preset, cell.min_eta);
+  }
+  EXPECT_LT(result.worst()->cell.min_eta, best_preset)
+      << "the search must find a strictly worse case than any preset";
+  EXPECT_GE(result.worst()->cell.min_eta, 0.0)
+      << "eta(kappa_c) >= 0 must hold on the discovered worst case";
+
+  const std::string csv = search_csv(result);
+  const std::string path =
+      std::string(CVSAFE_GOLDEN_DIR) + "/adv_attack_ci.csv";
+  if (std::getenv("CVSAFE_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << csv;
+    GTEST_SKIP() << "golden regenerated: " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << path
+      << " — regenerate with CVSAFE_UPDATE_GOLDEN=1";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(csv, golden.str())
+      << "attack SearchTrace diverged from the committed golden";
+}
+
+}  // namespace
+}  // namespace cvsafe::adv

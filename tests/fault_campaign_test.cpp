@@ -51,6 +51,42 @@ TEST(CampaignConfig, CiCoversTheIssueMatrix) {
   c.validate();
 }
 
+// Regression: min_eta/mean_eta must initialize from the batch, not the
+// struct's 0.0 defaults — folding min against a default 0.0 used to mask
+// any all-positive minimum as 0.
+TEST(FaultCampaign, AggregateCellInitializesEtaFromFirstEpisode) {
+  std::vector<RunResult> results(3);
+  results[0].eta = 0.4;
+  results[1].eta = 0.25;
+  results[2].eta = 0.7;
+  results[1].messages_accepted = 9;
+  results[1].messages_rejected = 1;
+  const CampaignCell cell = aggregate_cell("f", "s", results);
+  EXPECT_DOUBLE_EQ(cell.min_eta, 0.25);  // not 0.0
+  EXPECT_DOUBLE_EQ(cell.mean_eta, (0.4 + 0.25 + 0.7) / 3.0);
+  EXPECT_DOUBLE_EQ(cell.rejection_rate(), 0.1);
+
+  // A single all-negative episode must surface its own eta too.
+  std::vector<RunResult> negative(1);
+  negative[0].eta = -0.3;
+  negative[0].collided = true;
+  const CampaignCell bad = aggregate_cell("f", "s", negative);
+  EXPECT_DOUBLE_EQ(bad.min_eta, -0.3);
+  EXPECT_DOUBLE_EQ(bad.mean_eta, -0.3);
+  EXPECT_FALSE(bad.invariant_ok());
+}
+
+TEST(FaultCampaign, AggregateCellRejectsEmptyBatches) {
+  ScopedContractMode mode(ContractMode::kThrow);
+  const std::vector<RunResult> empty;
+  EXPECT_THROW(aggregate_cell("f", "s", empty), ContractViolation);
+}
+
+TEST(FaultCampaign, RejectionRateIsZeroWithoutTraffic) {
+  const CampaignCell cell;
+  EXPECT_DOUBLE_EQ(cell.rejection_rate(), 0.0);
+}
+
 TEST(FaultCampaign, SmokeInvariantHoldsAndIsReproducible) {
   auto config = CampaignConfig::smoke();
   config.threads = 1;

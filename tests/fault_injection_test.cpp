@@ -130,6 +130,71 @@ TEST(FaultPlan, FromFileRejectsMissingAndMalformed) {
   EXPECT_THROW(FaultPlan::from_file(path), std::runtime_error);
 }
 
+TEST(FaultPlan, ToFileRoundTripsBitExactly) {
+  // A plan whose doubles need all 17 significant digits to survive a
+  // text round trip.
+  FaultPlan p = FaultPlan::corruption();
+  p.name = "round-trip";
+  p.seed = 0xDEADBEEFu;
+  p.channel.delay_jitter_max = 0.1 + 0.2;  // 0.30000000000000004
+  p.channel.reorder_prob = 1.0 / 3.0;
+  p.channel.duplicate_prob = 0.05;
+  p.channel.duplicate_lag_max = 2.0 / 7.0;
+  p.channel.blackouts = {{1.0 / 3.0, 2.0 / 3.0}, {5.0, 6.123456789012345}};
+  p.sensor.dropout_prob = 0.1;
+  p.sensor.bias_drift_rate = -1.0 / 81.0;
+  p.sensor.stuck = {{3.3, 4.4}};
+
+  const std::string path = testing::TempDir() + "/fault_plan_rt.ini";
+  p.to_file(path);
+  const FaultPlan q = FaultPlan::from_file(path);
+  EXPECT_EQ(q.name, p.name);
+  EXPECT_EQ(q.seed, p.seed);
+  EXPECT_EQ(q.channel.delay_jitter_max, p.channel.delay_jitter_max);
+  EXPECT_EQ(q.channel.reorder_prob, p.channel.reorder_prob);
+  EXPECT_EQ(q.channel.reorder_delay_min, p.channel.reorder_delay_min);
+  EXPECT_EQ(q.channel.reorder_delay_max, p.channel.reorder_delay_max);
+  EXPECT_EQ(q.channel.duplicate_lag_max, p.channel.duplicate_lag_max);
+  EXPECT_EQ(q.channel.corrupt_delta_p, p.channel.corrupt_delta_p);
+  EXPECT_EQ(q.channel.stale_spoof_max, p.channel.stale_spoof_max);
+  ASSERT_EQ(q.channel.blackouts.size(), 2u);
+  EXPECT_EQ(q.channel.blackouts[1].end, p.channel.blackouts[1].end);
+  EXPECT_EQ(q.sensor.bias_drift_rate, p.sensor.bias_drift_rate);
+  ASSERT_EQ(q.sensor.stuck.size(), 1u);
+  // The strongest form: serializing the reparsed plan reproduces the
+  // byte stream, so to_file/from_file is a fixed point.
+  EXPECT_EQ(q.to_ini(), p.to_ini());
+}
+
+TEST(FaultPlan, ToIniOmitsEmptyWindowListsAndValidatesFirst) {
+  const std::string ini = FaultPlan::none().to_ini();
+  EXPECT_EQ(ini.find("blackouts"), std::string::npos);
+  EXPECT_EQ(ini.find("stuck"), std::string::npos);
+  EXPECT_NE(ini.find("[channel]"), std::string::npos);
+  EXPECT_NE(ini.find("[sensor]"), std::string::npos);
+
+  util::ScopedContractMode mode(util::ContractMode::kThrow);
+  FaultPlan bad;
+  bad.channel.corrupt_prob = 1.5;  // invalid probability
+  EXPECT_THROW(bad.to_ini(), util::ContractViolation);
+}
+
+TEST(FaultPlan, ToFileThrowsOnUnwritablePath) {
+  EXPECT_THROW(FaultPlan::none().to_file("/no/such/dir/plan.ini"),
+               std::runtime_error);
+}
+
+TEST(FaultPlan, EveryPresetRoundTripsThroughFile) {
+  for (const auto& name : FaultPlan::preset_names()) {
+    const FaultPlan p = *FaultPlan::preset(name);
+    const std::string path =
+        testing::TempDir() + "/fault_plan_" + name + ".ini";
+    p.to_file(path);
+    const FaultPlan q = FaultPlan::from_file(path);
+    EXPECT_EQ(q.to_ini(), p.to_ini()) << name;
+  }
+}
+
 TEST(FaultPlan, FromFileRejectsUnknownKeys) {
   // A typo'd knob must fail loudly, not silently run the unfaulted
   // baseline.

@@ -6,6 +6,7 @@
 //   cvsafe_cli train    [options]  train + save the NN planners
 //   cvsafe_cli certify  [options]  offline safety certificates
 //   cvsafe_cli campaign [options]  fault-injection safety-invariant matrix
+//   cvsafe_cli attack   [options]  adversarial worst-case fault search
 //
 // A --config FILE (INI, see include/cvsafe/eval/config_io.hpp) customizes
 // geometry, actuation limits, channel and sensor before flag overrides.
@@ -52,11 +53,29 @@
 //   --preset ci|smoke        campaign matrix preset      (default ci)
 //   --sims N                 episodes per cell override
 //   --seed N                 campaign base seed override
+//
+// Attack options (adversarial search, cvsafe::adv):
+//   --budget ci|N            "ci" = the fixed CI search budget
+//                            (SearchConfig::ci()); a number overrides the
+//                            optimizer iteration count (default ci)
+//   --scenario NAME          campaign scenario           (default left-turn)
+//   --optimizer cma|coord    search strategy             (default cma)
+//   --seed N                 search seed (optimizer draw stream)
+//   --eval-seed N            episode seed base (paired across candidates)
+//   --sims N                 episodes per candidate evaluation
+//   --topk N                 offenders to serialize      (default 3)
+//   --stealth R              max hardened-gate rejection rate (default 0.25)
+//   --out DIR                writes DIR/search_trace.csv plus, per offender
+//                            rank k, DIR/worst_plan_k.ini (replayable via
+//                            `run --faults`) and DIR/offender_k.jsonl
+//                            (structured episode traces); without --out the
+//                            SearchTrace CSV goes to stdout
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <map>
 #include <string>
@@ -64,6 +83,7 @@
 
 #include <fstream>
 
+#include "cvsafe/adv/search.hpp"
 #include "cvsafe/eval/config_io.hpp"
 #include "cvsafe/eval/experiments.hpp"
 #include "cvsafe/nn/serialize.hpp"
@@ -153,7 +173,8 @@ bool dump_metrics(const obs::MetricsRegistry& reg, const std::string& path) {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: cvsafe_cli run|batch|sweep|train|certify|campaign [options]\n"
+      "usage: cvsafe_cli run|batch|sweep|train|certify|campaign|attack "
+      "[options]\n"
       "see the header of tools/cvsafe_cli.cpp for options\n");
   return 2;
 }
@@ -594,6 +615,115 @@ int cmd_campaign(const Args& args) {
   return 0;
 }
 
+int cmd_attack(const Args& args) {
+  adv::SearchConfig config = adv::SearchConfig::ci();
+  const std::string budget = args.value("budget", "ci");
+  if (budget != "ci") {
+    const auto iterations = static_cast<std::size_t>(
+        std::strtoul(budget.c_str(), nullptr, 10));
+    if (iterations == 0) {
+      std::fprintf(stderr, "--budget must be ci or a positive iteration "
+                           "count, got %s\n",
+                   budget.c_str());
+      return 2;
+    }
+    config.iterations = iterations;
+  }
+  std::string scenario = args.value("scenario", config.scenario);
+  if (scenario == "multi") scenario = "multi-vehicle";
+  config.scenario = scenario;
+  config.optimizer = args.value("optimizer", config.optimizer);
+  if (args.values.count("seed")) {
+    config.search_seed = static_cast<std::uint64_t>(args.number("seed", 7));
+  }
+  if (args.values.count("eval-seed")) {
+    config.eval_seed =
+        static_cast<std::uint64_t>(args.number("eval-seed", 2026));
+  }
+  if (args.values.count("sims")) {
+    config.episodes_per_eval = static_cast<std::size_t>(args.number("sims", 4));
+  }
+  if (args.values.count("topk")) {
+    config.top_k = static_cast<std::size_t>(args.number("topk", 3));
+  }
+  if (args.values.count("stealth")) {
+    config.stealth_threshold = args.number("stealth", 0.25);
+  }
+  config.threads = static_cast<std::size_t>(args.number("threads", 0));
+
+  const adv::SearchResult result = adv::run_search(config);
+  const std::string csv = adv::search_csv(result);
+
+  if (args.values.count("out")) {
+    const std::filesystem::path dir = args.value("out", "attack");
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create %s: %s\n", dir.string().c_str(),
+                   ec.message().c_str());
+      return 1;
+    }
+    const std::string trace_path = (dir / "search_trace.csv").string();
+    if (!write_text_file(trace_path, csv)) return 1;
+    std::printf("trace      %s (%zu candidates)\n", trace_path.c_str(),
+                result.trace.candidates.size());
+    for (std::size_t rank = 0; rank < result.offenders.size(); ++rank) {
+      const adv::CandidateRecord& rec =
+          result.trace.candidates[result.offenders[rank]];
+      const std::string plan_path =
+          (dir / ("worst_plan_" + std::to_string(rank) + ".ini")).string();
+      rec.plan.to_file(plan_path);
+      const std::string jsonl_path =
+          (dir / ("offender_" + std::to_string(rank) + ".jsonl")).string();
+      std::ofstream jsonl(jsonl_path, std::ios::binary);
+      if (!jsonl.good()) {
+        std::fprintf(stderr, "cannot write %s\n", jsonl_path.c_str());
+        return 1;
+      }
+      adv::trace_offender(result, rank, jsonl);
+      std::printf("offender   #%zu %s + %s\n", rank, plan_path.c_str(),
+                  jsonl_path.c_str());
+    }
+  } else {
+    std::fputs(csv.c_str(), stdout);
+  }
+
+  util::Table table("adversarial search (" + config.optimizer + ", " +
+                    config.scenario + ", " +
+                    std::to_string(config.iterations) + " iterations)");
+  table.set_header({"rank", "iter", "cand", "min eta", "reject rate",
+                    "collisions"});
+  for (std::size_t rank = 0; rank < result.offenders.size(); ++rank) {
+    const adv::CandidateRecord& rec =
+        result.trace.candidates[result.offenders[rank]];
+    char min_eta[32], reject[32];
+    std::snprintf(min_eta, sizeof min_eta, "%.4f", rec.cell.min_eta);
+    std::snprintf(reject, sizeof reject, "%.3f", rec.cell.rejection_rate());
+    table.add_row({std::to_string(rank), std::to_string(rec.iteration),
+                   std::to_string(rec.index), min_eta, reject,
+                   std::to_string(rec.cell.collisions)});
+  }
+  std::cout << table;
+
+  if (!result.invariant_ok()) {
+    std::fprintf(stderr,
+                 "SAFETY INVARIANT VIOLATED: %zu unsafe-set entries\n",
+                 result.violations());
+    return 1;
+  }
+  const adv::CandidateRecord* worst = result.worst();
+  if (worst == nullptr) {
+    std::fprintf(stderr,
+                 "no admissible candidate: every plan tripped the stealth "
+                 "screen\n");
+    return 1;
+  }
+  std::printf("worst      min_eta %.17g (iteration %zu, candidate %zu)\n",
+              worst->cell.min_eta, worst->iteration, worst->index);
+  std::printf("invariant  eta(kappa_c) >= 0 held on every candidate\n");
+  return 0;
+}
+
 int cmd_certify(const Args& args) {
   const eval::SimConfig config = build_config(args);
   const auto scenario = config.make_scenario();
@@ -661,6 +791,7 @@ int main(int argc, char** argv) {
     if (args.command == "sweep") return cmd_sweep(args);
     if (args.command == "certify") return cmd_certify(args);
     if (args.command == "campaign") return cmd_campaign(args);
+    if (args.command == "attack") return cmd_attack(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cvsafe_cli: %s\n", e.what());
     return 1;
