@@ -42,6 +42,7 @@
 #include "cvsafe/nn/interval_mlp.hpp"
 #include "cvsafe/nn/mlp.hpp"
 #include "cvsafe/nn/workspace.hpp"
+#include "cvsafe/obs/flight_recorder.hpp"
 #include "cvsafe/obs/jsonl.hpp"
 #include "cvsafe/obs/recorder.hpp"
 #include "cvsafe/planners/expert.hpp"
@@ -842,21 +843,40 @@ std::vector<Bench> build_registry() {
   //   max-ratio fleet_pool64_episodes8 / run_batch_episodes8
   //     (bounds single-thread pooling overhead; bites on 1-thread
   //     runners where the parallel gate skips).
-  for (const std::size_t pool_cap : {std::size_t{64}, std::size_t{1024},
-                                     std::size_t{8192}}) {
-    const std::string name =
-        pool_cap == 64     ? "fleet_pool64_episodes8"
-        : pool_cap == 1024 ? "fleet_pool1k_episodes8"
-                           : "fleet_pool8k_episodes8";
-    benches.push_back({name, [name, pool_cap](const Options& o) {
+  // fleet_pool8k_episodes8 runs with the per-lane flight recorder ARMED
+  // (rings live in every lane; eta samples, gate verdicts and message
+  // events stream into them each step) so the speedup gates cover the
+  // observability-on deployment shape. fleet_pool8k_telemetry_off is the
+  // identical workload untraced; CI bounds the recorder overhead with
+  //   speedup fleet_pool8k_telemetry_off -> fleet_pool8k_episodes8
+  //     >= 0.95 (armed throughput within 5% of untraced).
+  struct PoolBench {
+    std::size_t pool_cap;
+    bool armed;
+    const char* name;
+  };
+  constexpr PoolBench kPoolBenches[] = {
+      {64, false, "fleet_pool64_episodes8"},
+      {1024, false, "fleet_pool1k_episodes8"},
+      {8192, true, "fleet_pool8k_episodes8"},
+      {8192, false, "fleet_pool8k_telemetry_off"},
+  };
+  for (const PoolBench& pb : kPoolBenches) {
+    const std::string name = pb.name;
+    const std::size_t pool_cap = pb.pool_cap;
+    const bool armed = pb.armed;
+    benches.push_back({name, [name, pool_cap, armed](const Options& o) {
       const auto cfg = eval::SimConfig::paper_defaults();
       const auto bp = eval::make_nn_blueprint(
           cfg, planners::PlannerStyle::kConservative,
           eval::PlannerVariant::kUltimate);
+      obs::FlightDumpCollector dumps;
+      sim::FleetObsSinks sinks;
+      if (armed) sinks.dumps = &dumps;
       std::uint64_t seed = 1;
       return run_bench(name, o.min_time_s, [&](std::uint64_t n) {
         const auto stats =
-            eval::run_batch_fleet(cfg, bp, 8 * n, seed, 0, pool_cap);
+            eval::run_batch_fleet(cfg, bp, 8 * n, seed, 0, pool_cap, sinks);
         g_sink = stats.mean_eta;
         seed += 8 * n;
       });
@@ -922,6 +942,77 @@ std::vector<Bench> build_registry() {
     // keep the zero-alloc gate deterministic at any --min-time.
     for (int i = 0; i < 512; ++i) shard_step();
     return run_bench("fleet_steady_step", o.min_time_s,
+                     [&](std::uint64_t n) {
+                       for (std::uint64_t it = 0; it < n; ++it) {
+                         shard_step();
+                       }
+                     });
+  }});
+
+  // fleet_steady_step with the flight recorder armed: the identical
+  // shard step, but every lane's ring receives the step's events. Gated
+  // zero-alloc in CI — the armed emit path must stay plain stores into
+  // preallocated ring storage.
+  benches.push_back({"fleet_steady_step_armed", [](const Options& o) {
+    auto cfg = eval::SimConfig::paper_defaults();
+    // 80k steps of runway: enough for the growth loop + 3 reps at any
+    // sane --min-time; lanes never retire (target unreachable at 15 m/s
+    // x 4000 s) so the only allocations possible are warm-up growth.
+    cfg.horizon = 4000.0;
+    cfg.geometry.ego_target = 1.0e6;
+    const auto bp = eval::make_nn_blueprint(
+        cfg, planners::PlannerStyle::kConservative,
+        eval::PlannerVariant::kUltimate);
+    const sim::LeftTurnAdapter adapter(cfg, bp);
+    std::atomic<std::size_t> next{0};
+    std::vector<sim::FleetRecord> records(4096);
+    // Rings armed in every lane: the per-step emit path (begin_step
+    // stamps, eta samples, gate verdicts, message events) runs for real,
+    // but no lane ever retires, so no dump is ever materialized — the
+    // armed steady state whose zero-allocation claim CI enforces (arming
+    // at pool construction is the only allocating call).
+    obs::FlightDumpCollector dumps;
+    sim::EpisodePool<scenario::LeftTurnWorld> pool(
+        adapter, 64, 1, sim::SeedPolicy::kPaired, next, records.size(),
+        nullptr, &dumps, obs::FlightRecorderConfig{});
+    planners::NnPlanner planner(bp.net, planners::InputEncoding{}, "nn");
+    std::vector<scenario::LeftTurnWorld> worlds;
+    std::vector<std::size_t> pending;
+    std::vector<double> plans;
+    const auto shard_step = [&] {
+      worlds.clear();
+      pending.clear();
+      for (std::size_t lane = 0; lane < pool.active(); ++lane) {
+        auto& runner = pool.runner(lane);
+        runner.observe();
+        if (const auto emergency = runner.monitor_gate()) {
+          pool.set_accel(lane, *emergency);
+        } else {
+          pending.push_back(lane);
+          worlds.push_back(runner.nn_world());
+        }
+      }
+      if (!pending.empty()) {
+        plans.resize(worlds.size());
+        planner.plan_batch(worlds, plans);
+        for (std::size_t j = 0; j < pending.size(); ++j) {
+          pool.set_accel(pending[j], plans[j]);
+        }
+      }
+      for (std::size_t lane = 0; lane < pool.active(); ++lane) {
+        pool.runner(lane).advance_begin(pool.accel(lane));
+        pool.stage_lane(lane);
+      }
+      pool.step_dynamics();
+      pool.retire_and_refill(records);
+      g_sink = pool.accel(0);
+    };
+    // Pre-warm past every one-time capacity growth (vector capacities,
+    // in-flight message queues, workspace tiles): measured, the last
+    // warm-up allocation happens before step ~70; 512 steps of margin
+    // keep the zero-alloc gate deterministic at any --min-time.
+    for (int i = 0; i < 512; ++i) shard_step();
+    return run_bench("fleet_steady_step_armed", o.min_time_s,
                      [&](std::uint64_t n) {
                        for (std::uint64_t it = 0; it < n; ++it) {
                          shard_step();

@@ -9,6 +9,8 @@
 #include "cvsafe/adv/param_space.hpp"
 #include "cvsafe/comm/channel.hpp"
 #include "cvsafe/fault/fault_plan.hpp"
+#include "cvsafe/obs/flight_recorder.hpp"
+#include "cvsafe/obs/metrics.hpp"
 #include "cvsafe/sim/fault_campaign.hpp"
 
 /// \file search.hpp
@@ -112,5 +114,25 @@ std::string search_csv(const SearchResult& result);
 /// "adv-<rank>". Requires rank < result.offenders.size().
 void trace_offender(const SearchResult& result, std::size_t rank,
                     std::ostream& os);
+
+/// Folds the finished search into the metrics registry so `attack` runs
+/// export through the same Prometheus/CSV surface as campaigns:
+/// candidate / stealth-screen-rejection / unsafe-entry counters, the
+/// global best (lowest) admissible margin as cvsafe_attack_best_eta, and
+/// a per-iteration running-best series cvsafe_attack_best_eta{
+/// iteration="N"} (monotone non-increasing; iterations before the first
+/// admissible candidate emit no gauge). Deterministic — it reads only
+/// the schedule-ordered trace.
+void collect_search_metrics(obs::MetricsRegistry& registry,
+                            const SearchResult& result);
+
+/// Re-runs offender \p rank on the fleet engine with a per-lane flight
+/// recorder armed (ring/trigger shape \p flight) and appends each
+/// triggered episode dump as JSONL labeled with the search scenario and
+/// fault "adv-<rank>", in episode order. Returns the number of dumps
+/// written. Requires rank < result.offenders.size().
+std::size_t dump_offender_flights(
+    const SearchResult& result, std::size_t rank, std::ostream& os,
+    const obs::FlightRecorderConfig& flight = {});
 
 }  // namespace cvsafe::adv

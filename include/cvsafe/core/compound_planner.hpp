@@ -10,6 +10,7 @@
 #include "cvsafe/core/degradation.hpp"
 #include "cvsafe/core/planner.hpp"
 #include "cvsafe/core/safety_model.hpp"
+#include "cvsafe/obs/flight_recorder.hpp"
 #include "cvsafe/util/contracts.hpp"
 
 /// \file compound_planner.hpp
@@ -105,18 +106,37 @@ class CompoundPlanner final : public PlannerBase<World> {
     // fires earlier while the estimators are suspect. kappa_e itself is
     // still evaluated on the monitor's own view.
     bool biased = false;
+    const bool ring_on = obs::ring_recording(ring_);
     if (ladder_) {
-      biased = ladder_->update(step, signals_) ==
-               DegradationLevel::kEmergencyBiased;
+      const DegradationLevel prev =
+          ring_on ? ladder_->level() : DegradationLevel::kFull;
+      const DegradationLevel now = ladder_->update(step, signals_);
+      biased = now == DegradationLevel::kEmergencyBiased;
+      if (ring_on && now != prev) {
+        ring_->ladder_transition(static_cast<std::uint8_t>(prev),
+                                 static_cast<std::uint8_t>(now),
+                                 static_cast<double>(step));
+      }
     } else if (fleet_ladder_ != nullptr) {
       // Pooled hysteresis state: same decision procedure, state resident
-      // in the fleet pool's SoA arrays (see core::FleetLadder).
-      biased = fleet_ladder_->update(ladder_slot_, signals_) ==
-               DegradationLevel::kEmergencyBiased;
+      // in the fleet pool's SoA arrays (see core::FleetLadder). The ring
+      // seam restores the transition visibility the pooled ladder gave
+      // up (it keeps no transition log of its own).
+      const DegradationLevel prev =
+          ring_on ? fleet_ladder_->level(ladder_slot_)
+                  : DegradationLevel::kFull;
+      const DegradationLevel now = fleet_ladder_->update(ladder_slot_, signals_);
+      biased = now == DegradationLevel::kEmergencyBiased;
+      if (ring_on && now != prev) {
+        ring_->ladder_transition(static_cast<std::uint8_t>(prev),
+                                 static_cast<std::uint8_t>(now),
+                                 static_cast<double>(step));
+      }
     }
     std::optional<World> biased_world;
     if (biased) biased_world.emplace(safety_model_->bias_for_emergency(world));
     const World& check = biased_world ? *biased_world : world;
+    if (ring_on) ring_->eta_sample(safety_model_->boundary_slack(check));
     if (safety_model_->in_boundary_safe_set(check)) {
       ++stats_.emergency_steps;
       if (!last_was_emergency_) {
@@ -124,6 +144,9 @@ class CompoundPlanner final : public PlannerBase<World> {
         if (obs::recording(recorder_)) {
           recorder_->monitor(true, true, safety_model_->boundary_slack(check),
                              reason);
+        }
+        if (ring_on) {
+          ring_->gate_verdict(true, safety_model_->boundary_slack(check));
         }
         record_switch(step, true, std::move(reason));
       }
@@ -134,6 +157,9 @@ class CompoundPlanner final : public PlannerBase<World> {
       if (obs::recording(recorder_)) {
         recorder_->monitor(false, false, safety_model_->boundary_slack(check),
                            {});
+      }
+      if (ring_on) {
+        ring_->gate_verdict(false, safety_model_->boundary_slack(check));
       }
       record_switch(step, false, {});
     }
@@ -202,6 +228,11 @@ class CompoundPlanner final : public PlannerBase<World> {
     recorder_ = recorder;
     if (ladder_) ladder_->set_recorder(recorder);
   }
+
+  /// Attach a flight-recorder ring: per-step eta samples, monitor
+  /// verdict switches and ladder transitions land in the lane's ring
+  /// (scalar *and* pooled ladder modes). Pass nullptr to detach.
+  void set_ring(obs::RingRecorder* ring) { ring_ = ring; }
 
   /// Information-quality signals for the NEXT monitor_gate()/plan() call;
   /// the episode driver refreshes these every step before planning.
@@ -276,6 +307,7 @@ class CompoundPlanner final : public PlannerBase<World> {
   std::size_t ladder_slot_ = 0;
   DegradationSignals signals_;
   obs::Recorder* recorder_ = nullptr;
+  obs::RingRecorder* ring_ = nullptr;
 };
 
 }  // namespace cvsafe::core

@@ -36,11 +36,13 @@ inline BatchStats run_batch_fleet(const SimConfig& config,
                                   const AgentBlueprint& blueprint,
                                   std::size_t n, std::uint64_t base_seed = 1,
                                   std::size_t threads = 0,
-                                  std::size_t pool_capacity = 8192) {
+                                  std::size_t pool_capacity = 8192,
+                                  const sim::FleetObsSinks& sinks = {}) {
   sim::FleetConfig fleet;
   fleet.threads = threads;
   fleet.pool_capacity = pool_capacity;
-  return sim::run_left_turn_fleet(config, blueprint, n, base_seed, fleet)
+  return sim::run_left_turn_fleet(config, blueprint, n, base_seed, fleet,
+                                  sinks)
       .stats;
 }
 

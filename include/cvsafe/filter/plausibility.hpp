@@ -6,6 +6,7 @@
 #include "cvsafe/comm/message.hpp"
 #include "cvsafe/filter/kalman_core.hpp"
 #include "cvsafe/filter/reachability.hpp"
+#include "cvsafe/obs/flight_recorder.hpp"
 #include "cvsafe/obs/recorder.hpp"
 #include "cvsafe/vehicle/dynamics.hpp"
 
@@ -135,11 +136,17 @@ class PlausibilityGate {
   /// carrying its reason code. Pass nullptr to detach.
   void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
 
+  /// Attach a flight-recorder ring (fleet-pool lane); every screen
+  /// decision lands in the ring as a compact admit/reject event. Pass
+  /// nullptr to detach.
+  void set_ring(obs::RingRecorder* ring) { ring_ = ring; }
+
  private:
   GateConfig config_;
   RejectionCounters counters_;
   double last_rejection_time_ = -1.0;
   obs::Recorder* recorder_ = nullptr;
+  obs::RingRecorder* ring_ = nullptr;
 };
 
 }  // namespace cvsafe::filter

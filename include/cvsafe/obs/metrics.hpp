@@ -70,8 +70,9 @@ class MetricsRegistry {
   /// registry's lifetime (map nodes are stable).
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
-  /// \p bounds is used on first creation only; a histogram fetched
-  /// again must carry the same bounds (contract under merge).
+  /// \p bounds is used on first creation; refetching an existing
+  /// histogram with *different* bounds is a contract violation (the
+  /// same invariant merge() enforces), never a silent keep-the-first.
   Histogram& histogram(const std::string& name, std::vector<double> bounds);
 
   const std::map<std::string, Counter>& counters() const { return counters_; }

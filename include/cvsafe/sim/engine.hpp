@@ -16,6 +16,7 @@
 #include "cvsafe/fault/faulty_sensor.hpp"
 #include "cvsafe/filter/estimate.hpp"
 #include "cvsafe/filter/info_filter.hpp"
+#include "cvsafe/obs/flight_recorder.hpp"
 #include "cvsafe/obs/recorder.hpp"
 #include "cvsafe/sensing/sensor.hpp"
 #include "cvsafe/sim/fleet_context.hpp"
@@ -245,6 +246,12 @@ class Episode {
   /// sim::RecordingHook before the first step.
   virtual void attach_recorder(obs::Recorder* recorder) { (void)recorder; }
 
+  /// Wires a flight-recorder ring through the control stack (gate,
+  /// compound planner) so its compact instrumentation points land in the
+  /// pool lane's ring. Default: no instrumentation. Called by the fleet
+  /// pool at admission, after the ring is reset.
+  virtual void attach_ring(obs::RingRecorder* ring) { (void)ring; }
+
   core::PlannerBase<World>& planner() { return *planner_; }
   const std::shared_ptr<core::PlannerBase<World>>& planner_ptr() const {
     return planner_;
@@ -358,6 +365,7 @@ class EpisodeRunner {
     CVSAFE_EXPECTS(!done(), "observe() after the episode finished");
     t_ = static_cast<double>(step_) * config_->dt_c;
     if (hook_ != nullptr) hook_->on_step_begin(step_, t_);
+    if (ring_ != nullptr) ring_->begin_step(static_cast<std::uint32_t>(step_));
     world_ = World{};
     world_.t = t_;
     world_.ego = ego_;
@@ -366,6 +374,15 @@ class EpisodeRunner {
   /// Fleet bind at admission (pool-resident estimator/ladder slots).
   bool bind_fleet(FleetStackContext& ctx) {
     return episode_->bind_fleet(ctx);
+  }
+
+  /// Attaches the pool lane's flight-recorder ring: the runner stamps
+  /// each step into it (observe_begin) and detects plan clamps
+  /// (advance_begin); the episode wires it through gate and planner.
+  /// Pass nullptr to detach.
+  void attach_ring(obs::RingRecorder* ring) {
+    ring_ = ring;
+    episode_->attach_ring(ring);
   }
 
   // Fleet sweep wrappers: forward the current (t, step) and the episode
@@ -420,6 +437,14 @@ class EpisodeRunner {
   /// completes the step with advance_commit().
   void advance_begin(double a0) {
     ++result_.steps;
+    if (obs::ring_recording(ring_)) {
+      const vehicle::VehicleLimits& limits = config_->ego_limits;
+      if (a0 < limits.a_min) {
+        ring_->plan_clamp(a0, limits.a_min);
+      } else if (a0 > limits.a_max) {
+        ring_->plan_clamp(a0, limits.a_max);
+      }
+    }
     auto* compound = episode_->compound();
     const bool emergency =
         compound != nullptr && compound->last_was_emergency();
@@ -476,6 +501,7 @@ class EpisodeRunner {
   const RunConfig* config_;
   util::Rng rng_;
   StepHook<World>* hook_;
+  obs::RingRecorder* ring_ = nullptr;  ///< pool lane ring (non-owning)
   std::size_t total_steps_;
   std::unique_ptr<Episode<World>> episode_;
   vehicle::DoubleIntegrator ego_dyn_;

@@ -11,6 +11,9 @@
 #include "cvsafe/comm/channel.hpp"
 #include "cvsafe/core/degradation.hpp"
 #include "cvsafe/fault/fault_plan.hpp"
+#include "cvsafe/obs/flight_recorder.hpp"
+#include "cvsafe/obs/metrics.hpp"
+#include "cvsafe/sim/fleet.hpp"
 #include "cvsafe/sim/run_result.hpp"
 
 /// \file fault_campaign.hpp
@@ -79,12 +82,18 @@ struct FaultCondition {
 /// obs::Recorder mounted and JSONL is appended in seed order. Results are
 /// seed-ordered. Scenario names as CampaignConfig: "left-turn",
 /// "lane-change", "intersection", "multi-vehicle".
+///
+/// \p sinks wires fleet-engine observability into the untraced path:
+/// per-lane flight recorders (sinks.dumps + sinks.flight) and per-sweep
+/// span accounting (sinks.spans). Traced cells ignore it — they already
+/// carry full causal JSONL through the mounted recorder.
 std::vector<RunResult> run_campaign_cell(const std::string& scenario,
                                          const FaultCondition& cond,
                                          std::size_t episodes,
                                          std::uint64_t seed,
                                          std::size_t threads,
-                                         std::ostream* trace = nullptr);
+                                         std::ostream* trace = nullptr,
+                                         const FleetObsSinks& sinks = {});
 
 /// Folds a seed-ordered result vector into one cell aggregate. min_eta /
 /// mean_eta initialize from the first episode (never from the struct's
@@ -125,13 +134,44 @@ struct CampaignResult {
   std::size_t violations() const;  ///< total unsafe-set entries
 };
 
+/// Optional campaign observability, all opt-in and orthogonal:
+/// triggered flight-recorder dumps, streaming safety telemetry and
+/// per-sweep wall-clock accounting.
+struct CampaignObs {
+  /// Ring sizing + trigger thresholds of the per-lane flight recorders.
+  obs::FlightRecorderConfig flight{};
+
+  /// When non-null every untraced cell runs with a flight-recorder ring
+  /// armed per pool lane and each cell's *triggered* dumps are appended
+  /// here as JSONL labeled with the cell's scenario/fault, in
+  /// (cell-major, episode-minor) order — byte-identical across runs,
+  /// thread counts, pool sizes and engines, like the campaign CSV.
+  std::ostream* flight_os = nullptr;
+
+  /// When non-null each cell's seed-ordered results fold into the
+  /// registry: min-eta distribution, per-reason rejection counters,
+  /// ladder occupancy and episode residency. Deterministic — the fold
+  /// walks episode order, never completion order.
+  obs::MetricsRegistry* metrics = nullptr;
+
+  /// When non-null the fleet workers' per-sweep span accounting (count +
+  /// total ns per pump/deliver/estimate/reach-gate/plan/advance sweep)
+  /// merges here. Spans are wall-clock measurements: both counts and
+  /// durations depend on work-stealing schedules, so they belong in a
+  /// separate artifact and are never byte-compared.
+  SweepSpanSink* spans = nullptr;
+};
+
 /// Runs the campaign matrix. Within a cell episodes run in parallel
 /// (threads as configured); cells run sequentially. When \p trace_os is
 /// non-null every episode runs with an obs::Recorder mounted and the
 /// combined trace is written as JSONL in (cell-major, seed-minor) order
-/// — byte-identical across runs and thread counts like the CSV.
+/// — byte-identical across runs and thread counts like the CSV. \p
+/// observe (may be null) wires the flight recorder / telemetry /
+/// span sinks described on CampaignObs through every untraced cell.
 CampaignResult run_fault_campaign(const CampaignConfig& config,
-                                  std::ostream* trace_os = nullptr);
+                                  std::ostream* trace_os = nullptr,
+                                  const CampaignObs* observe = nullptr);
 
 /// Serializes the campaign as a CSV (header + one row per cell, doubles
 /// at %.17g) — byte-stable across runs, threads and platforms with the

@@ -3,14 +3,18 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "cvsafe/obs/flight_recorder.hpp"
 #include "cvsafe/obs/metrics.hpp"
 #include "cvsafe/sim/engine.hpp"
 #include "cvsafe/sim/run_result.hpp"
@@ -64,6 +68,8 @@ struct FleetRecord {
   std::size_t ladder_transitions = 0;
   std::size_t messages_accepted = 0;
   std::size_t messages_rejected = 0;
+  /// Per-reason rejection split (obs::GateRejectReason order).
+  std::array<std::size_t, 4> rejection_reasons{};
   bool collided = false;
   bool reached = false;
 };
@@ -84,6 +90,87 @@ struct FleetConfig {
   /// reference per-lane loop; both paths are byte-identical (pinned by
   /// tests/sim_fleet_sweeps_test).
   bool batched_sweeps = true;
+};
+
+/// Wall-clock span accounting for the shard-step's sweep phases: one
+/// count + total-ns cell per phase, sampled cohort-granularly (one lap
+/// per phase per cohort step). The reference per-lane loop reports the
+/// coarse pump/plan/advance split only.
+///
+/// Spans measure *time*, so unlike every other fleet artifact they are
+/// scheduling-dependent — both the ns totals and (with work stealing)
+/// the counts. They are exported as a separate artifact and are
+/// explicitly excluded from the byte-identity contract.
+struct SweepSpans {
+  enum Kind : std::size_t {
+    kPump = 0,   ///< slab open + observe_begin + channel pump
+    kDeliver,    ///< screened slab absorption
+    kEstimate,   ///< sensor sampling + Kalman update_batch
+    kReachGate,  ///< reach staging + predict_batch + reach run
+    kPlan,       ///< world build + monitor gate + batched NN plan
+    kAdvance,    ///< advance bookkeeping + SoA dynamics sweep
+    kNumKinds,
+  };
+
+  struct Span {
+    std::uint64_t count = 0;  ///< cohort-steps sampled
+    std::uint64_t ns = 0;     ///< total wall-clock nanoseconds
+  };
+
+  std::array<Span, kNumKinds> spans{};
+
+  void add(Kind kind, std::uint64_t ns) {
+    Span& span = spans[kind];
+    ++span.count;
+    span.ns += ns;
+  }
+
+  void merge(const SweepSpans& other) {
+    for (std::size_t k = 0; k < kNumKinds; ++k) {
+      spans[k].count += other.spans[k].count;
+      spans[k].ns += other.spans[k].ns;
+    }
+  }
+
+  /// Stable lowercase phase name ("pump", "deliver", ...).
+  static const char* kind_name(std::size_t kind);
+};
+
+/// Thread-safe accumulator the workers merge their local spans into
+/// (once per worker, at exit — never on the hot path).
+class SweepSpanSink {
+ public:
+  void merge(const SweepSpans& spans) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    total_.merge(spans);
+  }
+
+  SweepSpans total() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return total_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  SweepSpans total_;
+};
+
+/// Optional observability sinks threaded through a fleet run. Default
+/// (all null) is the untraced engine: no rings are armed, no clocks are
+/// read — the disabled path stays one pointer test per seam.
+struct FleetObsSinks {
+  /// When non-null, every pool lane is armed with a flight-recorder ring
+  /// (settings below) and triggered episodes dump their causal tail
+  /// here, keyed by episode index.
+  obs::FlightDumpCollector* dumps = nullptr;
+
+  /// Ring sizing + trigger thresholds (consulted only when dumps is
+  /// non-null).
+  obs::FlightRecorderConfig flight{};
+
+  /// When non-null, per-sweep wall-clock span accounting is merged here
+  /// (scheduling-dependent; see SweepSpans).
+  SweepSpanSink* spans = nullptr;
 };
 
 /// Lane-cohort tile of the batched shard-step: the five sweeps run over
@@ -132,6 +219,25 @@ BatchStats stats_from_records(std::span<const FleetRecord> records);
 void collect_record_metrics(obs::MetricsRegistry& registry,
                             std::span<const FleetRecord> records);
 
+/// Deterministic fleet telemetry fold: fixed-bucket histograms and
+/// counters over the index-ordered records — min-eta distribution,
+/// rejections split by gate reason, ladder-level occupancy, and the
+/// episode-length (pool residency) distribution. Byte-identical across
+/// threads x pool sizes x engines (it reads only the records), so its
+/// export is cmp-gated in CI alongside the flight dumps.
+void collect_fleet_telemetry(obs::MetricsRegistry& registry,
+                             std::span<const FleetRecord> records);
+
+/// Same fold over seed-ordered RunResults (the campaign-cell shape).
+void collect_fleet_telemetry(obs::MetricsRegistry& registry,
+                             std::span<const RunResult> results);
+
+/// Span-accounting fold: cvsafe_sweep_steps_total / cvsafe_sweep_ns_total
+/// per phase label. Wall-clock — export to a separate artifact, never
+/// into a cmp-gated registry.
+void collect_sweep_spans(obs::MetricsRegistry& registry,
+                         const SweepSpans& spans);
+
 /// Batched planning seam: evaluates the embedded planner on every pending
 /// world of a worker's pool in one call (out[i] = plan of worlds[i]).
 /// Must be bit-identical per row to Episode::planner().plan() on the same
@@ -161,21 +267,37 @@ class EpisodePool {
   /// every admitted episode must bind into it (the adapter promised
   /// fleet_sweeps()). The context must outlive the pool — retiring
   /// episodes release their slots into the context's free lists.
+  /// \p dumps, when non-null, arms every lane with a flight-recorder
+  /// ring (preallocated here, the only allocating point of the recorder
+  /// path) sized/configured by \p flight; triggered episodes dump into
+  /// it at retire time.
   EpisodePool(const ScenarioAdapter<World>& adapter, std::size_t lanes,
               std::uint64_t base_seed, SeedPolicy policy,
               std::atomic<std::size_t>& next_episode, std::size_t n,
-              FleetStackContext* ctx = nullptr)
+              FleetStackContext* ctx = nullptr,
+              obs::FlightDumpCollector* dumps = nullptr,
+              const obs::FlightRecorderConfig& flight = {})
       : adapter_(&adapter),
         base_seed_(base_seed),
         policy_(policy),
         next_(&next_episode),
         n_(n),
-        ctx_(ctx) {
+        ctx_(ctx),
+        dumps_(dumps) {
     runners_.resize(lanes);
     index_.resize(lanes, 0);
     ego_p_.resize(lanes, 0.0);
     ego_v_.resize(lanes, 0.0);
     accel_.resize(lanes, 0.0);
+    if (dumps_ != nullptr) {
+      // Rings are unique_ptr-held so their addresses stay stable across
+      // lane compaction (episodes hold raw RingRecorder*; compaction
+      // swaps the handles alongside the runners).
+      rings_.reserve(lanes);
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        rings_.push_back(std::make_unique<obs::RingRecorder>(flight));
+      }
+    }
     for (std::size_t lane = 0; lane < lanes && admit(lane); ++lane) {
       ++active_;
     }
@@ -244,7 +366,9 @@ class EpisodePool {
         ++lane;
         continue;
       }
-      records[index_[lane]] = record_from_result(runners_[lane]->finish());
+      const RunResult result = runners_[lane]->finish();
+      records[index_[lane]] = record_from_result(result);
+      if (!rings_.empty()) maybe_dump(lane, result);
       ++retired;
       if (admit(lane)) {
         ++lane;
@@ -254,6 +378,7 @@ class EpisodePool {
       --active_;
       if (lane != active_) {
         runners_[lane].swap(runners_[active_]);
+        if (!rings_.empty()) rings_[lane].swap(rings_[active_]);
         index_[lane] = index_[active_];
         ego_p_[lane] = ego_p_[active_];
         ego_v_[lane] = ego_v_[active_];
@@ -277,9 +402,33 @@ class EpisodePool {
       CVSAFE_EXPECTS(bound, "adapter promised fleet sweeps (fleet_sweeps"
                             "() true) but the episode did not bind");
     }
+    if (!rings_.empty()) {
+      rings_[lane]->reset();
+      runners_[lane]->attach_ring(rings_[lane].get());
+    }
     index_[lane] = i;
     stage_lane(lane);
     return true;
+  }
+
+  /// Trigger check + dump of a finished lane. Evaluated from per-episode
+  /// state only (ring-tracked flags + the finished result), so whether
+  /// and what an episode dumps is independent of scheduling. Allocation
+  /// is fine here: triggering is the rare path, off the steady state.
+  void maybe_dump(std::size_t lane, const RunResult& result) {
+    const obs::RingRecorder& ring = *rings_[lane];
+    const unsigned triggers = ring.triggers(result.eta, result.collided);
+    if (triggers == 0) return;
+    obs::FlightDump dump;
+    dump.episode = index_[lane];
+    dump.seed = episode_seed(base_seed_, index_[lane], policy_);
+    dump.triggers = triggers;
+    dump.eta = result.eta;
+    dump.collided = result.collided;
+    dump.rejections = ring.rejections();
+    dump.overwritten = ring.overwritten();
+    dump.events = ring.snapshot();
+    dumps_->add(std::move(dump));
   }
 
   const ScenarioAdapter<World>* adapter_;
@@ -288,9 +437,13 @@ class EpisodePool {
   std::atomic<std::size_t>* next_;
   std::size_t n_;
   FleetStackContext* ctx_;  ///< non-owning; null = scalar stacks
+  obs::FlightDumpCollector* dumps_;  ///< non-owning; null = rings unarmed
   std::size_t active_ = 0;
 
   std::vector<std::optional<EpisodeRunner<World>>> runners_;
+  /// Per-lane flight-recorder rings (empty when unarmed). unique_ptr for
+  /// address stability across compaction swaps.
+  std::vector<std::unique_ptr<obs::RingRecorder>> rings_;
   std::vector<std::size_t> index_;  ///< global episode index per lane
   // SoA lanes (FleetState): authoritative ego state + planned command.
   std::vector<double> ego_p_;
@@ -339,18 +492,39 @@ void run_fleet_worker(const ScenarioAdapter<World>& adapter,
                       std::atomic<std::size_t>& next_episode, std::size_t n,
                       const FleetBatchPlanner<World>& batch_plan,
                       bool batched_sweeps,
-                      std::span<FleetRecord> records) {
+                      std::span<FleetRecord> records,
+                      const FleetObsSinks& sinks = {}) {
   // The context must outlive the pool: retiring runners release their
   // estimator/ladder slots into it.
   std::optional<FleetStackContext> ctx;
   if (batched_sweeps) ctx.emplace();
   EpisodePool<World> pool(adapter, lanes, base_seed, policy, next_episode,
-                          n, ctx ? &*ctx : nullptr);
+                          n, ctx ? &*ctx : nullptr, sinks.dumps,
+                          sinks.flight);
   // Reused across shard-steps; capacities warm up within a few steps, so
   // the steady-state episode step allocates nothing.
   std::vector<World> worlds;
   std::vector<std::size_t> pending;
   std::vector<double> plans;
+
+  // Span accounting: a worker-local tally laps a monotonic clock between
+  // sweep phases (cohort-granular) and merges once at exit. The untimed
+  // path reads no clock at all.
+  const bool timed = sinks.spans != nullptr;
+  SweepSpans local_spans;
+  std::chrono::steady_clock::time_point lap_t0;
+  const auto lap_begin = [&] {
+    if (timed) lap_t0 = std::chrono::steady_clock::now();
+  };
+  const auto lap = [&](SweepSpans::Kind kind) {
+    if (!timed) return;
+    const auto t1 = std::chrono::steady_clock::now();
+    local_spans.add(kind, static_cast<std::uint64_t>(
+                              std::chrono::duration_cast<
+                                  std::chrono::nanoseconds>(t1 - lap_t0)
+                                  .count()));
+    lap_t0 = t1;
+  };
 
   while (pool.active() > 0) {
     const std::size_t active = pool.active();
@@ -371,6 +545,7 @@ void run_fleet_worker(const ScenarioAdapter<World>& adapter,
           pending.clear();
           ctx->slab.clear();
           bool any_live = false;
+          lap_begin();
           for (std::size_t lane = base; lane < end; ++lane) {
             // Slab lanes are positional: open one per cohort lane (empty
             // for done lanes) so slab lane i maps to pool lane base + i
@@ -383,16 +558,19 @@ void run_fleet_worker(const ScenarioAdapter<World>& adapter,
             runner.sweep_pump(ctx->slab);
           }
           if (!any_live) break;
+          lap(SweepSpans::kPump);
           for (std::size_t lane = base; lane < end; ++lane) {
             if (pool.runner(lane).done()) continue;
             const auto [first, last] = ctx->slab.lane_range(lane - base);
             pool.runner(lane).sweep_deliver(ctx->slab, first, last);
           }
+          lap(SweepSpans::kDeliver);
           for (std::size_t lane = base; lane < end; ++lane) {
             if (pool.runner(lane).done()) continue;
             pool.runner(lane).sweep_sense();
           }
           ctx->estimator.update_batch();
+          lap(SweepSpans::kEstimate);
           ctx->reach.clear();
           for (std::size_t lane = base; lane < end; ++lane) {
             if (pool.runner(lane).done()) continue;
@@ -400,6 +578,7 @@ void run_fleet_worker(const ScenarioAdapter<World>& adapter,
           }
           ctx->estimator.predict_batch();
           ctx->reach.run();
+          lap(SweepSpans::kReachGate);
           for (std::size_t lane = base; lane < end; ++lane) {
             EpisodeRunner<World>& runner = pool.runner(lane);
             if (runner.done()) continue;
@@ -422,12 +601,14 @@ void run_fleet_worker(const ScenarioAdapter<World>& adapter,
               pool.set_accel(pending[j], plans[j]);
             }
           }
+          lap(SweepSpans::kPlan);
           for (std::size_t lane = base; lane < end; ++lane) {
             if (pool.runner(lane).done()) continue;
             pool.runner(lane).advance_begin(pool.accel(lane));
             pool.stage_lane(lane);
           }
           pool.step_dynamics_range(base, end);
+          lap(SweepSpans::kAdvance);
         }
       }
       pool.retire_and_refill(records);
@@ -436,6 +617,7 @@ void run_fleet_worker(const ScenarioAdapter<World>& adapter,
       // whole pool in lockstep, retire after every step.
       worlds.clear();
       pending.clear();
+      lap_begin();
       for (std::size_t lane = 0; lane < active; ++lane) {
         EpisodeRunner<World>& runner = pool.runner(lane);
         runner.observe();
@@ -461,14 +643,20 @@ void run_fleet_worker(const ScenarioAdapter<World>& adapter,
           pool.set_accel(pending[j], plans[j]);
         }
       }
+      // The per-lane loop has no sweep decomposition; report the coarse
+      // observe+plan / advance split so reference-engine campaigns still
+      // carry a time breakdown.
+      lap(SweepSpans::kPlan);
       for (std::size_t lane = 0; lane < pool.active(); ++lane) {
         pool.runner(lane).advance_begin(pool.accel(lane));
         pool.stage_lane(lane);
       }
       pool.step_dynamics();
       pool.retire_and_refill(records);
+      lap(SweepSpans::kAdvance);
     }
   }
+  if (timed) sinks.spans->merge(local_spans);
 }
 
 }  // namespace detail
@@ -481,7 +669,8 @@ template <typename World>
 std::vector<FleetRecord> run_fleet_records(
     const ScenarioAdapter<World>& adapter, std::size_t n,
     std::uint64_t base_seed, const FleetConfig& config = {},
-    const FleetPlannerFactory<World>& planner_factory = {}) {
+    const FleetPlannerFactory<World>& planner_factory = {},
+    const FleetObsSinks& sinks = {}) {
   CVSAFE_EXPECTS(n > 0, "fleet must contain at least one episode");
   CVSAFE_EXPECTS(config.pool_capacity > 0,
                  "fleet pool capacity must be positive");
@@ -503,7 +692,7 @@ std::vector<FleetRecord> run_fleet_records(
         planner_factory ? planner_factory() : FleetBatchPlanner<World>{};
     detail::run_fleet_worker(adapter, lanes, base_seed, config.policy,
                              next_episode, n, batch_plan, batched_sweeps,
-                             out);
+                             out, sinks);
   };
   if (workers <= 1) {
     worker_body();
@@ -525,9 +714,11 @@ std::vector<FleetRecord> run_fleet_records(
 template <typename World>
 FleetResult run_fleet(const ScenarioAdapter<World>& adapter, std::size_t n,
                       std::uint64_t base_seed, const FleetConfig& config = {},
-                      const FleetPlannerFactory<World>& planner_factory = {}) {
+                      const FleetPlannerFactory<World>& planner_factory = {},
+                      const FleetObsSinks& sinks = {}) {
   const std::vector<FleetRecord> records =
-      run_fleet_records(adapter, n, base_seed, config, planner_factory);
+      run_fleet_records(adapter, n, base_seed, config, planner_factory,
+                        sinks);
   FleetResult result;
   result.stats = stats_from_records(records);
   collect_record_metrics(result.metrics, records);

@@ -114,6 +114,10 @@ class LeftTurnEpisode final : public Episode<scenario::LeftTurnWorld> {
   /// fault decorators (channel + sensor).
   void attach_recorder(obs::Recorder* recorder) override;
 
+  /// Wires a flight-recorder ring through the ego stack (compound
+  /// planner + gate seams).
+  void attach_ring(obs::RingRecorder* ring) override;
+
   LeftTurnStack& stack() { return *stack_; }
   const LeftTurnStack& stack() const { return *stack_; }
 
@@ -199,7 +203,8 @@ BatchStats run_left_turn_batch(const LeftTurnSimConfig& config,
 FleetResult run_left_turn_fleet(const LeftTurnSimConfig& config,
                                 const AgentBlueprint& blueprint,
                                 std::size_t n, std::uint64_t base_seed = 1,
-                                const FleetConfig& fleet = {});
+                                const FleetConfig& fleet = {},
+                                const FleetObsSinks& sinks = {});
 
 /// The fleet-engine records (seed-ordered, pre-fold) of the same run —
 /// the campaign layer folds these itself to keep per-cell CSVs
@@ -207,6 +212,6 @@ FleetResult run_left_turn_fleet(const LeftTurnSimConfig& config,
 std::vector<FleetRecord> run_left_turn_fleet_records(
     const LeftTurnSimConfig& config, const AgentBlueprint& blueprint,
     std::size_t n, std::uint64_t base_seed = 1,
-    const FleetConfig& fleet = {});
+    const FleetConfig& fleet = {}, const FleetObsSinks& sinks = {});
 
 }  // namespace cvsafe::sim

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <memory>
 #include <optional>
 #include <string>
@@ -127,6 +128,10 @@ class LeftTurnStack {
   /// filters: {messages accepted, messages rejected}.
   std::pair<std::size_t, std::size_t> message_tally() const;
 
+  /// Rejections summed per gate reason (obs::GateRejectReason order:
+  /// non_finite, out_of_range, stale, implausible).
+  std::array<std::size_t, 4> message_reasons() const;
+
   /// The world view built by the last act()/build_world() (introspection
   /// and traces).
   const scenario::LeftTurnWorld& last_world() const { return last_world_; }
@@ -148,6 +153,10 @@ class LeftTurnStack {
   /// stacks) and the plausibility gate / Kalman filter of every
   /// information filter. Pass nullptr to detach.
   void attach_recorder(obs::Recorder* recorder);
+
+  /// Wires a flight-recorder ring through the same stack (compound
+  /// planner + information-filter gates). Pass nullptr to detach.
+  void attach_ring(obs::RingRecorder* ring);
 
  private:
   /// Builds the estimators and wraps \p inner per the configuration.

@@ -43,6 +43,11 @@ struct RunResult {
   std::size_t messages_accepted = 0;
   std::size_t messages_rejected = 0;
 
+  /// Rejections split by gate reason, indexed by obs::GateRejectReason
+  /// order: non_finite, out_of_range, stale, implausible. Sums to
+  /// messages_rejected; feeds the fleet telemetry's per-reason counters.
+  std::array<std::size_t, 4> rejection_reasons{};
+
   /// Attaches a scenario-specific extra (at most one per result; a second
   /// set_extra replaces the first). The slot is typed: extra<T>() returns
   /// the value only when queried with the type that stored it.

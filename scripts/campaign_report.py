@@ -1,0 +1,325 @@
+#!/usr/bin/env python3
+"""Render a fault-campaign markdown report from the observability artifacts.
+
+Combines the three artifact families that `cvsafe_cli campaign` (and
+`batch`/`attack` for the flight/telemetry parts) can emit:
+
+  * the campaign CSV (`--out camp.csv`) — per-cell aggregates,
+  * triggered flight-recorder dumps (`--flight-recorder flight.jsonl`) —
+    the causal event ring of every episode that tripped a trigger
+    (min-eta below threshold, EMERGENCY entry, unsafe-set entry,
+    rejection burst), labeled by scenario/fault,
+  * the deterministic telemetry registry (`--telemetry tel.prom`) plus
+    its wall-clock sibling `tel.prom.spans` — min-eta histogram,
+    rejection reasons, ladder occupancy, per-sweep time accounting.
+
+into one human-readable markdown report: invariant verdict, worst cells,
+eta distribution, rejection/ladder breakdowns, per-sweep time split, and
+the worst triggered episodes with their flight-recorder event rings
+inlined. Every input is optional — sections without data are skipped —
+so the same script serves batch runs (no CSV) and telemetry-less
+campaigns (CSV only).
+
+    python3 scripts/campaign_report.py --csv camp.csv \
+        --flights flight.jsonl --telemetry tel.prom --out report.md
+
+Exit status: 0 on success, 1 on malformed inputs, 2 on usage errors
+(including no inputs at all).
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import os
+import re
+import sys
+
+BAR_WIDTH = 40
+PROM_LINE = re.compile(r"^([A-Za-z_:][A-Za-z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
+
+
+def read_prom(path: str) -> dict[str, float]:
+    """Parses Prometheus text into {'name{labels}': value}."""
+    series: dict[str, float] = {}
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            m = PROM_LINE.match(line)
+            if m is None:
+                raise ValueError(f"malformed prometheus line: {line}")
+            name, labels, value = m.groups()
+            series[name + (labels or "")] = float(value)
+    return series
+
+
+def series_with_prefix(series: dict[str, float], prefix: str):
+    """(label-or-suffix, value) pairs of every series named prefix{...}."""
+    out = []
+    for key, value in series.items():
+        if key == prefix:
+            out.append(("", value))
+        elif key.startswith(prefix + "{"):
+            out.append((key[len(prefix) + 1:-1], value))
+    return out
+
+
+def bar(fraction: float) -> str:
+    n = int(round(fraction * BAR_WIDTH))
+    return "#" * n + "." * (BAR_WIDTH - n)
+
+
+def fmt_eta(x: float) -> str:
+    return f"{x:.4f}"
+
+
+def load_flights(path: str):
+    """Groups the flight JSONL into [(header, [event, ...]), ...]."""
+    flights = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise ValueError(f"{path}:{lineno}: {e}") from e
+            if "flight" in rec:
+                flights.append((rec["flight"], []))
+            else:
+                if not flights:
+                    raise ValueError(
+                        f"{path}:{lineno}: event line before any header")
+                flights[-1][1].append(rec)
+    return flights
+
+
+def describe_event(ev: dict) -> str:
+    kind = ev.get("kind", "?")
+    step = ev.get("step", "?")
+    if kind == "message_reject":
+        detail = f"sender={ev.get('sender')} reason={ev.get('reason')}"
+    elif kind == "message_accept":
+        detail = f"sender={ev.get('sender')}"
+    elif kind == "ladder_transition":
+        detail = f"level {ev.get('from')} -> {ev.get('to')}"
+    elif kind == "gate_verdict":
+        detail = "EMERGENCY" if ev.get("code") == 1 else "nominal"
+    elif kind == "plan_clamp":
+        detail = "below a_min" if ev.get("code") == 0 else "above a_max"
+    else:
+        detail = ""
+    value = ev.get("value")
+    tail = f" value={value:.6g}" if isinstance(value, (int, float)) else ""
+    return f"step {step:>5}  {kind:<17} {detail}{tail}".rstrip()
+
+
+def section_cells(lines: list[str], csv_path: str, worst: int) -> None:
+    with open(csv_path, newline="", encoding="utf-8") as fh:
+        rows = list(csv.DictReader(fh))
+    if not rows:
+        raise ValueError(f"{csv_path}: empty campaign CSV")
+    collisions = sum(int(r["collisions"]) for r in rows)
+    episodes = sum(int(r["episodes"]) for r in rows)
+    lines.append("## Campaign cells")
+    lines.append("")
+    verdict = ("**HELD**" if collisions == 0 else
+               f"**VIOLATED** ({collisions} unsafe-set entries)")
+    lines.append(f"Safety invariant eta(kappa_c) >= 0: {verdict} over "
+                 f"{episodes} episodes in {len(rows)} cells.")
+    lines.append("")
+    rows.sort(key=lambda r: float(r["min_eta"]))
+    lines.append(f"Worst {min(worst, len(rows))} cells by min eta:")
+    lines.append("")
+    lines.append("| fault | scenario | min eta | mean eta | collisions "
+                 "| emergency steps | rejected |")
+    lines.append("|---|---|---|---|---|---|---|")
+    for r in rows[:worst]:
+        lines.append(
+            f"| {r['fault']} | {r['scenario']} "
+            f"| {fmt_eta(float(r['min_eta']))} "
+            f"| {fmt_eta(float(r['mean_eta']))} | {r['collisions']} "
+            f"| {r['emergency_steps']} | {r['messages_rejected']} |")
+    lines.append("")
+
+
+def section_histogram(lines: list[str], series: dict[str, float],
+                      name: str, title: str) -> None:
+    buckets = []
+    for label, value in series_with_prefix(series, name + "_bucket"):
+        m = re.match(r'le="([^"]*)"', label)
+        if m is None:
+            continue
+        le = float("inf") if m.group(1) == "+Inf" else float(m.group(1))
+        buckets.append((le, value))
+    if not buckets:
+        return
+    buckets.sort(key=lambda b: b[0])
+    total = buckets[-1][1]
+    lines.append(f"## {title}")
+    lines.append("")
+    lines.append("```")
+    prev = 0.0
+    lo = "-inf"
+    for le, cum in buckets:
+        count = cum - prev
+        prev = cum
+        hi = "+inf" if le == float("inf") else f"{le:g}"
+        frac = count / total if total else 0.0
+        lines.append(f"({lo:>6}, {hi:>6}]  {int(count):>6}  {bar(frac)}")
+        lo = hi
+    lines.append("```")
+    lines.append("")
+
+
+def section_counters(lines: list[str], series: dict[str, float],
+                     name: str, label_key: str, title: str) -> None:
+    rows = []
+    for label, value in series_with_prefix(series, name):
+        m = re.match(label_key + r'="([^"]*)"', label)
+        if m is not None:
+            rows.append((m.group(1), value))
+    if not rows:
+        return
+    total = sum(v for _, v in rows)
+    rows.sort(key=lambda r: -r[1])
+    lines.append(f"## {title}")
+    lines.append("")
+    lines.append(f"| {label_key} | count | share |")
+    lines.append("|---|---|---|")
+    for key, value in rows:
+        share = value / total if total else 0.0
+        lines.append(f"| {key} | {int(value)} | {share:.1%} |")
+    lines.append("")
+
+
+def section_spans(lines: list[str], spans_path: str) -> None:
+    series = read_prom(spans_path)
+    rows = []
+    for label, ns in series_with_prefix(series, "cvsafe_sweep_ns_total"):
+        m = re.match(r'sweep="([^"]*)"', label)
+        if m is None:
+            continue
+        sweep = m.group(1)
+        steps = series.get(f'cvsafe_sweep_steps_total{{sweep="{sweep}"}}', 0)
+        rows.append((sweep, ns, steps))
+    if not rows:
+        return
+    total_ns = sum(ns for _, ns, _ in rows)
+    rows.sort(key=lambda r: -r[1])
+    lines.append("## Per-sweep time breakdown (wall clock)")
+    lines.append("")
+    lines.append("Scheduling-dependent — never byte-compared across runs.")
+    lines.append("")
+    lines.append("| sweep | total ms | share | sweeps | ns/sweep |")
+    lines.append("|---|---|---|---|---|")
+    for sweep, ns, steps in rows:
+        share = ns / total_ns if total_ns else 0.0
+        per = ns / steps if steps else 0.0
+        lines.append(f"| {sweep} | {ns / 1e6:.2f} | {share:.1%} "
+                     f"| {int(steps)} | {per:.0f} |")
+    lines.append("")
+
+
+def section_flights(lines: list[str], flights_path: str, worst: int,
+                    max_events: int) -> None:
+    flights = load_flights(flights_path)
+    if not flights:
+        return
+    lines.append("## Triggered flight recordings")
+    lines.append("")
+    lines.append(f"{len(flights)} episode(s) tripped a dump trigger.")
+    lines.append("")
+    flights.sort(key=lambda f: f[0].get("eta", 0.0))
+    for header, events in flights[:worst]:
+        where = " / ".join(
+            str(header[k]) for k in ("scenario", "fault") if k in header)
+        title = (f"episode {header.get('episode')} "
+                 f"(seed {header.get('seed')})")
+        if where:
+            title += f" under {where}"
+        lines.append(f"### {title}")
+        lines.append("")
+        lines.append(
+            f"triggers: {', '.join(header.get('triggers', []))} — "
+            f"eta {fmt_eta(header.get('eta', 0.0))}, "
+            f"collided {header.get('collided')}, "
+            f"{header.get('rejections')} rejection(s), "
+            f"{header.get('events')} ring event(s) "
+            f"({header.get('overwritten')} overwritten)")
+        lines.append("")
+        lines.append("```")
+        shown = events if len(events) <= max_events else events[-max_events:]
+        if len(events) > len(shown):
+            lines.append(f"... {len(events) - len(shown)} earlier "
+                         "event(s) elided ...")
+        for ev in shown:
+            lines.append(describe_event(ev))
+        lines.append("```")
+        lines.append("")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--csv", help="campaign CSV (cvsafe_cli campaign --out)")
+    ap.add_argument("--flights",
+                    help="flight-recorder JSONL (--flight-recorder)")
+    ap.add_argument("--telemetry",
+                    help="deterministic telemetry registry (--telemetry)")
+    ap.add_argument("--spans",
+                    help="sweep-span registry (default: TELEMETRY.spans "
+                         "when present)")
+    ap.add_argument("--worst", type=int, default=5,
+                    help="cells / flight dumps to detail (default 5)")
+    ap.add_argument("--max-events", type=int, default=40,
+                    help="ring events inlined per dump (default 40)")
+    ap.add_argument("--out", help="output markdown path (default stdout)")
+    args = ap.parse_args()
+    if not (args.csv or args.flights or args.telemetry):
+        print("need at least one of --csv / --flights / --telemetry",
+              file=sys.stderr)
+        return 2
+
+    lines: list[str] = ["# cvsafe campaign report", ""]
+    try:
+        if args.csv:
+            section_cells(lines, args.csv, args.worst)
+        if args.telemetry:
+            series = read_prom(args.telemetry)
+            section_histogram(lines, series, "cvsafe_fleet_eta",
+                              "Safety-margin (eta) distribution")
+            section_histogram(lines, series, "cvsafe_fleet_episode_steps",
+                              "Episode length (pool residency) distribution")
+            section_counters(lines, series, "cvsafe_fleet_rejections_total",
+                             "reason", "Plausibility-gate rejections")
+            section_counters(lines, series,
+                             "cvsafe_fleet_ladder_steps_total", "level",
+                             "Degradation-ladder occupancy")
+            spans = args.spans or args.telemetry + ".spans"
+            if os.path.exists(spans):
+                section_spans(lines, spans)
+        elif args.spans:
+            section_spans(lines, args.spans)
+        if args.flights:
+            section_flights(lines, args.flights, args.worst,
+                            args.max_events)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"campaign_report: {e}", file=sys.stderr)
+        return 1
+
+    text = "\n".join(lines).rstrip() + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,8 +4,11 @@
 #include <cstdio>
 #include <ostream>
 #include <sstream>
+#include <string>
 
 #include "cvsafe/adv/optimizer.hpp"
+#include "cvsafe/obs/flight_recorder.hpp"
+#include "cvsafe/obs/metrics.hpp"
 #include "cvsafe/util/contracts.hpp"
 
 namespace cvsafe::adv {
@@ -188,6 +191,65 @@ void trace_offender(const SearchResult& result, std::size_t rank,
   sim::run_campaign_cell(result.config.scenario, cond,
                          result.config.episodes_per_eval,
                          result.config.eval_seed, result.config.threads, &os);
+}
+
+void collect_search_metrics(obs::MetricsRegistry& registry,
+                            const SearchResult& result) {
+  // Always materialize the totals so the export shape is stable even for
+  // an all-screened (or collision-free) search.
+  obs::Counter& candidates =
+      registry.counter("cvsafe_attack_candidates_total");
+  obs::Counter& screened =
+      registry.counter("cvsafe_attack_stealth_rejected_total");
+  obs::Counter& collisions =
+      registry.counter("cvsafe_attack_collisions_total");
+  bool have_best = false;
+  double best = 0.0;
+  std::size_t iteration = 0;
+  const auto flush = [&](std::size_t it) {
+    if (!have_best) return;
+    registry
+        .gauge("cvsafe_attack_best_eta{iteration=\"" + std::to_string(it) +
+               "\"}")
+        .set(best);
+  };
+  // Candidates are schedule-ordered (iteration-major), so one pass folds
+  // the running best and flushes a gauge at every iteration boundary.
+  for (const CandidateRecord& c : result.trace.candidates) {
+    if (c.iteration != iteration) {
+      flush(iteration);
+      iteration = c.iteration;
+    }
+    candidates.inc();
+    if (!c.admissible) screened.inc();
+    collisions.inc(c.cell.collisions);
+    if (c.admissible && (!have_best || c.cell.min_eta < best)) {
+      have_best = true;
+      best = c.cell.min_eta;
+    }
+  }
+  if (!result.trace.candidates.empty()) flush(iteration);
+  if (have_best) registry.gauge("cvsafe_attack_best_eta").set(best);
+}
+
+std::size_t dump_offender_flights(const SearchResult& result,
+                                  std::size_t rank, std::ostream& os,
+                                  const obs::FlightRecorderConfig& flight) {
+  CVSAFE_EXPECTS(rank < result.offenders.size(),
+                 "offender rank out of range");
+  const CandidateRecord& rec = result.trace.candidates[result.offenders[rank]];
+  const std::string label = "adv-" + std::to_string(rank);
+  const sim::FaultCondition cond{label, rec.plan, result.config.comm};
+  obs::FlightDumpCollector dumps;
+  sim::FleetObsSinks sinks;
+  sinks.dumps = &dumps;
+  sinks.flight = flight;
+  sim::run_campaign_cell(result.config.scenario, cond,
+                         result.config.episodes_per_eval,
+                         result.config.eval_seed, result.config.threads,
+                         /*trace=*/nullptr, sinks);
+  return obs::write_flight_dumps_jsonl(os, dumps.take_sorted(),
+                                       result.config.scenario, label);
 }
 
 }  // namespace cvsafe::adv

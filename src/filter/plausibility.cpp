@@ -65,6 +65,10 @@ std::optional<ScreenedMessage> PlausibilityGate::screen(
     if (obs::recording(recorder_)) {
       recorder_->gate_rejection(msg.sender, reason, msg.stamp());
     }
+    if (obs::ring_recording(ring_)) {
+      ring_->message_reject(static_cast<std::uint16_t>(msg.sender), reason,
+                            msg.stamp());
+    }
     return std::nullopt;
   };
 
@@ -124,6 +128,10 @@ std::optional<ScreenedMessage> PlausibilityGate::screen(
   }
 
   ++counters_.accepted;
+  if (obs::ring_recording(ring_)) {
+    ring_->message_accept(static_cast<std::uint16_t>(msg.sender),
+                          msg.stamp());
+  }
   return to_screened(msg);
 }
 

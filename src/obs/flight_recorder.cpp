@@ -1,0 +1,141 @@
+#include "cvsafe/obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "cvsafe/obs/jsonl.hpp"
+
+namespace cvsafe::obs {
+
+const char* ring_event_kind_name(RingEventKind kind) {
+  switch (kind) {
+    case RingEventKind::kMessageAccept:
+      return "message_accept";
+    case RingEventKind::kMessageReject:
+      return "message_reject";
+    case RingEventKind::kGateVerdict:
+      return "gate_verdict";
+    case RingEventKind::kLadderTransition:
+      return "ladder_transition";
+    case RingEventKind::kEtaSample:
+      return "eta_sample";
+    case RingEventKind::kPlanClamp:
+      return "plan_clamp";
+  }
+  return "unknown";
+}
+
+const char* ring_trigger_name(unsigned bit) {
+  switch (bit) {
+    case kTriggerEta:
+      return "eta_below_threshold";
+    case kTriggerEmergency:
+      return "emergency_entry";
+    case kTriggerUnsafe:
+      return "unsafe_set_entry";
+    case kTriggerRejectionBurst:
+      return "rejection_burst";
+    default:
+      return "unknown";
+  }
+}
+
+std::vector<FlightDump> FlightDumpCollector::take_sorted() {
+  std::vector<FlightDump> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out.swap(dumps_);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightDump& a, const FlightDump& b) {
+              return a.episode < b.episode;
+            });
+  return out;
+}
+
+namespace {
+
+/// The code byte rendered per kind: a reason name for rejections, a
+/// degradation level index for ladder transitions, a 0/1 flag otherwise.
+void append_event_code(std::string& out, const RingEvent& event) {
+  const auto kind = static_cast<RingEventKind>(event.kind);
+  if (kind == RingEventKind::kMessageReject) {
+    out += "\"reason\":";
+    append_json_string(out, to_string(static_cast<GateRejectReason>(
+                                event.code)));
+    out += ",\"sender\":" + std::to_string(event.aux);
+  } else if (kind == RingEventKind::kLadderTransition) {
+    out += "\"from\":" + std::to_string(event.aux);
+    out += ",\"to\":" + std::to_string(event.code);
+  } else if (kind == RingEventKind::kMessageAccept) {
+    out += "\"sender\":" + std::to_string(event.aux);
+  } else {
+    out += "\"code\":" + std::to_string(event.code);
+  }
+}
+
+}  // namespace
+
+void write_flight_dump_jsonl(std::ostream& os, const FlightDump& dump,
+                             const std::string& scenario,
+                             const std::string& fault) {
+  std::string line = "{\"flight\":{\"episode\":" +
+                     std::to_string(dump.episode) +
+                     ",\"seed\":" + std::to_string(dump.seed);
+  if (!scenario.empty()) {
+    line += ",\"scenario\":";
+    append_json_string(line, scenario);
+  }
+  if (!fault.empty()) {
+    line += ",\"fault\":";
+    append_json_string(line, fault);
+  }
+  line += ",\"triggers\":[";
+  bool first = true;
+  for (unsigned bit = kTriggerEta; bit <= kTriggerRejectionBurst; bit <<= 1u) {
+    if ((dump.triggers & bit) == 0) continue;
+    if (!first) line += ',';
+    first = false;
+    append_json_string(line, ring_trigger_name(bit));
+  }
+  line += "],\"eta\":";
+  append_json_double(line, dump.eta);
+  line += ",\"collided\":";
+  line += dump.collided ? "true" : "false";
+  line += ",\"rejections\":" + std::to_string(dump.rejections);
+  line += ",\"events\":" + std::to_string(dump.events.size());
+  line += ",\"overwritten\":" + std::to_string(dump.overwritten);
+  line += "}}\n";
+  os << line;
+
+  for (const RingEvent& event : dump.events) {
+    line = "{\"episode\":" + std::to_string(dump.episode);
+    line += ",\"step\":" + std::to_string(event.step);
+    line += ",\"kind\":";
+    append_json_string(line,
+                       ring_event_kind_name(
+                           static_cast<RingEventKind>(event.kind)));
+    line += ',';
+    append_event_code(line, event);
+    line += ",\"value\":";
+    append_json_double(line, event.value);
+    line += "}\n";
+    os << line;
+  }
+}
+
+std::size_t write_flight_dumps_jsonl(std::ostream& os,
+                                     std::vector<FlightDump> dumps,
+                                     const std::string& scenario,
+                                     const std::string& fault) {
+  std::sort(dumps.begin(), dumps.end(),
+            [](const FlightDump& a, const FlightDump& b) {
+              return a.episode < b.episode;
+            });
+  for (const FlightDump& dump : dumps) {
+    write_flight_dump_jsonl(os, dump, scenario, fault);
+  }
+  return dumps.size();
+}
+
+}  // namespace cvsafe::obs

@@ -48,6 +48,12 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(name, Histogram(std::move(bounds))).first;
+  } else {
+    // A refetch with different bounds used to silently keep the
+    // first-creation bounds, leaving the caller observing into buckets
+    // it never asked for. Make the mismatch loud.
+    CVSAFE_EXPECTS(it->second.bounds() == bounds,
+                   "histogram refetched with different bucket bounds");
   }
   return it->second;
 }

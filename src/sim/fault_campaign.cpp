@@ -41,7 +41,8 @@ std::vector<RunResult> run_cell_episodes(const ScenarioAdapter<World>& adapter,
                                          std::uint64_t seed,
                                          std::size_t threads,
                                          std::ostream* trace,
-                                         const std::string& fault_label) {
+                                         const std::string& fault_label,
+                                         const FleetObsSinks& sinks) {
   if (trace == nullptr) {
     // Untraced cells run on the fleet engine: pooled episodes with
     // work-stealing refill instead of one task per episode. Records are
@@ -51,7 +52,7 @@ std::vector<RunResult> run_cell_episodes(const ScenarioAdapter<World>& adapter,
     fleet.threads = threads;
     fleet.policy = SeedPolicy::kDerived;
     const std::vector<FleetRecord> records =
-        run_fleet_records(adapter, episodes, seed, fleet);
+        run_fleet_records(adapter, episodes, seed, fleet, {}, sinks);
     std::vector<RunResult> results;
     results.reserve(records.size());
     for (const FleetRecord& r : records) {
@@ -91,7 +92,8 @@ std::vector<RunResult> run_campaign_cell(const std::string& scenario,
                                          std::size_t episodes,
                                          std::uint64_t seed,
                                          std::size_t threads,
-                                         std::ostream* trace) {
+                                         std::ostream* trace,
+                                         const FleetObsSinks& sinks) {
   if (scenario == "left-turn") {
     LeftTurnSimConfig config = LeftTurnSimConfig::paper_defaults();
     harden(config, cond);
@@ -105,21 +107,21 @@ std::vector<RunResult> run_campaign_cell(const std::string& scenario,
     bp.config.ladder = config.ladder;
     LeftTurnAdapter adapter(config, bp);
     return run_cell_episodes(adapter, episodes, seed, threads, trace,
-                             cond.label);
+                             cond.label, sinks);
   }
   if (scenario == "lane-change") {
     LaneChangeSimConfig config;
     harden(config, cond);
     LaneChangeAdapter adapter(config, LaneChangePlannerConfig{});
     return run_cell_episodes(adapter, episodes, seed, threads, trace,
-                             cond.label);
+                             cond.label, sinks);
   }
   if (scenario == "intersection") {
     IntersectionSimConfig config;
     harden(config, cond);
     IntersectionAdapter adapter(config, /*use_compound=*/true);
     return run_cell_episodes(adapter, episodes, seed, threads, trace,
-                             cond.label);
+                             cond.label, sinks);
   }
   CVSAFE_EXPECTS(scenario == "multi-vehicle",
                  "unknown campaign scenario");
@@ -129,7 +131,7 @@ std::vector<RunResult> run_campaign_cell(const std::string& scenario,
   setup.scenario = config.make_scenario();  // net == nullptr -> expert
   MultiVehicleAdapter adapter(config, MultiVehicleConfig{}, setup);
   return run_cell_episodes(adapter, episodes, seed, threads, trace,
-                           cond.label);
+                           cond.label, sinks);
 }
 
 CampaignCell aggregate_cell(std::string fault, std::string scenario,
@@ -220,10 +222,21 @@ std::size_t CampaignResult::violations() const {
 }
 
 CampaignResult run_fault_campaign(const CampaignConfig& config,
-                                  std::ostream* trace_os) {
+                                  std::ostream* trace_os,
+                                  const CampaignObs* observe) {
   config.validate();
   CampaignResult result;
   result.cells.reserve(config.faults.size() * config.scenarios.size());
+  // One collector serves every cell: it is drained (take_sorted) after
+  // each cell so the JSONL stays in deterministic (cell-major,
+  // episode-minor) order regardless of retirement interleaving.
+  obs::FlightDumpCollector dumps;
+  FleetObsSinks sinks;
+  if (observe != nullptr) {
+    sinks.flight = observe->flight;
+    sinks.dumps = observe->flight_os != nullptr ? &dumps : nullptr;
+    sinks.spans = observe->spans;
+  }
   for (std::size_t fi = 0; fi < config.faults.size(); ++fi) {
     const FaultCondition cond = FaultCondition::preset(config.faults[fi]);
     for (std::size_t si = 0; si < config.scenarios.size(); ++si) {
@@ -231,7 +244,17 @@ CampaignResult run_fault_campaign(const CampaignConfig& config,
           util::derive_seed(util::derive_seed(config.base_seed, fi), si);
       const auto episodes = run_campaign_cell(
           config.scenarios[si], cond, config.episodes_per_cell, cell_seed,
-          config.threads, trace_os);
+          config.threads, trace_os, sinks);
+      if (observe != nullptr) {
+        if (observe->flight_os != nullptr) {
+          obs::write_flight_dumps_jsonl(*observe->flight_os,
+                                        dumps.take_sorted(),
+                                        config.scenarios[si], cond.label);
+        }
+        if (observe->metrics != nullptr) {
+          collect_fleet_telemetry(*observe->metrics, episodes);
+        }
+      }
       result.cells.push_back(
           aggregate_cell(cond.label, config.scenarios[si], episodes));
     }

@@ -64,7 +64,7 @@ class IntersectionEpisode final : public Episode<IntersectionWorld> {
                                   config.vehicles_per_lane));
     for (const auto* lane : {&lane_a_, &lane_b_}) {
       for (const auto& car : *lane) {
-        filters_.push_back(static_cast<const filter::InformationFilter*>(
+        filters_.push_back(static_cast<filter::InformationFilter*>(
             car.estimators.front().get()));
       }
     }
@@ -100,9 +100,19 @@ class IntersectionEpisode final : public Episode<IntersectionWorld> {
 
   void finalize(RunResult& result) const override {
     for (const auto* f : filters_) {
-      result.messages_accepted += f->rejections().accepted;
-      result.messages_rejected += f->rejections().total_rejected();
+      const filter::RejectionCounters& c = f->rejections();
+      result.messages_accepted += c.accepted;
+      result.messages_rejected += c.total_rejected();
+      result.rejection_reasons[0] += c.non_finite;
+      result.rejection_reasons[1] += c.out_of_range;
+      result.rejection_reasons[2] += c.stale;
+      result.rejection_reasons[3] += c.implausible;
     }
+  }
+
+  void attach_ring(obs::RingRecorder* ring) override {
+    if (compound_ != nullptr) compound_->set_ring(ring);
+    for (auto* f : filters_) f->set_ring(ring);
   }
 
   void advance_traffic(std::size_t step, double dt) override {
@@ -182,7 +192,7 @@ class IntersectionEpisode final : public Episode<IntersectionWorld> {
   std::vector<TrafficActor> lane_a_;
   std::vector<TrafficActor> lane_b_;
   /// Typed views of every actor's estimator (signals, gate tallies).
-  std::vector<const filter::InformationFilter*> filters_;
+  std::vector<filter::InformationFilter*> filters_;
 };
 
 }  // namespace

@@ -31,7 +31,7 @@ class LaneChangeEpisode final : public Episode<LaneChangeWorld> {
       : scn_(std::move(scn)),
         c1_dyn_(config.c1_limits),
         c1_(make_leading(config, planner_cfg, rng, total_steps, seed)) {
-    c1_filter_ = static_cast<const filter::InformationFilter*>(
+    c1_filter_ = static_cast<filter::InformationFilter*>(
         c1_.estimators.front().get());
     std::shared_ptr<core::PlannerBase<LaneChangeWorld>> inner =
         factory ? factory(config)
@@ -63,8 +63,18 @@ class LaneChangeEpisode final : public Episode<LaneChangeWorld> {
   }
 
   void finalize(RunResult& result) const override {
-    result.messages_accepted += c1_filter_->rejections().accepted;
-    result.messages_rejected += c1_filter_->rejections().total_rejected();
+    const filter::RejectionCounters& c = c1_filter_->rejections();
+    result.messages_accepted += c.accepted;
+    result.messages_rejected += c.total_rejected();
+    result.rejection_reasons[0] += c.non_finite;
+    result.rejection_reasons[1] += c.out_of_range;
+    result.rejection_reasons[2] += c.stale;
+    result.rejection_reasons[3] += c.implausible;
+  }
+
+  void attach_ring(obs::RingRecorder* ring) override {
+    if (compound_ != nullptr) compound_->set_ring(ring);
+    c1_filter_->set_ring(ring);
   }
 
   void advance_traffic(std::size_t step, double dt) override {
@@ -109,7 +119,7 @@ class LaneChangeEpisode final : public Episode<LaneChangeWorld> {
   std::shared_ptr<const scenario::LaneChangeScenario> scn_;
   vehicle::DoubleIntegrator c1_dyn_;
   TrafficActor c1_;
-  const filter::InformationFilter* c1_filter_ = nullptr;
+  filter::InformationFilter* c1_filter_ = nullptr;
 };
 
 }  // namespace

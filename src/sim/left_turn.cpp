@@ -147,12 +147,20 @@ void LeftTurnEpisode::finalize(RunResult& result) const {
   const auto [accepted, rejected] = stack_->message_tally();
   result.messages_accepted += accepted;
   result.messages_rejected += rejected;
+  const std::array<std::size_t, 4> reasons = stack_->message_reasons();
+  for (std::size_t i = 0; i < reasons.size(); ++i) {
+    result.rejection_reasons[i] += reasons[i];
+  }
 }
 
 void LeftTurnEpisode::attach_recorder(obs::Recorder* recorder) {
   stack_->attach_recorder(recorder);
   c1_.channel.set_recorder(recorder);
   c1_.sensor.set_recorder(recorder);
+}
+
+void LeftTurnEpisode::attach_ring(obs::RingRecorder* ring) {
+  stack_->attach_ring(ring);
 }
 
 std::unique_ptr<Episode<scenario::LeftTurnWorld>>
@@ -337,18 +345,20 @@ FleetPlannerFactory<scenario::LeftTurnWorld> fleet_planner_factory(
 FleetResult run_left_turn_fleet(const LeftTurnSimConfig& config,
                                 const AgentBlueprint& blueprint,
                                 std::size_t n, std::uint64_t base_seed,
-                                const FleetConfig& fleet) {
+                                const FleetConfig& fleet,
+                                const FleetObsSinks& sinks) {
   LeftTurnAdapter adapter(config, blueprint);
   return run_fleet(adapter, n, base_seed, fleet,
-                   fleet_planner_factory(blueprint));
+                   fleet_planner_factory(blueprint), sinks);
 }
 
 std::vector<FleetRecord> run_left_turn_fleet_records(
     const LeftTurnSimConfig& config, const AgentBlueprint& blueprint,
-    std::size_t n, std::uint64_t base_seed, const FleetConfig& fleet) {
+    std::size_t n, std::uint64_t base_seed, const FleetConfig& fleet,
+    const FleetObsSinks& sinks) {
   LeftTurnAdapter adapter(config, blueprint);
   return run_fleet_records(adapter, n, base_seed, fleet,
-                           fleet_planner_factory(blueprint));
+                           fleet_planner_factory(blueprint), sinks);
 }
 
 }  // namespace cvsafe::sim

@@ -173,6 +173,26 @@ void LeftTurnStack::attach_recorder(obs::Recorder* recorder) {
   }
 }
 
+void LeftTurnStack::attach_ring(obs::RingRecorder* ring) {
+  if (compound_ != nullptr) compound_->set_ring(ring);
+  for (filter::InformationFilter* f : {nn_filter_, monitor_filter_}) {
+    if (f != nullptr) f->set_ring(ring);
+  }
+}
+
+std::array<std::size_t, 4> LeftTurnStack::message_reasons() const {
+  std::array<std::size_t, 4> reasons{};
+  for (const filter::InformationFilter* f : {nn_filter_, monitor_filter_}) {
+    if (f == nullptr) continue;
+    const filter::RejectionCounters& c = f->rejections();
+    reasons[0] += c.non_finite;
+    reasons[1] += c.out_of_range;
+    reasons[2] += c.stale;
+    reasons[3] += c.implausible;
+  }
+  return reasons;
+}
+
 std::pair<std::size_t, std::size_t> LeftTurnStack::message_tally() const {
   std::size_t accepted = 0;
   std::size_t rejected = 0;

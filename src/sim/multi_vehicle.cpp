@@ -123,9 +123,21 @@ class MultiVehicleEpisode final : public Episode<LeftTurnMultiWorld> {
   void finalize(RunResult& result) const override {
     for (const auto* list : {&monitor_filters_, &nn_filters_}) {
       for (const auto* f : *list) {
-        result.messages_accepted += f->rejections().accepted;
-        result.messages_rejected += f->rejections().total_rejected();
+        const filter::RejectionCounters& c = f->rejections();
+        result.messages_accepted += c.accepted;
+        result.messages_rejected += c.total_rejected();
+        result.rejection_reasons[0] += c.non_finite;
+        result.rejection_reasons[1] += c.out_of_range;
+        result.rejection_reasons[2] += c.stale;
+        result.rejection_reasons[3] += c.implausible;
       }
+    }
+  }
+
+  void attach_ring(obs::RingRecorder* ring) override {
+    if (compound_ != nullptr) compound_->set_ring(ring);
+    for (auto* list : {&monitor_filters_, &nn_filters_}) {
+      for (auto* f : *list) f->set_ring(ring);
     }
   }
 
@@ -153,8 +165,8 @@ class MultiVehicleEpisode final : public Episode<LeftTurnMultiWorld> {
   std::vector<TrafficActor> cars_;
   /// Typed views per car (signals, gate tallies); nn_filters_ is empty
   /// when the NN side uses the naive extrapolator.
-  std::vector<const filter::InformationFilter*> monitor_filters_;
-  std::vector<const filter::InformationFilter*> nn_filters_;
+  std::vector<filter::InformationFilter*> monitor_filters_;
+  std::vector<filter::InformationFilter*> nn_filters_;
 };
 
 }  // namespace

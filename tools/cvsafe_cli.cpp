@@ -48,6 +48,22 @@
 //   --profile FILE           (run) Chrome trace-event JSON of the hot-path
 //                            profiling spans (open in Perfetto)
 //   --out DIR|FILE           (train) output directory; (campaign) CSV path
+//   --flight-recorder FILE   (batch left-turn fleet engine / campaign /
+//                            attack) arm a per-lane flight recorder ring;
+//                            triggered episode dumps (min-eta below
+//                            threshold, EMERGENCY entry, unsafe-set entry,
+//                            rejection burst) append to FILE as JSONL,
+//                            byte-identical across thread counts, pool
+//                            sizes and engines. attack re-runs each
+//                            reported offender with the recorder armed.
+//   --telemetry FILE         (batch left-turn fleet engine / campaign)
+//                            deterministic fleet telemetry (min-eta
+//                            histogram, per-reason rejections, ladder
+//                            occupancy, episode residency): CSV when FILE
+//                            ends in .csv, Prometheus text otherwise.
+//                            Wall-clock per-sweep span accounting goes to
+//                            FILE.spans — scheduling-dependent, never
+//                            byte-compared.
 //
 // Campaign options:
 //   --preset ci|smoke        campaign matrix preset      (default ci)
@@ -65,6 +81,8 @@
 //   --sims N                 episodes per candidate evaluation
 //   --topk N                 offenders to serialize      (default 3)
 //   --stealth R              max hardened-gate rejection rate (default 0.25)
+//   --metrics FILE           search metrics registry dump (best-eta-per-
+//                            iteration gauges, stealth-screen counters)
 //   --out DIR                writes DIR/search_trace.csv plus, per offender
 //                            rank k, DIR/worst_plan_k.ini (replayable via
 //                            `run --faults`) and DIR/offender_k.jsonl
@@ -78,6 +96,7 @@
 #include <filesystem>
 #include <iostream>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -87,6 +106,7 @@
 #include "cvsafe/eval/config_io.hpp"
 #include "cvsafe/eval/experiments.hpp"
 #include "cvsafe/nn/serialize.hpp"
+#include "cvsafe/obs/flight_recorder.hpp"
 #include "cvsafe/obs/metrics.hpp"
 #include "cvsafe/obs/profile.hpp"
 #include "cvsafe/sim/fault_campaign.hpp"
@@ -168,6 +188,35 @@ bool dump_metrics(const obs::MetricsRegistry& reg, const std::string& path) {
   if (!write_text_file(path, text)) return false;
   std::printf("metrics    %s\n", path.c_str());
   return true;
+}
+
+/// Writes the collector's triggered flight dumps as labeled JSONL and
+/// prints the summary line. Shared by `batch` and `attack` (`campaign`
+/// streams per-cell labeled dumps through sim::CampaignObs instead).
+bool write_flight_dumps(const std::string& path,
+                        obs::FlightDumpCollector& dumps,
+                        const std::string& scenario = "",
+                        const std::string& fault = "") {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::size_t n = obs::write_flight_dumps_jsonl(
+      out, dumps.take_sorted(), scenario, fault);
+  std::printf("flight     %s (%zu dumps)\n", path.c_str(), n);
+  return true;
+}
+
+/// Dumps the wall-clock sweep-span registry as a sibling artifact of the
+/// deterministic telemetry file. Kept separate because span counts and
+/// durations depend on work-stealing schedules — CI byte-compares the
+/// telemetry file but never this one.
+bool dump_spans(const sim::SweepSpanSink& spans,
+                const std::string& telemetry_path) {
+  obs::MetricsRegistry reg;
+  sim::collect_sweep_spans(reg, spans.total());
+  return dump_metrics(reg, telemetry_path + ".spans");
 }
 
 int usage() {
@@ -443,10 +492,47 @@ int cmd_batch(const Args& args) {
   const auto threads = static_cast<std::size_t>(args.number("threads", 0));
   const std::string engine = args.value("engine", "fleet");
   const auto pool = static_cast<std::size_t>(args.number("pool", 8192));
+  const bool want_flight = args.values.count("flight-recorder") > 0;
+  const bool want_telemetry = args.values.count("telemetry") > 0;
+  if ((want_flight || want_telemetry) && engine != "fleet") {
+    std::fprintf(stderr,
+                 "--flight-recorder/--telemetry require --engine fleet\n");
+    return 2;
+  }
 
   eval::BatchStats stats;
   if (engine == "fleet") {
-    stats = eval::run_batch_fleet(config, bp, n, seed, threads, pool);
+    if (want_flight || want_telemetry) {
+      // Observability-armed path: keep the records so the deterministic
+      // telemetry fold can walk them in episode order.
+      obs::FlightDumpCollector dumps;
+      sim::SweepSpanSink spans;
+      sim::FleetObsSinks sinks;
+      if (want_flight) sinks.dumps = &dumps;
+      if (want_telemetry) sinks.spans = &spans;
+      sim::FleetConfig fleet;
+      fleet.threads = threads;
+      fleet.pool_capacity = pool;
+      const std::vector<sim::FleetRecord> records =
+          sim::run_left_turn_fleet_records(config, bp, n, seed, fleet,
+                                           sinks);
+      stats = sim::stats_from_records(records);
+      if (want_flight &&
+          !write_flight_dumps(args.value("flight-recorder", "flight.jsonl"),
+                              dumps, "left-turn", config.comm.label())) {
+        return 1;
+      }
+      if (want_telemetry) {
+        obs::MetricsRegistry reg;
+        sim::collect_fleet_telemetry(
+            reg, std::span<const sim::FleetRecord>(records));
+        const std::string path = args.value("telemetry", "telemetry.prom");
+        if (!dump_metrics(reg, path)) return 1;
+        if (!dump_spans(spans, path)) return 1;
+      }
+    } else {
+      stats = eval::run_batch_fleet(config, bp, n, seed, threads, pool);
+    }
   } else if (engine == "lockstep") {
     stats = eval::run_batch(config, bp, n, seed, threads);
   } else if (engine == "episode") {
@@ -559,12 +645,43 @@ int cmd_campaign(const Args& args) {
     }
   }
 
-  const sim::CampaignResult result =
-      sim::run_fault_campaign(config, want_trace ? &trace_out : nullptr);
+  const bool want_flight = args.values.count("flight-recorder") > 0;
+  const bool want_telemetry = args.values.count("telemetry") > 0;
+  std::ofstream flight_out;
+  const std::string flight_path =
+      args.value("flight-recorder", "flight.jsonl");
+  if (want_flight) {
+    flight_out.open(flight_path, std::ios::binary);
+    if (!flight_out.good()) {
+      std::fprintf(stderr, "cannot write %s\n", flight_path.c_str());
+      return 1;
+    }
+  }
+  obs::MetricsRegistry telemetry;
+  sim::SweepSpanSink spans;
+  sim::CampaignObs observe;
+  if (want_flight) observe.flight_os = &flight_out;
+  if (want_telemetry) {
+    observe.metrics = &telemetry;
+    observe.spans = &spans;
+  }
+
+  const sim::CampaignResult result = sim::run_fault_campaign(
+      config, want_trace ? &trace_out : nullptr,
+      want_flight || want_telemetry ? &observe : nullptr);
   const std::string csv = sim::campaign_csv(result);
   if (want_trace) {
     trace_out.close();
     std::printf("trace      %s\n", trace_path.c_str());
+  }
+  if (want_flight) {
+    flight_out.close();
+    std::printf("flight     %s\n", flight_path.c_str());
+  }
+  if (want_telemetry) {
+    const std::string path = args.value("telemetry", "campaign.prom");
+    if (!dump_metrics(telemetry, path)) return 1;
+    if (!dump_spans(spans, path)) return 1;
   }
   if (args.values.count("metrics")) {
     obs::MetricsRegistry reg;
@@ -653,6 +770,29 @@ int cmd_attack(const Args& args) {
 
   const adv::SearchResult result = adv::run_search(config);
   const std::string csv = adv::search_csv(result);
+
+  if (args.values.count("metrics")) {
+    obs::MetricsRegistry reg;
+    adv::collect_search_metrics(reg, result);
+    if (!dump_metrics(reg, args.value("metrics", "attack.prom"))) return 1;
+  }
+  if (args.values.count("flight-recorder")) {
+    // Re-run every reported offender with the flight recorder armed so
+    // the causal event rings of the worst discovered faults land next to
+    // the search trace.
+    const std::string path = args.value("flight-recorder", "flight.jsonl");
+    std::ofstream out(path, std::ios::binary);
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::size_t total = 0;
+    for (std::size_t rank = 0; rank < result.offenders.size(); ++rank) {
+      total += adv::dump_offender_flights(result, rank, out);
+    }
+    std::printf("flight     %s (%zu dumps over %zu offenders)\n",
+                path.c_str(), total, result.offenders.size());
+  }
 
   if (args.values.count("out")) {
     const std::filesystem::path dir = args.value("out", "attack");

@@ -71,6 +71,20 @@ include/):
                      loop reaches the scalar stack only through the
                      episode's virtual interface, which this rule does
                      not flag; annotate any legitimate direct use
+  no-episode-recorder-in-fleet-sweep
+                     same file set: the episode-level obs::Recorder (the
+                     allocating JSONL event recorder) and the
+                     obs::recording() guard are banned from the fleet
+                     engine — a recorder mounted inside the shard-step
+                     allocates per event and serializes in retirement
+                     order, breaking both the zero-alloc steady state
+                     and byte-determinism. Fleet observability goes
+                     through the fixed-capacity obs::RingRecorder
+                     (flight_recorder.hpp), whose only allocation is
+                     arm() at pool construction; RingRecorder /
+                     FlightRecorderConfig / ring_recording() do not
+                     match. The reference per-lane engine may mount
+                     recorders — it is outside this file set
 
 A finding on a line that carries the annotation
     cvsafe-lint: allow(<rule>)
@@ -201,6 +215,15 @@ RE_SCALAR_STACK = re.compile(
     r"\bKalmanFilter\b"
     r"|\bDegradationLadder\b"
     r"|\bpropagate\s*\("
+)
+# The episode-level JSONL recorder inside the fleet engine. `Recorder`
+# must stand alone as an identifier tail: RingRecorder and
+# FlightRecorderConfig never match (no word boundary before/after the
+# embedded "Recorder"), and ring_recording() never matches the
+# recording() alternative (the leading underscore is a word character).
+RE_EPISODE_RECORDER = re.compile(
+    r"\bRecorder\b"
+    r"|\brecording\s*\("
 )
 RE_PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\b")
 RE_ALLOW = re.compile(r"cvsafe-lint:\s*allow\(([a-z0-9_,\- ]+)\)")
@@ -367,6 +390,12 @@ class FileLinter:
                             "the shard-step goes through the pool-resident "
                             "SoA sweeps (FleetEstimator, ReachSweep, "
                             "FleetLadder)")
+            if self.fleet_rules and RE_EPISODE_RECORDER.search(code):
+                self.report(line_no, "no-episode-recorder-in-fleet-sweep",
+                            "episode-level obs::Recorder in the fleet "
+                            "engine; it allocates per event and breaks "
+                            "byte-determinism — use the fixed-capacity "
+                            "obs::RingRecorder (flight_recorder.hpp)")
             if self.raw_streams_banned and RE_RAW_STREAM.search(code):
                 self.report(line_no, "no-raw-stream-logging",
                             "library code must not write to the global "
@@ -563,6 +592,26 @@ SELF_TEST_CASES: list[tuple[str, str, dict, str, set[str]]] = [
     ("fleet-rule-out-of-scope", "engine.hpp", {"fleet_rules": False},
      "#pragma once\n"
      "filter::KalmanFilter kf{config};\n",
+     set()),
+    ("fleet-ring-recorder-is-fine", "fleet.hpp", {"fleet_rules": True},
+     "#pragma once\n"
+     "void arm(const obs::FlightRecorderConfig& flight) {\n"
+     "  rings_.push_back(std::make_unique<obs::RingRecorder>(flight));\n"
+     "  if (obs::ring_recording(rings_.back().get())) count_ += 1;\n"
+     "}\n",
+     set()),
+    ("fleet-episode-recorder", "fleet.hpp", {"fleet_rules": True},
+     "#pragma once\n"
+     "void mount(obs::Recorder* rec) { rec_ = rec; }\n",
+     {"no-episode-recorder-in-fleet-sweep"}),
+    ("fleet-recording-guard", "fleet.cpp", {"fleet_rules": True},
+     "void emit() {\n"
+     "  if (obs::recording(rec_)) rec_->event(obs::EventKind::kStep);\n"
+     "}\n",
+     {"no-episode-recorder-in-fleet-sweep"}),
+    ("episode-recorder-out-of-fleet", "engine.hpp", {"fleet_rules": False},
+     "#pragma once\n"
+     "void mount(obs::Recorder* rec) { rec_ = rec; }\n",
      set()),
     ("std-rand-still-fires", "noise.cpp", {},
      "int r() { return std::rand(); }\n",
